@@ -1,0 +1,188 @@
+"""A1 — ablations of the reconfiguration engine's design choices.
+
+Three knobs DESIGN.md calls out are individually removed to show what
+each buys:
+
+* **quiescence** — replace a component *without* blocking its channels:
+  requests that arrive inside the swap window fail, whereas the full
+  protocol buffers and replays them (zero failures);
+* **consistency check + rollback** — apply a change set whose result is
+  inconsistent: without the check the application is left broken
+  (subsequent calls fail); with it the original configuration survives;
+* **escalation threshold** — RAML's adaptation-first arbitration: with
+  ``escalate_after=1`` every transient blip triggers a (costly)
+  reconfiguration; with 3 the blips are ridden out and only the
+  persistent fault escalates.
+"""
+
+import pytest
+
+from repro import Simulator, star
+from repro.core import Raml, Response, custom
+from repro.kernel import Assembly, LifecycleState
+from repro.reconfig import (
+    ReconfigurationTransaction,
+    RemoveBinding,
+    ReplaceComponent,
+)
+from repro.workloads import OpenLoopGenerator, binding_transport
+
+from conftest import print_table
+from tests.helpers import CounterComponent, counter_interface
+
+
+def fresh(name, require_peer=False):
+    component = CounterComponent(name)
+    component.provide("svc", counter_interface())
+    if require_peer:
+        component.require("peer", counter_interface())
+    return component
+
+
+def wired():
+    sim = Simulator()
+    assembly = Assembly(star(sim, leaves=2))
+    client = assembly.deploy(fresh("client", require_peer=True), "leaf0")
+    server = assembly.deploy(fresh("server"), "leaf1")
+    assembly.connect("client", "peer", target_component="server")
+    return sim, assembly, client, server
+
+
+# ---------------------------------------------------------------------------
+# Ablation 1: quiescence
+# ---------------------------------------------------------------------------
+
+def run_swap(with_quiescence: bool) -> dict:
+    sim, assembly, client, server = wired()
+    generator = OpenLoopGenerator(
+        sim, binding_transport(client.required_port("peer")),
+        "increment", make_args=lambda i: (1,), rate=1000.0,
+    ).start(duration=1.0)
+    replacement = fresh("server-v2")
+
+    if with_quiescence:
+        sim.at(0.5, lambda: ReconfigurationTransaction(assembly).add(
+            ReplaceComponent("server", replacement)
+        ).execute_async())
+    else:
+        # Naive swap: passivate, transfer state over a window, only then
+        # redirect — without blocking the channel.
+        def naive():
+            from repro.reconfig import transfer_state
+
+            server.passivate()
+            window = 0.01  # same order as the transactional window
+
+            def finish():
+                transfer_state(server, replacement)
+                if replacement.lifecycle.state is LifecycleState.CREATED:
+                    replacement.initialize()
+                assembly.deploy(replacement, "leaf1")
+                binding = client.required_port("peer").binding
+                binding.redirect(replacement.provided_port("svc"))
+                server.stop()
+
+            sim.schedule(window, finish)
+
+        sim.at(0.5, naive)
+
+    sim.run(until=2.0)
+    return {
+        "issued": generator.stats.issued,
+        "failed": generator.stats.failed,
+        "served": replacement.state.get("total", 0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ablation 2: consistency check + rollback
+# ---------------------------------------------------------------------------
+
+def run_inconsistent_change(with_check: bool) -> dict:
+    sim, assembly, client, server = wired()
+    if with_check:
+        txn = ReconfigurationTransaction(assembly).add(
+            RemoveBinding("client", "peer")  # leaves a dangling requirement
+        )
+        try:
+            txn.execute()
+        except Exception:  # noqa: BLE001 - rolled back
+            pass
+    else:
+        # Raw change application, no validation/rollback.
+        change = RemoveBinding("client", "peer")
+        change.apply(assembly)
+
+    # Is the application still whole?
+    try:
+        client.required_port("peer").call("increment", 1)
+        working = True
+    except Exception:  # noqa: BLE001
+        working = False
+    return {"working": working}
+
+
+# ---------------------------------------------------------------------------
+# Ablation 3: escalation threshold
+# ---------------------------------------------------------------------------
+
+def run_escalation(threshold: int) -> dict:
+    sim, assembly, _client, _server = wired()
+    raml = Raml(assembly, period=0.25)
+    blip = {"bad": False}
+    reconfigurations = []
+
+    raml.add_constraint(
+        custom("flaky-signal", lambda view: ["bad"] if blip["bad"] else []),
+        Response(reconfigure=lambda r, v: reconfigurations.append(r.now),
+                 escalate_after=threshold),
+    )
+    raml.start()
+    # Three one-sweep transient blips, then one persistent fault.
+    for at in (1.0, 2.0, 3.0):
+        sim.at(at, lambda: blip.__setitem__("bad", True))
+        sim.at(at + 0.3, lambda: blip.__setitem__("bad", False))
+    sim.at(4.0, lambda: blip.__setitem__("bad", True))
+    sim.run(until=6.0)
+    raml.stop()
+    persistent_caught = any(t >= 4.0 for t in reconfigurations)
+    spurious = sum(1 for t in reconfigurations if t < 4.0)
+    return {"spurious": spurious, "persistent_caught": persistent_caught}
+
+
+def test_a1_ablations(benchmark):
+    quiesced = run_swap(with_quiescence=True)
+    naive = run_swap(with_quiescence=False)
+    checked = run_inconsistent_change(with_check=True)
+    unchecked = run_inconsistent_change(with_check=False)
+    eager = run_escalation(threshold=1)
+    patient = run_escalation(threshold=3)
+    benchmark.pedantic(lambda: run_swap(True), rounds=1, iterations=1)
+
+    rows = [
+        ["swap + quiescence", f"failed={quiesced['failed']}",
+         f"issued={quiesced['issued']}"],
+        ["swap, no quiescence", f"failed={naive['failed']}",
+         f"issued={naive['issued']}"],
+        ["inconsistent change + check", f"app working={checked['working']}",
+         "rolled back"],
+        ["inconsistent change, no check",
+         f"app working={unchecked['working']}", "shipped broken"],
+        ["escalate_after=1", f"spurious={eager['spurious']}",
+         f"persistent caught={eager['persistent_caught']}"],
+        ["escalate_after=3", f"spurious={patient['spurious']}",
+         f"persistent caught={patient['persistent_caught']}"],
+    ]
+    print_table("A1 ablations", ["configuration", "outcome", "detail"], rows)
+
+    # Quiescence is what makes the swap lossless.
+    assert quiesced["failed"] == 0
+    assert naive["failed"] > 0
+    # The consistency check is what keeps the application whole.
+    assert checked["working"]
+    assert not unchecked["working"]
+    # Patience suppresses spurious reconfigurations without missing the
+    # persistent fault.
+    assert eager["spurious"] >= 3
+    assert patient["spurious"] == 0
+    assert eager["persistent_caught"] and patient["persistent_caught"]

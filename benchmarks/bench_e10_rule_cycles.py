@@ -1,0 +1,88 @@
+"""E10 — FLO/C cycle detection over the rule-induced calling tree.
+
+Random rule sets are generated; a networkx reachability oracle decides
+ground truth.  Series: detection accuracy and parse+check cost versus
+rule-set size.  Expected shape: 100% agreement with the oracle; cost
+low enough to run on every rule installation.
+"""
+
+import random
+import time
+
+import pytest
+
+import networkx as nx
+
+from repro.rules import (
+    CallAction,
+    CallPattern,
+    Rule,
+    RuleOperator,
+    is_acyclic,
+    parse_rules,
+)
+
+from conftest import fmt, print_table
+
+
+def random_rule_set(size: int, components: int, rng: random.Random):
+    nodes = [f"c{i}.op{j}" for i in range(components) for j in range(2)]
+    edges = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(size)]
+    rules = [
+        Rule(f"r{i}", CallPattern.parse(trigger), RuleOperator.IMPLIES,
+             action=CallAction.parse(action))
+        for i, (trigger, action) in enumerate(edges)
+    ]
+    return rules, edges
+
+
+def test_e10_cycle_detection_accuracy_and_cost(benchmark):
+    rng = random.Random(7)
+    sizes = [4, 8, 16, 32, 64]
+    rows = []
+    disagreements = 0
+
+    for size in sizes:
+        attempts = 80
+        cyclic = 0
+        costs = []
+        for _ in range(attempts):
+            rules, edges = random_rule_set(size, components=4, rng=rng)
+            oracle = nx.DiGraph()
+            oracle.add_edges_from(edges)
+            truth = nx.is_directed_acyclic_graph(oracle)
+            start = time.perf_counter()
+            verdict = is_acyclic(rules)
+            costs.append(time.perf_counter() - start)
+            if verdict != truth:
+                disagreements += 1
+            if not truth:
+                cyclic += 1
+        rows.append([
+            size, attempts, cyclic,
+            fmt(sum(costs) / len(costs) * 1e6, 1) + "us",
+        ])
+
+    rules, _edges = random_rule_set(32, components=4, rng=rng)
+    benchmark(is_acyclic, rules)
+
+    print_table("E10 rule cycle detection",
+                ["rules", "attempts", "cyclic", "mean-cost"], rows)
+    print(f"oracle disagreements: {disagreements}")
+    assert disagreements == 0
+
+
+def test_e10_grammar_roundtrip_and_check(benchmark):
+    """Parsing the textual grammar and checking the parsed set."""
+    source = "\n".join(
+        f"when c{i % 4}.op{i % 2} implies c{(i + 1) % 4}.op{(i + 1) % 2}"
+        for i in range(16)
+    )
+
+    def parse_and_check():
+        rules = parse_rules(source)
+        return is_acyclic(rules)
+
+    verdict = benchmark(parse_and_check)
+    # This chain wraps around four components: it is cyclic.
+    assert verdict is False

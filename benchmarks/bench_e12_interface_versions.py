@@ -1,0 +1,162 @@
+"""E12 — interface modification keeps caller compatibility across versions.
+
+A service interface climbs a version ladder: three compatible minor
+evolutions (new operations, widened signatures) followed by a breaking
+major change bridged by an adapter.  A caller written against v1.0 runs
+unmodified against every rung.  Series: old-caller success rate per
+rung and the per-call overhead the adapter interceptor adds.  Expected
+shape: 100% success everywhere; adapter overhead within a small constant
+factor (≈2–3×) of an unadapted call.
+"""
+
+import time
+
+import pytest
+
+from repro import Simulator, star
+from repro.kernel import (
+    Assembly,
+    Component,
+    Interface,
+    InterfaceAdapter,
+    Invocation,
+    Operation,
+)
+from repro.reconfig import (
+    ModifyInterface,
+    ReconfigurationTransaction,
+    ReplaceImplementation,
+)
+
+from conftest import fmt, print_table
+
+
+def v1_interface():
+    return Interface("Store", "1.0", [
+        Operation("put", ("key", "value")),
+        Operation("get", ("key",)),
+    ])
+
+
+class StoreV1(Component):
+    def on_initialize(self):
+        self.state.setdefault("data", {})
+
+    def put(self, key, value):
+        self.state["data"][key] = value
+        return True
+
+    def get(self, key):
+        return self.state["data"].get(key)
+
+
+class StoreV2Impl:
+    """Breaking change: put() takes a namespace; get renamed to fetch."""
+
+    def __init__(self, state):
+        self.state = state
+
+    def put(self, key, value, namespace):
+        self.state["data"][f"{namespace}:{key}"] = value
+        return True
+
+    def fetch(self, key, namespace):
+        return self.state["data"].get(f"{namespace}:{key}")
+
+    def delete(self, key, quiet=False):
+        self.state["data"].pop(f"default:{key}", None)
+        return True
+
+    def keys(self):
+        return sorted(self.state["data"])
+
+
+def old_caller_roundtrip(port) -> bool:
+    """A v1.0 client: put then get, no namespaces anywhere."""
+    port.invoke(Invocation("put", ("k", "v")))
+    return port.invoke(Invocation("get", ("k",))) == "v"
+
+
+def test_e12_version_ladder(benchmark):
+    sim = Simulator()
+    assembly = Assembly(star(sim, leaves=1))
+    store = StoreV1("store")
+    store.provide("svc", v1_interface())
+    assembly.deploy(store, "leaf0")
+    port = store.provided_port("svc")
+
+    rows = []
+    ladder = []
+
+    # Rung 0: the original.
+    rows.append(["1.0", "original", "yes" if old_caller_roundtrip(port)
+                 else "NO"])
+
+    # Rungs 1..3: compatible minor evolutions.
+    current = v1_interface()
+    minor_steps = [
+        ("add delete", dict(add=[Operation("delete", ("key",))])),
+        ("widen delete", dict(extend={"delete": Operation(
+            "delete", ("key", "quiet"), optional=1)})),
+        ("add keys", dict(add=[Operation("keys", ())])),
+    ]
+
+    class GrowingImpl(StoreV1):
+        pass
+
+    for label, evolution in minor_steps:
+        current = current.evolve(**evolution)
+        ReconfigurationTransaction(assembly).add(
+            ModifyInterface("store", "svc", current)
+        ).execute()
+        ok = old_caller_roundtrip(port)
+        rows.append([str(current.version), label, "yes" if ok else "NO"])
+        ladder.append(ok)
+
+    # Rung 4: breaking major change with an adapter.
+    v2 = Interface("Store", "2.0", [
+        Operation("put", ("key", "value", "namespace")),
+        Operation("fetch", ("key", "namespace")),
+        Operation("delete", ("key", "quiet"), optional=1),
+        Operation("keys", ()),
+    ])
+    adapter = InterfaceAdapter(
+        old=current, new=v2,
+        renames={"get": "fetch"},
+        defaults={"put": ("default",), "get": ("default",)},
+    )
+    ReconfigurationTransaction(assembly).add(
+        ModifyInterface("store", "svc", v2, adapter)
+    ).add(
+        ReplaceImplementation("store", "svc", StoreV2Impl(store.state))
+    ).execute()
+    ok = old_caller_roundtrip(port)
+    rows.append(["2.0", "breaking + adapter", "yes" if ok else "NO"])
+    ladder.append(ok)
+
+    # New-style callers work natively at the same time.
+    port.invoke(Invocation("put", ("k2", "v2", "tenant")))
+    assert port.invoke(Invocation("fetch", ("k2", "tenant"))) == "v2"
+
+    # Adapter overhead: adapted old-style call vs native new-style call.
+    def timed(call_invocation, calls=10_000):
+        start = time.perf_counter()
+        for _ in range(calls):
+            port.invoke(call_invocation)
+        return (time.perf_counter() - start) / calls
+
+    native = timed(Invocation("fetch", ("k", "default")))
+    adapted = timed(Invocation("get", ("k",)))
+    rows.append(["-", "native call", f"{native * 1e6:.2f}us"])
+    rows.append(["-", "adapted call", f"{adapted * 1e6:.2f}us"])
+
+    benchmark(port.invoke, Invocation("get", ("k",)))
+
+    print_table("E12 interface version ladder (v1.0 caller throughout)",
+                ["version", "change", "old caller ok / cost"], rows)
+
+    assert all(ladder), "the v1.0 caller must survive every rung"
+    assert adapted / native < 3.0, (
+        f"adapter overhead {adapted / native:.2f}x exceeds the small "
+        "constant factor expected of interposition"
+    )

@@ -1,0 +1,111 @@
+"""E1 — "a connector is a light-weight component … induces a low overload".
+
+Measures per-call cost of a direct binding versus each builtin connector
+kind interposed on the same call path.  Expected shape: any connector
+stays within a small constant factor (≤ ~3×) of the direct call.
+"""
+
+import time
+
+import pytest
+
+from repro.connectors import (
+    BroadcastConnector,
+    FailoverConnector,
+    LoadBalancerConnector,
+    PipelineConnector,
+    RpcConnector,
+)
+from repro.kernel import Component, Invocation, bind
+
+from conftest import fmt, print_table
+from tests.helpers import echo_interface, make_echo, make_stage
+
+
+def direct_path():
+    server = make_echo("server")
+    return server.provided_port("svc")
+
+
+def rpc_path():
+    connector = RpcConnector("rpc", echo_interface())
+    connector.attach("server", make_echo("server").provided_port("svc"))
+    return connector.endpoint("client")
+
+
+def load_balancer_path():
+    connector = LoadBalancerConnector("lb", echo_interface())
+    for index in range(3):
+        connector.attach("worker", make_echo(f"w{index}").provided_port("svc"))
+    return connector.endpoint("client")
+
+
+def failover_path():
+    connector = FailoverConnector("fo", echo_interface())
+    connector.attach("replica", make_echo("primary").provided_port("svc"))
+    connector.attach("replica", make_echo("backup").provided_port("svc"))
+    return connector.endpoint("client")
+
+
+def broadcast_path():
+    connector = BroadcastConnector("bc", echo_interface())
+    connector.attach("subscriber", make_echo("s0").provided_port("svc"))
+    return connector.endpoint("publisher")
+
+
+def pipeline_path():
+    connector = PipelineConnector("pipe")
+    connector.attach("stage", make_stage("id", lambda v: v).provided_port("svc"))
+    return connector.endpoint("source")
+
+
+PATHS = {
+    "direct": direct_path,
+    "rpc": rpc_path,
+    "load-balancer": load_balancer_path,
+    "failover": failover_path,
+    "broadcast": broadcast_path,
+    "pipeline": pipeline_path,
+}
+
+
+def _cost_per_call(target, calls=20_000):
+    operation = "process" if target.interface.name == "Stage" else "echo"
+    invocation = Invocation(operation, ("x",))
+    start = time.perf_counter()
+    for _ in range(calls):
+        target.invoke(invocation)
+    return (time.perf_counter() - start) / calls
+
+
+@pytest.mark.parametrize("kind", list(PATHS))
+def test_e1_call_cost(benchmark, kind):
+    """Per-kind micro-benchmark (compare groups in the report)."""
+    target = PATHS[kind]()
+    operation = "process" if target.interface.name == "Stage" else "echo"
+    invocation = Invocation(operation, ("x",))
+    benchmark(target.invoke, invocation)
+
+
+def test_e1_overhead_factors(benchmark):
+    """The headline series: connector cost relative to a direct call."""
+    costs = {kind: _cost_per_call(factory(), calls=5_000)
+             for kind, factory in PATHS.items()}
+    benchmark.pedantic(lambda: _cost_per_call(PATHS["rpc"](), calls=5_000),
+                       rounds=1, iterations=1)
+    baseline = costs["direct"]
+    rows = [
+        [kind, f"{cost * 1e6:.2f}us", fmt(cost / baseline, 2) + "x"]
+        for kind, cost in costs.items()
+    ]
+    print_table("E1 connector overhead (per call)",
+                ["path", "cost", "vs direct"], rows)
+    # Shape: the simple pass-through connectors are light-weight.
+    for kind in ("rpc", "failover"):
+        assert costs[kind] / baseline < 4.0, (
+            f"{kind} connector overhead {costs[kind] / baseline:.2f}x "
+            "exceeds the light-weight claim"
+        )
+    # Even the richest glue stays within an order of magnitude.
+    for kind, cost in costs.items():
+        assert cost / baseline < 10.0

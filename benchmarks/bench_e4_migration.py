@@ -1,0 +1,198 @@
+"""E4 — geographical changes for load balancing.
+
+Skewed background load hits the rack hosting all workers.  With the
+migration planner enabled, RAML drains the hot hosts ("host components
+on a less loaded hardware, so that the components can execute faster").
+Series: throughput and p99 request latency during the hot phase, planner
+off vs on.  Expected shape: the planner cuts hot-phase p99 by ≥2×.
+"""
+
+import pytest
+
+from repro import Simulator, datacenter
+from repro.core import Raml, Response, node_load_below
+from repro.kernel import Assembly, Component, Interface, Operation
+from repro.middleware import Orb, RemoteProxy
+from repro.netsim import hosts
+from repro.reconfig import MigrationPlanner
+from repro.workloads import ClosedLoopGenerator
+
+from conftest import fmt, print_table
+
+
+def work_interface():
+    return Interface("Work", "1.0", [Operation("execute", ("job",))])
+
+
+class Worker(Component):
+    def on_initialize(self):
+        self.state.setdefault("jobs", 0)
+
+    def execute(self, job):
+        self.state["jobs"] += 1
+        return job
+
+
+def p99(latencies):
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def run_scenario(rebalance: bool) -> dict:
+    sim = Simulator()
+    network = datacenter(sim, racks=2, hosts_per_rack=4)
+    assembly = Assembly(network)
+    host_names = hosts(network)
+    hot_hosts = [h for h in host_names if h.startswith("rack0")]
+
+    workers = []
+    orbs = {name: Orb(network, name) for name in host_names}
+    for index in range(4):
+        worker = Worker(f"worker{index}")
+        worker.provide("svc", work_interface())
+        assembly.deploy(worker, hot_hosts[index])
+        orbs[hot_hosts[index]].register(worker.name,
+                                        worker.provided_port("svc"),
+                                        work_units=4.0)
+        workers.append(worker)
+
+    proxies = [RemoteProxy(orbs["rack1-host3"], w.node_name, w.name,
+                           work_interface(), timeout=5.0) for w in workers]
+    state = {"next": 0}
+
+    def transport(operation, args, on_result, on_error):
+        index = state["next"] % len(workers)
+        state["next"] += 1
+        proxy, worker = proxies[index], workers[index]
+        if proxy.target_node != worker.node_name:
+            proxy.rebind(worker.node_name)
+        proxy.call(operation, *args, on_result=on_result, on_error=on_error)
+
+    generator = ClosedLoopGenerator(sim, transport, "execute",
+                                    make_args=lambda i: (i,), concurrency=8)
+
+    sim.at(5.0, lambda: [network.node(h).set_background_load(0.85)
+                         for h in hot_hosts])
+
+    raml = Raml(assembly, period=1.0).instrument()
+    if rebalance:
+        planner = MigrationPlanner(assembly, high_watermark=0.75,
+                                   low_watermark=0.5)
+
+        def migrate(raml_, violations):
+            for move in planner.plan_load_levelling(max_moves=4):
+                worker = assembly.component(move.component)
+                raml_.intercessor.migrate(move.component, move.target)
+                orbs[move.source].unregister(move.component)
+                orbs[move.target].register(move.component,
+                                           worker.provided_port("svc"),
+                                           work_units=4.0)
+
+        raml.add_constraint(node_load_below(0.75),
+                            Response(reconfigure=migrate, escalate_after=2))
+    raml.start()
+    generator.start()
+    sim.run(until=5.0)
+    calm = list(generator.stats.latencies)
+    generator.stats.latencies.clear()
+    sim.run(until=40.0)
+    hot = list(generator.stats.latencies)
+    generator.stop()
+    raml.stop()
+    sim.run(until=45.0)
+
+    return {
+        "calm_p99": p99(calm),
+        "hot_p99": p99(hot),
+        "hot_throughput": len(hot) / 35.0,
+        "migrations": len(raml.intercessor.transactions) if rebalance else 0,
+    }
+
+
+def test_e4_migration_for_load_balancing(benchmark):
+    static = run_scenario(rebalance=False)
+    planned = run_scenario(rebalance=True)
+    benchmark.pedantic(lambda: run_scenario(True), rounds=1, iterations=1)
+
+    rows = [
+        [name,
+         fmt(r["calm_p99"] * 1000, 1) + "ms",
+         fmt(r["hot_p99"] * 1000, 1) + "ms",
+         fmt(r["hot_throughput"], 1) + "/s",
+         r["migrations"]]
+        for name, r in (("planner-off", static), ("planner-on", planned))
+    ]
+    print_table("E4 migration under skewed load",
+                ["scenario", "calm-p99", "hot-p99", "hot-tput",
+                 "migrations"], rows)
+
+    assert planned["migrations"] >= 1
+    # The planner cuts hot-phase p99 latency by at least 2x and raises
+    # throughput.
+    assert static["hot_p99"] >= 2.0 * planned["hot_p99"]
+    assert planned["hot_throughput"] > static["hot_throughput"]
+
+
+def test_e4_affinity_moves_service_closer_to_demand(benchmark):
+    """The other geographical policy: migrate towards the demand source
+    ("closer to the demand") — round-trips over the wide link disappear."""
+    from repro import Simulator
+    from repro.kernel import Assembly
+    from repro.netsim import line
+    from repro.reconfig import TrafficMatrix
+
+    def run(affine: bool) -> float:
+        sim = Simulator()
+        # A 4-hop chain: demand at n0, service naively placed at n3.
+        network = line(sim, length=4, latency=0.01)
+        assembly = Assembly(network)
+        worker = Worker("svc")
+        worker.provide("svc", work_interface())
+        assembly.deploy(worker, "n3")
+        orbs = {name: Orb(network, name) for name in network.nodes}
+        orbs["n3"].register("svc", worker.provided_port("svc"))
+        proxy = RemoteProxy(orbs["n0"], "n3", "svc", work_interface(),
+                            timeout=5.0)
+        traffic_matrix = TrafficMatrix()
+        latencies = []
+
+        def issue():
+            sent = sim.now
+            traffic_matrix.record("n0", "svc")
+            proxy.call("execute", "job",
+                       on_result=lambda r: latencies.append(sim.now - sent))
+
+        from repro.events import PeriodicTimer
+
+        generator = PeriodicTimer(sim, 0.1, issue)
+
+        if affine:
+            def relocate():
+                planner = MigrationPlanner(assembly)
+                for move in planner.plan_affinity(traffic_matrix):
+                    raml = Raml(assembly)
+                    raml.intercessor.migrate(move.component, move.target)
+                    orbs["n3"].unregister("svc")
+                    orbs[move.target].register(
+                        "svc", worker.provided_port("svc"))
+                    proxy.rebind(move.target)
+
+            sim.at(2.0, relocate)
+
+        sim.run(until=6.0)
+        generator.stop()
+        sim.run(until=7.0)
+        tail = latencies[-20:]
+        return sum(tail) / len(tail)
+
+    remote = run(affine=False)
+    local = run(affine=True)
+    benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    print_table("E4b affinity migration",
+                ["placement", "steady-state latency"],
+                [["far from demand", fmt(remote * 1000, 2) + "ms"],
+                 ["moved to demand", fmt(local * 1000, 2) + "ms"]])
+    # Three hops of latency disappear: at least a 3x improvement.
+    assert remote > 3.0 * local

@@ -1,0 +1,128 @@
+"""E5 — quality-aware control keeps QoS compliant under fluctuation.
+
+A service node suffers sinusoidal + bursty background load.  A control
+loop adjusts the service's admission rate (the actuator) to hold the
+measured per-request latency at a contracted setpoint.  Controllers
+compared: none, PID, fuzzy (the paper's "intelligent controller").
+Series: contract-compliance ratio and mean |error|.  Expected shape:
+the fuzzy controller holds compliance ≥90%; the PID improves on no
+control but is handicapped by the plant's nonlinearity (latency ~
+1/(1-load)) — exactly the regime where the paper argues "formalisms
+adopted in traditional control systems … are generally not suitable"
+and intelligent (soft-computing) controllers are needed.
+"""
+
+import pytest
+
+from repro import Simulator
+from repro.control import ControlLoop, FuzzyController, PidController
+from repro.qos import MetricRegistry, QosContract, QosMonitor, Statistic
+from repro.workloads import composite, sinusoidal, square_wave
+
+from conftest import fmt, print_table
+
+SETPOINT = 0.1          # contracted latency
+HORIZON = 120.0
+SAMPLE = 0.5
+
+
+class ServicePlant:
+    """Latency model: grows with background load, shrinks with admission
+    throttling.  ``throttle`` in [0, 1] is the actuator (0 = no limit)."""
+
+    def __init__(self, load_profile):
+        self.load_profile = load_profile
+        self.throttle = 0.0
+
+    def latency(self, now: float) -> float:
+        load = max(0.0, min(0.95, self.load_profile(now)))
+        effective = load * (1.0 - self.throttle)
+        return 0.02 / max(0.05, (1.0 - effective))
+
+    def actuate(self, delta: float) -> None:
+        # Positive controller output = latency too low = release;
+        # negative = latency too high = throttle harder.
+        self.throttle = max(0.0, min(0.95, self.throttle - delta))
+
+
+def load_profile():
+    return composite(
+        sinusoidal(base=0.55, amplitude=0.25, period=40.0),
+        square_wave(low=0.0, high=0.3, period=25.0, duty=0.3),
+    )
+
+
+def run_scenario(controller_kind: str) -> dict:
+    sim = Simulator()
+    plant = ServicePlant(load_profile())
+    registry = MetricRegistry(window=5.0)
+    contract = QosContract("latency-sla").require_max(
+        "latency", SETPOINT * 1.25, Statistic.P95
+    )
+    monitor = QosMonitor(sim, registry, period=SAMPLE)
+    monitor.add_contract(contract)
+    monitor.start()
+
+    def sample_latency():
+        registry.record("latency", plant.latency(sim.now), sim.now)
+
+    from repro.events import PeriodicTimer
+
+    PeriodicTimer(sim, SAMPLE / 2, sample_latency)
+
+    errors = []
+    if controller_kind == "pid":
+        controller = PidController(kp=4.0, ki=1.0, setpoint=SETPOINT,
+                                   output_min=-0.5, output_max=0.5,
+                                   integral_limit=0.5)
+    elif controller_kind == "fuzzy":
+        controller = FuzzyController(setpoint=SETPOINT,
+                                     error_scale=SETPOINT * 2,
+                                     delta_scale=SETPOINT,
+                                     output_scale=0.4)
+    else:
+        controller = None
+
+    if controller is not None:
+        ControlLoop(sim, controller, lambda: plant.latency(sim.now),
+                    plant.actuate, period=SAMPLE).start()
+
+    def track_error():
+        errors.append(abs(plant.latency(sim.now) - SETPOINT))
+
+    PeriodicTimer(sim, SAMPLE, track_error)
+
+    sim.run(until=HORIZON)
+    monitor.stop()
+    return {
+        "compliance": monitor.stats.compliance_ratio,
+        "mean_abs_error": sum(errors) / len(errors) if errors else 0.0,
+        "violations": monitor.stats.violations,
+    }
+
+
+def test_e5_qos_feedback_control(benchmark):
+    results = {kind: run_scenario(kind) for kind in ("none", "pid", "fuzzy")}
+    benchmark.pedantic(lambda: run_scenario("fuzzy"), rounds=1, iterations=1)
+
+    rows = [
+        [kind,
+         fmt(r["compliance"] * 100, 1) + "%",
+         fmt(r["mean_abs_error"] * 1000, 2) + "ms",
+         r["violations"]]
+        for kind, r in results.items()
+    ]
+    print_table("E5 QoS compliance under load fluctuation",
+                ["controller", "compliance", "mean|err|", "violations"],
+                rows)
+
+    # Expected shape: fuzzy holds the contract; PID beats no control but
+    # the nonlinear plant blunts it; both track the setpoint better than
+    # the uncontrolled system.
+    assert results["none"]["compliance"] < 0.8
+    assert results["fuzzy"]["compliance"] >= 0.9
+    assert results["pid"]["compliance"] > results["none"]["compliance"]
+    assert results["fuzzy"]["compliance"] >= results["pid"]["compliance"]
+    for kind in ("pid", "fuzzy"):
+        assert (results[kind]["mean_abs_error"]
+                < results["none"]["mean_abs_error"])

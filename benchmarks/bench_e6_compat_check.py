@@ -1,0 +1,139 @@
+"""E6 — Wright-style compatibility checking of connector protocols.
+
+A corpus of glue/role protocol families is generated at several sizes;
+half receive an injected protocol bug (a role that refuses a shared
+action after k rounds, or demands an extra round the glue never grants).
+The checker composes glue + roles and hunts deadlocks.
+
+Series: detection rate on buggy pairs, false-alarm rate on correct
+pairs, and check cost versus composed state count.  Expected shape:
+100% detection, 0% false alarms, cost growing with the product state
+space.
+"""
+
+import time
+
+import pytest
+
+from repro.lts import Lts, compose, find_deadlocks
+from repro.connectors import (
+    broadcast_glue,
+    pipeline_glue,
+    pipeline_stage_protocol,
+    rpc_client_protocol,
+    rpc_glue,
+    rpc_server_protocol,
+    subscriber_protocol,
+    verify_glue,
+)
+
+from conftest import fmt, print_table
+
+
+def correct_cases(size: int):
+    """Compatible glue/roles families at a given fan-out."""
+    yield ("rpc", rpc_glue(),
+           [rpc_client_protocol(), rpc_server_protocol()])
+    yield (f"pipeline-{size}", pipeline_glue(size),
+           [pipeline_stage_protocol(i) for i in range(size)])
+    yield (f"broadcast-{size}", broadcast_glue(size),
+           [subscriber_protocol(i) for i in range(size)])
+
+
+def buggy_cases(size: int):
+    """The same families with one protocol bug injected."""
+    # RPC client that pipelines two calls before awaiting a return.
+    yield ("rpc/pipelining-client", rpc_glue(),
+           [Lts.cycle("bad-client", ["call", "call", "return"]),
+            rpc_server_protocol()])
+    # Pipeline stage that demands its step twice per round.
+    stages = [pipeline_stage_protocol(i) for i in range(size)]
+    victim = size // 2
+    stages[victim] = Lts.sequence(f"oneshot-stage{victim}",
+                                  [f"stage{victim}"])
+    yield (f"pipeline-{size}/one-shot-stage", pipeline_glue(size), stages)
+    # Subscriber that stops accepting after one delivery.
+    subs = [subscriber_protocol(i) for i in range(size)]
+    subs[0] = Lts.sequence("oneshot-sub", ["deliver0"])
+    yield (f"broadcast-{size}/one-shot-subscriber", broadcast_glue(size), subs)
+
+
+def test_e6_compatibility_detection(benchmark):
+    sizes = [2, 4, 8, 12]
+    rows = []
+    false_alarms = 0
+    missed = 0
+    checked = 0
+
+    def check(glue, roles):
+        start = time.perf_counter()
+        composite = compose([glue, *roles])
+        report = find_deadlocks(composite)
+        elapsed = time.perf_counter() - start
+        return report, len(composite.reachable_states()), elapsed
+
+    for size in sizes:
+        for name, glue, roles in correct_cases(size):
+            report, states, elapsed = check(glue, roles)
+            checked += 1
+            if not report.deadlock_free:
+                false_alarms += 1
+            rows.append([name, "correct", states,
+                         fmt(elapsed * 1000, 2) + "ms",
+                         "ok" if report.deadlock_free else "FALSE-ALARM"])
+        for name, glue, roles in buggy_cases(size):
+            report, states, elapsed = check(glue, roles)
+            checked += 1
+            if report.deadlock_free:
+                missed += 1
+            rows.append([name, "buggy", states,
+                         fmt(elapsed * 1000, 2) + "ms",
+                         "detected" if not report.deadlock_free else "MISSED"])
+
+    benchmark.pedantic(
+        lambda: check(broadcast_glue(12),
+                      [subscriber_protocol(i) for i in range(12)]),
+        rounds=3, iterations=1,
+    )
+    print_table("E6 protocol compatibility checking",
+                ["case", "kind", "states", "cost", "verdict"], rows)
+    print(f"checked={checked} missed={missed} false_alarms={false_alarms}")
+
+    assert missed == 0, "every injected protocol bug must be detected"
+    assert false_alarms == 0, "correct glue must never be rejected"
+
+    # Cost grows with the composed state count: the largest broadcast
+    # family explores more states than the smallest.
+    small = compose([broadcast_glue(2)] + [subscriber_protocol(i)
+                                           for i in range(2)])
+    large = compose([broadcast_glue(12)] + [subscriber_protocol(i)
+                                            for i in range(12)])
+    assert (len(large.reachable_states())
+            > len(small.reachable_states()))
+
+
+def test_e6_factory_rejects_incompatible_spec(benchmark):
+    """The factory front-end refuses to build deadlocking glue."""
+    from repro.connectors import ConnectorFactory, ConnectorSpec
+    from repro.errors import IncompatibleProtocolError
+    from tests.helpers import echo_interface
+
+    factory = ConnectorFactory()
+    bad = ConnectorSpec(
+        "bad", "rpc", echo_interface(),
+        options={"protocols": (
+            rpc_glue(),
+            [Lts.cycle("impatient", ["call", "call", "return"]),
+             rpc_server_protocol()],
+        )},
+    )
+
+    def attempt():
+        try:
+            factory.create(bad)
+        except IncompatibleProtocolError:
+            return True
+        return False
+
+    rejected = benchmark(attempt)
+    assert rejected

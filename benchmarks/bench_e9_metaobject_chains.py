@@ -1,0 +1,108 @@
+"""E9 — validated composition of meta-object chains.
+
+Random chains of wrappers with random properties (priorities, exclusive
+groups, ordering constraints, modificatory flags) are composed.  The
+validator must accept exactly the consistent ones and order them in a
+way that satisfies every constraint.
+
+Series: valid-composition rate by chain size, validation cost, and a
+verification that every produced order satisfies the declared partial
+order.  Expected shape: validation cost stays sub-millisecond for
+realistic chain sizes, and no invalid chain slips through.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.errors import ChainOrderError, MetaObjectError
+from repro.metaobjects import MetaObject, order
+
+from conftest import fmt, print_table
+
+
+def random_metaobjects(size: int, rng: random.Random) -> list[MetaObject]:
+    names = [f"m{i}" for i in range(size)]
+    metaobjects = []
+    for name in names:
+        others = [n for n in names if n != name]
+        must_precede = frozenset(
+            rng.sample(others, k=rng.randint(0, min(2, len(others))))
+        ) if rng.random() < 0.4 else frozenset()
+        metaobjects.append(MetaObject(
+            name,
+            lambda inv, proceed: proceed(inv),
+            priority=rng.randint(0, 5),
+            exclusive_group=(rng.choice(["compression", "crypto", None, None])),
+            modificatory=rng.random() < 0.3,
+            must_precede=must_precede,
+        ))
+    return metaobjects
+
+
+def order_satisfied(ordered: list[MetaObject]) -> bool:
+    position = {m.name: i for i, m in enumerate(ordered)}
+    for metaobject in ordered:
+        for later in metaobject.must_precede:
+            if position[metaobject.name] >= position[later]:
+                return False
+        for earlier in metaobject.must_follow:
+            if position[earlier] >= position[metaobject.name]:
+                return False
+    return True
+
+
+def test_e9_chain_composition(benchmark):
+    rng = random.Random(42)
+    sizes = [3, 5, 8, 12]
+    rows = []
+    total_valid = 0
+    total_attempts = 0
+
+    for size in sizes:
+        valid = 0
+        rejected = 0
+        attempts = 120
+        costs = []
+        for _ in range(attempts):
+            metaobjects = random_metaobjects(size, rng)
+            start = time.perf_counter()
+            try:
+                ordered = order(metaobjects)
+            except (MetaObjectError, ChainOrderError):
+                rejected += 1
+            else:
+                valid += 1
+                assert order_satisfied(ordered), (
+                    "composed order violates declared constraints"
+                )
+                assert len(ordered) == size
+            costs.append(time.perf_counter() - start)
+        total_valid += valid
+        total_attempts += attempts
+        rows.append([
+            size, attempts, valid, rejected,
+            fmt(sum(costs) / len(costs) * 1e6, 1) + "us",
+            fmt(max(costs) * 1e6, 1) + "us",
+        ])
+
+    # Benchmark ordering of a known-valid chain of realistic size.
+    probe_rng = random.Random(1)
+    while True:
+        candidate = random_metaobjects(8, probe_rng)
+        try:
+            order(candidate)
+        except (MetaObjectError, ChainOrderError):
+            continue
+        break
+    benchmark.pedantic(lambda: order(candidate), rounds=5, iterations=1)
+    print_table("E9 meta-object chain composition",
+                ["size", "attempts", "valid", "rejected", "mean-cost",
+                 "max-cost"], rows)
+
+    # Both outcomes must actually occur: the generator produces a healthy
+    # mix of valid and invalid chains, and the validator separates them.
+    assert 0 < total_valid < total_attempts
+    # Validation stays fast (well under a millisecond on average).
+    assert all(float(row[4][:-2]) < 1000 for row in rows)

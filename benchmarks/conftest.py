@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench prints the series it regenerates (visible with ``-s`` or in
+the captured output on failure) and asserts the *shape* the paper claims
+— who wins and roughly by how much — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the repository root importable so benches can reuse tests.helpers.
+_ROOT = str(Path(__file__).resolve().parent.parent)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render a small fixed-width results table."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ] if rows else [len(h) for h in headers]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"

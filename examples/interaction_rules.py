@@ -1,0 +1,159 @@
+"""Interaction rules governing a billing pipeline (FLO/C style).
+
+Rules written in the textual grammar govern how components may interact,
+"preserving the integrity of the system":
+
+* every charge implies an audit-log entry;
+* a fraud check must run *before* each charge;
+* notification emails are deferred (impliesLater) and flushed in batches;
+* refunds are permitted only for operators with the right credential;
+* payouts wait until the daily settlement window opens.
+
+The engine statically rejects a rule set that would loop the calling
+tree, then enforces the accepted set at run time.
+
+Run:  python examples/interaction_rules.py
+"""
+
+from repro import Simulator
+from repro.errors import RuleCycleError, RuleError
+from repro.kernel import Component, Interface, Invocation, Operation, Registry
+from repro.rules import RuleEngine, parse_rules
+
+
+class Billing(Component):
+    def on_initialize(self):
+        self.state.setdefault("charges", [])
+        self.state.setdefault("refunds", [])
+        self.state.setdefault("payouts", [])
+
+    def charge(self, account, amount):
+        self.state["charges"].append((account, amount))
+        return len(self.state["charges"])
+
+    def refund(self, account, amount):
+        self.state["refunds"].append((account, amount))
+        return True
+
+    def payout(self, account):
+        self.state["payouts"].append(account)
+        return True
+
+
+class Audit(Component):
+    def on_initialize(self):
+        self.state.setdefault("entries", 0)
+
+    def log(self):
+        self.state["entries"] += 1
+        return self.state["entries"]
+
+
+class Fraud(Component):
+    def on_initialize(self):
+        self.state.setdefault("checks", 0)
+
+    def check(self):
+        self.state["checks"] += 1
+        return "clean"
+
+
+class Mailer(Component):
+    def on_initialize(self):
+        self.state.setdefault("sent", 0)
+
+    def send(self):
+        self.state["sent"] += 1
+        return True
+
+
+def build():
+    registry = Registry()
+    billing = Billing("billing")
+    billing.provide("svc", Interface("Billing", "1.0", [
+        Operation("charge", ("account", "amount")),
+        Operation("refund", ("account", "amount")),
+        Operation("payout", ("account",)),
+    ]))
+    billing.activate()
+    audit = Audit("audit")
+    audit.provide("svc", Interface("Audit", "1.0", [Operation("log", ())]))
+    audit.activate()
+    fraud = Fraud("fraud")
+    fraud.provide("svc", Interface("Fraud", "1.0", [Operation("check", ())]))
+    fraud.activate()
+    mailer = Mailer("mailer")
+    mailer.provide("svc", Interface("Mail", "1.0", [Operation("send", ())]))
+    mailer.activate()
+    for component in (billing, audit, fraud, mailer):
+        registry.register(component)
+    return registry, billing, audit, fraud, mailer
+
+
+RULES = """
+# integrity rules for the billing pipeline
+when billing.charge implies audit.log
+when billing.charge impliesBefore fraud.check
+when billing.charge impliesLater mailer.send
+permit billing.refund if operator_credentialed
+wait billing.payout until settlement_window_open
+"""
+
+
+def main() -> None:
+    sim = Simulator()
+    registry, billing, audit, fraud, mailer = build()
+    engine = RuleEngine(registry)
+
+    window = {"open": False}
+    guards = {
+        "operator_credentialed":
+            lambda inv: inv.meta.get("credential") == "operator",
+        "settlement_window_open": lambda inv: window["open"],
+    }
+    engine.add_rules(parse_rules(RULES, guards))
+    engine.start(sim, period=0.5)  # pumps deferred mail + waiting payouts
+
+    # A cyclic rule is rejected before it can ever run.
+    try:
+        engine.add_rules(parse_rules("when audit.log implies billing.charge",
+                                     guards))
+    except RuleCycleError as error:
+        print(f"rejected cyclic rule: {error}\n")
+
+    port = billing.provided_port("svc")
+
+    # Three charges: fraud checks run first, audit entries follow,
+    # notification mail queues for the next pump tick.
+    for index, amount in enumerate((10, 25, 40)):
+        port.invoke(Invocation("charge", (f"acct{index}", amount)))
+    print(f"charges={len(billing.state['charges'])} "
+          f"fraud_checks={fraud.state['checks']} "
+          f"audit_entries={audit.state['entries']} "
+          f"mail_sent_now={mailer.state['sent']} "
+          f"mail_queued={len(engine.deferred)}")
+
+    # Refunds: only credentialed operators may call.
+    try:
+        port.invoke(Invocation("refund", ("acct0", 10)))
+    except RuleError as error:
+        print(f"refund blocked: {error}")
+    credentialed = Invocation("refund", ("acct0", 10))
+    credentialed.meta["credential"] = "operator"
+    port.invoke(credentialed)
+    print(f"refunds={len(billing.state['refunds'])}")
+
+    # Payouts queue until the settlement window opens at t=2.
+    port.invoke(Invocation("payout", ("acct1",)))
+    print(f"payouts before window: {len(billing.state['payouts'])} "
+          f"(waiting={engine.waiting_count})")
+    sim.at(2.0, lambda: window.__setitem__("open", True))
+    sim.run(until=3.0)
+    engine.stop()
+    print(f"payouts after window:  {len(billing.state['payouts'])} "
+          f"(waiting={engine.waiting_count})")
+    print(f"mail delivered by pump: {mailer.state['sent']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Quickstart: deploy, wire, observe, reconfigure.
+
+Builds a two-node system with a counter service behind an RPC connector,
+puts it under RAML observation, then hot-swaps the server (strong
+dynamic reconfiguration: state carried over, zero message loss) while a
+client keeps calling.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Assembly,
+    Component,
+    Interface,
+    Operation,
+    Raml,
+    ReconfigurationTransaction,
+    ReplaceComponent,
+    RpcConnector,
+    Simulator,
+    star,
+)
+
+
+def counter_interface() -> Interface:
+    return Interface("Counter", "1.0", [
+        Operation("increment", ("amount",), optional=1),
+        Operation("total", ()),
+    ])
+
+
+class CounterServer(Component):
+    """A stateful service component."""
+
+    def on_initialize(self):
+        self.state.setdefault("total", 0)
+
+    def increment(self, amount=1):
+        self.state["total"] += amount
+        return self.state["total"]
+
+    def total(self):
+        return self.state["total"]
+
+
+class CounterClient(Component):
+    """Calls the counter through its required port."""
+
+    def on_initialize(self):
+        self.state.setdefault("responses", [])
+
+
+def main() -> None:
+    sim = Simulator()
+    assembly = Assembly(star(sim, leaves=2), name="quickstart")
+
+    # Deploy a client and a server on different nodes.
+    client = CounterClient("client")
+    client.require("counter", counter_interface())
+    assembly.deploy(client, "leaf0")
+
+    server = CounterServer("server")
+    server.provide("svc", counter_interface())
+    assembly.deploy(server, "leaf1")
+
+    # Wire them through a first-class RPC connector.
+    rpc = RpcConnector("front", counter_interface())
+    rpc.attach("server", server.provided_port("svc"))
+    assembly.add_connector(rpc)
+    assembly.connect("client", "counter", target=rpc.endpoint("client"))
+
+    # Put the system under the meta-level's observation.
+    raml = Raml(assembly, period=0.5).instrument()
+    raml.start()
+
+    # Drive traffic: one increment every 10 ms.
+    def tick():
+        client.required_port("counter").call_async(
+            "increment", 1,
+            on_result=lambda total: client.state["responses"].append(total),
+        )
+
+    from repro.events import PeriodicTimer
+
+    traffic = PeriodicTimer(sim, 0.01, tick)
+
+    # At t=1s, hot-swap the server for a v2 while traffic flows.
+    class CounterServerV2(CounterServer):
+        def increment(self, amount=1):
+            self.state["total"] += amount
+            self.state["upgraded"] = True
+            return self.state["total"]
+
+    def hot_swap():
+        replacement = CounterServerV2("server-v2")
+        replacement.provide("svc", counter_interface())
+        txn = ReconfigurationTransaction(assembly, name="upgrade")
+        txn.add(ReplaceComponent("server", replacement))
+        txn.execute_async(on_done=lambda report: print(
+            f"[{sim.now:.3f}] reconfiguration {report.state.value}: "
+            f"blocked {report.blocked_duration * 1000:.2f} ms, "
+            f"{report.buffered_calls} calls buffered"
+        ))
+
+    sim.at(1.0, hot_swap)
+    sim.run(until=2.0)
+    traffic.stop()
+    raml.stop()
+    sim.run(until=2.5)  # drain in-flight work; periodic timers are stopped
+
+    responses = client.state["responses"]
+    print(f"responses received : {len(responses)}")
+    print(f"monotone, gap-free : {responses == list(range(1, len(responses) + 1))}")
+    print(f"served by v2 after swap: "
+          f"{assembly.component('server-v2').state.get('upgraded', False)}")
+    health = raml.health()
+    print(f"RAML sweeps={health['sweeps']} healthy={health['healthy']} "
+          f"events observed={health['observed_events']}")
+
+
+if __name__ == "__main__":
+    main()

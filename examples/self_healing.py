@@ -1,0 +1,152 @@
+"""Self-healing architecture, defined in the ADL.
+
+The whole application structure is written in the architecture
+description language: a front-end bound through a failover connector to
+two replicated store components on different nodes, with behaviour
+protocols on the components.  A failure injector then crashes the
+primary's node; RAML detects the dead host through its structural
+constraints and migrates the replica placement back to redundancy.
+
+Run:  python examples/self_healing.py
+"""
+
+from repro import Simulator, parse_adl, star
+from repro.adl import build_architecture
+from repro.core import Raml, Response, all_nodes_up, structural_consistency
+from repro.events import PeriodicTimer
+from repro.netsim import FailureInjector, least_loaded
+
+ARCHITECTURE = """
+interface Store version 1.0 {
+  operation put(key, value)
+  operation get(key)
+}
+
+component Frontend {
+  requires store : Store 1.0
+}
+
+component StoreReplica {
+  provides svc : Store 1.0
+  behaviour {
+    init ready
+    ready -> ready : put
+    ready -> ready : get
+    final ready
+  }
+}
+
+connector Replicas kind failover interface Store 1.0
+
+architecture SelfHealingStore {
+  instance frontend : Frontend on leaf0
+  instance primary : StoreReplica on leaf1
+  instance backup : StoreReplica on leaf2
+  use failover : Replicas
+  bind frontend.store -> failover.client
+  attach primary.svc -> failover.replica
+  attach backup.svc -> failover.replica
+}
+"""
+
+
+class StoreImpl:
+    """Shared-nothing key/value store implementation."""
+
+    def __init__(self):
+        self.data = {}
+
+    def put(self, key, value):
+        self.data[key] = value
+        return True
+
+    def get(self, key):
+        return self.data.get(key)
+
+
+def main() -> None:
+    sim = Simulator()
+    network = star(sim, leaves=4)
+    document = parse_adl(ARCHITECTURE)
+    assembly = build_architecture(
+        document, "SelfHealingStore", network,
+        implementations={
+            "Frontend": lambda name: object(),
+            "StoreReplica": lambda name: StoreImpl(),
+        },
+    )
+    frontend = assembly.component("frontend")
+    connector = assembly.connectors["failover"]
+
+    raml = Raml(assembly, period=0.5).instrument()
+    trace = []
+
+    def heal(raml_, violations):
+        # Move every component off dead nodes onto the least-loaded
+        # live host, restoring redundancy.
+        for violation in violations:
+            trace.append(f"[{sim.now:5.2f}] VIOLATION {violation}")
+        for component in list(assembly.registry):
+            node = network.nodes.get(component.node_name or "")
+            if node is not None and not node.up:
+                target = least_loaded(
+                    n for n in network.live_nodes()
+                    if n.name != component.node_name
+                    and not assembly.registry.on_node(n.name)
+                )
+                raml_.intercessor.migrate(component.name, target.name)
+                trace.append(f"[{sim.now:5.2f}] HEAL migrated "
+                             f"{component.name} to {target.name}")
+        connector.reset()  # forget failure suspicions after repair
+
+    raml.add_constraint(structural_consistency())
+    raml.add_constraint(all_nodes_up(),
+                        Response(reconfigure=heal, escalate_after=1))
+    raml.start()
+
+    results = {"ok": 0, "failed": 0}
+
+    def workload():
+        key = f"k{results['ok'] % 10}"
+        try:
+            frontend.required_port("store").call("put", key, sim.now)
+            assert frontend.required_port("store").call("get", key) is not None
+            results["ok"] += 1
+        except Exception:  # noqa: BLE001 - accounted
+            results["failed"] += 1
+
+    traffic = PeriodicTimer(sim, 0.05, workload)
+
+    injector = FailureInjector(network, seed=3)
+    injector.crash_node("leaf1", at=3.0)  # kill the primary's host
+
+    sim.run(until=10.0)
+    traffic.stop()
+    raml.stop()
+
+    print("self-healing trace:")
+    for line in trace:
+        print(" ", line)
+    print(f"\nrequests ok={results['ok']} failed={results['failed']}")
+    print("placements now:", {
+        c.name: c.node_name for c in assembly.registry
+    })
+    health = raml.health()
+    print(f"meta-level healthy={health['healthy']} "
+          f"reconfigurations={health['reconfigurations']}")
+    assert results["failed"] <= 2, "failover should mask the crash"
+
+    # Administration: export the *healed* architecture back to ADL — the
+    # source of truth now reflects where everything actually runs.
+    from repro.adl import export_assembly
+
+    print("\nhealed architecture (exported ADL):")
+    exported = export_assembly(assembly)
+    for line in exported.splitlines():
+        if line.startswith(("architecture", "  instance", "  use",
+                            "  bind", "  attach", "}")):
+            print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

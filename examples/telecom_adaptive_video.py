@@ -1,0 +1,149 @@
+"""Adaptive multimedia telecom service — the paper's motivating scenario.
+
+A video service streams frames to mobile users over a wireless link whose
+bandwidth collapses during "rush hour".  Two deployments are compared:
+
+* **static** — always uses the high-quality H.264-style path; frames that
+  exceed the available bandwidth are dropped ("dropping calls / rejecting
+  packets arbitrarily with no care about the rendering");
+* **adaptive** — an AdaptationManager watches the link and switches the
+  codec strategy + composition path to a low-bitrate variant when
+  bandwidth drops, restoring quality afterwards.
+
+Run:  python examples/telecom_adaptive_video.py
+"""
+
+from repro import Simulator, star
+from repro.adaptation import AdaptationManager, AdaptationPolicy, switch_strategy
+from repro.paths import PathFamily, PathPlanner, ServiceOption
+from repro.strategy import Strategy, StrategySlot
+from repro.workloads import (
+    TelecomWorkload,
+    TelecomWorkloadConfig,
+    composite,
+    clamped,
+    sinusoidal,
+    square_wave,
+)
+
+
+def video_paths() -> PathFamily:
+    """Extraction, coding and transfer — the paper's video service."""
+    family = PathFamily("video", ["extract", "encode", "transfer"])
+    family.add_option(ServiceOption(
+        "extract-raw", "extract", lambda v: ("raw", v),
+        output_format="raw", latency=0.2, quality=1.0))
+    family.add_option(ServiceOption(
+        "encode-h264", "encode", lambda v: ("h264", v[1]),
+        input_format="raw", output_format="h264",
+        latency=1.0, quality=1.0, bandwidth_required=6.0))
+    family.add_option(ServiceOption(
+        "encode-h263", "encode", lambda v: ("h263", v[1]),
+        input_format="raw", output_format="h263",
+        latency=0.3, quality=0.45, bandwidth_required=1.0))
+    family.add_option(ServiceOption(
+        "transfer-rtp", "transfer", lambda v: v,
+        input_format="*", latency=0.1, quality=1.0))
+    return family
+
+
+def run_scenario(adaptive: bool, seed: int = 11) -> dict:
+    sim = Simulator()
+    network = star(sim, leaves=2)
+    wireless = network.link_between("hub", "leaf0")
+
+    # Rush-hour bandwidth: smooth daily curve times periodic congestion.
+    bandwidth_profile = clamped(
+        composite(
+            sinusoidal(base=7.0, amplitude=2.0, period=60.0),
+            square_wave(low=0.0, high=-5.5, period=40.0, duty=0.35),
+        ),
+        0.5, 10.0,
+    )
+
+    family = video_paths()
+    planner = PathPlanner(family, quality_weight=5.0)
+    codec = StrategySlot("codec", [
+        Strategy("h264", lambda frame: "h264", traits={"bandwidth": 6.0}),
+        Strategy("h263", lambda frame: "h263", traits={"bandwidth": 1.0}),
+    ], initial="h264")
+    current = {"path": planner.plan({"bandwidth": 10.0})}
+
+    manager = AdaptationManager(sim, period=0.5)
+    manager.add_probe("bandwidth", lambda: bandwidth_profile(sim.now))
+
+    if adaptive:
+        def replan(context):
+            from repro.errors import PathError
+
+            try:
+                current["path"] = planner.plan(
+                    {"bandwidth": context["bandwidth"]}
+                )
+            except PathError:
+                # Outage below every option's floor: keep the cheapest
+                # path armed so streaming resumes the moment bandwidth
+                # returns.
+                current["path"] = planner.plan({"bandwidth": 1.0})
+
+        manager.add_policy(AdaptationPolicy(
+            "degrade", condition=lambda ctx: ctx["bandwidth"] < 6.0,
+            actions=[switch_strategy(codec, "h263", "congestion"), replan],
+            cooldown=2.0,
+        ))
+        manager.add_policy(AdaptationPolicy(
+            "restore", condition=lambda ctx: ctx["bandwidth"] >= 6.5,
+            actions=[switch_strategy(codec, "h264", "recovered"), replan],
+            cooldown=2.0,
+        ))
+        manager.start()
+
+    quality_samples: list[float] = []
+
+    def send_frame(session, on_delivered):
+        bandwidth = bandwidth_profile(sim.now)
+        path = current["path"]
+        needed = max(option.bandwidth_required for option in path.options)
+        if needed <= bandwidth:
+            path.execute(f"frame-{session.frames_sent}")
+            quality_samples.append(path.total_quality)
+            on_delivered()
+        # else: frame dropped at the bottleneck.
+
+    workload = TelecomWorkload(
+        sim, ["leaf0"], send_frame,
+        TelecomWorkloadConfig(arrival_rate=0.4, mean_duration=30.0,
+                              frame_rate=12.0, seed=seed),
+    )
+    workload.start(duration=100.0)
+    sim.run(until=140.0)
+    manager.stop()
+
+    summary = workload.summary()
+    mean_quality = (sum(quality_samples) / len(quality_samples)
+                    if quality_samples else 0.0)
+    return {
+        "delivery_ratio": summary["delivery_ratio"],
+        "frames_sent": summary["frames_sent"],
+        "mean_quality": mean_quality,
+        "codec_switches": codec.switch_count,
+        "adaptations": len(manager.log),
+    }
+
+
+def main() -> None:
+    static = run_scenario(adaptive=False)
+    adaptive = run_scenario(adaptive=True)
+    print("scenario   delivery%   mean-quality   switches  adaptations")
+    for name, result in (("static", static), ("adaptive", adaptive)):
+        print(f"{name:<10} {result['delivery_ratio'] * 100:>8.1f}   "
+              f"{result['mean_quality']:>12.3f}   "
+              f"{result['codec_switches']:>8}  {result['adaptations']:>11}")
+    improvement = (adaptive["delivery_ratio"]
+                   / max(static["delivery_ratio"], 1e-9))
+    print(f"\nadaptive delivers {improvement:.2f}x the frames of the static "
+          "deployment during congestion, trading quality for continuity.")
+
+
+if __name__ == "__main__":
+    main()

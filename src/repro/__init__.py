@@ -1,0 +1,114 @@
+"""repro — an auto-adaptive systems (AAS) platform.
+
+A full implementation of the vision in Aksit & Choukair, *Dynamic,
+Adaptive and Reconfigurable Systems — Overview and Prospective Vision*
+(ICDCSW 2003): a component platform with first-class connectors, a
+dynamic reconfiguration engine with quiescence and transactional
+rollback, the ten lightweight adaptation mechanisms the paper surveys,
+QoS contracts under feedback/intelligent control, and the RAML
+meta-level tying them together with introspection and intercession —
+all running on a deterministic discrete-event network simulator.
+
+Quick start::
+
+    from repro import Simulator, star, Assembly, Raml
+
+    sim = Simulator()
+    assembly = Assembly(star(sim, leaves=2))
+    ...  # deploy components, wire bindings/connectors
+    raml = Raml(assembly).instrument().start()
+    sim.run(until=60.0)
+"""
+
+from repro.adl import build_architecture, parse_adl
+from repro.adaptation import AdaptationManager, AdaptationPolicy
+from repro.connectors import (
+    Connector,
+    ConnectorFactory,
+    ConnectorSpec,
+    EventBusConnector,
+    FailoverConnector,
+    LoadBalancerConnector,
+    PipelineConnector,
+    RpcConnector,
+)
+from repro.control import ControlLoop, FuzzyController, PidController
+from repro.core import Raml, Response
+from repro.events import Simulator
+from repro.kernel import (
+    Assembly,
+    Binding,
+    Component,
+    Container,
+    DeploymentDescriptor,
+    Interface,
+    Invocation,
+    Operation,
+    Registry,
+    Version,
+    bind,
+)
+from repro.lts import Lts, check_compatibility
+from repro.netsim import Network, datacenter, full_mesh, line, ring, star
+from repro.qos import MetricRegistry, QosContract, QosMonitor
+from repro.reconfig import (
+    MigrateComponent,
+    MigrationPlanner,
+    ReconfigurationTransaction,
+    ReplaceComponent,
+    RewireBinding,
+)
+from repro.strategy import Strategy, StrategySelector, StrategySlot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptationManager",
+    "AdaptationPolicy",
+    "Assembly",
+    "Binding",
+    "Component",
+    "Connector",
+    "ConnectorFactory",
+    "ConnectorSpec",
+    "Container",
+    "ControlLoop",
+    "DeploymentDescriptor",
+    "EventBusConnector",
+    "FailoverConnector",
+    "FuzzyController",
+    "Interface",
+    "Invocation",
+    "LoadBalancerConnector",
+    "Lts",
+    "MetricRegistry",
+    "MigrateComponent",
+    "MigrationPlanner",
+    "Network",
+    "Operation",
+    "PidController",
+    "PipelineConnector",
+    "QosContract",
+    "QosMonitor",
+    "Raml",
+    "ReconfigurationTransaction",
+    "Registry",
+    "ReplaceComponent",
+    "Response",
+    "RewireBinding",
+    "RpcConnector",
+    "Simulator",
+    "Strategy",
+    "StrategySelector",
+    "StrategySlot",
+    "Version",
+    "bind",
+    "build_architecture",
+    "check_compatibility",
+    "datacenter",
+    "full_mesh",
+    "line",
+    "parse_adl",
+    "ring",
+    "star",
+]

@@ -1,0 +1,110 @@
+"""``python -m repro`` — a 30-second guided demo.
+
+Runs the paper's Figure-1 loop end to end (fault → introspection →
+adaptation → intercession → recovery) on a three-node simulated network
+and prints the meta-level timeline.  No arguments, no configuration —
+the shortest path to seeing the platform work.
+"""
+
+from __future__ import annotations
+
+from repro import Simulator, star
+from repro.connectors import RpcConnector
+from repro.core import Raml, Response, custom
+from repro.events import PeriodicTimer
+from repro.kernel import Assembly, Component, Interface, Operation
+
+
+def main() -> int:
+    media = Interface("Media", "1.0", [Operation("render", ("frame",))])
+
+    class Serving(Component):
+        def on_initialize(self):
+            self.state.setdefault("rendered", 0)
+            self.state.setdefault("degraded", False)
+
+        def render(self, frame):
+            if self.state["degraded"]:
+                raise RuntimeError("wedged")
+            self.state["rendered"] += 1
+            return frame
+
+    sim = Simulator()
+    assembly = Assembly(star(sim, leaves=3), name="demo")
+    primary = Serving("primary")
+    primary.provide("svc", media)
+    assembly.deploy(primary, "leaf0")
+    standby = Serving("standby")
+    standby.provide("svc", media)
+    assembly.deploy(standby, "leaf1")
+
+    connector = RpcConnector("front", media)
+    connector.attach("server", primary.provided_port("svc"))
+    assembly.add_connector(connector)
+
+    client = Component("client")
+    client.require("media", media)
+    assembly.deploy(client, "leaf2")
+    assembly.connect("client", "media", target=connector.endpoint("client"))
+
+    raml = Raml(assembly, period=0.25, metric_window=1.0).instrument()
+
+    def narrate(line: str) -> None:
+        print(f"  t={sim.now:5.2f}  {line}")
+
+    raml.hub.subscribe(
+        lambda event: raml.record_metric("errors", 1.0)
+        if event.source.startswith("connector:") and event.kind == "error"
+        else None
+    )
+
+    def swap(raml_, violations):
+        active = connector.attachments["server"][0].target
+        next_up = (standby if active.component is primary
+                   else primary).provided_port("svc")
+        raml_.intercessor.swap_connector_attachment("front", "server",
+                                                    active, next_up)
+        raml_.metrics.series("errors").reset()
+        narrate(f"INTERCESSION: connector now serves "
+                f"{next_up.component.name!r}")
+
+    raml.add_constraint(
+        custom("error-burst",
+               lambda view: ["burst"]
+               if "errors" in view.metrics
+               and view.metrics.series("errors").count > 2 else []),
+        Response(reconfigure=swap, escalate_after=2),
+    )
+    raml.start()
+
+    served = {"ok": 0, "failed": 0}
+
+    def call():
+        try:
+            client.required_port("media").call("render", "frame")
+            served["ok"] += 1
+        except RuntimeError:
+            served["failed"] += 1
+
+    traffic = PeriodicTimer(sim, 0.05, call)
+
+    print("repro demo — the paper's Figure 1, live:")
+    narrate("traffic flowing through connector 'front' to 'primary'")
+    sim.at(2.0, lambda: (primary.state.__setitem__("degraded", True),
+                         narrate("FAULT: 'primary' starts failing")))
+    sim.run(until=5.0)
+    traffic.stop()
+    raml.stop()
+
+    health = raml.health()
+    narrate(f"done: {served['ok']} frames ok, {served['failed']} failed")
+    narrate(f"meta-level: {health['reconfigurations']} intercession(s), "
+            f"{len(raml.hub.events)} events observed, "
+            f"healthy={health['healthy']}")
+    print("\nNext: examples/quickstart.py, examples/figure1_raml.py, "
+          "and `pytest benchmarks/ --benchmark-only -s`.")
+    return 0 if health["healthy"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

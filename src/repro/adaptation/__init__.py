@@ -1,0 +1,31 @@
+"""Dynamic adaptation engine (S15).
+
+Lightweight trigger→policy→action loop that swaps strategies, filters,
+aspects and connector tuning without reconfiguration — the highly
+reactive path of the paper's taxonomy.
+"""
+
+from repro.adaptation.manager import AdaptationEvent, AdaptationManager
+from repro.adaptation.policy import (
+    Action,
+    AdaptationPolicy,
+    Context,
+    attach_filters,
+    call,
+    detach_filters,
+    set_connector_policy,
+    switch_strategy,
+)
+
+__all__ = [
+    "Action",
+    "AdaptationEvent",
+    "AdaptationManager",
+    "AdaptationPolicy",
+    "Context",
+    "attach_filters",
+    "call",
+    "detach_filters",
+    "set_connector_policy",
+    "switch_strategy",
+]

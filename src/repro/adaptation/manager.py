@@ -1,0 +1,106 @@
+"""The adaptation manager.
+
+Evaluates adaptation policies against the live context — a snapshot of
+QoS metric statistics plus custom probes — either periodically or pushed
+by QoS-monitor violations.  Adaptations "should be realized without
+degrading the availability of the applications": actions here never
+block channels or passivate components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import AdaptationError
+from repro.events import PeriodicTimer, Simulator
+from repro.qos.metrics import MetricRegistry
+from repro.adaptation.policy import AdaptationPolicy, Context
+
+
+@dataclass
+class AdaptationEvent:
+    """Log record of one policy firing."""
+
+    time: float
+    policy: str
+    context: dict[str, float]
+
+
+class AdaptationManager:
+    """Holds policies and drives their evaluation."""
+
+    def __init__(self, sim: Simulator,
+                 registry: MetricRegistry | None = None,
+                 period: float = 0.5) -> None:
+        self.sim = sim
+        self.registry = registry
+        self.period = period
+        self.policies: list[AdaptationPolicy] = []
+        self.probes: dict[str, Callable[[], float]] = {}
+        self.log: list[AdaptationEvent] = []
+        self._timer: PeriodicTimer | None = None
+
+    # -- configuration -------------------------------------------------------
+
+    def add_policy(self, policy: AdaptationPolicy) -> "AdaptationManager":
+        if any(existing.name == policy.name for existing in self.policies):
+            raise AdaptationError(f"policy {policy.name!r} already exists")
+        self.policies.append(policy)
+        self.policies.sort(key=lambda p: -p.priority)
+        return self
+
+    def remove_policy(self, name: str) -> AdaptationPolicy:
+        for policy in self.policies:
+            if policy.name == name:
+                self.policies.remove(policy)
+                return policy
+        raise AdaptationError(f"no policy named {name!r}")
+
+    def add_probe(self, name: str, probe: Callable[[], float]) -> None:
+        """Register a context value not derived from the metric registry."""
+        self.probes[name] = probe
+
+    # -- context ---------------------------------------------------------------
+
+    def context(self) -> dict[str, float]:
+        """Flattened observation snapshot: ``metric.stat`` keys + probes."""
+        snapshot: dict[str, float] = {}
+        if self.registry is not None:
+            for metric, stats in self.registry.snapshot(self.sim.now).items():
+                for stat, value in stats.items():
+                    snapshot[f"{metric}.{stat}"] = value
+        for name, probe in self.probes.items():
+            snapshot[name] = probe()
+        return snapshot
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, context: Context | None = None) -> list[str]:
+        """Run one evaluation sweep; returns the names of fired policies."""
+        observed = dict(context) if context is not None else self.context()
+        fired = []
+        for policy in self.policies:
+            if policy.ready(observed, self.sim.now):
+                policy.fire(observed, self.sim.now)
+                fired.append(policy.name)
+                self.log.append(
+                    AdaptationEvent(self.sim.now, policy.name, observed)
+                )
+        return fired
+
+    def start(self) -> "AdaptationManager":
+        """Evaluate periodically on the simulated clock."""
+        if self._timer is None or not self._timer.running:
+            self._timer = PeriodicTimer(self.sim, self.period, self.evaluate)
+        return self
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def on_violation(self, event: str, report) -> None:
+        """QoS-monitor listener: evaluate immediately on violations —
+        the highly-reactive path (no waiting for the next period)."""
+        if event == "violation":
+            self.evaluate()

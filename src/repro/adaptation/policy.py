@@ -1,0 +1,127 @@
+"""Adaptation policies.
+
+Dynamic adaptability is the *light-weight* reaction path: "in case
+light-weight highly reactive solutions are required, dynamic adaptability
+should be preferred to dynamic reconfiguration".  A policy binds a
+condition over the observed context to a list of actions (strategy
+switches, filter attachment, connector retuning) that apply *without*
+any quiescence or structural change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import AdaptationError
+
+#: The observed context: flat metric/statistic names to values.
+Context = Mapping[str, float]
+
+#: An action applied when a policy fires.  Receives the context.
+Action = Callable[[Context], None]
+
+
+@dataclass
+class AdaptationPolicy:
+    """When ``condition(context)`` holds, run ``actions``.
+
+    ``cooldown`` (simulated seconds) is the hysteresis window: after the
+    policy fires it stays dormant for that long, preventing oscillation
+    between adaptation states — the stability concern of any feedback
+    mechanism.  ``arm_after`` requires the condition to hold for N
+    consecutive evaluations before firing (debouncing).
+    """
+
+    name: str
+    condition: Callable[[Context], bool]
+    actions: list[Action] = field(default_factory=list)
+    priority: int = 0
+    cooldown: float = 0.0
+    arm_after: int = 1
+    one_shot: bool = False
+
+    fired_count: int = field(default=0, compare=False)
+    last_fired_at: float = field(default=float("-inf"), compare=False)
+    _armed_streak: int = field(default=0, compare=False)
+    _exhausted: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AdaptationError("policy name must be non-empty")
+        if self.arm_after < 1:
+            raise AdaptationError(
+                f"policy {self.name!r}: arm_after must be >= 1"
+            )
+
+    def ready(self, context: Context, now: float) -> bool:
+        """Condition + debouncing + cooldown evaluation."""
+        if self._exhausted:
+            return False
+        if now - self.last_fired_at < self.cooldown:
+            return False
+        if not self.condition(context):
+            self._armed_streak = 0
+            return False
+        self._armed_streak += 1
+        return self._armed_streak >= self.arm_after
+
+    def fire(self, context: Context, now: float) -> None:
+        self.fired_count += 1
+        self.last_fired_at = now
+        self._armed_streak = 0
+        if self.one_shot:
+            self._exhausted = True
+        for action in self.actions:
+            action(context)
+
+
+def switch_strategy(slot: Any, strategy_name: str, reason: str = "") -> Action:
+    """Action: switch a :class:`~repro.strategy.StrategySlot`."""
+
+    def action(context: Context) -> None:
+        if slot.current_name != strategy_name:
+            slot.use(strategy_name, reason=reason or "adaptation")
+
+    return action
+
+
+def attach_filters(filter_set: Any, port: Any) -> Action:
+    """Action: attach a filter set (idempotent per target)."""
+
+    def action(context: Context) -> None:
+        live = [holder for holder, _i in filter_set._attached]
+        if port not in live:
+            filter_set.attach_to(port)
+
+    return action
+
+
+def detach_filters(filter_set: Any, port: Any) -> Action:
+    """Action: detach a filter set if attached."""
+
+    def action(context: Context) -> None:
+        live = [holder for holder, _i in filter_set._attached]
+        if port in live:
+            filter_set.detach_from(port)
+
+    return action
+
+
+def set_connector_policy(connector: Any, policy: str) -> Action:
+    """Action: retune a load-balancer connector's balancing policy."""
+
+    def action(context: Context) -> None:
+        if connector.policy != policy:
+            connector.set_policy(policy)
+
+    return action
+
+
+def call(fn: Callable[..., None], *args: Any) -> Action:
+    """Action: invoke an arbitrary tuning function."""
+
+    def action(context: Context) -> None:
+        fn(*args)
+
+    return action

@@ -1,0 +1,56 @@
+"""Architecture description language (S5).
+
+A compact Wright/Darwin-flavoured ADL: interfaces with versioned
+operations, components with ports and behaviour (LTS) blocks, connector
+declarations over the builtin kinds, and architecture blocks with
+instances, deployment nodes, binds and role attachments.  Documents
+parse, validate and build into live assemblies.
+"""
+
+from repro.adl.ast_nodes import (
+    ArchitectureDecl,
+    AttachDecl,
+    BehaviourDecl,
+    BindDecl,
+    ComponentDecl,
+    ConnectorDecl,
+    Document,
+    InstanceDecl,
+    InterfaceDecl,
+    OperationDecl,
+    PortDecl,
+    TransitionDecl,
+    UseConnectorDecl,
+)
+from repro.adl.builder import (
+    build_architecture,
+    interface_from_decl,
+    lts_from_behaviour,
+)
+from repro.adl.parser import parse_adl
+from repro.adl.printer import export_assembly, print_document
+from repro.adl.validator import check_document, validate_document
+
+__all__ = [
+    "ArchitectureDecl",
+    "AttachDecl",
+    "BehaviourDecl",
+    "BindDecl",
+    "ComponentDecl",
+    "ConnectorDecl",
+    "Document",
+    "InstanceDecl",
+    "InterfaceDecl",
+    "OperationDecl",
+    "PortDecl",
+    "TransitionDecl",
+    "UseConnectorDecl",
+    "build_architecture",
+    "check_document",
+    "export_assembly",
+    "interface_from_decl",
+    "lts_from_behaviour",
+    "parse_adl",
+    "print_document",
+    "validate_document",
+]

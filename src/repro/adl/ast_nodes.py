@@ -1,0 +1,121 @@
+"""AST node types for the architecture description language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class OperationDecl:
+    name: str
+    params: tuple[str, ...] = ()
+    optional: int = 0  # count of trailing optional params
+
+
+@dataclass(frozen=True)
+class InterfaceDecl:
+    name: str
+    version: str = "1.0"
+    operations: tuple[OperationDecl, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    kind: str            # "provides" | "requires"
+    name: str
+    interface: str
+    version: str = "1.0"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TransitionDecl:
+    source: str
+    target: str
+    action: str
+
+
+@dataclass(frozen=True)
+class BehaviourDecl:
+    transitions: tuple[TransitionDecl, ...] = ()
+    final_states: tuple[str, ...] = ()
+    initial: str = ""
+
+
+@dataclass(frozen=True)
+class ComponentDecl:
+    name: str
+    ports: tuple[PortDecl, ...] = ()
+    behaviour: BehaviourDecl | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ConnectorDecl:
+    name: str
+    kind: str
+    interface: str
+    version: str = "1.0"
+    options: tuple[tuple[str, Any], ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class InstanceDecl:
+    name: str
+    type_name: str
+    node: str
+    #: Deployment-descriptor options: cpu reservation, container
+    #: services, placement constraints.
+    cpu: float = 0.0
+    services: tuple[str, ...] = ()
+    colocate_with: tuple[str, ...] = ()
+    separate_from: tuple[str, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class UseConnectorDecl:
+    name: str            # instance name
+    connector_type: str  # declared connector name
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BindDecl:
+    source_instance: str
+    source_port: str
+    target_instance: str
+    target_port: str     # provided port name or connector role
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class AttachDecl:
+    component_instance: str
+    component_port: str
+    connector_instance: str
+    role: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ArchitectureDecl:
+    name: str
+    instances: tuple[InstanceDecl, ...] = ()
+    connectors: tuple[UseConnectorDecl, ...] = ()
+    binds: tuple[BindDecl, ...] = ()
+    attaches: tuple[AttachDecl, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class Document:
+    """A parsed ADL source file."""
+
+    interfaces: dict[str, InterfaceDecl] = field(default_factory=dict)
+    components: dict[str, ComponentDecl] = field(default_factory=dict)
+    connectors: dict[str, ConnectorDecl] = field(default_factory=dict)
+    architectures: dict[str, ArchitectureDecl] = field(default_factory=dict)

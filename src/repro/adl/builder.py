@@ -1,0 +1,171 @@
+"""Instantiating ADL architectures into live assemblies.
+
+The ADL describes *structure* (and behaviour protocols); Python supplies
+the *implementations*.  :func:`build_architecture` walks a validated
+document, creates component instances from registered factories, deploys
+them to the named nodes, creates connectors through the connector
+factory, and wires every bind/attach — yielding a running
+:class:`~repro.kernel.assembly.Assembly` ("quick generation of
+prototypes" plus "means to configure and administrate it").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import AdlValidationError
+from repro.kernel.assembly import Assembly
+from repro.kernel.component import Component
+from repro.kernel.interface import Interface, Operation
+from repro.lts.lts import Lts
+from repro.netsim.network import Network
+from repro.connectors.factory import ConnectorFactory, ConnectorSpec
+from repro.adl.ast_nodes import BehaviourDecl, Document, InterfaceDecl
+from repro.adl.validator import check_document
+
+#: A factory builds the implementation object for one component instance.
+ImplementationFactory = Callable[[str], Any]
+
+
+def interface_from_decl(decl: InterfaceDecl) -> Interface:
+    """Materialise an :class:`Interface` from its declaration."""
+    return Interface(
+        decl.name,
+        decl.version,
+        [Operation(op.name, op.params, op.optional) for op in decl.operations],
+    )
+
+
+def lts_from_behaviour(name: str, behaviour: BehaviourDecl) -> Lts:
+    """Materialise the declared behaviour protocol as an LTS."""
+    lts = Lts(name, initial=behaviour.initial)
+    for transition in behaviour.transitions:
+        lts.add_transition(transition.source, transition.action,
+                           transition.target)
+    lts.mark_final(*behaviour.final_states)
+    return lts
+
+
+def build_architecture(
+    document: Document,
+    architecture_name: str,
+    network: Network,
+    implementations: dict[str, ImplementationFactory],
+    connector_factory: ConnectorFactory | None = None,
+    validate: bool = True,
+) -> Assembly:
+    """Instantiate one architecture of a document over a network.
+
+    Args:
+        document: parsed (and validated) ADL document.
+        architecture_name: which ``architecture`` block to build.
+        network: the simulated network whose nodes host the instances.
+        implementations: component type name → factory producing the
+            implementation object for an instance (receives the instance
+            name).  The ADL's port declarations are applied on top.
+        connector_factory: factory for connector kinds (default builtins).
+        validate: run semantic validation first.
+    """
+    if validate:
+        check_document(document)
+    try:
+        architecture = document.architectures[architecture_name]
+    except KeyError:
+        raise AdlValidationError(
+            f"document has no architecture {architecture_name!r}; "
+            f"available: {sorted(document.architectures)}"
+        ) from None
+
+    factory = connector_factory or ConnectorFactory()
+    assembly = Assembly(network, name=architecture_name)
+    interfaces = {
+        name: interface_from_decl(decl)
+        for name, decl in document.interfaces.items()
+    }
+
+    # Components.
+    for instance in architecture.instances:
+        component_decl = document.components[instance.type_name]
+        try:
+            implementation_factory = implementations[instance.type_name]
+        except KeyError:
+            raise AdlValidationError(
+                f"no implementation registered for component type "
+                f"{instance.type_name!r}"
+            ) from None
+        implementation = implementation_factory(instance.name)
+        if isinstance(implementation, Component):
+            component = implementation
+            if component.name != instance.name:
+                raise AdlValidationError(
+                    f"factory for {instance.type_name!r} returned component "
+                    f"named {component.name!r}, expected {instance.name!r}"
+                )
+        else:
+            component = Component(instance.name)
+        for port in component_decl.ports:
+            interface = interfaces[port.interface]
+            if port.kind == "provides":
+                if port.name not in component.provided:
+                    component.provide(
+                        port.name, interface,
+                        implementation=None
+                        if isinstance(implementation, Component)
+                        else implementation,
+                    )
+            else:
+                if port.name not in component.required:
+                    component.require(port.name, interface)
+        if component_decl.behaviour is not None:
+            component.behaviour = lts_from_behaviour(
+                f"{instance.type_name}.behaviour", component_decl.behaviour
+            )
+        descriptor = None
+        if (instance.cpu or instance.services or instance.colocate_with
+                or instance.separate_from):
+            from repro.kernel.descriptor import (
+                DeploymentDescriptor,
+                PlacementConstraint,
+            )
+
+            descriptor = DeploymentDescriptor(
+                instance.name,
+                cpu_reservation=instance.cpu,
+                services=instance.services,
+                placement=PlacementConstraint(
+                    colocate_with=frozenset(instance.colocate_with),
+                    separate_from=frozenset(instance.separate_from),
+                ),
+            )
+        assembly.deploy(component, instance.node, descriptor)
+
+    # Connectors.
+    for use in architecture.connectors:
+        connector_decl = document.connectors[use.connector_type]
+        spec = ConnectorSpec(
+            name=use.name,
+            kind=connector_decl.kind,
+            interface=interfaces[connector_decl.interface],
+            options=dict(connector_decl.options),
+        )
+        assembly.add_connector(factory.create(spec))
+
+    # Attachments before binds, so connectors are complete when callers
+    # start flowing.
+    for attach in architecture.attaches:
+        connector = assembly.connectors[attach.connector_instance]
+        component = assembly.component(attach.component_instance)
+        connector.attach(attach.role,
+                         component.provided_port(attach.component_port))
+
+    for bind in architecture.binds:
+        if bind.target_instance in assembly.connectors:
+            connector = assembly.connectors[bind.target_instance]
+            assembly.connect(bind.source_instance, bind.source_port,
+                             target=connector.endpoint(bind.target_port))
+        else:
+            assembly.connect(bind.source_instance, bind.source_port,
+                             target_component=bind.target_instance,
+                             target_port=bind.target_port)
+
+    return assembly

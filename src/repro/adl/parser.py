@@ -1,0 +1,430 @@
+"""Lexer and recursive-descent parser for the repro ADL.
+
+The language is a compact Wright/Darwin-flavoured ADL::
+
+    interface Counter version 1.0 {
+      operation increment(amount?)
+      operation total()
+    }
+
+    component CounterServer {
+      provides svc : Counter 1.0
+      behaviour {
+        init s0
+        s0 -> s0 : increment
+        s0 -> s0 : total
+        final s0
+      }
+    }
+
+    connector Front kind load-balancer interface Counter 1.0 {
+      option policy = "round_robin"
+      option seed = 7
+    }
+
+    architecture App {
+      instance client : CounterClient on leaf0
+      instance server : CounterServer on leaf1
+      use lb : Front
+      bind client.peer -> lb.client
+      attach server.svc -> lb.worker
+    }
+
+Comments start with ``//`` or ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import AdlSyntaxError
+from repro.adl.ast_nodes import (
+    ArchitectureDecl,
+    AttachDecl,
+    BehaviourDecl,
+    BindDecl,
+    ComponentDecl,
+    ConnectorDecl,
+    Document,
+    InstanceDecl,
+    InterfaceDecl,
+    OperationDecl,
+    PortDecl,
+    TransitionDecl,
+    UseConnectorDecl,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>(//|\#)[^\n]*)
+  | (?P<version>\d+\.\d+)
+  | (?P<number>\d+(?!\.)|\d+\.\d+\.\d+)
+  | (?P<string>"[^"\n]*")
+  | (?P<arrow>->)
+  | (?P<punct>[{}():,.=?;])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise AdlSyntaxError(
+                f"unexpected character {source[position]!r}", line, column
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, line, position - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = match.end()
+    tokens.append(Token("eof", "", line, 1))
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser producing a :class:`Document`."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def _error(self, message: str) -> AdlSyntaxError:
+        token = self.current
+        return AdlSyntaxError(
+            f"{message} (found {token.text or 'end of file'!r})",
+            token.line, token.column,
+        )
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text if text is not None else kind
+            raise self._error(f"expected {expected!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        return self._expect("name", word)
+
+    def _at_keyword(self, word: str) -> bool:
+        return self.current.kind == "name" and self.current.text == word
+
+    def _name(self) -> str:
+        return self._expect("name").text
+
+    def _maybe_version(self, default: str = "1.0") -> str:
+        if self.current.kind == "version":
+            return self._advance().text
+        return default
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Document:
+        document = Document()
+        while self.current.kind != "eof":
+            if self._at_keyword("interface"):
+                decl = self._interface()
+                self._register(document.interfaces, decl.name, decl, "interface")
+            elif self._at_keyword("component"):
+                decl = self._component()
+                self._register(document.components, decl.name, decl, "component")
+            elif self._at_keyword("connector"):
+                decl = self._connector()
+                self._register(document.connectors, decl.name, decl, "connector")
+            elif self._at_keyword("architecture"):
+                decl = self._architecture()
+                self._register(document.architectures, decl.name, decl,
+                               "architecture")
+            else:
+                raise self._error(
+                    "expected 'interface', 'component', 'connector' or "
+                    "'architecture'"
+                )
+        return document
+
+    def _register(self, table: dict, name: str, decl: Any, what: str) -> None:
+        if name in table:
+            raise AdlSyntaxError(f"duplicate {what} {name!r}",
+                                 getattr(decl, "line", 0))
+        table[name] = decl
+
+    def _interface(self) -> InterfaceDecl:
+        line = self.current.line
+        self._expect_keyword("interface")
+        name = self._name()
+        version = "1.0"
+        if self._at_keyword("version"):
+            self._advance()
+            version = self._expect("version").text
+        self._expect("punct", "{")
+        operations = []
+        while not (self.current.kind == "punct" and self.current.text == "}"):
+            operations.append(self._operation())
+        self._expect("punct", "}")
+        return InterfaceDecl(name, version, tuple(operations), line)
+
+    def _operation(self) -> OperationDecl:
+        self._expect_keyword("operation")
+        name = self._name()
+        self._expect("punct", "(")
+        params: list[str] = []
+        optional = 0
+        while not (self.current.kind == "punct" and self.current.text == ")"):
+            if params:
+                self._expect("punct", ",")
+            params.append(self._name())
+            if self.current.kind == "punct" and self.current.text == "?":
+                self._advance()
+                optional += 1
+            elif optional:
+                raise self._error(
+                    "required parameter cannot follow optional parameters"
+                )
+        self._expect("punct", ")")
+        return OperationDecl(name, tuple(params), optional)
+
+    def _component(self) -> ComponentDecl:
+        line = self.current.line
+        self._expect_keyword("component")
+        name = self._name()
+        self._expect("punct", "{")
+        ports: list[PortDecl] = []
+        behaviour: BehaviourDecl | None = None
+        while not (self.current.kind == "punct" and self.current.text == "}"):
+            if self._at_keyword("provides") or self._at_keyword("requires"):
+                ports.append(self._port())
+            elif self._at_keyword("behaviour"):
+                if behaviour is not None:
+                    raise self._error("component already has a behaviour block")
+                behaviour = self._behaviour()
+            else:
+                raise self._error(
+                    "expected 'provides', 'requires' or 'behaviour'"
+                )
+        self._expect("punct", "}")
+        return ComponentDecl(name, tuple(ports), behaviour, line)
+
+    def _port(self) -> PortDecl:
+        line = self.current.line
+        kind = self._name()  # provides | requires (guarded by caller)
+        name = self._name()
+        self._expect("punct", ":")
+        interface = self._name()
+        version = self._maybe_version()
+        return PortDecl(kind, name, interface, version, line)
+
+    def _behaviour(self) -> BehaviourDecl:
+        self._expect_keyword("behaviour")
+        self._expect("punct", "{")
+        transitions: list[TransitionDecl] = []
+        finals: list[str] = []
+        initial = ""
+        while not (self.current.kind == "punct" and self.current.text == "}"):
+            if self._at_keyword("final"):
+                self._advance()
+                finals.append(self._name())
+            elif self._at_keyword("init"):
+                self._advance()
+                initial = self._name()
+            else:
+                source = self._name()
+                self._expect("arrow")
+                target = self._name()
+                self._expect("punct", ":")
+                action = self._name()
+                transitions.append(TransitionDecl(source, target, action))
+            if self.current.kind == "punct" and self.current.text == ";":
+                self._advance()
+        self._expect("punct", "}")
+        if not initial:
+            initial = transitions[0].source if transitions else "s0"
+        return BehaviourDecl(tuple(transitions), tuple(finals), initial)
+
+    def _connector(self) -> ConnectorDecl:
+        line = self.current.line
+        self._expect_keyword("connector")
+        name = self._name()
+        self._expect_keyword("kind")
+        kind = self._name()
+        self._expect_keyword("interface")
+        interface = self._name()
+        version = self._maybe_version()
+        options: list[tuple[str, Any]] = []
+        if self.current.kind == "punct" and self.current.text == "{":
+            self._advance()
+            while not (self.current.kind == "punct" and self.current.text == "}"):
+                self._expect_keyword("option")
+                option_name = self._name()
+                self._expect("punct", "=")
+                options.append((option_name, self._value()))
+            self._expect("punct", "}")
+        return ConnectorDecl(name, kind, interface, version, tuple(options),
+                             line)
+
+    def _value(self) -> Any:
+        token = self.current
+        if token.kind == "string":
+            self._advance()
+            return token.text[1:-1]
+        if token.kind == "number":
+            self._advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "version":
+            self._advance()
+            return float(token.text)
+        if token.kind == "name":
+            self._advance()
+            if token.text in ("true", "false"):
+                return token.text == "true"
+            return token.text
+        raise self._error("expected a value")
+
+    def _architecture(self) -> ArchitectureDecl:
+        line = self.current.line
+        self._expect_keyword("architecture")
+        name = self._name()
+        self._expect("punct", "{")
+        instances: list[InstanceDecl] = []
+        connectors: list[UseConnectorDecl] = []
+        binds: list[BindDecl] = []
+        attaches: list[AttachDecl] = []
+        while not (self.current.kind == "punct" and self.current.text == "}"):
+            if self._at_keyword("instance"):
+                decl_line = self.current.line
+                self._advance()
+                instance_name = self._name()
+                self._expect("punct", ":")
+                type_name = self._name()
+                self._expect_keyword("on")
+                node = self._node_name()
+                descriptor = self._maybe_instance_descriptor()
+                instances.append(InstanceDecl(
+                    instance_name, type_name, node,
+                    cpu=descriptor["cpu"],
+                    services=tuple(descriptor["services"]),
+                    colocate_with=tuple(descriptor["colocate"]),
+                    separate_from=tuple(descriptor["separate"]),
+                    line=decl_line,
+                ))
+            elif self._at_keyword("use"):
+                decl_line = self.current.line
+                self._advance()
+                instance_name = self._name()
+                self._expect("punct", ":")
+                connector_type = self._name()
+                connectors.append(UseConnectorDecl(instance_name,
+                                                   connector_type, decl_line))
+            elif self._at_keyword("bind"):
+                decl_line = self.current.line
+                self._advance()
+                source_instance, source_port = self._dotted()
+                self._expect("arrow")
+                target_instance, target_port = self._dotted()
+                binds.append(BindDecl(source_instance, source_port,
+                                      target_instance, target_port, decl_line))
+            elif self._at_keyword("attach"):
+                decl_line = self.current.line
+                self._advance()
+                component_instance, component_port = self._dotted()
+                self._expect("arrow")
+                connector_instance, role = self._dotted()
+                attaches.append(AttachDecl(component_instance, component_port,
+                                           connector_instance, role, decl_line))
+            else:
+                raise self._error(
+                    "expected 'instance', 'use', 'bind' or 'attach'"
+                )
+        self._expect("punct", "}")
+        return ArchitectureDecl(name, tuple(instances), tuple(connectors),
+                                tuple(binds), tuple(attaches), line)
+
+    def _maybe_instance_descriptor(self) -> dict:
+        """Optional deployment-descriptor block after an instance::
+
+            instance s : Server on leaf1 {
+              cpu 10
+              services logging metering
+              colocate other
+              separate rival
+            }
+        """
+        descriptor = {"cpu": 0.0, "services": [], "colocate": [],
+                      "separate": []}
+        if not (self.current.kind == "punct" and self.current.text == "{"):
+            return descriptor
+        self._advance()
+        while not (self.current.kind == "punct" and self.current.text == "}"):
+            if self._at_keyword("cpu"):
+                self._advance()
+                token = self.current
+                if token.kind in ("number", "version"):
+                    self._advance()
+                    descriptor["cpu"] = float(token.text)
+                else:
+                    raise self._error("expected a number after 'cpu'")
+            elif self._at_keyword("services"):
+                self._advance()
+                while self.current.kind == "name" and self.current.text not in (
+                        "cpu", "services", "colocate", "separate"):
+                    descriptor["services"].append(self._name())
+            elif self._at_keyword("colocate"):
+                self._advance()
+                descriptor["colocate"].append(self._name())
+            elif self._at_keyword("separate"):
+                self._advance()
+                descriptor["separate"].append(self._name())
+            else:
+                raise self._error(
+                    "expected 'cpu', 'services', 'colocate' or 'separate'"
+                )
+        self._expect("punct", "}")
+        return descriptor
+
+    def _node_name(self) -> str:
+        # Node names may contain dashes and digit suffixes (leaf0,
+        # rack0-host1); the lexer already folds those into one name token.
+        return self._name()
+
+    def _dotted(self) -> tuple[str, str]:
+        left = self._name()
+        self._expect("punct", ".")
+        right = self._name()
+        return left, right
+
+
+def parse_adl(source: str) -> Document:
+    """Parse ADL source text into a :class:`Document`."""
+    return Parser(source).parse()

@@ -1,0 +1,219 @@
+"""Pretty-printing ADL documents back to source.
+
+The inverse of :func:`~repro.adl.parser.parse_adl`: given a (possibly
+programmatically-built or introspected) :class:`Document`, emit source
+text that parses back to an equivalent document.  Used to export the
+*current* architecture of a running assembly for inspection and
+version-control of configurations.
+"""
+
+from __future__ import annotations
+
+from repro.adl.ast_nodes import (
+    ArchitectureDecl,
+    ComponentDecl,
+    ConnectorDecl,
+    Document,
+    InterfaceDecl,
+)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)
+
+
+def _print_interface(decl: InterfaceDecl) -> str:
+    lines = [f"interface {decl.name} version {decl.version} {{"]
+    for operation in decl.operations:
+        rendered = []
+        required = len(operation.params) - operation.optional
+        for index, param in enumerate(operation.params):
+            rendered.append(param if index < required else f"{param}?")
+        lines.append(f"  operation {operation.name}({', '.join(rendered)})")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _print_component(decl: ComponentDecl) -> str:
+    lines = [f"component {decl.name} {{"]
+    for port in decl.ports:
+        lines.append(
+            f"  {port.kind} {port.name} : {port.interface} {port.version}"
+        )
+    if decl.behaviour is not None:
+        lines.append("  behaviour {")
+        lines.append(f"    init {decl.behaviour.initial}")
+        for transition in decl.behaviour.transitions:
+            lines.append(
+                f"    {transition.source} -> {transition.target} : "
+                f"{transition.action}"
+            )
+        for final in decl.behaviour.final_states:
+            lines.append(f"    final {final}")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _print_connector(decl: ConnectorDecl) -> str:
+    header = (f"connector {decl.name} kind {decl.kind} "
+              f"interface {decl.interface} {decl.version}")
+    if not decl.options:
+        return header
+    lines = [header + " {"]
+    for name, value in decl.options:
+        lines.append(f"  option {name} = {_format_value(value)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _print_architecture(decl: ArchitectureDecl) -> str:
+    lines = [f"architecture {decl.name} {{"]
+    for instance in decl.instances:
+        header = f"  instance {instance.name} : {instance.type_name} on {instance.node}"
+        body = []
+        if instance.cpu:
+            body.append(f"    cpu {instance.cpu:g}")
+        if instance.services:
+            body.append(f"    services {' '.join(instance.services)}")
+        for peer in instance.colocate_with:
+            body.append(f"    colocate {peer}")
+        for peer in instance.separate_from:
+            body.append(f"    separate {peer}")
+        if body:
+            lines.append(header + " {")
+            lines.extend(body)
+            lines.append("  }")
+        else:
+            lines.append(header)
+    for use in decl.connectors:
+        lines.append(f"  use {use.name} : {use.connector_type}")
+    for bind in decl.binds:
+        lines.append(
+            f"  bind {bind.source_instance}.{bind.source_port} -> "
+            f"{bind.target_instance}.{bind.target_port}"
+        )
+    for attach in decl.attaches:
+        lines.append(
+            f"  attach {attach.component_instance}.{attach.component_port} "
+            f"-> {attach.connector_instance}.{attach.role}"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_document(document: Document) -> str:
+    """Render a document as parseable ADL source."""
+    blocks = []
+    for decl in document.interfaces.values():
+        blocks.append(_print_interface(decl))
+    for decl in document.components.values():
+        blocks.append(_print_component(decl))
+    for decl in document.connectors.values():
+        blocks.append(_print_connector(decl))
+    for decl in document.architectures.values():
+        blocks.append(_print_architecture(decl))
+    return "\n\n".join(blocks) + "\n"
+
+
+def export_assembly(assembly) -> str:
+    """Reverse-engineer a live assembly into ADL source.
+
+    Behaviour blocks, descriptor details and connector options are
+    emitted from the live objects' reflective state; the result parses
+    and re-validates ("provide means to configure and administrate it").
+    """
+    from repro.adl.ast_nodes import (
+        AttachDecl,
+        BehaviourDecl,
+        BindDecl,
+        InstanceDecl,
+        OperationDecl,
+        PortDecl,
+        TransitionDecl,
+        UseConnectorDecl,
+    )
+
+    document = Document()
+
+    def ensure_interface(interface) -> None:
+        if interface.name in document.interfaces:
+            return
+        document.interfaces[interface.name] = InterfaceDecl(
+            interface.name, str(interface.version),
+            tuple(
+                OperationDecl(op.name, op.params, op.optional)
+                for op in interface.operations.values()
+            ),
+        )
+
+    instances = []
+    for component in assembly.registry:
+        ports = []
+        for name, port in component.provided.items():
+            ensure_interface(port.interface)
+            ports.append(PortDecl("provides", name, port.interface.name,
+                                  str(port.interface.version)))
+        for name, port in component.required.items():
+            ensure_interface(port.interface)
+            ports.append(PortDecl("requires", name, port.interface.name,
+                                  str(port.interface.version)))
+        behaviour = None
+        if component.behaviour is not None:
+            lts = component.behaviour
+            behaviour = BehaviourDecl(
+                tuple(TransitionDecl(s, t, a)
+                      for s, a, t in lts.all_transitions()),
+                tuple(sorted(lts.final)),
+                lts.initial,
+            )
+        type_name = f"{component.name.replace('-', '_')}_type"
+        document.components[type_name] = ComponentDecl(
+            type_name, tuple(ports), behaviour
+        )
+        instances.append(InstanceDecl(component.name, type_name,
+                                      component.node_name or "unplaced"))
+
+    uses = []
+    attaches = []
+    for connector in assembly.connectors.values():
+        iface = next(iter(connector.roles.values())).interface
+        ensure_interface(iface)
+        type_name = f"{connector.name.replace('-', '_')}_conn"
+        document.connectors[type_name] = ConnectorDecl(
+            type_name, connector.kind, iface.name, str(iface.version)
+        )
+        uses.append(UseConnectorDecl(connector.name, type_name))
+        for role_name, attachments in connector.attachments.items():
+            for attachment in attachments:
+                owner = getattr(attachment.target, "component", None)
+                if owner is not None:
+                    attaches.append(AttachDecl(
+                        owner.name, attachment.target.name,
+                        connector.name, role_name,
+                    ))
+
+    binds = []
+    for binding in assembly.bindings:
+        target = binding.target
+        owner = getattr(target, "component", None)
+        if owner is not None:
+            binds.append(BindDecl(binding.source.component.name,
+                                  binding.source.name,
+                                  owner.name, target.name))
+        else:
+            connector = getattr(target, "connector", None)
+            if connector is not None:
+                binds.append(BindDecl(binding.source.component.name,
+                                      binding.source.name,
+                                      connector.name, target.role.name))
+
+    document.architectures[assembly.name] = ArchitectureDecl(
+        assembly.name, tuple(instances), tuple(uses), tuple(binds),
+        tuple(attaches),
+    )
+    return print_document(document)

@@ -1,0 +1,238 @@
+"""Semantic validation of ADL documents.
+
+Checks the rules a parser cannot: referenced interfaces/components/
+connectors exist, bindings connect existing ports with compatible
+interfaces, behaviours only use operations their component provides,
+connector kinds are known, and architectures are well-formed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AdlValidationError
+from repro.adl.ast_nodes import (
+    ArchitectureDecl,
+    ComponentDecl,
+    Document,
+)
+
+#: Connector kinds the builtin factory can build.
+KNOWN_CONNECTOR_KINDS = frozenset(
+    {"rpc", "broadcast", "event-bus", "pipeline", "load-balancer", "failover"}
+)
+
+#: Role names per builtin kind: (caller_roles, callee_roles).
+CONNECTOR_ROLES: dict[str, tuple[frozenset[str], frozenset[str]]] = {
+    "rpc": (frozenset({"client"}), frozenset({"server"})),
+    "broadcast": (frozenset({"publisher"}), frozenset({"subscriber"})),
+    "event-bus": (frozenset({"publisher"}), frozenset({"subscriber"})),
+    "pipeline": (frozenset({"source"}), frozenset({"stage"})),
+    "load-balancer": (frozenset({"client"}), frozenset({"worker"})),
+    "failover": (frozenset({"client"}), frozenset({"replica"})),
+}
+
+
+def validate_document(document: Document) -> list[str]:
+    """Return a list of problems (empty = valid)."""
+    problems: list[str] = []
+    _check_components(document, problems)
+    _check_connectors(document, problems)
+    for architecture in document.architectures.values():
+        _check_architecture(document, architecture, problems)
+    return problems
+
+
+def check_document(document: Document) -> None:
+    """Raise :class:`AdlValidationError` on the first batch of problems."""
+    problems = validate_document(document)
+    if problems:
+        raise AdlValidationError("; ".join(problems))
+
+
+def _check_components(document: Document, problems: list[str]) -> None:
+    for component in document.components.values():
+        seen_ports: set[str] = set()
+        provided_operations: set[str] = set()
+        for port in component.ports:
+            if port.name in seen_ports:
+                problems.append(
+                    f"component {component.name!r}: duplicate port "
+                    f"{port.name!r}"
+                )
+            seen_ports.add(port.name)
+            if port.interface not in document.interfaces:
+                problems.append(
+                    f"component {component.name!r}: port {port.name!r} "
+                    f"references unknown interface {port.interface!r}"
+                )
+            elif port.kind == "provides":
+                interface = document.interfaces[port.interface]
+                provided_operations.update(
+                    operation.name for operation in interface.operations
+                )
+        if component.behaviour is not None:
+            states = {component.behaviour.initial}
+            for transition in component.behaviour.transitions:
+                states.add(transition.source)
+                states.add(transition.target)
+                if (provided_operations
+                        and transition.action not in provided_operations):
+                    problems.append(
+                        f"component {component.name!r}: behaviour uses "
+                        f"action {transition.action!r} which no provided "
+                        "interface offers"
+                    )
+            for final in component.behaviour.final_states:
+                if final not in states:
+                    problems.append(
+                        f"component {component.name!r}: final state "
+                        f"{final!r} never appears in a transition"
+                    )
+
+
+def _check_connectors(document: Document, problems: list[str]) -> None:
+    for connector in document.connectors.values():
+        if connector.kind not in KNOWN_CONNECTOR_KINDS:
+            problems.append(
+                f"connector {connector.name!r}: unknown kind "
+                f"{connector.kind!r}"
+            )
+        if connector.interface not in document.interfaces:
+            problems.append(
+                f"connector {connector.name!r}: unknown interface "
+                f"{connector.interface!r}"
+            )
+
+
+def _check_architecture(document: Document, architecture: ArchitectureDecl,
+                        problems: list[str]) -> None:
+    from repro.kernel.descriptor import DeploymentDescriptor
+
+    instance_types: dict[str, ComponentDecl] = {}
+    for instance in architecture.instances:
+        if instance.name in instance_types:
+            problems.append(
+                f"architecture {architecture.name!r}: duplicate instance "
+                f"{instance.name!r}"
+            )
+        component = document.components.get(instance.type_name)
+        if component is None:
+            problems.append(
+                f"architecture {architecture.name!r}: instance "
+                f"{instance.name!r} has unknown type {instance.type_name!r}"
+            )
+        else:
+            instance_types[instance.name] = component
+        unknown_services = (set(instance.services)
+                            - DeploymentDescriptor.KNOWN_SERVICES)
+        if unknown_services:
+            problems.append(
+                f"instance {instance.name!r}: unknown container services "
+                f"{sorted(unknown_services)}"
+            )
+        if instance.cpu < 0:
+            problems.append(
+                f"instance {instance.name!r}: cpu reservation must be >= 0"
+            )
+
+    declared_names = {i.name for i in architecture.instances}
+    for instance in architecture.instances:
+        for peer in (*instance.colocate_with, *instance.separate_from):
+            if peer not in declared_names:
+                problems.append(
+                    f"instance {instance.name!r}: placement references "
+                    f"unknown instance {peer!r}"
+                )
+
+    connector_kinds: dict[str, str] = {}
+    for use in architecture.connectors:
+        if use.name in instance_types or use.name in connector_kinds:
+            problems.append(
+                f"architecture {architecture.name!r}: duplicate name "
+                f"{use.name!r}"
+            )
+        declared = document.connectors.get(use.connector_type)
+        if declared is None:
+            problems.append(
+                f"architecture {architecture.name!r}: connector instance "
+                f"{use.name!r} has unknown type {use.connector_type!r}"
+            )
+        else:
+            connector_kinds[use.name] = declared.kind
+
+    def port_of(instance_name: str, port_name: str, kind: str) -> object | None:
+        component = instance_types.get(instance_name)
+        if component is None:
+            return None
+        for port in component.ports:
+            if port.name == port_name and port.kind == kind:
+                return port
+        return None
+
+    for bind in architecture.binds:
+        source = port_of(bind.source_instance, bind.source_port, "requires")
+        if bind.source_instance not in instance_types:
+            problems.append(
+                f"bind: unknown source instance {bind.source_instance!r}"
+            )
+            continue
+        if source is None:
+            problems.append(
+                f"bind: {bind.source_instance!r} has no required port "
+                f"{bind.source_port!r}"
+            )
+            continue
+        if bind.target_instance in instance_types:
+            target = port_of(bind.target_instance, bind.target_port, "provides")
+            if target is None:
+                problems.append(
+                    f"bind: {bind.target_instance!r} has no provided port "
+                    f"{bind.target_port!r}"
+                )
+            elif target.interface != source.interface:  # type: ignore[union-attr]
+                problems.append(
+                    f"bind: interface mismatch "
+                    f"{bind.source_instance}.{bind.source_port} "
+                    f"({source.interface}) -> "  # type: ignore[union-attr]
+                    f"{bind.target_instance}.{bind.target_port} "
+                    f"({target.interface})"
+                )
+        elif bind.target_instance in connector_kinds:
+            kind = connector_kinds[bind.target_instance]
+            callers, _callees = CONNECTOR_ROLES.get(
+                kind, (frozenset(), frozenset())
+            )
+            if bind.target_port not in callers:
+                problems.append(
+                    f"bind: {bind.target_port!r} is not a caller role of "
+                    f"{kind!r} connector {bind.target_instance!r}"
+                )
+        else:
+            problems.append(
+                f"bind: unknown target {bind.target_instance!r}"
+            )
+
+    for attach in architecture.attaches:
+        if attach.component_instance not in instance_types:
+            problems.append(
+                f"attach: unknown instance {attach.component_instance!r}"
+            )
+            continue
+        port = port_of(attach.component_instance, attach.component_port,
+                       "provides")
+        if port is None:
+            problems.append(
+                f"attach: {attach.component_instance!r} has no provided "
+                f"port {attach.component_port!r}"
+            )
+        if attach.connector_instance not in connector_kinds:
+            problems.append(
+                f"attach: unknown connector {attach.connector_instance!r}"
+            )
+            continue
+        kind = connector_kinds[attach.connector_instance]
+        _callers, callees = CONNECTOR_ROLES.get(kind, (frozenset(), frozenset()))
+        if attach.role not in callees:
+            problems.append(
+                f"attach: {attach.role!r} is not a callee role of {kind!r} "
+                f"connector {attach.connector_instance!r}"
+            )

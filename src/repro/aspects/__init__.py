@@ -1,0 +1,28 @@
+"""Dynamic aspect weaving (S8).
+
+Pointcut/advice model with before/after/around/on-error advice, a weaver
+supporting dynamic (re-matchable) and static (pre-resolved) modes, and
+run-time aspect interchange.
+"""
+
+from repro.aspects.aspect import (
+    Advice,
+    AdviceKind,
+    Aspect,
+    Introduction,
+    JoinPoint,
+    Pointcut,
+    join_points_of,
+)
+from repro.aspects.weaver import Weaver
+
+__all__ = [
+    "Advice",
+    "AdviceKind",
+    "Aspect",
+    "Introduction",
+    "JoinPoint",
+    "Pointcut",
+    "Weaver",
+    "join_points_of",
+]

@@ -1,0 +1,165 @@
+"""Aspects: pointcuts and advice.
+
+The aspect-oriented mechanism from the paper's survey: crosscutting
+behaviour "scattered to multiple components" is expressed once as an
+:class:`Aspect` — a set of (pointcut, advice) pairs — and woven into the
+invocation pipeline by the :class:`~repro.aspects.weaver.Weaver`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.kernel.component import Component, Invocation, ProvidedPort
+
+
+@dataclass(frozen=True)
+class JoinPoint:
+    """Where an advice fires: a (component, port, operation) coordinate."""
+
+    component: str
+    port: str
+    operation: str
+
+
+@dataclass(frozen=True)
+class Pointcut:
+    """Predicate over join points.
+
+    Patterns are exact names or ``"*"``; ``condition`` may further
+    inspect the live invocation.
+    """
+
+    component: str = "*"
+    port: str = "*"
+    operation: str = "*"
+    condition: Callable[[Invocation], bool] | None = None
+
+    @staticmethod
+    def _match(pattern: str, value: str) -> bool:
+        if pattern == "*":
+            return True
+        if pattern.endswith("*"):
+            return value.startswith(pattern[:-1])
+        return pattern == value
+
+    def selects(self, join_point: JoinPoint) -> bool:
+        return (
+            self._match(self.component, join_point.component)
+            and self._match(self.port, join_point.port)
+            and self._match(self.operation, join_point.operation)
+        )
+
+    def admits(self, invocation: Invocation) -> bool:
+        return self.condition is None or self.condition(invocation)
+
+
+class AdviceKind(enum.Enum):
+    BEFORE = "before"
+    AFTER = "after"
+    AROUND = "around"
+    ON_ERROR = "on_error"
+
+
+@dataclass
+class Advice:
+    """One piece of crosscutting behaviour.
+
+    Signatures by kind:
+
+    * BEFORE:   ``fn(invocation) -> None``
+    * AFTER:    ``fn(invocation, result) -> result`` (may replace it)
+    * AROUND:   ``fn(invocation, proceed) -> result``
+    * ON_ERROR: ``fn(invocation, exc) -> result`` (recover) or re-raise
+    """
+
+    kind: AdviceKind
+    body: Callable[..., Any]
+    name: str = ""
+
+
+@dataclass
+class Introduction:
+    """An inter-type declaration: a new operation grafted onto components.
+
+    The paper points at "component absorption and metaification"
+    [Kast02]: an aspect may not only advise existing operations but add
+    new ones.  ``body`` receives the component followed by the call's
+    positional arguments.
+    """
+
+    operation: str
+    params: tuple[str, ...]
+    body: Callable[..., Any]
+    optional: int = 0
+
+
+@dataclass
+class Aspect:
+    """A named bundle of (pointcut, advice) pairs plus introductions."""
+
+    name: str
+    pieces: list[tuple[Pointcut, Advice]] = field(default_factory=list)
+    introductions: list[tuple[str, Introduction]] = field(default_factory=list)
+
+    def add(self, pointcut: Pointcut, advice: Advice) -> "Aspect":
+        self.pieces.append((pointcut, advice))
+        return self
+
+    def before(self, body: Callable[[Invocation], None],
+               **pointcut_kwargs: Any) -> "Aspect":
+        return self.add(Pointcut(**pointcut_kwargs),
+                        Advice(AdviceKind.BEFORE, body))
+
+    def after(self, body: Callable[[Invocation, Any], Any],
+              **pointcut_kwargs: Any) -> "Aspect":
+        return self.add(Pointcut(**pointcut_kwargs),
+                        Advice(AdviceKind.AFTER, body))
+
+    def around(self, body: Callable[[Invocation, Callable], Any],
+               **pointcut_kwargs: Any) -> "Aspect":
+        return self.add(Pointcut(**pointcut_kwargs),
+                        Advice(AdviceKind.AROUND, body))
+
+    def on_error(self, body: Callable[[Invocation, BaseException], Any],
+                 **pointcut_kwargs: Any) -> "Aspect":
+        return self.add(Pointcut(**pointcut_kwargs),
+                        Advice(AdviceKind.ON_ERROR, body))
+
+    def introduce(self, port_pattern: str, operation: str,
+                  body: Callable[..., Any],
+                  params: tuple[str, ...] = (),
+                  optional: int = 0) -> "Aspect":
+        """Graft a new operation onto every port matching ``port_pattern``
+        (``component.port`` with ``*`` wildcards on either side)."""
+        self.introductions.append(
+            (port_pattern, Introduction(operation, params, body, optional))
+        )
+        return self
+
+    def pieces_for(self, join_point: JoinPoint) -> list[tuple[Pointcut, Advice]]:
+        return [(pc, adv) for pc, adv in self.pieces if pc.selects(join_point)]
+
+    def introductions_for(self, component_name: str,
+                          port_name: str) -> list[Introduction]:
+        matches = []
+        for pattern, introduction in self.introductions:
+            comp_pat, _sep, port_pat = pattern.partition(".")
+            port_pat = port_pat or "*"
+            if (Pointcut._match(comp_pat, component_name)
+                    and Pointcut._match(port_pat, port_name)):
+                matches.append(introduction)
+        return matches
+
+
+def join_points_of(component: Component) -> list[tuple[JoinPoint, ProvidedPort]]:
+    """Enumerate the join points a component exposes."""
+    points = []
+    for port_name, port in component.provided.items():
+        for operation_name in port.interface.operations:
+            points.append(
+                (JoinPoint(component.name, port_name, operation_name), port)
+            )
+    return points

@@ -1,0 +1,18 @@
+"""Baseline reconfiguration approaches (S20).
+
+Reimplementations of the two research lines the paper surveys —
+Polylith's global-freeze module bus and Durra's event-triggered
+pre-planned configurations — for head-to-head comparison with the
+connector/RAML approach.
+"""
+
+from repro.baselines.durra import DurraConfiguration, DurraManager, DurraSwitch
+from repro.baselines.polylith import PolylithReconfigurator, PolylithReport
+
+__all__ = [
+    "DurraConfiguration",
+    "DurraManager",
+    "DurraSwitch",
+    "PolylithReconfigurator",
+    "PolylithReport",
+]

@@ -1,0 +1,88 @@
+"""Durra-style reconfiguration baseline.
+
+Durra reconfigures "for error recovery purposes, where the reconfiguration
+is based on event-triggering mechanism": the application ships with a set
+of pre-planned alternative configurations, and a matching event switches
+to one of them.  The contrasts with RAML:
+
+* reaction is **event-triggered only** — no periodic observation, so a
+  degradation that never raises the configured event is never handled;
+* the switch is a pre-compiled plan — no state transfer (error recovery
+  assumes the failed component's state is lost);
+* there is no arbitration — every trigger causes a full plan execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReconfigurationError
+from repro.kernel.assembly import Assembly
+from repro.reconfig.changes import Change
+from repro.reconfig.consistency import check_assembly
+
+
+@dataclass
+class DurraConfiguration:
+    """One pre-planned alternative configuration."""
+
+    name: str
+    plan: Callable[[Assembly], list[Change]]
+
+
+@dataclass
+class DurraSwitch:
+    """Record of one executed configuration switch."""
+
+    time: float
+    event: str
+    configuration: str
+    changes: list[str] = field(default_factory=list)
+
+
+class DurraManager:
+    """Event-triggered switching between pre-planned configurations."""
+
+    def __init__(self, assembly: Assembly) -> None:
+        self.assembly = assembly
+        self.configurations: dict[str, DurraConfiguration] = {}
+        self.triggers: dict[str, str] = {}  # event name -> configuration
+        self.switches: list[DurraSwitch] = []
+
+    def define_configuration(self, name: str,
+                             plan: Callable[[Assembly], list[Change]]) -> None:
+        if name in self.configurations:
+            raise ReconfigurationError(
+                f"durra configuration {name!r} already defined"
+            )
+        self.configurations[name] = DurraConfiguration(name, plan)
+
+    def on_event(self, event: str, configuration: str) -> None:
+        """Arm a trigger: when ``event`` fires, switch to ``configuration``."""
+        if configuration not in self.configurations:
+            raise ReconfigurationError(
+                f"unknown durra configuration {configuration!r}"
+            )
+        self.triggers[event] = configuration
+
+    def raise_event(self, event: str) -> DurraSwitch | None:
+        """Deliver an event; executes the armed plan, if any."""
+        configuration_name = self.triggers.get(event)
+        if configuration_name is None:
+            return None  # unplanned events are ignored — Durra's blind spot
+        configuration = self.configurations[configuration_name]
+        changes = configuration.plan(self.assembly)
+        switch = DurraSwitch(self.assembly.sim.now, event, configuration_name)
+        for change in changes:
+            change.validate(self.assembly)
+            change.apply(self.assembly)
+            switch.changes.append(change.description)
+        consistency = check_assembly(self.assembly)
+        if not consistency:
+            raise ReconfigurationError(
+                f"durra switch to {configuration_name!r} produced "
+                "inconsistencies: " + "; ".join(consistency.violations)
+            )
+        self.switches.append(switch)
+        return switch

@@ -1,0 +1,68 @@
+"""Connectors and the connector factory (S6 — the vision's mechanism).
+
+First-class connectors with typed, protocol-carrying roles; builtin glue
+kinds (rpc, broadcast, event-bus, pipeline, load-balancer, failover); a
+factory that verifies Wright-style protocol compatibility and weaves
+aspects before instantiation.
+"""
+
+from repro.connectors.builtin import (
+    BroadcastConnector,
+    EventBusConnector,
+    FailoverConnector,
+    LoadBalancerConnector,
+    PipelineConnector,
+    RpcConnector,
+)
+from repro.connectors.connector import (
+    Attachment,
+    Connector,
+    ConnectorStats,
+    RoleEndpoint,
+)
+from repro.connectors.factory import (
+    AspectFactory,
+    ConnectorBuilder,
+    ConnectorFactory,
+    ConnectorSpec,
+)
+from repro.connectors.protocols import (
+    broadcast_glue,
+    pipeline_glue,
+    pipeline_stage_protocol,
+    rpc_client_protocol,
+    rpc_glue,
+    rpc_server_protocol,
+    subscriber_protocol,
+    verify_glue,
+)
+from repro.connectors.roles import Role, RoleKind, callee, caller
+
+__all__ = [
+    "AspectFactory",
+    "Attachment",
+    "BroadcastConnector",
+    "Connector",
+    "ConnectorBuilder",
+    "ConnectorFactory",
+    "ConnectorSpec",
+    "ConnectorStats",
+    "EventBusConnector",
+    "FailoverConnector",
+    "LoadBalancerConnector",
+    "PipelineConnector",
+    "Role",
+    "RoleEndpoint",
+    "RoleKind",
+    "RpcConnector",
+    "broadcast_glue",
+    "callee",
+    "caller",
+    "pipeline_glue",
+    "pipeline_stage_protocol",
+    "rpc_client_protocol",
+    "rpc_glue",
+    "rpc_server_protocol",
+    "subscriber_protocol",
+    "verify_glue",
+]

@@ -1,0 +1,270 @@
+"""Builtin connector kinds.
+
+The interaction schemas the paper's surveyed systems provide: plain RPC,
+broadcast, topic-based event bus, staged pipelines, load balancing and
+failover.  All are "light-weight components which function as glue".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.errors import ConnectorError
+from repro.kernel.component import Invocation
+from repro.kernel.interface import Interface, Operation
+from repro.connectors.connector import Attachment, Connector
+from repro.connectors.roles import Role, callee, caller
+
+
+class RpcConnector(Connector):
+    """One-to-one request/reply glue with optional retry-on-error."""
+
+    kind = "rpc"
+
+    def __init__(self, name: str, interface: Interface, retries: int = 0) -> None:
+        super().__init__(
+            name,
+            [
+                caller("client", interface, many=True),
+                callee("server", interface),
+            ],
+        )
+        self.retries = retries
+
+    def route(self, source_role: Role, invocation: Invocation) -> Any:
+        attachments = self.attachments["server"]
+        if not attachments:
+            raise ConnectorError(f"rpc connector {self.name!r} has no server")
+        server = attachments[0].target
+        attempts = self.retries + 1
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            try:
+                return server.invoke(invocation)
+            except Exception as exc:  # noqa: BLE001 - retried, then re-raised
+                last_error = exc
+                invocation.meta["attempts"] = attempt + 1
+        assert last_error is not None
+        raise last_error
+
+
+class BroadcastConnector(Connector):
+    """One-to-many: every subscriber receives every invocation.
+
+    Returns the list of subscriber results in attachment order.
+    """
+
+    kind = "broadcast"
+
+    def __init__(self, name: str, interface: Interface) -> None:
+        super().__init__(
+            name,
+            [
+                caller("publisher", interface, many=True),
+                callee("subscriber", interface, many=True),
+            ],
+        )
+        #: What to do when one subscriber raises: "raise" or "collect".
+        self.error_policy = "raise"
+
+    def route(self, source_role: Role, invocation: Invocation) -> list[Any]:
+        results: list[Any] = []
+        for attachment in list(self.attachments["subscriber"]):
+            try:
+                results.append(attachment.target.invoke(invocation.copy()))
+            except Exception as exc:  # noqa: BLE001 - policy-controlled
+                if self.error_policy == "raise":
+                    raise
+                results.append(exc)
+        return results
+
+
+class EventBusConnector(Connector):
+    """Topic-based publish/subscribe.
+
+    Subscribers attach with a topic pattern (exact topic or ``*``);
+    publishers set ``invocation.meta["topic"]``.  Delivery is fan-out to
+    matching subscribers; the result is the number of deliveries.
+    """
+
+    kind = "event-bus"
+
+    def __init__(self, name: str, interface: Interface) -> None:
+        super().__init__(
+            name,
+            [
+                caller("publisher", interface, many=True),
+                callee("subscriber", interface, many=True, required=False),
+            ],
+        )
+        self._topics: dict[int, str] = {}
+
+    def subscribe(self, target: Any, topic: str = "*") -> Attachment:
+        """Attach a subscriber interested in ``topic``."""
+        attachment = self.attach("subscriber", target)
+        self._topics[id(attachment)] = topic
+        return attachment
+
+    def route(self, source_role: Role, invocation: Invocation) -> int:
+        topic = str(invocation.meta.get("topic", ""))
+        delivered = 0
+        for attachment in list(self.attachments["subscriber"]):
+            pattern = self._topics.get(id(attachment), "*")
+            if pattern == "*" or pattern == topic or (
+                pattern.endswith("*") and topic.startswith(pattern[:-1])
+            ):
+                attachment.target.invoke(invocation.copy())
+                delivered += 1
+        return delivered
+
+
+class PipelineConnector(Connector):
+    """Staged processing: the paper's *composition path* substrate.
+
+    Each stage must provide a single-parameter ``process`` operation; the
+    pipeline threads the value through the stages in attachment order.
+    """
+
+    kind = "pipeline"
+
+    #: The interface every stage must provide.
+    STAGE_INTERFACE = Interface("Stage", "1.0", [Operation("process", ("value",))])
+
+    def __init__(self, name: str, source_interface: Interface | None = None) -> None:
+        super().__init__(
+            name,
+            [
+                caller("source", source_interface or self.STAGE_INTERFACE, many=True),
+                callee("stage", self.STAGE_INTERFACE, many=True),
+            ],
+        )
+
+    def route(self, source_role: Role, invocation: Invocation) -> Any:
+        stages = self.attachments["stage"]
+        if not stages:
+            raise ConnectorError(f"pipeline {self.name!r} has no stages")
+        value = invocation.args[0] if invocation.args else invocation.meta.get("payload")
+        for attachment in stages:
+            step = Invocation("process", (value,), meta=dict(invocation.meta))
+            value = attachment.target.invoke(step)
+        return value
+
+
+class LoadBalancerConnector(Connector):
+    """One-to-one-of-many with a pluggable balancing policy.
+
+    Policies: ``round_robin``, ``random`` (seeded), ``least_busy`` (fewest
+    active calls on the owning component) and ``weighted`` (static
+    weights).  The policy is swappable at run time — the strategy-pattern
+    mechanism applied to a connector.
+    """
+
+    kind = "load-balancer"
+
+    def __init__(
+        self,
+        name: str,
+        interface: Interface,
+        policy: str = "round_robin",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            name,
+            [
+                caller("client", interface, many=True),
+                callee("worker", interface, many=True),
+            ],
+        )
+        self._rr_index = 0
+        self.rng = random.Random(seed)
+        self.set_policy(policy)
+
+    POLICIES = ("round_robin", "random", "least_busy", "weighted")
+
+    def set_policy(self, policy: str) -> None:
+        if policy not in self.POLICIES:
+            raise ConnectorError(
+                f"unknown balancing policy {policy!r}; choose from "
+                f"{', '.join(self.POLICIES)}"
+            )
+        self.policy = policy
+
+    def _pick(self, workers: list[Attachment]) -> Attachment:
+        if self.policy == "round_robin":
+            choice = workers[self._rr_index % len(workers)]
+            self._rr_index += 1
+            return choice
+        if self.policy == "random":
+            return self.rng.choice(workers)
+        if self.policy == "least_busy":
+            def busyness(attachment: Attachment) -> tuple[int, str]:
+                owner = getattr(attachment.target, "component", None)
+                active = getattr(owner, "_active_calls", 0)
+                return (active, attachment.name)
+
+            return min(workers, key=busyness)
+        # weighted: expected share proportional to weight.
+        total = sum(a.weight for a in workers)
+        point = self.rng.uniform(0, total)
+        cursor = 0.0
+        for attachment in workers:
+            cursor += attachment.weight
+            if point <= cursor:
+                return attachment
+        return workers[-1]
+
+    def route(self, source_role: Role, invocation: Invocation) -> Any:
+        workers = list(self.attachments["worker"])
+        if not workers:
+            raise ConnectorError(f"load balancer {self.name!r} has no workers")
+        return self._pick(workers).target.invoke(invocation)
+
+
+class FailoverConnector(Connector):
+    """Primary/backup glue for fault tolerance.
+
+    Attempts attachments in order; the first success wins.  Failed
+    participants are remembered and skipped until :meth:`reset` is called
+    (circuit-breaker-lite).
+    """
+
+    kind = "failover"
+
+    def __init__(self, name: str, interface: Interface) -> None:
+        super().__init__(
+            name,
+            [
+                caller("client", interface, many=True),
+                callee("replica", interface, many=True),
+            ],
+        )
+        self._suspected: set[int] = set()
+        self.failover_count = 0
+
+    def reset(self) -> None:
+        """Forget failure suspicions (e.g. after repairs)."""
+        self._suspected.clear()
+
+    def route(self, source_role: Role, invocation: Invocation) -> Any:
+        replicas = list(self.attachments["replica"])
+        if not replicas:
+            raise ConnectorError(f"failover connector {self.name!r} has no replicas")
+        last_error: Exception | None = None
+        tried = 0
+        for attachment in replicas:
+            if id(attachment) in self._suspected:
+                continue
+            tried += 1
+            try:
+                return attachment.target.invoke(invocation)
+            except Exception as exc:  # noqa: BLE001 - drives failover
+                last_error = exc
+                self._suspected.add(id(attachment))
+                self.failover_count += 1
+        if last_error is not None:
+            raise last_error
+        raise ConnectorError(
+            f"failover connector {self.name!r}: all {len(replicas)} replicas "
+            "are suspected; call reset() after repair"
+        )

@@ -1,0 +1,154 @@
+"""The connector factory.
+
+"A connector-factory may be used to generate connectors according to the
+description of elementary services and aspects that are selected for a
+specific collaboration."  :class:`ConnectorFactory` turns a declarative
+:class:`ConnectorSpec` into a live connector:
+
+1. instantiate the requested *kind* (builtin or registered),
+2. run the Wright-style compatibility analysis on the kind's glue and
+   role protocols (refusing to build incompatible glue),
+3. weave the requested *aspects* (named interceptor factories) into the
+   connector's interceptor chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConnectorError, IncompatibleProtocolError
+from repro.kernel.component import Interceptor
+from repro.kernel.interface import Interface
+from repro.connectors.builtin import (
+    BroadcastConnector,
+    EventBusConnector,
+    FailoverConnector,
+    LoadBalancerConnector,
+    PipelineConnector,
+    RpcConnector,
+)
+from repro.connectors.connector import Connector
+from repro.connectors.protocols import (
+    rpc_client_protocol,
+    rpc_glue,
+    rpc_server_protocol,
+    verify_glue,
+)
+
+#: Builds a connector from (name, interface, options).
+ConnectorBuilder = Callable[[str, Interface, dict[str, Any]], Connector]
+
+#: Builds an interceptor from options.
+AspectFactory = Callable[[dict[str, Any]], Interceptor]
+
+
+@dataclass
+class ConnectorSpec:
+    """Declarative description of one collaboration's connector."""
+
+    name: str
+    kind: str
+    interface: Interface
+    options: dict[str, Any] = field(default_factory=dict)
+    aspects: tuple[str, ...] = ()
+    verify_protocols: bool = True
+
+
+class ConnectorFactory:
+    """Registry-driven connector generation with protocol verification."""
+
+    def __init__(self) -> None:
+        self._kinds: dict[str, ConnectorBuilder] = {}
+        self._aspects: dict[str, AspectFactory] = {}
+        self.built: list[str] = []
+        self._register_builtins()
+
+    # -- registration -----------------------------------------------------
+
+    def register_kind(self, kind: str, builder: ConnectorBuilder) -> None:
+        if kind in self._kinds:
+            raise ConnectorError(f"connector kind {kind!r} already registered")
+        self._kinds[kind] = builder
+
+    def register_aspect(self, name: str, factory: AspectFactory) -> None:
+        if name in self._aspects:
+            raise ConnectorError(f"aspect {name!r} already registered")
+        self._aspects[name] = factory
+
+    def kinds(self) -> list[str]:
+        return sorted(self._kinds)
+
+    def aspect_names(self) -> list[str]:
+        return sorted(self._aspects)
+
+    def _register_builtins(self) -> None:
+        self._kinds.update(
+            {
+                "rpc": lambda name, iface, opts: RpcConnector(
+                    name, iface, retries=int(opts.get("retries", 0))
+                ),
+                "broadcast": lambda name, iface, opts: BroadcastConnector(name, iface),
+                "event-bus": lambda name, iface, opts: EventBusConnector(name, iface),
+                "pipeline": lambda name, iface, opts: PipelineConnector(name, iface),
+                "load-balancer": lambda name, iface, opts: LoadBalancerConnector(
+                    name,
+                    iface,
+                    policy=str(opts.get("policy", "round_robin")),
+                    seed=int(opts.get("seed", 0)),
+                ),
+                "failover": lambda name, iface, opts: FailoverConnector(name, iface),
+            }
+        )
+
+    # -- creation -----------------------------------------------------------
+
+    def create(self, spec: ConnectorSpec) -> Connector:
+        """Build, verify and weave a connector from its spec."""
+        try:
+            builder = self._kinds[spec.kind]
+        except KeyError:
+            raise ConnectorError(
+                f"unknown connector kind {spec.kind!r}; known kinds: "
+                f"{', '.join(self.kinds())}"
+            ) from None
+
+        connector = builder(spec.name, spec.interface, dict(spec.options))
+
+        if spec.verify_protocols:
+            self._verify(spec, connector)
+
+        for aspect_name in spec.aspects:
+            try:
+                factory = self._aspects[aspect_name]
+            except KeyError:
+                raise ConnectorError(
+                    f"unknown aspect {aspect_name!r}; known aspects: "
+                    f"{', '.join(self.aspect_names())}"
+                ) from None
+            connector.interceptors.append(factory(dict(spec.options)))
+
+        self.built.append(spec.name)
+        return connector
+
+    def _verify(self, spec: ConnectorSpec, connector: Connector) -> None:
+        """Check glue/role protocol compatibility where models exist.
+
+        Custom role protocols supplied via ``options["protocols"]``
+        override the kind defaults; kinds without models are accepted.
+        """
+        protocols = spec.options.get("protocols")
+        if protocols is not None:
+            glue, roles = protocols
+        elif spec.kind == "rpc":
+            glue = rpc_glue()
+            roles = [rpc_client_protocol(), rpc_server_protocol()]
+        else:
+            return
+        report = verify_glue(glue, list(roles))
+        if not report.deadlock_free:
+            raise IncompatibleProtocolError(
+                f"connector {spec.name!r} ({spec.kind}): glue and role "
+                f"protocols can deadlock after trace "
+                f"{' -> '.join(report.witness_trace) or '<initial>'}"
+            )

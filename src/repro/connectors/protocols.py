@@ -1,0 +1,68 @@
+"""Protocol models for connector kinds.
+
+Each builtin connector kind publishes LTS models of its *glue* and of the
+protocols its roles expect.  Composing glue and role protocols and
+checking deadlock-freedom is the paper's Wright-style "interconnection
+compatibility" analysis; it runs in the connector factory before a
+connector is instantiated.
+"""
+
+from __future__ import annotations
+
+from repro.lts.check import DeadlockReport, check_compatibility
+from repro.lts.lts import Lts
+
+
+def rpc_glue() -> Lts:
+    """Request/reply glue: forward call, forward return, repeat."""
+    return Lts.from_triples(
+        "rpc-glue",
+        [
+            ("idle", "call", "busy"),
+            ("busy", "return", "idle"),
+        ],
+        initial="idle",
+    )
+
+
+def rpc_client_protocol() -> Lts:
+    """A well-behaved RPC client: call, await return, repeat."""
+    return Lts.cycle("rpc-client", ["call", "return"])
+
+
+def rpc_server_protocol() -> Lts:
+    """A well-behaved RPC server: accept call, produce return, repeat."""
+    return Lts.cycle("rpc-server", ["call", "return"])
+
+
+def pipeline_glue(stages: int) -> Lts:
+    """Staged processing glue: accept, visit each stage in order, emit."""
+    triples = [("s0", "accept", "p0")]
+    for i in range(stages):
+        triples.append((f"p{i}", f"stage{i}", f"p{i + 1}"))
+    triples.append((f"p{stages}", "emit", "s0"))
+    return Lts.from_triples("pipeline-glue", triples, initial="s0")
+
+
+def pipeline_stage_protocol(index: int) -> Lts:
+    """Each stage synchronises only on its own step."""
+    return Lts.cycle(f"stage{index}-protocol", [f"stage{index}"])
+
+
+def broadcast_glue(subscribers: int) -> Lts:
+    """Publish glue: accept an event, deliver to every subscriber in
+    (arbitrary but modelled as fixed) order, return to idle."""
+    triples = [("s0", "publish", "d0")]
+    for i in range(subscribers):
+        triples.append((f"d{i}", f"deliver{i}", f"d{i + 1}"))
+    triples.append((f"d{subscribers}", "done", "s0"))
+    return Lts.from_triples("broadcast-glue", triples, initial="s0")
+
+
+def subscriber_protocol(index: int) -> Lts:
+    return Lts.cycle(f"subscriber{index}-protocol", [f"deliver{index}"])
+
+
+def verify_glue(glue: Lts, role_protocols: list[Lts]) -> DeadlockReport:
+    """Compose glue with the role protocols and check deadlock freedom."""
+    return check_compatibility([glue, *role_protocols], name=f"verify({glue.name})")

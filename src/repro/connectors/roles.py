@@ -1,0 +1,72 @@
+"""Connector roles.
+
+A *role* is a named participation slot in a connector — the paper's
+"collection of protocols that characterize participant's roles in an
+interaction" (Wright).  Each role is typed by an interface and may carry
+an LTS protocol describing the behaviour expected of whatever attaches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import RoleError
+from repro.kernel.interface import Interface
+from repro.lts.lts import Lts
+
+
+class RoleKind(enum.Enum):
+    """Direction of a role relative to the connector."""
+
+    CALLER = "caller"  # components *send* invocations into the connector
+    CALLEE = "callee"  # components *receive* invocations from the connector
+
+
+@dataclass
+class Role:
+    """One participation slot of a connector type.
+
+    Attributes:
+        name: role name, unique within the connector.
+        kind: caller or callee.
+        interface: interface spoken on the role.
+        protocol: optional LTS protocol for compatibility analysis.
+        many: whether multiple participants may attach (e.g. subscribers).
+        required: whether at least one participant must attach before the
+            connector can serve traffic.
+    """
+
+    name: str
+    kind: RoleKind
+    interface: Interface
+    protocol: Lts | None = None
+    many: bool = False
+    required: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RoleError("role name must be non-empty")
+
+    def accepts_behaviour(self, behaviour: Lts | None) -> bool:
+        """Check a participant's behavioural model against the role
+        protocol (weak simulation: the participant must stay within the
+        protocol).  Participants without a model are accepted — checking
+        is only as strong as the information available."""
+        if self.protocol is None or behaviour is None:
+            return True
+        from repro.lts.check import simulates
+
+        return simulates(self.protocol, behaviour)
+
+
+def caller(name: str, interface: Interface, protocol: Lts | None = None,
+           many: bool = False, required: bool = True) -> Role:
+    """Shorthand for a caller role."""
+    return Role(name, RoleKind.CALLER, interface, protocol, many, required)
+
+
+def callee(name: str, interface: Interface, protocol: Lts | None = None,
+           many: bool = False, required: bool = True) -> Role:
+    """Shorthand for a callee role."""
+    return Role(name, RoleKind.CALLEE, interface, protocol, many, required)

@@ -1,0 +1,26 @@
+"""Feedback and intelligent control (S17).
+
+PID control with anti-windup, a Mamdani fuzzy controller (the paper's
+soft-computing "intelligent controller"), and closed control loops over
+the simulated clock.
+"""
+
+from repro.control.fuzzy import (
+    DEFAULT_RULES,
+    FuzzyController,
+    TriangularSet,
+    standard_partition,
+)
+from repro.control.loop import ControlLoop, Controller, LoopSample
+from repro.control.pid import PidController
+
+__all__ = [
+    "DEFAULT_RULES",
+    "ControlLoop",
+    "Controller",
+    "FuzzyController",
+    "LoopSample",
+    "PidController",
+    "TriangularSet",
+    "standard_partition",
+]

@@ -1,0 +1,141 @@
+"""Fuzzy-logic ("intelligent") control.
+
+The paper points at soft-computing controllers for software quality:
+"intelligent controllers have been introduced for controlling complex
+systems, which cannot be expressed using mathematical models such as
+differential equations".  This is a compact Mamdani controller:
+triangular memberships over (error, error-delta), a rule table mapping
+linguistic terms to output terms, centroid defuzzification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ControlError
+
+
+@dataclass(frozen=True)
+class TriangularSet:
+    """A triangular membership function (left, peak, right)."""
+
+    name: str
+    left: float
+    peak: float
+    right: float
+
+    def __post_init__(self) -> None:
+        if not self.left <= self.peak <= self.right:
+            raise ControlError(
+                f"fuzzy set {self.name!r}: need left <= peak <= right, got "
+                f"({self.left}, {self.peak}, {self.right})"
+            )
+
+    def membership(self, value: float) -> float:
+        """Degree of membership of ``value`` in [0, 1]."""
+        if value <= self.left or value >= self.right:
+            # Shoulder sets extend to infinity at their flat end.
+            if value <= self.left and self.left == self.peak:
+                return 1.0
+            if value >= self.right and self.right == self.peak:
+                return 1.0
+            return 0.0
+        if value == self.peak:
+            return 1.0
+        if value < self.peak:
+            return (value - self.left) / (self.peak - self.left)
+        return (self.right - value) / (self.right - self.peak)
+
+
+def standard_partition(scale: float) -> list[TriangularSet]:
+    """The classic five-term partition over [-scale, +scale]:
+    NB (negative big), NS, ZE (zero), PS, PB (positive big)."""
+    s = scale
+    return [
+        TriangularSet("NB", -s, -s, -s / 2),
+        TriangularSet("NS", -s, -s / 2, 0.0),
+        TriangularSet("ZE", -s / 2, 0.0, s / 2),
+        TriangularSet("PS", 0.0, s / 2, s),
+        TriangularSet("PB", s / 2, s, s),
+    ]
+
+
+#: Default rule table: rows = error term, columns = delta-error term.
+#: Entry = output term.  Standard magnitude-dominant PD-like surface.
+DEFAULT_RULES: dict[tuple[str, str], str] = {}
+_TERMS = ["NB", "NS", "ZE", "PS", "PB"]
+_INDEX = {term: i - 2 for i, term in enumerate(_TERMS)}  # NB=-2 .. PB=+2
+for _e in _TERMS:
+    for _d in _TERMS:
+        combined = max(-2, min(2, round(0.7 * _INDEX[_e] + 0.3 * _INDEX[_d])))
+        DEFAULT_RULES[(_e, _d)] = _TERMS[combined + 2]
+
+
+class FuzzyController:
+    """A Mamdani fuzzy controller over (error, error delta).
+
+    Args:
+        setpoint: target for the controlled variable.
+        error_scale: magnitude at which error saturates the partitions.
+        delta_scale: same for the error delta per sample.
+        output_scale: magnitude of the strongest corrective action.
+        rules: optional override of the (error_term, delta_term) → output
+            term table.
+    """
+
+    def __init__(self, setpoint: float, error_scale: float,
+                 delta_scale: float, output_scale: float,
+                 rules: Mapping[tuple[str, str], str] | None = None) -> None:
+        if min(error_scale, delta_scale, output_scale) <= 0:
+            raise ControlError("fuzzy scales must be positive")
+        self.setpoint = setpoint
+        self.error_sets = standard_partition(error_scale)
+        self.delta_sets = standard_partition(delta_scale)
+        self.output_sets = {s.name: s for s in standard_partition(output_scale)}
+        self.rules = dict(rules or DEFAULT_RULES)
+        for (e_term, d_term), out_term in self.rules.items():
+            if out_term not in self.output_sets:
+                raise ControlError(
+                    f"rule ({e_term},{d_term}) -> unknown output term "
+                    f"{out_term!r}"
+                )
+        self._previous_error: float | None = None
+
+    def update(self, measurement: float, now: float = 0.0) -> float:
+        """Compute the corrective output for a new measurement."""
+        error = self.setpoint - measurement
+        delta = 0.0 if self._previous_error is None else error - self._previous_error
+        self._previous_error = error
+
+        # Fuzzify.
+        error_degrees = {
+            s.name: s.membership(error) for s in self.error_sets
+        }
+        delta_degrees = {
+            s.name: s.membership(delta) for s in self.delta_sets
+        }
+
+        # Infer: rule strength = min(antecedents); aggregate per output term
+        # with max.
+        activations: dict[str, float] = {}
+        for (e_term, d_term), out_term in self.rules.items():
+            strength = min(error_degrees.get(e_term, 0.0),
+                           delta_degrees.get(d_term, 0.0))
+            if strength > 0:
+                activations[out_term] = max(
+                    activations.get(out_term, 0.0), strength
+                )
+
+        # Defuzzify: weighted centroid of output set peaks.
+        if not activations:
+            return 0.0
+        numerator = sum(
+            strength * self.output_sets[term].peak
+            for term, strength in activations.items()
+        )
+        denominator = sum(activations.values())
+        return numerator / denominator
+
+    def reset(self) -> None:
+        self._previous_error = None

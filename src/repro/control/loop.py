@@ -1,0 +1,99 @@
+"""Closed control loops.
+
+Binds a *sensor* (reads the controlled variable), a *controller* (PID or
+fuzzy — anything with ``update(measurement, now)``) and an *actuator*
+(applies the corrective output) on a periodic sampling timer — the
+feedback-control architecture the paper proposes for controlling software
+quality at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.errors import ControlError
+from repro.events import PeriodicTimer, Simulator
+
+
+class Controller(Protocol):
+    """Anything usable inside a control loop."""
+
+    def update(self, measurement: float, now: float) -> float: ...
+
+
+@dataclass
+class LoopSample:
+    """One sampling instant of a control loop."""
+
+    time: float
+    measurement: float
+    output: float
+
+
+class ControlLoop:
+    """Sensor → controller → actuator on a periodic timer."""
+
+    def __init__(self, sim: Simulator, controller: Controller,
+                 sensor: Callable[[], float],
+                 actuator: Callable[[float], None],
+                 period: float = 1.0,
+                 name: str = "loop") -> None:
+        if period <= 0:
+            raise ControlError(f"control period must be positive, got {period}")
+        self.sim = sim
+        self.controller = controller
+        self.sensor = sensor
+        self.actuator = actuator
+        self.period = period
+        self.name = name
+        self.trace: list[LoopSample] = []
+        self._timer: PeriodicTimer | None = None
+
+    def start(self) -> "ControlLoop":
+        if self._timer is None or not self._timer.running:
+            self._timer = PeriodicTimer(self.sim, self.period, self.step)
+        return self
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def step(self) -> LoopSample:
+        """One sampling instant: read, compute, actuate, record."""
+        measurement = self.sensor()
+        output = self.controller.update(measurement, self.sim.now)
+        self.actuator(output)
+        sample = LoopSample(self.sim.now, measurement, output)
+        self.trace.append(sample)
+        return sample
+
+    # -- analysis helpers (used by benches and tests) -----------------------
+
+    def settling_time(self, tolerance: float, setpoint: float | None = None
+                      ) -> float | None:
+        """First time after which the measurement stays within
+        ``tolerance`` of the setpoint; None if it never settles."""
+        target = setpoint
+        if target is None:
+            target = getattr(self.controller, "setpoint", None)
+        if target is None:
+            raise ControlError("settling_time needs a setpoint")
+        settled_since: float | None = None
+        for sample in self.trace:
+            if abs(sample.measurement - target) <= tolerance:
+                if settled_since is None:
+                    settled_since = sample.time
+            else:
+                settled_since = None
+        return settled_since
+
+    def steady_state_error(self, tail: int = 10) -> float:
+        """Mean |setpoint - measurement| over the last ``tail`` samples."""
+        target = getattr(self.controller, "setpoint", None)
+        if target is None:
+            raise ControlError("steady_state_error needs a setpoint")
+        window = self.trace[-tail:]
+        if not window:
+            return 0.0
+        return sum(abs(target - s.measurement) for s in window) / len(window)

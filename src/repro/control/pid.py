@@ -1,0 +1,79 @@
+"""PID feedback control.
+
+The classical control-engineering baseline the paper contrasts with
+intelligent controllers: proportional–integral–derivative control with
+output clamping and integral anti-windup, sampled on the simulated
+clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ControlError
+
+
+@dataclass
+class PidController:
+    """Discrete PID controller.
+
+    Attributes:
+        kp, ki, kd: gains.
+        setpoint: target value for the controlled variable.
+        output_min / output_max: actuator saturation bounds.
+        integral_limit: anti-windup clamp on the integral term.
+    """
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    setpoint: float = 0.0
+    output_min: float = float("-inf")
+    output_max: float = float("inf")
+    integral_limit: float = float("inf")
+    _integral: float = field(default=0.0, repr=False)
+    _previous_error: float | None = field(default=None, repr=False)
+    _previous_time: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.output_min > self.output_max:
+            raise ControlError(
+                f"output_min {self.output_min} exceeds output_max "
+                f"{self.output_max}"
+            )
+
+    def update(self, measurement: float, now: float) -> float:
+        """Compute the control output for a new measurement at time ``now``."""
+        error = self.setpoint - measurement
+        if self._previous_time is None:
+            dt = 0.0
+        else:
+            dt = now - self._previous_time
+            if dt < 0:
+                raise ControlError(
+                    f"PID time went backwards: {now} < {self._previous_time}"
+                )
+
+        proportional = self.kp * error
+
+        if dt > 0:
+            self._integral += error * dt
+            self._integral = max(-self.integral_limit,
+                                 min(self.integral_limit, self._integral))
+        integral = self.ki * self._integral
+
+        derivative = 0.0
+        if dt > 0 and self._previous_error is not None:
+            derivative = self.kd * (error - self._previous_error) / dt
+
+        self._previous_error = error
+        self._previous_time = now
+
+        raw = proportional + integral + derivative
+        return max(self.output_min, min(self.output_max, raw))
+
+    def reset(self) -> None:
+        """Clear accumulated state (e.g. after a setpoint step)."""
+        self._integral = 0.0
+        self._previous_error = None
+        self._previous_time = None

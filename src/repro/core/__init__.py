@@ -1,0 +1,52 @@
+"""The paper's primary contribution (S18): RAML.
+
+The Reconfiguration and Adaptation Meta-Level — introspection streams,
+behavioural constraints (structural, metric, LTS-conformance),
+intercession over components/connections/connectors, and the periodic
+observe → check → decide → act sweep with adaptation-first escalation to
+reconfiguration.
+"""
+
+from repro.core.constraints import (
+    Constraint,
+    all_nodes_up,
+    behavioural_conformance,
+    custom,
+    max_error_ratio,
+    metric_bound,
+    node_load_below,
+    structural_consistency,
+)
+from repro.core.intercession import Intercessor
+from repro.core.introspection import (
+    IntrospectionHub,
+    ObservationEvent,
+    TraceConformance,
+)
+from repro.core.raml import Raml, Response, SweepRecord
+from repro.core.verifier import (
+    VerificationReport,
+    composition_correctness,
+    verify_assembly,
+)
+
+__all__ = [
+    "Constraint",
+    "Intercessor",
+    "IntrospectionHub",
+    "ObservationEvent",
+    "Raml",
+    "Response",
+    "SweepRecord",
+    "TraceConformance",
+    "VerificationReport",
+    "all_nodes_up",
+    "behavioural_conformance",
+    "composition_correctness",
+    "custom",
+    "max_error_ratio",
+    "metric_bound",
+    "node_load_below",
+    "structural_consistency",
+    "verify_assembly",
+]

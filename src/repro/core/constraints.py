@@ -1,0 +1,151 @@
+"""Behavioural constraints checked by RAML.
+
+A :class:`Constraint` inspects the RAML view (assembly, metrics,
+introspection hub, trace conformance) and reports violations as strings.
+Built-in constraint factories cover the properties the paper calls out:
+structural consistency, bounded error rates, QoS thresholds, behavioural
+(LTS) conformance and placement health.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.reconfig.consistency import check_assembly
+
+
+class RamlView(Protocol):
+    """What constraints may inspect (implemented by Raml)."""
+
+    assembly: object
+    metrics: object
+    hub: object
+    conformance: object
+
+    @property
+    def now(self) -> float: ...
+
+
+#: A check returns a list of violation descriptions (empty = satisfied).
+CheckFn = Callable[["RamlView"], list[str]]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named property RAML re-checks every sweep."""
+
+    name: str
+    check: CheckFn
+    severity: str = "error"  # "warn" constraints never trigger responses
+
+    def evaluate(self, view: "RamlView") -> list[str]:
+        return self.check(view)
+
+
+def structural_consistency() -> Constraint:
+    """Every sweep re-runs the reconfiguration consistency rules."""
+
+    def check(view: "RamlView") -> list[str]:
+        return list(check_assembly(view.assembly).violations)
+
+    return Constraint("structural-consistency", check)
+
+
+def max_error_ratio(limit: float) -> Constraint:
+    """Bound on the global observed error/call ratio."""
+
+    def check(view: "RamlView") -> list[str]:
+        ratio = view.hub.error_ratio()
+        if ratio > limit:
+            return [f"error ratio {ratio:.3f} exceeds {limit:.3f}"]
+        return []
+
+    return Constraint(f"error-ratio<={limit}", check)
+
+
+def metric_bound(metric: str, statistic: str, limit: float,
+                 lower: bool = False) -> Constraint:
+    """Bound on a windowed metric statistic (``mean``/``p95``/``last``…)."""
+
+    def check(view: "RamlView") -> list[str]:
+        if metric not in view.metrics:
+            return []
+        series = view.metrics.series(metric)
+        if series.empty:
+            return []
+        if statistic == "mean":
+            observed = series.mean()
+        elif statistic == "last":
+            observed = series.last()
+        elif statistic == "max":
+            observed = series.maximum()
+        elif statistic.startswith("p"):
+            observed = series.percentile(float(statistic[1:]))
+        else:
+            return [f"unknown statistic {statistic!r}"]
+        if lower:
+            if observed < limit:
+                return [
+                    f"{statistic}({metric}) = {observed:.4f} below {limit}"
+                ]
+        elif observed > limit:
+            return [f"{statistic}({metric}) = {observed:.4f} exceeds {limit}"]
+        return []
+
+    direction = ">=" if lower else "<="
+    return Constraint(f"{statistic}({metric}){direction}{limit}", check)
+
+
+def behavioural_conformance() -> Constraint:
+    """No component may deviate from its declared behaviour LTS."""
+
+    def check(view: "RamlView") -> list[str]:
+        return [
+            f"component {name!r} violated its behaviour model at "
+            f"operation {operation!r}"
+            for name, operation in view.conformance.violations
+        ]
+
+    return Constraint("behavioural-conformance", check)
+
+
+def all_nodes_up() -> Constraint:
+    """Every node hosting components must be alive."""
+
+    def check(view: "RamlView") -> list[str]:
+        problems = []
+        for component in view.assembly.registry:
+            node_name = component.node_name
+            if node_name is None:
+                continue
+            node = view.assembly.network.nodes.get(node_name)
+            if node is None or not node.up:
+                problems.append(
+                    f"component {component.name!r} is hosted on dead node "
+                    f"{node_name!r}"
+                )
+        return problems
+
+    return Constraint("hosting-nodes-up", check)
+
+
+def node_load_below(limit: float) -> Constraint:
+    """No hosting node may exceed a utilisation watermark."""
+
+    def check(view: "RamlView") -> list[str]:
+        problems = []
+        for name, utilisation in view.assembly.network.utilisation_map().items():
+            if utilisation > limit and view.assembly.registry.on_node(name):
+                problems.append(
+                    f"node {name!r} utilisation {utilisation:.2f} exceeds "
+                    f"{limit:.2f}"
+                )
+        return problems
+
+    return Constraint(f"node-load<={limit}", check)
+
+
+def custom(name: str, check: CheckFn, severity: str = "error") -> Constraint:
+    """Wrap an arbitrary predicate as a constraint."""
+    return Constraint(name, check, severity)

@@ -1,0 +1,214 @@
+"""RAML — the Reconfiguration and Adaptation Meta-Level.
+
+The paper's proposed architecture: "setting up a Reconfiguration and
+Adaptation Meta-Level (RAML) which is in charge of observing the system,
+checking the compliancy of each application with its behavioral
+constraints and properties, and undertaking adaptation or reconfiguration
+actions."
+
+:class:`Raml` runs a periodic **observe → check → decide → act** sweep:
+
+* *observe* — introspection taps feed the hub, QoS metrics accumulate;
+* *check* — registered constraints evaluate against the live view;
+* *decide* — per-constraint responses arbitrate between the lightweight
+  adaptation path and the heavyweight reconfiguration path, preferring
+  adaptation and escalating to reconfiguration only when a violation
+  persists (``escalate_after`` consecutive sweeps);
+* *act* — responses run through the intercessor / adaptation manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import RamlError
+from repro.events import PeriodicTimer
+from repro.kernel.assembly import Assembly
+from repro.qos.metrics import MetricRegistry
+from repro.qos.monitor import QosMonitor
+from repro.adaptation.manager import AdaptationManager
+from repro.core.constraints import Constraint
+from repro.core.intercession import Intercessor
+from repro.core.introspection import IntrospectionHub, TraceConformance
+
+#: Responses receive (raml, violation_messages).
+ResponseFn = Callable[["Raml", list[str]], None]
+
+
+@dataclass
+class Response:
+    """How RAML reacts when a constraint is violated.
+
+    ``adapt`` is tried on every violating sweep; ``reconfigure`` fires
+    once the violation has persisted for ``escalate_after`` consecutive
+    sweeps (1 = immediately).  Either may be None.
+    """
+
+    adapt: ResponseFn | None = None
+    reconfigure: ResponseFn | None = None
+    escalate_after: int = 3
+
+
+@dataclass
+class SweepRecord:
+    """One observe/check/decide/act iteration."""
+
+    time: float
+    violations: dict[str, list[str]] = field(default_factory=dict)
+    adapted: list[str] = field(default_factory=list)
+    reconfigured: list[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.violations
+
+
+class Raml:
+    """The meta-level controller over one assembly."""
+
+    def __init__(self, assembly: Assembly, period: float = 1.0,
+                 metric_window: float = 10.0) -> None:
+        self.assembly = assembly
+        self.period = period
+        self.metrics = MetricRegistry(window=metric_window)
+        self.hub = IntrospectionHub(assembly.sim)
+        self.conformance = TraceConformance()
+        self.monitor = QosMonitor(assembly.sim, self.metrics, period=period)
+        self.adaptation = AdaptationManager(assembly.sim, self.metrics,
+                                            period=period)
+        self.intercessor = Intercessor(assembly)
+        self.constraints: list[Constraint] = []
+        self.responses: dict[str, Response] = {}
+        self.history: list[SweepRecord] = []
+        self._violation_streaks: dict[str, int] = {}
+        self._timer: PeriodicTimer | None = None
+
+    @property
+    def now(self) -> float:
+        return self.assembly.sim.now
+
+    # -- wiring ------------------------------------------------------------------
+
+    def instrument(self) -> "Raml":
+        """Tap everything currently in the assembly (idempotent)."""
+        self.hub.tap_registry(self.assembly.registry)
+        self.hub.tap_network(self.assembly.network)
+        for component in self.assembly.registry:
+            self.hub.tap_component(component)
+            self.conformance.attach(component)
+        for connector in self.assembly.connectors.values():
+            self.hub.tap_connector(connector)
+        for binding in self.assembly.bindings:
+            self.hub.tap_binding(binding)
+        return self
+
+    def add_constraint(self, constraint: Constraint,
+                       response: Response | None = None) -> "Raml":
+        if any(existing.name == constraint.name
+               for existing in self.constraints):
+            raise RamlError(f"constraint {constraint.name!r} already exists")
+        self.constraints.append(constraint)
+        if response is not None:
+            self.responses[constraint.name] = response
+        self._violation_streaks[constraint.name] = 0
+        return self
+
+    def record_metric(self, name: str, value: float) -> None:
+        """Feed an observation into the RAML metric registry."""
+        self.metrics.record(name, value, self.now)
+
+    def add_contract(self, contract, response: Response | None = None
+                     ) -> "Raml":
+        """Put a QoS contract under meta-level governance.
+
+        The contract is registered with the periodic monitor *and*
+        becomes a constraint in the sweep, so a violation can trigger
+        the usual adaptation-first / escalate-to-reconfiguration
+        arbitration ("systems should also keep compliant with the
+        contracted quality of service").
+        """
+        self.monitor.add_contract(contract)
+
+        def check(view) -> list[str]:
+            report = contract.evaluate(view.metrics, view.now)
+            return [
+                f"{status.obligation.describe()} observed "
+                f"{status.observed:.4f}"
+                for status in report.violations
+            ]
+
+        self.add_constraint(
+            Constraint(f"contract:{contract.name}", check), response
+        )
+        return self
+
+    # -- the sweep -----------------------------------------------------------------
+
+    def sweep(self) -> SweepRecord:
+        """One observe → check → decide → act iteration."""
+        record = SweepRecord(self.now)
+
+        # Check.  A crashing constraint must not take the meta-level
+        # down with it: the failure is itself reported as a violation.
+        for constraint in self.constraints:
+            try:
+                violations = constraint.evaluate(self)
+            except Exception as exc:  # noqa: BLE001 - surfaced as violation
+                violations = [f"constraint check crashed: {exc!r}"]
+            if violations:
+                record.violations[constraint.name] = violations
+
+        # Decide + act.
+        for constraint in self.constraints:
+            name = constraint.name
+            violations = record.violations.get(name)
+            if not violations or constraint.severity == "warn":
+                self._violation_streaks[name] = 0
+                continue
+            self._violation_streaks[name] += 1
+            response = self.responses.get(name)
+            if response is None:
+                continue
+            if response.adapt is not None:
+                response.adapt(self, violations)
+                record.adapted.append(name)
+            should_escalate = (
+                response.reconfigure is not None
+                and self._violation_streaks[name] >= response.escalate_after
+            )
+            if should_escalate:
+                response.reconfigure(self, violations)
+                record.reconfigured.append(name)
+                self._violation_streaks[name] = 0
+
+        self.history.append(record)
+        return record
+
+    def start(self) -> "Raml":
+        """Run sweeps periodically on the simulated clock."""
+        if self._timer is None or not self._timer.running:
+            self._timer = PeriodicTimer(self.assembly.sim, self.period,
+                                        self.sweep)
+        self.monitor.start()
+        return self
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+        self.monitor.stop()
+
+    # -- reporting -----------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Current meta-level summary (for dashboards and tests)."""
+        last = self.history[-1] if self.history else None
+        return {
+            "sweeps": len(self.history),
+            "healthy": last.healthy if last else True,
+            "open_violations": dict(last.violations) if last else {},
+            "observed_events": len(self.hub.events),
+            "error_ratio": self.hub.error_ratio(),
+            "adaptations": sum(len(r.adapted) for r in self.history),
+            "reconfigurations": sum(len(r.reconfigured) for r in self.history),
+        }

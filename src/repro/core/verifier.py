@@ -1,0 +1,153 @@
+"""Whole-assembly composition-correctness verification.
+
+The vision's analytical leg: "Each participating component can be
+represented by a label transition system (LTS) model … Composition
+correctness analysis may then be based on information provided by RAML
+using reflection."  The verifier walks a live assembly through
+reflection and checks, per connector:
+
+1. **role conformance** — every attached component whose ``behaviour``
+   LTS is declared must stay within its role's protocol (weak
+   simulation);
+2. **glue compatibility** — the connector kind's glue composed with its
+   role protocols must be deadlock-free (Wright-style), instantiated at
+   the *current* fan-out (e.g. a broadcast glue re-checked for the
+   actual number of subscribers);
+
+plus, per direct binding, interface satisfaction (shared with the
+consistency checker).  The result aggregates into a RAML constraint so
+composition correctness is re-established after every reconfiguration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.kernel.assembly import Assembly
+from repro.lts.check import DeadlockReport, find_deadlocks, simulates
+from repro.lts.compose import compose
+from repro.lts.lts import Lts
+from repro.connectors.connector import Connector
+from repro.connectors.protocols import (
+    broadcast_glue,
+    pipeline_glue,
+    pipeline_stage_protocol,
+    rpc_client_protocol,
+    rpc_glue,
+    rpc_server_protocol,
+    subscriber_protocol,
+)
+from repro.core.constraints import Constraint
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one assembly verification sweep."""
+
+    problems: list[str] = field(default_factory=list)
+    connectors_checked: int = 0
+    attachments_checked: int = 0
+    glue_reports: dict[str, DeadlockReport] = field(default_factory=dict)
+
+    @property
+    def correct(self) -> bool:
+        return not self.problems
+
+    def __bool__(self) -> bool:
+        return self.correct
+
+
+#: Builds (glue, role_protocols) for a connector at its current fan-out,
+#: or None when the kind has no behavioural model.
+GlueModel = Callable[[Connector], tuple[Lts, list[Lts]] | None]
+
+
+def _default_glue_model(connector: Connector) -> tuple[Lts, list[Lts]] | None:
+    kind = connector.kind
+    if kind == "rpc":
+        return rpc_glue(), [rpc_client_protocol(), rpc_server_protocol()]
+    if kind == "pipeline":
+        stages = len(connector.attachments.get("stage", []))
+        if stages == 0:
+            return None
+        return (pipeline_glue(stages),
+                [pipeline_stage_protocol(i) for i in range(stages)])
+    if kind == "broadcast":
+        subscribers = len(connector.attachments.get("subscriber", []))
+        if subscribers == 0:
+            return None
+        return (broadcast_glue(subscribers),
+                [subscriber_protocol(i) for i in range(subscribers)])
+    return None
+
+
+def verify_assembly(assembly: Assembly,
+                    glue_model: GlueModel = _default_glue_model
+                    ) -> VerificationReport:
+    """Run composition-correctness analysis over a live assembly."""
+    report = VerificationReport()
+
+    for connector in assembly.connectors.values():
+        report.connectors_checked += 1
+
+        # 1. Role conformance of every attached behavioural model.
+        for role_name, attachments in connector.attachments.items():
+            role = connector.roles[role_name]
+            for attachment in attachments:
+                owner = getattr(attachment.target, "component", None)
+                behaviour = getattr(owner, "behaviour", None)
+                if role.protocol is None or behaviour is None:
+                    continue
+                report.attachments_checked += 1
+                if not simulates(role.protocol, behaviour):
+                    report.problems.append(
+                        f"connector {connector.name!r}: behaviour of "
+                        f"{owner.name!r} exceeds role {role_name!r} protocol"
+                    )
+
+        # 2. Glue compatibility at the current fan-out.
+        model = glue_model(connector)
+        if model is not None:
+            glue, roles = model
+            deadlocks = find_deadlocks(
+                compose([glue, *roles], name=f"verify({connector.name})")
+            )
+            report.glue_reports[connector.name] = deadlocks
+            if not deadlocks.deadlock_free:
+                trace = " -> ".join(deadlocks.witness_trace) or "<initial>"
+                report.problems.append(
+                    f"connector {connector.name!r}: glue/role composition "
+                    f"can deadlock after {trace}"
+                )
+
+    # 3. Direct-binding interface satisfaction (structural leg).
+    for binding in assembly.bindings:
+        target = binding.target
+        owner = getattr(target, "component", None)
+        if owner is None:
+            continue  # connector endpoints were handled above
+        if not target.interface.satisfies(binding.source.interface):
+            adapters = getattr(target, "adapters", [])
+            mediated = any(
+                adapter.old.satisfies(binding.source.interface)
+                for adapter in adapters
+            )
+            if not mediated:
+                report.problems.append(
+                    f"binding {binding.describe()}: interface no longer "
+                    "satisfied"
+                )
+
+    return report
+
+
+def composition_correctness(
+    glue_model: GlueModel = _default_glue_model,
+) -> Constraint:
+    """A RAML constraint re-running the verifier every sweep."""
+
+    def check(view) -> list[str]:
+        return verify_assembly(view.assembly, glue_model).problems
+
+    return Constraint("composition-correctness", check)

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel (substrate S1).
+
+Deterministic event queue, simulated clock, generator-based processes and
+timers.  Everything in the repro platform that "takes time" is scheduled
+through this package, which makes whole-system runs reproducible.
+"""
+
+from repro.events.process import Delay, Process, Signal, Wait, all_of, spawn
+from repro.events.simulator import DEFAULT_PRIORITY, Event, Simulator
+from repro.events.timers import PeriodicTimer, Timer
+
+__all__ = [
+    "DEFAULT_PRIORITY",
+    "Delay",
+    "Event",
+    "PeriodicTimer",
+    "Process",
+    "Signal",
+    "Simulator",
+    "Timer",
+    "Wait",
+    "all_of",
+    "spawn",
+]

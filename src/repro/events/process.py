@@ -1,0 +1,158 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` wraps a Python generator that yields *commands*:
+
+* ``Delay(t)`` — suspend for ``t`` simulated time units.
+* ``Wait(signal)`` — suspend until the signal fires; the fired value is
+  sent back into the generator.
+
+Processes are the idiomatic way to express sequential behaviour (client
+sessions, periodic monitors, failure schedules) on top of the event queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import ProcessError
+from repro.events.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Suspend the process for ``duration`` simulated time units."""
+
+    duration: float
+
+
+class Signal:
+    """A broadcast condition processes can wait on.
+
+    ``fire(value)`` resumes every waiter, delivering ``value`` as the
+    result of their ``yield Wait(signal)`` expression.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_value: Any = None
+
+    def subscribe(self, resume: Callable[[Any], None]) -> None:
+        self._waiters.append(resume)
+
+    def fire(self, value: Any = None) -> int:
+        """Resume all current waiters; returns how many were resumed."""
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            resume(value)
+        return len(waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Suspend the process until ``signal`` fires."""
+
+    signal: Signal
+
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process:
+    """A resumable simulated activity driven by the simulator.
+
+    The process starts on the next event-loop iteration after creation
+    (use :func:`spawn`) and runs until its generator is exhausted or it
+    raises.  ``result`` holds the generator's return value afterwards.
+    """
+
+    def __init__(self, sim: Simulator, body: ProcessBody, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(body, "__name__", "process")
+        self._body = body
+        self.done = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.finished = Signal(f"{self.name}.finished")
+
+    def start(self) -> "Process":
+        """Schedule the first resumption at the current time."""
+        self.sim.call_soon(self._resume, None)
+        return self
+
+    def _resume(self, value: Any) -> None:
+        if self.done:
+            return
+        try:
+            command = self._body.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except Exception as exc:  # noqa: BLE001 - propagated via .error
+            self._finish(None, exc)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self.sim.schedule(command.duration, self._resume, None)
+        elif isinstance(command, Wait):
+            command.signal.subscribe(self._resume)
+        elif command is None:
+            # Bare ``yield`` — reschedule immediately (cooperative yield).
+            self.sim.call_soon(self._resume, None)
+        else:
+            self._finish(
+                None,
+                ProcessError(
+                    f"process {self.name!r} yielded unknown command {command!r}"
+                ),
+            )
+
+    def _finish(self, result: Any, error: BaseException | None) -> None:
+        self.done = True
+        self.result = result
+        self.error = error
+        self.finished.fire(result)
+        if error is not None and not isinstance(error, ProcessError):
+            raise error
+
+    def interrupt(self) -> None:
+        """Stop the process; pending resumptions become no-ops."""
+        self.done = True
+        self.finished.fire(None)
+
+
+def spawn(sim: Simulator, body: ProcessBody, name: str = "") -> Process:
+    """Create and start a process in one call."""
+    return Process(sim, body, name=name).start()
+
+
+def all_of(sim: Simulator, processes: Iterable[Process]) -> Signal:
+    """Return a signal that fires once every given process has finished."""
+    processes = list(processes)
+    done_signal = Signal("all_of")
+    remaining = len(processes)
+    if remaining == 0:
+        sim.call_soon(done_signal.fire, None)
+        return done_signal
+
+    def one_done(_value: Any) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            done_signal.fire(None)
+
+    for process in processes:
+        if process.done:
+            one_done(None)
+        else:
+            process.finished.subscribe(one_done)
+    return done_signal

@@ -1,0 +1,176 @@
+"""Deterministic discrete-event simulation kernel.
+
+The simulator is a priority queue of timestamped events.  Determinism is
+essential for reproducible benchmarks: events with equal timestamps are
+ordered by (priority, insertion sequence), so two runs with the same seed
+interleave identically.
+
+Typical use::
+
+    sim = Simulator()
+    sim.schedule(1.5, lambda: print("fires at t=1.5"))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ClockError
+
+#: Default priority for events; lower numbers fire first at equal times.
+DEFAULT_PRIORITY = 0
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` which gives a total,
+    deterministic order.  ``seq`` is an insertion counter assigned by the
+    simulator.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; cheap (lazy deletion)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop with a simulated clock.
+
+    The clock only advances when :meth:`run` or :meth:`step` executes
+    events; scheduling is side-effect free until then.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._executed = 0
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far (telemetry)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ClockError(f"cannot schedule {delay} time units in the past")
+        return self.at(self._now + delay, callback, *args, priority=priority)
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ClockError(
+                f"cannot schedule at t={time}, clock is already at t={self._now}"
+            )
+        event = Event(time, priority, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(
+        self,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.at(self._now, callback, *args, priority=priority)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._executed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run events in order.
+
+        Args:
+            until: stop once the clock would pass this time (the clock is
+                left at ``until`` if events remain beyond it).
+            max_events: safety valve for runaway simulations.
+
+        Returns:
+            The simulated time at which the run stopped.
+        """
+        if self._running:
+            raise ClockError("simulator is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = head.time
+                self._executed += 1
+                executed += 1
+                head.callback(*head.args)
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._seq = 0
+        self._executed = 0

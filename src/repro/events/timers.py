@@ -1,0 +1,106 @@
+"""One-shot and periodic timers on top of the simulator.
+
+Periodic timers are the backbone of the paper's "periodical measurements
+on the evolving infrastructure": QoS monitors, RAML observation sweeps and
+load samplers are all periodic timers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ClockError
+from repro.events.simulator import Event, Simulator
+
+
+class Timer:
+    """A cancellable one-shot timer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> None:
+        self.sim = sim
+        self.callback = callback
+        self.args = args
+        self.fired = False
+        self._event: Event = sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        self.fired = True
+        self.callback(*self.args)
+
+    def cancel(self) -> None:
+        """Cancel the timer if it has not fired yet."""
+        if not self.fired:
+            self._event.cancel()
+
+    @property
+    def active(self) -> bool:
+        return not self.fired and not self._event.cancelled
+
+
+class PeriodicTimer:
+    """Fires ``callback`` every ``period`` time units until stopped.
+
+    The first firing happens after one full period (matching sampling
+    monitors, which need an interval before the first measurement).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        jitter: float = 0.0,
+        rng: Any = None,
+    ) -> None:
+        if period <= 0:
+            raise ClockError(f"periodic timer period must be positive, got {period}")
+        self.sim = sim
+        self.period = period
+        self.callback = callback
+        self.args = args
+        self.jitter = jitter
+        self.rng = rng
+        self.tick_count = 0
+        self._stopped = False
+        self._event: Event | None = None
+        self._schedule_next()
+
+    def _next_delay(self) -> float:
+        if self.jitter and self.rng is not None:
+            return max(1e-9, self.period + self.rng.uniform(-self.jitter, self.jitter))
+        return self.period
+
+    def _schedule_next(self) -> None:
+        if self._stopped:
+            return
+        self._event = self.sim.schedule(self._next_delay(), self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.tick_count += 1
+        self.callback(*self.args)
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop the timer permanently."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    def set_period(self, period: float) -> None:
+        """Change the period; takes effect from the next scheduling."""
+        if period <= 0:
+            raise ClockError(f"periodic timer period must be positive, got {period}")
+        self.period = period
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped

@@ -1,0 +1,49 @@
+"""Composition filters (S7).
+
+Declarative message manipulators in the Bergmans–Aksit style: matchers
+plus actions (pass/error/stop/transform/dispatch/wait), stacked in
+ordered filter sets that attach to and detach from ports and connectors
+at run time, with superimposition for crosscutting application.
+"""
+
+from repro.filters.filter import (
+    DispatchFilter,
+    ErrorFilter,
+    Filter,
+    MessageMatcher,
+    PassFilter,
+    StopFilter,
+    ThrottleFilter,
+    TransformFilter,
+    WaitFilter,
+    match,
+)
+from repro.filters.filterset import FilterSet
+from repro.filters.superimposition import (
+    PortSelector,
+    Superimposition,
+    SuperimpositionManager,
+    select_all,
+    select_components,
+    select_interface,
+)
+
+__all__ = [
+    "DispatchFilter",
+    "ErrorFilter",
+    "Filter",
+    "FilterSet",
+    "MessageMatcher",
+    "PassFilter",
+    "PortSelector",
+    "StopFilter",
+    "Superimposition",
+    "ThrottleFilter",
+    "SuperimpositionManager",
+    "TransformFilter",
+    "WaitFilter",
+    "match",
+    "select_all",
+    "select_components",
+    "select_interface",
+]

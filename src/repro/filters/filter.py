@@ -1,0 +1,227 @@
+"""Composition filters.
+
+"Filters intercept messages that are sent and received by components …
+Since filters are defined as declarative message manipulators, they are
+implementation independent" [Berg01].  A filter is a *matcher* plus an
+*action*; filters are stacked in :class:`~repro.filters.filterset.FilterSet`
+objects and can be attached to and removed from ports at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import FilterError
+from repro.kernel.component import Invocation
+
+
+@dataclass(frozen=True)
+class MessageMatcher:
+    """Selects the messages a filter applies to.
+
+    ``operations`` is a set of operation names, or ``{"*"}`` for all.
+    ``condition`` optionally inspects the invocation (args, meta) —
+    the declarative condition part of a composition-filter element.
+    """
+
+    operations: frozenset[str] = frozenset({"*"})
+    condition: Callable[[Invocation], bool] | None = None
+
+    def matches(self, invocation: Invocation) -> bool:
+        if "*" not in self.operations and invocation.operation not in self.operations:
+            return False
+        if self.condition is not None and not self.condition(invocation):
+            return False
+        return True
+
+
+def match(*operations: str, when: Callable[[Invocation], bool] | None = None
+          ) -> MessageMatcher:
+    """Build a matcher: ``match("get", "put", when=lambda inv: ...)``."""
+    ops = frozenset(operations) if operations else frozenset({"*"})
+    return MessageMatcher(ops, when)
+
+
+class Filter:
+    """Base filter: matcher plus behaviour.
+
+    Subclasses override :meth:`on_match` (and optionally
+    :meth:`on_mismatch`, which defaults to passing the message on).
+    """
+
+    def __init__(self, name: str, matcher: MessageMatcher | None = None) -> None:
+        self.name = name
+        self.matcher = matcher or MessageMatcher()
+        self.match_count = 0
+
+    def apply(self, invocation: Invocation,
+              proceed: Callable[[Invocation], Any]) -> Any:
+        if self.matcher.matches(invocation):
+            self.match_count += 1
+            return self.on_match(invocation, proceed)
+        return self.on_mismatch(invocation, proceed)
+
+    def on_match(self, invocation: Invocation,
+                 proceed: Callable[[Invocation], Any]) -> Any:
+        raise NotImplementedError
+
+    def on_mismatch(self, invocation: Invocation,
+                    proceed: Callable[[Invocation], Any]) -> Any:
+        return proceed(invocation)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class PassFilter(Filter):
+    """Accepts matching messages unchanged (explicit allow)."""
+
+    def on_match(self, invocation, proceed):
+        return proceed(invocation)
+
+
+class ErrorFilter(Filter):
+    """Rejects matching messages — the classic Error filter."""
+
+    def __init__(self, name: str, matcher: MessageMatcher | None = None,
+                 message: str = "") -> None:
+        super().__init__(name, matcher)
+        self.message = message
+
+    def on_match(self, invocation, proceed):
+        raise FilterError(
+            self.message
+            or f"filter {self.name!r} rejected {invocation.operation!r}"
+        )
+
+
+class StopFilter(Filter):
+    """Silently absorbs matching messages, returning a default value."""
+
+    def __init__(self, name: str, matcher: MessageMatcher | None = None,
+                 result: Any = None) -> None:
+        super().__init__(name, matcher)
+        self.result = result
+
+    def on_match(self, invocation, proceed):
+        return self.result
+
+
+class TransformFilter(Filter):
+    """Meta filter: rewrites the invocation before it continues.
+
+    ``transform`` receives the invocation and returns the (possibly new)
+    invocation to forward — "filters change the content of the messages".
+    """
+
+    def __init__(self, name: str,
+                 transform: Callable[[Invocation], Invocation],
+                 matcher: MessageMatcher | None = None) -> None:
+        super().__init__(name, matcher)
+        self.transform = transform
+
+    def on_match(self, invocation, proceed):
+        transformed = self.transform(invocation)
+        if not isinstance(transformed, Invocation):
+            raise FilterError(
+                f"transform of filter {self.name!r} must return an Invocation"
+            )
+        return proceed(transformed)
+
+
+class DispatchFilter(Filter):
+    """Redirects matching messages to an alternative invocable target."""
+
+    def __init__(self, name: str, target: Any,
+                 matcher: MessageMatcher | None = None,
+                 rename: str | None = None) -> None:
+        super().__init__(name, matcher)
+        self.target = target
+        self.rename = rename
+
+    def on_match(self, invocation, proceed):
+        forwarded = invocation.copy()
+        if self.rename:
+            forwarded.operation = self.rename
+        return self.target.invoke(forwarded)
+
+
+class ThrottleFilter(Filter):
+    """Admits at most ``limit`` matching messages per ``window`` of the
+    supplied clock; the rest receive ``rejected_result`` (or an error if
+    ``rejected_result`` is the sentinel ``RAISE``).  The admission-control
+    filter used by overload-protection adaptations."""
+
+    RAISE = object()
+
+    def __init__(self, name: str, clock: Callable[[], float],
+                 limit: int, window: float,
+                 matcher: MessageMatcher | None = None,
+                 rejected_result: Any = RAISE) -> None:
+        super().__init__(name, matcher)
+        if limit < 1 or window <= 0:
+            raise FilterError(
+                f"throttle {name!r}: need limit >= 1 and window > 0"
+            )
+        self.clock = clock
+        self.limit = limit
+        self.window = window
+        self.rejected_result = rejected_result
+        self.rejected_count = 0
+        self._admitted: list[float] = []
+
+    def on_match(self, invocation, proceed):
+        now = self.clock()
+        cutoff = now - self.window
+        self._admitted = [t for t in self._admitted if t > cutoff]
+        if len(self._admitted) >= self.limit:
+            self.rejected_count += 1
+            if self.rejected_result is self.RAISE:
+                raise FilterError(
+                    f"throttle {self.name!r}: rate limit "
+                    f"{self.limit}/{self.window} exceeded"
+                )
+            return self.rejected_result
+        self._admitted.append(now)
+        return proceed(invocation)
+
+
+class WaitFilter(Filter):
+    """Queues matching messages while a guard is closed (Wait filter).
+
+    While ``guard()`` is false the message is buffered; calling
+    :meth:`release` replays buffered messages (in order) through the rest
+    of the chain.  Synchronous callers receive ``queued_result``
+    immediately — the filter cannot suspend a synchronous Python call.
+    """
+
+    def __init__(self, name: str, guard: Callable[[], bool],
+                 matcher: MessageMatcher | None = None,
+                 queued_result: Any = None) -> None:
+        super().__init__(name, matcher)
+        self.guard = guard
+        self.queued_result = queued_result
+        self.queue: list[tuple[Invocation, Callable[[Invocation], Any]]] = []
+
+    def on_match(self, invocation, proceed):
+        if self.guard():
+            return proceed(invocation)
+        self.queue.append((invocation, proceed))
+        return self.queued_result
+
+    def release(self) -> list[Any]:
+        """Replay queued messages whose guard now passes; returns results."""
+        results = []
+        remaining: list[tuple[Invocation, Callable[[Invocation], Any]]] = []
+        for invocation, proceed in self.queue:
+            if self.guard():
+                results.append(proceed(invocation))
+            else:
+                remaining.append((invocation, proceed))
+        self.queue = remaining
+        return results
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)

@@ -1,0 +1,91 @@
+"""Superimposition: applying filter sets across many components.
+
+"Combined with the superimposition mechanism, filters are able to express
+aspects" — a crosscutting concern is a filter-set template plus a
+*selector* describing which ports of which components it cuts across.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.kernel.component import Component, ProvidedPort
+from repro.kernel.registry import Registry
+from repro.filters.filterset import FilterSet
+
+#: Selects ports of a component the superimposition applies to.
+PortSelector = Callable[[Component, ProvidedPort], bool]
+
+
+def select_all(component: Component, port: ProvidedPort) -> bool:
+    """Selector matching every provided port."""
+    return True
+
+
+def select_interface(interface_name: str) -> PortSelector:
+    """Selector matching ports that expose ``interface_name``."""
+
+    def selector(component: Component, port: ProvidedPort) -> bool:
+        return port.interface.name == interface_name
+
+    return selector
+
+
+def select_components(*names: str) -> PortSelector:
+    """Selector matching all ports of the named components."""
+    wanted = set(names)
+
+    def selector(component: Component, port: ProvidedPort) -> bool:
+        return component.name in wanted
+
+    return selector
+
+
+@dataclass
+class Superimposition:
+    """A crosscutting filter specification.
+
+    ``filter_set_factory`` builds a fresh :class:`FilterSet` per port (so
+    per-port state such as wait queues is not shared unless the factory
+    deliberately shares it).
+    """
+
+    name: str
+    selector: PortSelector
+    filter_set_factory: Callable[[], FilterSet]
+
+    def apply(self, components: Iterable[Component]) -> list[FilterSet]:
+        """Attach filter sets to every selected port; returns them."""
+        applied: list[FilterSet] = []
+        for component in components:
+            for port in component.provided.values():
+                if self.selector(component, port):
+                    filter_set = self.filter_set_factory()
+                    filter_set.attach_to(port)
+                    applied.append(filter_set)
+        return applied
+
+
+class SuperimpositionManager:
+    """Tracks live superimpositions so they can be retracted at run time."""
+
+    def __init__(self, registry: Registry) -> None:
+        self.registry = registry
+        self._live: dict[str, list[FilterSet]] = {}
+
+    def impose(self, superimposition: Superimposition) -> int:
+        """Apply across all registered components; returns port count."""
+        applied = superimposition.apply(list(self.registry))
+        self._live.setdefault(superimposition.name, []).extend(applied)
+        return len(applied)
+
+    def retract(self, name: str) -> int:
+        """Detach every filter set installed under ``name``."""
+        filter_sets = self._live.pop(name, [])
+        for filter_set in filter_sets:
+            filter_set.detach_all()
+        return len(filter_sets)
+
+    def live_names(self) -> list[str]:
+        return sorted(self._live)

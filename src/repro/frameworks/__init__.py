@@ -1,0 +1,21 @@
+"""Composition frameworks (the first of the paper's ten approaches).
+
+Typed pluggable slots — "electronic cards in a cabinet" — with dynamic
+card interchange and crosscutting aspect slots.
+"""
+
+from repro.frameworks.framework import (
+    CompositionFramework,
+    FrameworkError,
+    Slot,
+    SlotFacade,
+    SlotSpec,
+)
+
+__all__ = [
+    "CompositionFramework",
+    "FrameworkError",
+    "Slot",
+    "SlotFacade",
+    "SlotSpec",
+]

@@ -1,0 +1,31 @@
+"""Injectors (S10): behaviour inserted into communication channels.
+
+Scoped interception of bindings for re-routing, transformation,
+filtering and multicast, after Filman & Lee's "Redirecting by Injector".
+"""
+
+from repro.injectors.injector import (
+    ChannelSelector,
+    DropInjector,
+    Injector,
+    InjectorManager,
+    MulticastInjector,
+    RerouteInjector,
+    TransformInjector,
+    all_channels,
+    channels_from,
+    channels_to,
+)
+
+__all__ = [
+    "ChannelSelector",
+    "DropInjector",
+    "Injector",
+    "InjectorManager",
+    "MulticastInjector",
+    "RerouteInjector",
+    "TransformInjector",
+    "all_channels",
+    "channels_from",
+    "channels_to",
+]

@@ -1,0 +1,179 @@
+"""Bindings: the dynamic links between required and provided ports.
+
+A binding supports the three guarantees the paper demands of
+reconfiguration:
+
+* **dynamic binding** — :meth:`Binding.redirect` atomically retargets the
+  link to a new provider (after an interface-compatibility check);
+* **channel preservation** — while *blocked*, asynchronous calls are
+  buffered FIFO and flushed on unblock, so no message is lost, duplicated
+  or reordered;
+* **observability** — counters and an optional tap expose traffic to the
+  RAML introspection stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import BindingError, InterfaceError
+from repro.kernel.component import Invocable, Invocation, RequiredPort
+
+
+class BindingMode(enum.Enum):
+    ACTIVE = "active"
+    BLOCKED = "blocked"
+
+
+@dataclass
+class PendingCall:
+    """A buffered asynchronous call awaiting unblock."""
+
+    invocation: Invocation
+    on_result: Callable[[Any], None] | None = None
+
+
+@dataclass
+class BindingStats:
+    calls: int = 0
+    buffered: int = 0
+    flushed: int = 0
+    redirects: int = 0
+    errors: int = 0
+
+
+class Binding:
+    """A point-to-point link from a required port to an invocable target."""
+
+    def __init__(
+        self,
+        source: RequiredPort,
+        target: Invocable,
+        check_compatibility: bool = True,
+    ) -> None:
+        if check_compatibility and not target.interface.satisfies(source.interface):
+            raise InterfaceError(
+                f"provider {target.interface.name!r} v{target.interface.version} "
+                f"does not satisfy requirement {source.interface.name!r} "
+                f"v{source.interface.version}"
+            )
+        self.source = source
+        self.target = target
+        self.mode = BindingMode.ACTIVE
+        self.buffer: list[PendingCall] = []
+        self.stats = BindingStats()
+        #: Optional tap observing (invocation, result_or_exc, ok) triples.
+        self.taps: list[Callable[[Invocation, Any, bool], None]] = []
+        source.binding = self
+
+    # -- invocation -------------------------------------------------------------
+
+    def call(self, operation: str, *args: Any, caller: str = "", **kwargs: Any) -> Any:
+        """Synchronous call; raises :class:`BindingError` while blocked."""
+        if self.mode is BindingMode.BLOCKED:
+            raise BindingError(
+                f"binding {self.describe()} is blocked (reconfiguration in "
+                "progress); use call_async for transparent buffering"
+            )
+        invocation = Invocation(operation, args, kwargs, caller=caller)
+        return self._deliver(invocation)
+
+    def call_async(
+        self,
+        operation: str,
+        *args: Any,
+        on_result: Callable[[Any], None] | None = None,
+        caller: str = "",
+        **kwargs: Any,
+    ) -> None:
+        """Asynchronous call; buffered while the binding is blocked."""
+        invocation = Invocation(operation, args, kwargs, caller=caller)
+        if self.mode is BindingMode.BLOCKED:
+            self.buffer.append(PendingCall(invocation, on_result))
+            self.stats.buffered += 1
+            return
+        result = self._deliver(invocation)
+        if on_result is not None:
+            on_result(result)
+
+    def _deliver(self, invocation: Invocation) -> Any:
+        self.stats.calls += 1
+        try:
+            result = self.target.invoke(invocation)
+        except Exception as exc:
+            self.stats.errors += 1
+            for tap in self.taps:
+                tap(invocation, exc, False)
+            raise
+        for tap in self.taps:
+            tap(invocation, result, True)
+        return result
+
+    # -- reconfiguration support --------------------------------------------------
+
+    def block(self) -> None:
+        """Enter the quiescent mode: new async calls buffer, sync calls fail."""
+        self.mode = BindingMode.BLOCKED
+
+    def unblock(self) -> None:
+        """Leave quiescent mode and flush buffered calls in FIFO order."""
+        self.mode = BindingMode.ACTIVE
+        pending, self.buffer = self.buffer, []
+        for call in pending:
+            self.stats.flushed += 1
+            result = self._deliver(call.invocation)
+            if call.on_result is not None:
+                call.on_result(result)
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.mode is BindingMode.BLOCKED
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.buffer)
+
+    def redirect(self, new_target: Invocable, check_compatibility: bool = True) -> None:
+        """Atomically retarget the binding — the paper's dynamic binding.
+
+        Safe to call while blocked; buffered calls will flush to the new
+        target on unblock ("redirecting the calls to new components").
+        """
+        if check_compatibility and not new_target.interface.satisfies(
+            self.source.interface
+        ):
+            raise InterfaceError(
+                f"redirect rejected: {new_target.interface.name!r} "
+                f"v{new_target.interface.version} does not satisfy "
+                f"{self.source.interface.name!r} v{self.source.interface.version}"
+            )
+        self.target = new_target
+        self.stats.redirects += 1
+
+    def unbind(self) -> None:
+        """Detach from the source port; pending calls are abandoned
+        (callers must re-establish)."""
+        if self.source.binding is self:
+            self.source.binding = None
+        self.buffer.clear()
+
+    def describe(self) -> str:
+        target_name = getattr(self.target, "qualified_name", None) or getattr(
+            self.target, "name", repr(self.target)
+        )
+        return f"{self.source.qualified_name} -> {target_name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Binding({self.describe()}, {self.mode.value})"
+
+
+def bind(source: RequiredPort, target: Invocable, check: bool = True) -> Binding:
+    """Create a binding (convenience wrapper)."""
+    if source.binding is not None:
+        raise BindingError(
+            f"required port {source.qualified_name} is already bound; "
+            "redirect or unbind first"
+        )
+    return Binding(source, target, check_compatibility=check)

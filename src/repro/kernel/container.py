@@ -1,0 +1,248 @@
+"""Containers: the execution model of the component platform.
+
+Mirrors the CCM/EJB execution model the paper describes: "the container
+intercepts the incoming requests and plays a similar role as the Portable
+Object Adaptor".  A container lives on one simulated node, enforces the
+deployment descriptor (placement, CPU reservation), and installs
+*interposition* interceptors for the declared non-functional services.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import DeploymentError, LifecycleError
+from repro.kernel.component import Component, Invocation
+from repro.kernel.lifecycle import LifecycleState
+from repro.kernel.descriptor import DeploymentDescriptor
+from repro.kernel.registry import Registry
+from repro.netsim.node import Node
+
+
+class Container:
+    """Hosts components on a node and applies their descriptors."""
+
+    def __init__(self, node: Node, registry: Registry | None = None) -> None:
+        self.node = node
+        self.registry = registry
+        self.components: dict[str, Component] = {}
+        self.descriptors: dict[str, DeploymentDescriptor] = {}
+        self.audit_log: list[tuple[float, str, str]] = []
+        self._installed: dict[str, list[tuple[Any, Callable]]] = {}
+        # A node crash takes its components out of service; recovery
+        # restores exactly those the crash passivated.
+        self._crash_passivated: set[str] = set()
+        node.on_crash.append(self._on_node_crash)
+        node.on_recover.append(self._on_node_recover)
+
+    def _on_node_crash(self, _node: Node) -> None:
+        for name, component in self.components.items():
+            if component.lifecycle.can_serve:
+                component.passivate()
+                self._crash_passivated.add(name)
+        self._audit("node-crash", self.node.name)
+
+    def _on_node_recover(self, _node: Node) -> None:
+        for name in sorted(self._crash_passivated):
+            component = self.components.get(name)
+            if component is not None and component.lifecycle.is_quiescent:
+                component.lifecycle.transition(LifecycleState.ACTIVE)
+        self._crash_passivated.clear()
+        self._audit("node-recover", self.node.name)
+
+    # -- deployment -------------------------------------------------------------
+
+    def deploy(
+        self, component: Component, descriptor: DeploymentDescriptor | None = None
+    ) -> Component:
+        """Deploy, wire container services and activate a component."""
+        descriptor = descriptor or DeploymentDescriptor(component.name)
+        descriptor.validate()
+        if descriptor.component_name != component.name:
+            raise DeploymentError(
+                f"descriptor is for {descriptor.component_name!r}, "
+                f"component is {component.name!r}"
+            )
+        if component.name in self.components:
+            raise DeploymentError(
+                f"container on {self.node.name!r} already hosts "
+                f"{component.name!r}"
+            )
+        if not descriptor.placement.allows_node(self.node.name, self.node.region):
+            raise DeploymentError(
+                f"placement constraints of {component.name!r} forbid node "
+                f"{self.node.name!r} (region {self.node.region!r})"
+            )
+        if self.registry is not None:
+            for peer in descriptor.placement.colocate_with:
+                if peer not in self.components and peer in self.registry:
+                    raise DeploymentError(
+                        f"{component.name!r} must colocate with {peer!r}, "
+                        f"which is on {self.registry.lookup(peer).node_name!r}"
+                    )
+            for peer in descriptor.placement.separate_from:
+                if peer in self.components:
+                    raise DeploymentError(
+                        f"{component.name!r} must not share a node with {peer!r}"
+                    )
+            # Symmetric check: a resident may have declared separation
+            # from the newcomer.
+            for name, existing in self.descriptors.items():
+                if component.name in existing.placement.separate_from:
+                    raise DeploymentError(
+                        f"{name!r} must not share a node with "
+                        f"{component.name!r}"
+                    )
+        if descriptor.cpu_reservation:
+            self.node.reserve(descriptor.cpu_reservation)
+
+        component.node_name = self.node.name
+        self.components[component.name] = component
+        self.descriptors[component.name] = descriptor
+        self._install_services(component, descriptor)
+        if self.registry is not None and component.name not in self.registry:
+            self.registry.register(component)
+        if not component.lifecycle.can_serve:
+            component.activate()
+        self._audit("deploy", component.name)
+        return component
+
+    def undeploy(self, name: str, stop: bool = True) -> Component:
+        """Remove a component from this container (releasing resources)."""
+        try:
+            component = self.components.pop(name)
+        except KeyError:
+            raise DeploymentError(
+                f"container on {self.node.name!r} does not host {name!r}"
+            ) from None
+        descriptor = self.descriptors.pop(name)
+        self._crash_passivated.discard(name)
+        if descriptor.cpu_reservation:
+            self.node.release(descriptor.cpu_reservation)
+        for port, interceptor in self._installed.pop(name, []):
+            try:
+                port.remove_interceptor(interceptor)
+            except Exception:  # noqa: BLE001 - best effort on teardown
+                pass
+        component.node_name = None
+        if stop:
+            try:
+                component.stop()
+            except LifecycleError:
+                pass
+        if self.registry is not None and name in self.registry:
+            self.registry.unregister(name)
+        self._audit("undeploy", name)
+        return component
+
+    def detach(self, name: str) -> tuple[Component, DeploymentDescriptor]:
+        """Remove a component *without* stopping it — the first half of a
+        migration.  The component keeps its lifecycle state."""
+        if name not in self.components:
+            raise DeploymentError(
+                f"container on {self.node.name!r} does not host {name!r}"
+            )
+        descriptor = self.descriptors[name]
+        component = self.components.pop(name)
+        self.descriptors.pop(name)
+        self._crash_passivated.discard(name)
+        if descriptor.cpu_reservation:
+            self.node.release(descriptor.cpu_reservation)
+        for port, interceptor in self._installed.pop(name, []):
+            try:
+                port.remove_interceptor(interceptor)
+            except Exception:  # noqa: BLE001
+                pass
+        component.node_name = None
+        if self.registry is not None and name in self.registry:
+            self.registry.unregister(name)
+        self._audit("detach", name)
+        return component, descriptor
+
+    def hosts(self, name: str) -> bool:
+        return name in self.components
+
+    # -- container services ("interposition code") --------------------------------
+
+    def _install_services(
+        self, component: Component, descriptor: DeploymentDescriptor
+    ) -> None:
+        factories: dict[str, Callable[[Component], Any]] = {
+            "logging": self._logging_interceptor,
+            "security": self._security_interceptor,
+            "transactions": self._transaction_interceptor,
+            "persistence": self._persistence_interceptor,
+            "metering": self._metering_interceptor,
+        }
+        installed: list[tuple[Any, Callable]] = []
+        for service in descriptor.services:
+            factory = factories[service]
+            interceptor = factory(component)
+            for port in component.provided.values():
+                port.add_interceptor(interceptor)
+                installed.append((port, interceptor))
+        self._installed[component.name] = installed
+
+    def _audit(self, event: str, target: str) -> None:
+        self.audit_log.append((self.node.sim.now, event, target))
+
+    def _logging_interceptor(self, component: Component) -> Any:
+        def interceptor(invocation: Invocation, proceed: Callable) -> Any:
+            self._audit(f"call:{invocation.operation}", component.name)
+            return proceed(invocation)
+
+        return interceptor
+
+    def _security_interceptor(self, component: Component) -> Any:
+        allowed = set(
+            self.descriptors[component.name].config.get("allowed_callers", [])
+        ) if component.name in self.descriptors else set()
+
+        def interceptor(invocation: Invocation, proceed: Callable) -> Any:
+            required = self.descriptors[component.name].config.get("allowed_callers")
+            if required is not None and invocation.caller not in required:
+                raise PermissionError(
+                    f"caller {invocation.caller!r} is not permitted to invoke "
+                    f"{component.name}.{invocation.operation}"
+                )
+            return proceed(invocation)
+
+        del allowed  # captured via descriptor lookup for live updates
+        return interceptor
+
+    def _transaction_interceptor(self, component: Component) -> Any:
+        def interceptor(invocation: Invocation, proceed: Callable) -> Any:
+            snapshot = component.capture_state()
+            invocation.meta["txn"] = "active"
+            try:
+                result = proceed(invocation)
+            except Exception:
+                component.restore_state(snapshot)  # rollback
+                invocation.meta["txn"] = "rolled-back"
+                raise
+            invocation.meta["txn"] = "committed"
+            return result
+
+        return interceptor
+
+    def _persistence_interceptor(self, component: Component) -> Any:
+        store: dict[str, Any] = {}
+        component.state.setdefault("_persistent", True)
+
+        def interceptor(invocation: Invocation, proceed: Callable) -> Any:
+            result = proceed(invocation)
+            store["last_snapshot"] = component.capture_state()
+            store["at"] = self.node.sim.now
+            invocation.meta["persisted_at"] = store["at"]
+            return result
+
+        interceptor.store = store  # type: ignore[attr-defined]
+        return interceptor
+
+    def _metering_interceptor(self, component: Component) -> Any:
+        def interceptor(invocation: Invocation, proceed: Callable) -> Any:
+            work = float(invocation.meta.get("work", 1.0))
+            invocation.meta["execution_time"] = self.node.execution_time(work)
+            return proceed(invocation)
+
+        return interceptor

@@ -1,0 +1,88 @@
+"""Deployment descriptors.
+
+Modelled on the EJB deployment descriptor / CCM component package the
+paper surveys: a declarative record of what a component needs from its
+runtime environment — placement constraints, resource reservations,
+non-functional services (transactions, persistence, security) and QoS
+properties.  The container reads the descriptor and generates the
+"adequate interposition code" (here: interceptors) at deployment time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DeploymentError
+
+
+@dataclass(frozen=True)
+class PlacementConstraint:
+    """Where a component may be deployed.
+
+    Attributes:
+        regions: allowed node regions (empty = anywhere).
+        forbidden_nodes: nodes that must not host the component.
+        colocate_with: component names that must share its node.
+        separate_from: component names that must not share its node.
+    """
+
+    regions: frozenset[str] = frozenset()
+    forbidden_nodes: frozenset[str] = frozenset()
+    colocate_with: frozenset[str] = frozenset()
+    separate_from: frozenset[str] = frozenset()
+
+    def allows_node(self, node_name: str, node_region: str) -> bool:
+        if node_name in self.forbidden_nodes:
+            return False
+        if self.regions and node_region not in self.regions:
+            return False
+        return True
+
+
+@dataclass
+class DeploymentDescriptor:
+    """Prerequisites and policies for one component deployment.
+
+    ``services`` mirror the CCM/EJB container services ("transaction,
+    persistency, security, database support"): each named service causes
+    the container to install a corresponding interceptor.
+    """
+
+    component_name: str
+    cpu_reservation: float = 0.0
+    placement: PlacementConstraint = field(default_factory=PlacementConstraint)
+    services: tuple[str, ...] = ()
+    qos_properties: dict[str, float] = field(default_factory=dict)
+    config: dict[str, Any] = field(default_factory=dict)
+
+    #: Services a container knows how to provide.
+    KNOWN_SERVICES = frozenset(
+        {"transactions", "persistence", "security", "logging", "metering"}
+    )
+
+    def validate(self) -> None:
+        """Raise :class:`DeploymentError` on an ill-formed descriptor."""
+        if not self.component_name:
+            raise DeploymentError("descriptor needs a component name")
+        if self.cpu_reservation < 0:
+            raise DeploymentError(
+                f"cpu_reservation must be >= 0, got {self.cpu_reservation}"
+            )
+        unknown = set(self.services) - self.KNOWN_SERVICES
+        if unknown:
+            raise DeploymentError(
+                f"descriptor for {self.component_name!r} requests unknown "
+                f"services: {sorted(unknown)}"
+            )
+        overlap = self.placement.colocate_with & self.placement.separate_from
+        if overlap:
+            raise DeploymentError(
+                f"descriptor for {self.component_name!r} both colocates with "
+                f"and separates from: {sorted(overlap)}"
+            )
+        for key, value in self.qos_properties.items():
+            if value < 0:
+                raise DeploymentError(
+                    f"QoS property {key!r} must be >= 0, got {value}"
+                )

@@ -1,0 +1,238 @@
+"""Typed component interfaces.
+
+An :class:`Interface` is a named, versioned set of operations — the unit
+the paper's *interface modification* reconfigurations manipulate.
+Structural compatibility is checked operation-by-operation so that a new
+interface version can be verified to "keep the compliancy with previous
+versions" before it replaces the old one, and adapters can bridge
+renamed operations for old callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import InterfaceError, VersionError
+from repro.kernel.versioning import Version
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation signature.
+
+    ``params`` are positional parameter names; ``optional`` counts how
+    many trailing params have defaults (so calls may omit them).
+    """
+
+    name: str
+    params: tuple[str, ...] = ()
+    optional: int = 0
+    returns: str = "any"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InterfaceError("operation name must be non-empty")
+        if self.optional > len(self.params):
+            raise InterfaceError(
+                f"operation {self.name!r}: optional={self.optional} exceeds "
+                f"{len(self.params)} parameters"
+            )
+
+    @property
+    def min_arity(self) -> int:
+        return len(self.params) - self.optional
+
+    @property
+    def max_arity(self) -> int:
+        return len(self.params)
+
+    def accepts_arity(self, n: int) -> bool:
+        return self.min_arity <= n <= self.max_arity
+
+    def extends(self, older: "Operation") -> bool:
+        """True when this signature can serve calls written against
+        ``older``: old required params are a prefix, and any new
+        parameters are optional."""
+        if self.name != older.name:
+            return False
+        if self.params[: len(older.params)] != older.params:
+            return False
+        extra = len(self.params) - len(older.params)
+        if extra > self.optional:
+            return False
+        return self.min_arity <= older.min_arity
+
+
+class Interface:
+    """A named, versioned collection of operations."""
+
+    def __init__(
+        self,
+        name: str,
+        version: Version | str = Version(1, 0),
+        operations: Iterable[Operation] = (),
+    ) -> None:
+        if not name:
+            raise InterfaceError("interface name must be non-empty")
+        self.name = name
+        self.version = Version.parse(version) if isinstance(version, str) else version
+        self.operations: dict[str, Operation] = {}
+        for operation in operations:
+            self.add_operation(operation)
+
+    def add_operation(self, operation: Operation) -> "Interface":
+        if operation.name in self.operations:
+            raise InterfaceError(
+                f"interface {self.name!r} already has operation {operation.name!r}"
+            )
+        self.operations[operation.name] = operation
+        return self
+
+    def operation(self, name: str) -> Operation:
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise InterfaceError(
+                f"interface {self.name!r} has no operation {name!r}"
+            ) from None
+
+    def __contains__(self, operation_name: str) -> bool:
+        return operation_name in self.operations
+
+    # -- compatibility -------------------------------------------------------
+
+    def satisfies(self, required: "Interface") -> bool:
+        """Structural + version compatibility with a requirement.
+
+        This interface can be plugged where ``required`` is expected iff
+        the names match, the version is compatible, and every required
+        operation is extended by one of ours.
+        """
+        if self.name != required.name:
+            return False
+        if not self.version.compatible_with(required.version):
+            return False
+        return all(
+            name in self.operations and self.operations[name].extends(operation)
+            for name, operation in required.operations.items()
+        )
+
+    def evolve(
+        self,
+        add: Iterable[Operation] = (),
+        extend: Mapping[str, Operation] | None = None,
+        breaking: bool = False,
+    ) -> "Interface":
+        """Produce the next interface version.
+
+        ``add`` introduces new operations; ``extend`` replaces existing
+        signatures (must remain compatible unless ``breaking``).  A
+        non-breaking evolution bumps the minor version and is verified to
+        satisfy the old interface; a breaking one bumps the major.
+        """
+        version = self.version.bump_major() if breaking else self.version.bump_minor()
+        operations = dict(self.operations)
+        for name, operation in (extend or {}).items():
+            if name not in operations:
+                raise InterfaceError(
+                    f"cannot extend unknown operation {name!r} of {self.name!r}"
+                )
+            if not breaking and not operation.extends(operations[name]):
+                raise VersionError(
+                    f"extension of {name!r} breaks compatibility; "
+                    "pass breaking=True for a major bump"
+                )
+            operations[name] = operation
+        new = Interface(self.name, version, operations.values())
+        for operation in add:
+            new.add_operation(operation)
+        if not breaking and not new.satisfies(self):
+            raise VersionError(
+                f"evolved interface {self.name!r} v{version} does not satisfy "
+                f"v{self.version}"
+            )
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Interface({self.name!r} v{self.version}, {len(self.operations)} ops)"
+
+
+@dataclass
+class InterfaceAdapter:
+    """Bridges calls written against an old interface to a new provider.
+
+    ``renames`` maps old operation names to new ones; ``fill_optional``
+    supplies values for the old operation's *optional* parameters when a
+    caller omitted them (aligned with the optional parameter positions);
+    ``defaults`` supplies values for parameters that are *new* in the new
+    signature.  Used by the interface-modification reconfiguration to
+    keep old callers working across breaking evolutions.
+    """
+
+    old: Interface
+    new: Interface
+    renames: dict[str, str] = field(default_factory=dict)
+    defaults: dict[str, tuple[Any, ...]] = field(default_factory=dict)
+    fill_optional: dict[str, tuple[Any, ...]] = field(default_factory=dict)
+
+    def translate(
+        self, operation: str, args: tuple[Any, ...]
+    ) -> tuple[str, tuple[Any, ...]]:
+        """Map an old-style call to a new-style (operation, args) pair."""
+        if operation not in self.old:
+            raise InterfaceError(
+                f"adapter: {operation!r} is not part of {self.old.name!r} "
+                f"v{self.old.version}"
+            )
+        legacy = self.old.operation(operation)
+        fill = self.fill_optional.get(operation, ())
+        padded = args
+        if fill and len(padded) < legacy.max_arity:
+            # Optional legacy params occupy positions min_arity..max_arity-1;
+            # take the fills for the positions the caller left out.
+            start = len(padded) - legacy.min_arity
+            padded = padded + tuple(fill[start:])
+        new_name = self.renames.get(operation, operation)
+        new_operation = self.new.operation(new_name)
+        padded = padded + self.defaults.get(operation, ())
+        if not new_operation.accepts_arity(len(padded)):
+            raise InterfaceError(
+                f"adapter: cannot map {operation}/{len(args)} onto "
+                f"{new_name}/{new_operation.min_arity}..{new_operation.max_arity}"
+            )
+        return new_name, padded
+
+    def verify(self) -> None:
+        """Check every old call shape maps onto the new interface."""
+        for name, operation in self.old.operations.items():
+            for arity in range(operation.min_arity, operation.max_arity + 1):
+                probe = tuple(object() for _ in range(arity))
+                self.translate(name, probe)
+
+
+def interface_of(obj: Any, name: str, version: Version | str = Version(1, 0)) -> Interface:
+    """Derive an :class:`Interface` from a plain Python object's public
+    methods — convenient for quick component implementations."""
+    import inspect
+
+    operations = []
+    for attr_name in dir(obj):
+        if attr_name.startswith("_"):
+            continue
+        attr = getattr(obj, attr_name)
+        if not callable(attr):
+            continue
+        try:
+            signature = inspect.signature(attr)
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            continue
+        params = [
+            p for p in signature.parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        optional = sum(1 for p in params if p.default is not p.empty)
+        operations.append(
+            Operation(attr_name, tuple(p.name for p in params), optional)
+        )
+    return Interface(name, version, operations)

@@ -1,0 +1,90 @@
+"""Component lifecycle.
+
+The lifecycle gives the reconfiguration engine its safe points: a
+component must be driven to ``PASSIVE`` (quiescent — no call in progress,
+no new calls accepted) before it may be replaced or migrated, which is the
+paper's "waiting to reach a reconfiguration point".
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.errors import LifecycleError
+
+
+class LifecycleState(enum.Enum):
+    """States a component moves through."""
+
+    CREATED = "created"          # constructed, not yet initialised
+    INITIALIZED = "initialized"  # state variables set up, not serving
+    ACTIVE = "active"            # serving calls
+    PASSIVE = "passive"          # quiescent: frozen for reconfiguration
+    STOPPED = "stopped"          # permanently removed
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.value
+
+
+#: Legal transitions; anything else raises LifecycleError.
+_TRANSITIONS: dict[LifecycleState, frozenset[LifecycleState]] = {
+    LifecycleState.CREATED: frozenset({LifecycleState.INITIALIZED,
+                                       LifecycleState.STOPPED}),
+    LifecycleState.INITIALIZED: frozenset({LifecycleState.ACTIVE,
+                                           LifecycleState.STOPPED}),
+    LifecycleState.ACTIVE: frozenset({LifecycleState.PASSIVE,
+                                      LifecycleState.STOPPED}),
+    LifecycleState.PASSIVE: frozenset({LifecycleState.ACTIVE,
+                                       LifecycleState.STOPPED}),
+    LifecycleState.STOPPED: frozenset(),
+}
+
+
+class Lifecycle:
+    """A guarded lifecycle state machine with transition observers."""
+
+    def __init__(self) -> None:
+        self._state = LifecycleState.CREATED
+        self.observers: list[Callable[[LifecycleState, LifecycleState], None]] = []
+        self.history: list[LifecycleState] = [LifecycleState.CREATED]
+
+    @property
+    def state(self) -> LifecycleState:
+        return self._state
+
+    def transition(self, target: LifecycleState) -> None:
+        """Move to ``target`` or raise :class:`LifecycleError`."""
+        if target == self._state:
+            return
+        if target not in _TRANSITIONS[self._state]:
+            raise LifecycleError(
+                f"illegal lifecycle transition {self._state} -> {target}"
+            )
+        previous, self._state = self._state, target
+        self.history.append(target)
+        for observer in list(self.observers):
+            observer(previous, target)
+
+    # -- convenience guards --------------------------------------------------
+
+    @property
+    def can_serve(self) -> bool:
+        return self._state is LifecycleState.ACTIVE
+
+    @property
+    def is_quiescent(self) -> bool:
+        return self._state is LifecycleState.PASSIVE
+
+    @property
+    def is_stopped(self) -> bool:
+        return self._state is LifecycleState.STOPPED
+
+    def require(self, *states: LifecycleState) -> None:
+        """Raise unless the current state is one of ``states``."""
+        if self._state not in states:
+            expected = ", ".join(str(s) for s in states)
+            raise LifecycleError(
+                f"operation requires lifecycle state in {{{expected}}}, "
+                f"component is {self._state}"
+            )

@@ -1,0 +1,96 @@
+"""Component registry.
+
+The naming service of the platform: components register under their names
+and can be looked up by name, by provided interface, or by hosting node.
+Registration events feed the RAML observation stream ("information about
+running applications").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import RegistryError
+from repro.kernel.component import Component, ProvidedPort
+
+
+class Registry:
+    """Name → component map with lookup by interface and node."""
+
+    def __init__(self) -> None:
+        self._components: dict[str, Component] = {}
+        #: Observers called with ("register" | "unregister", component).
+        self.observers: list[Callable[[str, Component], None]] = []
+
+    def register(self, component: Component) -> Component:
+        if component.name in self._components:
+            raise RegistryError(
+                f"component {component.name!r} is already registered"
+            )
+        self._components[component.name] = component
+        self._notify("register", component)
+        return component
+
+    def unregister(self, name: str) -> Component:
+        try:
+            component = self._components.pop(name)
+        except KeyError:
+            raise RegistryError(f"component {name!r} is not registered") from None
+        self._notify("unregister", component)
+        return component
+
+    def _notify(self, event: str, component: Component) -> None:
+        for observer in list(self.observers):
+            observer(event, component)
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise RegistryError(f"component {name!r} is not registered") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(list(self._components.values()))
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def names(self) -> list[str]:
+        return sorted(self._components)
+
+    def providers_of(
+        self, interface_name: str, version: str | None = None
+    ) -> list[ProvidedPort]:
+        """All provided ports exposing ``interface_name``.
+
+        When ``version`` is given, only providers whose version satisfies
+        it (same major, >= minor) are returned.
+        """
+        from repro.kernel.versioning import Version
+
+        required = Version.parse(version) if version else None
+        matches: list[ProvidedPort] = []
+        for component in self._components.values():
+            for port in component.provided.values():
+                if port.interface.name != interface_name:
+                    continue
+                if required and not port.interface.version.compatible_with(required):
+                    continue
+                matches.append(port)
+        return sorted(matches, key=lambda port: port.qualified_name)
+
+    def on_node(self, node_name: str) -> list[Component]:
+        """Components currently deployed on ``node_name``."""
+        return sorted(
+            (c for c in self._components.values() if c.node_name == node_name),
+            key=lambda component: component.name,
+        )
+
+    def describe(self) -> dict[str, dict]:
+        """Introspection snapshot of every registered component."""
+        return {name: c.describe() for name, c in self._components.items()}

@@ -1,0 +1,56 @@
+"""Interface versioning.
+
+Supports the paper's *interface modification* change class: "signatures of
+the provided services are modified and extended while keeping the
+compliancy with previous versions".  Versions form a partial order;
+``major`` bumps break compatibility, ``minor`` bumps must stay
+backward-compatible (checked structurally in
+:mod:`repro.kernel.interface`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import VersionError
+
+_VERSION_RE = re.compile(r"^(\d+)\.(\d+)$")
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Version:
+    """A ``major.minor`` interface version."""
+
+    major: int
+    minor: int
+
+    def __post_init__(self) -> None:
+        if self.major < 0 or self.minor < 0:
+            raise VersionError(f"version numbers must be non-negative: {self}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Version":
+        match = _VERSION_RE.match(text.strip())
+        if not match:
+            raise VersionError(f"cannot parse version {text!r} (expected N.M)")
+        return cls(int(match.group(1)), int(match.group(2)))
+
+    def compatible_with(self, required: "Version") -> bool:
+        """True when a provider at this version satisfies a requirement
+        for ``required``: same major, and at least the required minor."""
+        return self.major == required.major and self.minor >= required.minor
+
+    def bump_minor(self) -> "Version":
+        return Version(self.major, self.minor + 1)
+
+    def bump_major(self) -> "Version":
+        return Version(self.major + 1, 0)
+
+    def __lt__(self, other: "Version") -> bool:
+        return (self.major, self.minor) < (other.major, other.minor)
+
+    def __str__(self) -> str:
+        return f"{self.major}.{self.minor}"

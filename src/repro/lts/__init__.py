@@ -1,0 +1,37 @@
+"""Labelled transition systems (substrate S4).
+
+The behavioural formalism for components, connector roles and glue: the
+paper models "each participating component … by a label transition system
+(LTS) model" and bases composition-correctness analysis on it.
+"""
+
+from repro.lts.bisimulation import bisimilar, minimize
+from repro.lts.check import (
+    DeadlockReport,
+    check_compatibility,
+    find_deadlocks,
+    is_deadlock_free,
+    simulates,
+    trace_refines,
+    traces,
+)
+from repro.lts.compose import compose, interleave
+from repro.lts.determinize import determinize
+from repro.lts.lts import TAU, Lts
+
+__all__ = [
+    "TAU",
+    "DeadlockReport",
+    "Lts",
+    "bisimilar",
+    "check_compatibility",
+    "compose",
+    "determinize",
+    "find_deadlocks",
+    "interleave",
+    "is_deadlock_free",
+    "minimize",
+    "simulates",
+    "trace_refines",
+    "traces",
+]

@@ -1,0 +1,90 @@
+"""Strong bisimulation via partition refinement.
+
+Used to decide behavioural equivalence of connector protocols — e.g. that
+a generated connector is equivalent to a hand-written reference, or that
+an optimised protocol can replace the original during reconfiguration.
+"""
+
+from __future__ import annotations
+
+from repro.lts.lts import Lts
+
+
+def _partition_refinement(lts_a: Lts, lts_b: Lts) -> dict[tuple[str, str], int]:
+    """Compute the coarsest strong-bisimulation partition of the disjoint
+    union of ``lts_a`` and ``lts_b``.
+
+    Returns a mapping from (owner, state) to block id.
+    """
+    states = [("a", s) for s in lts_a.states] + [("b", s) for s in lts_b.states]
+    owners = {"a": lts_a, "b": lts_b}
+
+    def moves(tagged: tuple[str, str]) -> list[tuple[str, tuple[str, str]]]:
+        owner, state = tagged
+        return [
+            (action, (owner, target))
+            for action, target in owners[owner].transitions_from(state)
+        ]
+
+    # Initial partition: split only by "is final" (termination capability).
+    block: dict[tuple[str, str], int] = {}
+    for tagged in states:
+        owner, state = tagged
+        block[tagged] = 1 if state in owners[owner].final else 0
+
+    while True:
+        # Signature: final-flag plus the set of (action, target-block) pairs.
+        signatures: dict[tuple[str, str], tuple] = {}
+        for tagged in states:
+            sig = frozenset(
+                (action, block[target]) for action, target in moves(tagged)
+            )
+            signatures[tagged] = (block[tagged] >= 0, _is_final(owners, tagged), sig)
+        # Re-number blocks from signatures.
+        numbering: dict[tuple, int] = {}
+        new_block: dict[tuple[str, str], int] = {}
+        for tagged in states:
+            sig = signatures[tagged]
+            if sig not in numbering:
+                numbering[sig] = len(numbering)
+            new_block[tagged] = numbering[sig]
+        if new_block == block:
+            return block
+        block = new_block
+
+
+def _is_final(owners: dict[str, Lts], tagged: tuple[str, str]) -> bool:
+    owner, state = tagged
+    return state in owners[owner].final
+
+
+def bisimilar(lts_a: Lts, lts_b: Lts) -> bool:
+    """True when the two LTSs' initial states are strongly bisimilar."""
+    pruned_a, pruned_b = lts_a.pruned(), lts_b.pruned()
+    block = _partition_refinement(pruned_a, pruned_b)
+    return block[("a", pruned_a.initial)] == block[("b", pruned_b.initial)]
+
+
+def minimize(lts: Lts) -> Lts:
+    """Quotient the LTS by strong bisimilarity.
+
+    The result has one state per bisimulation class; useful before
+    composing large generated protocols.
+    """
+    pruned = lts.pruned()
+    empty = Lts("∅", initial="⊥")  # fresh sink so the helper has two inputs
+    block = _partition_refinement(pruned, empty)
+
+    def class_name(state: str) -> str:
+        return f"c{block[('a', state)]}"
+
+    out = Lts(f"min({lts.name})", initial=class_name(pruned.initial))
+    for state in pruned.states:
+        out.add_state(class_name(state), final=state in pruned.final)
+    seen: set[tuple[str, str, str]] = set()
+    for source, action, target in pruned.all_transitions():
+        triple = (class_name(source), action, class_name(target))
+        if triple not in seen:
+            seen.add(triple)
+            out.add_transition(*triple)
+    return out

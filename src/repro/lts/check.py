@@ -1,0 +1,179 @@
+"""Analyses over labelled transition systems.
+
+Deadlock detection and trace checks are the core of the Wright-style
+"interconnection compatibility" analysis in the paper: a connector's glue
+composed with its role protocols must be deadlock-free, and each attached
+component must stay within its role's allowed behaviour (simulation
+preorder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.lts.compose import compose
+from repro.lts.lts import TAU, Lts
+
+
+@dataclass
+class DeadlockReport:
+    """Result of a deadlock analysis."""
+
+    deadlock_free: bool
+    deadlock_states: list[str] = field(default_factory=list)
+    witness_trace: list[str] = field(default_factory=list)
+    explored_states: int = 0
+
+    def __bool__(self) -> bool:
+        return self.deadlock_free
+
+
+def find_deadlocks(lts: Lts) -> DeadlockReport:
+    """Find reachable non-final states with no outgoing transitions.
+
+    The witness trace is a shortest action path from the initial state to
+    the first deadlock found (BFS order).
+    """
+    deadlocks: list[str] = []
+    parents: dict[str, tuple[str, str] | None] = {lts.initial: None}
+    frontier = [lts.initial]
+    explored = 0
+    first_deadlock: str | None = None
+    while frontier:
+        next_frontier: list[str] = []
+        for state in frontier:
+            explored += 1
+            edges = lts.transitions_from(state)
+            if not edges and state not in lts.final:
+                deadlocks.append(state)
+                if first_deadlock is None:
+                    first_deadlock = state
+            for action, target in edges:
+                if target not in parents:
+                    parents[target] = (state, action)
+                    next_frontier.append(target)
+        frontier = next_frontier
+
+    witness: list[str] = []
+    if first_deadlock is not None:
+        cursor: str | None = first_deadlock
+        while cursor is not None and parents[cursor] is not None:
+            parent, action = parents[cursor]  # type: ignore[misc]
+            witness.append(action)
+            cursor = parent
+        witness.reverse()
+
+    return DeadlockReport(
+        deadlock_free=not deadlocks,
+        deadlock_states=deadlocks,
+        witness_trace=witness,
+        explored_states=explored,
+    )
+
+
+def is_deadlock_free(lts: Lts) -> bool:
+    """Convenience wrapper around :func:`find_deadlocks`."""
+    return find_deadlocks(lts).deadlock_free
+
+
+def check_compatibility(
+    components: Sequence[Lts], name: str = "compat"
+) -> DeadlockReport:
+    """Wright-style compatibility: compose and check deadlock freedom."""
+    return find_deadlocks(compose(components, name=name))
+
+
+# ---------------------------------------------------------------------------
+# Simulation preorder
+# ---------------------------------------------------------------------------
+
+def _tau_closure(lts: Lts, state: str) -> set[str]:
+    """States reachable from ``state`` via TAU steps (including itself)."""
+    closure = {state}
+    frontier = [state]
+    while frontier:
+        current = frontier.pop()
+        for action, target in lts.transitions_from(current):
+            if action == TAU and target not in closure:
+                closure.add(target)
+                frontier.append(target)
+    return closure
+
+
+def _weak_successors(lts: Lts, state: str, action: str) -> set[str]:
+    """Weak ``action`` successors: tau* . action . tau*."""
+    results: set[str] = set()
+    for pre in _tau_closure(lts, state):
+        for act, target in lts.transitions_from(pre):
+            if act == action:
+                results.update(_tau_closure(lts, target))
+    return results
+
+
+def simulates(abstract: Lts, concrete: Lts) -> bool:
+    """True when ``abstract`` (weakly) simulates ``concrete``.
+
+    Every observable behaviour of ``concrete`` must be allowed by
+    ``abstract`` — the check the paper's RAML performs before binding a
+    component to a connector role (component behaviour vs role protocol).
+    TAU steps on either side are absorbed (weak simulation).
+    """
+    # Greatest simulation via fixpoint on the full relation.
+    relation = {
+        (c, a) for c in concrete.states for a in abstract.states
+    }
+    changed = True
+    while changed:
+        changed = False
+        for (c, a) in list(relation):
+            ok = True
+            for action, c_target in concrete.transitions_from(c):
+                if action == TAU:
+                    # Abstract may answer with zero or more TAU steps.
+                    if not any(
+                        (c_target, a2) in relation
+                        for a2 in _tau_closure(abstract, a)
+                    ):
+                        ok = False
+                        break
+                    continue
+                answers = _weak_successors(abstract, a, action)
+                if not any((c_target, a2) in relation for a2 in answers):
+                    ok = False
+                    break
+            if not ok:
+                relation.discard((c, a))
+                changed = True
+    return any(
+        (concrete.initial, a) in relation
+        for a in _tau_closure(abstract, abstract.initial)
+    )
+
+
+def traces(lts: Lts, max_length: int = 6) -> set[tuple[str, ...]]:
+    """All observable traces of length up to ``max_length``.
+
+    Exponential in ``max_length``; intended for small protocol LTSs and
+    for cross-checking refinement in tests.
+    """
+    results: set[tuple[str, ...]] = {()}
+    frontier: list[tuple[str, tuple[str, ...]]] = [(lts.initial, ())]
+    seen: set[tuple[str, tuple[str, ...]]] = set(frontier)
+    while frontier:
+        state, trace = frontier.pop()
+        if len(trace) >= max_length:
+            continue
+        for action, target in lts.transitions_from(state):
+            extended = trace if action == TAU else trace + (action,)
+            results.add(extended)
+            key = (target, extended)
+            if key not in seen:
+                seen.add(key)
+                frontier.append(key)
+    return results
+
+
+def trace_refines(abstract: Lts, concrete: Lts, max_length: int = 6) -> bool:
+    """Bounded trace refinement: concrete's traces ⊆ abstract's traces."""
+    return traces(concrete, max_length) <= traces(abstract, max_length)

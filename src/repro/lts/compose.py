@@ -1,0 +1,122 @@
+"""Parallel composition of labelled transition systems.
+
+CSP-style synchronisation: components synchronise on the intersection of
+their alphabets and interleave on everything else.  TAU never
+synchronises.  The composed state space is built on the fly from the
+reachable product only, so composing many small protocols stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import LtsError
+from repro.lts.lts import TAU, Lts
+
+
+def _state_name(parts: tuple[str, ...]) -> str:
+    return "(" + ",".join(parts) + ")"
+
+
+def compose(components: Sequence[Lts], name: str = "") -> Lts:
+    """Compose LTSs in parallel with multi-way synchronisation.
+
+    An observable action fires iff *every* component that has the action
+    in its alphabet can take it simultaneously; components without the
+    action in their alphabet do not move.  TAU steps interleave freely.
+
+    The composite's final states are products of all-final component
+    states.
+    """
+    if not components:
+        raise LtsError("compose() needs at least one LTS")
+    if len(components) == 1:
+        return components[0].pruned()
+
+    alphabets = [lts.alphabet for lts in components]
+    name = name or "||".join(lts.name for lts in components)
+
+    initial = tuple(lts.initial for lts in components)
+    out = Lts(name, initial=_state_name(initial))
+    if all(lts.initial in lts.final for lts in components):
+        out.mark_final(_state_name(initial))
+
+    seen = {initial}
+    frontier = [initial]
+    while frontier:
+        current = frontier.pop()
+        current_name = _state_name(current)
+        moves: list[tuple[str, tuple[str, ...]]] = []
+
+        # TAU interleavings: one component moves, others stay.
+        for index, lts in enumerate(components):
+            for action, target in lts.transitions_from(current[index]):
+                if action == TAU:
+                    nxt = list(current)
+                    nxt[index] = target
+                    moves.append((TAU, tuple(nxt)))
+
+        # Observable actions: all owners must move together.
+        candidate_actions = set()
+        for index, lts in enumerate(components):
+            candidate_actions.update(
+                action
+                for action in lts.enabled(current[index])
+                if action != TAU
+            )
+        for action in candidate_actions:
+            owners = [i for i, alpha in enumerate(alphabets) if action in alpha]
+            # Per-owner possible targets; empty => action blocked.
+            options: list[list[tuple[int, str]]] = []
+            blocked = False
+            for index in owners:
+                targets = components[index].successors(current[index], action)
+                if not targets:
+                    blocked = True
+                    break
+                options.append([(index, target) for target in sorted(targets)])
+            if blocked:
+                continue
+            # Cartesian product over nondeterministic owner targets.
+            combos: list[list[tuple[int, str]]] = [[]]
+            for choice in options:
+                combos = [prefix + [pick] for prefix in combos for pick in choice]
+            for combo in combos:
+                nxt = list(current)
+                for index, target in combo:
+                    nxt[index] = target
+                moves.append((action, tuple(nxt)))
+
+        for action, nxt in moves:
+            nxt_name = _state_name(nxt)
+            is_final = all(
+                part in lts.final for part, lts in zip(nxt, components)
+            )
+            out.add_state(nxt_name, final=is_final)
+            out.add_transition(current_name, action, nxt_name)
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+
+    return out
+
+
+def interleave(components: Sequence[Lts], name: str = "") -> Lts:
+    """Pure interleaving (no synchronisation), via alphabet disjointing.
+
+    Useful for composing independent components that share action names
+    by coincidence.
+    """
+    if not components:
+        raise LtsError("interleave() needs at least one LTS")
+    renamed = [
+        lts.renamed({action: f"{i}:{action}" for action in lts.alphabet})
+        for i, lts in enumerate(components)
+    ]
+    composite = compose(renamed, name=name or "|||".join(l.name for l in components))
+    undo = {
+        f"{i}:{action}": action
+        for i, lts in enumerate(components)
+        for action in lts.alphabet
+    }
+    return composite.renamed(undo)

@@ -1,0 +1,54 @@
+"""Determinization of labelled transition systems.
+
+Subset construction with TAU-closure: turns a nondeterministic protocol
+(with internal steps) into a trace-equivalent deterministic LTS.  Useful
+before exporting protocols, comparing generated connectors by language,
+and keeping verifier compositions small.
+"""
+
+from __future__ import annotations
+
+from repro.lts.check import _tau_closure
+from repro.lts.lts import TAU, Lts
+
+
+def determinize(lts: Lts) -> Lts:
+    """Subset construction over TAU-closures.
+
+    The result is deterministic (no TAU, at most one successor per
+    action) and accepts exactly the observable traces of the input.  A
+    subset state is final when any member state is final.
+    """
+
+    def closure(states: frozenset[str]) -> frozenset[str]:
+        result: set[str] = set()
+        for state in states:
+            result |= _tau_closure(lts, state)
+        return frozenset(result)
+
+    def name_of(states: frozenset[str]) -> str:
+        return "{" + ",".join(sorted(states)) + "}"
+
+    initial = closure(frozenset({lts.initial}))
+    out = Lts(f"det({lts.name})", initial=name_of(initial))
+    if initial & lts.final:
+        out.mark_final(name_of(initial))
+
+    seen = {initial}
+    frontier = [initial]
+    while frontier:
+        current = frontier.pop()
+        moves: dict[str, set[str]] = {}
+        for state in current:
+            for action, target in lts.transitions_from(state):
+                if action == TAU:
+                    continue
+                moves.setdefault(action, set()).add(target)
+        for action, targets in sorted(moves.items()):
+            nxt = closure(frozenset(targets))
+            out.add_state(name_of(nxt), final=bool(nxt & lts.final))
+            out.add_transition(name_of(current), action, name_of(nxt))
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return out

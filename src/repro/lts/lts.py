@@ -1,0 +1,195 @@
+"""Labelled transition systems.
+
+The paper's vision represents "each participating component … by a label
+transition system (LTS) model" and bases composition-correctness analysis
+on them.  This module provides the LTS data structure; composition and
+analysis live in sibling modules.
+
+Actions are plain strings.  The distinguished action :data:`TAU` is an
+internal step that never synchronises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import LtsError
+
+#: The silent / internal action.
+TAU = "τ"  # τ
+
+
+class Lts:
+    """A finite labelled transition system.
+
+    States are strings; transitions are ``(state, action, target)``
+    triples.  ``final`` states model successful termination: a state with
+    no outgoing transitions deadlocks *unless* it is final.
+    """
+
+    def __init__(self, name: str, initial: str = "s0") -> None:
+        self.name = name
+        self.initial = initial
+        self.states: set[str] = {initial}
+        self.final: set[str] = set()
+        self._transitions: dict[str, list[tuple[str, str]]] = {initial: []}
+
+    # -- construction -------------------------------------------------------
+
+    def add_state(self, state: str, final: bool = False) -> "Lts":
+        """Add a state; no-op if it already exists (final flag is OR-ed)."""
+        if state not in self.states:
+            self.states.add(state)
+            self._transitions[state] = []
+        if final:
+            self.final.add(state)
+        return self
+
+    def add_transition(self, source: str, action: str, target: str) -> "Lts":
+        """Add a transition, creating missing states on the way."""
+        if not action:
+            raise LtsError("transition action must be a non-empty string")
+        self.add_state(source)
+        self.add_state(target)
+        self._transitions[source].append((action, target))
+        return self
+
+    def mark_final(self, *states: str) -> "Lts":
+        for state in states:
+            if state not in self.states:
+                raise LtsError(f"cannot mark unknown state {state!r} final")
+            self.final.add(state)
+        return self
+
+    @classmethod
+    def from_triples(
+        cls,
+        name: str,
+        triples: Iterable[tuple[str, str, str]],
+        initial: str = "s0",
+        final: Iterable[str] = (),
+    ) -> "Lts":
+        """Build an LTS from ``(source, action, target)`` triples."""
+        lts = cls(name, initial=initial)
+        for source, action, target in triples:
+            lts.add_transition(source, action, target)
+        lts.mark_final(*final)
+        return lts
+
+    @classmethod
+    def cycle(cls, name: str, actions: list[str]) -> "Lts":
+        """A single loop performing ``actions`` forever (no final state)."""
+        if not actions:
+            raise LtsError("cycle needs at least one action")
+        lts = cls(name, initial="s0")
+        for i, action in enumerate(actions):
+            lts.add_transition(f"s{i}", action, f"s{(i + 1) % len(actions)}")
+        return lts
+
+    @classmethod
+    def sequence(cls, name: str, actions: list[str]) -> "Lts":
+        """A straight line performing ``actions`` once, ending final."""
+        lts = cls(name, initial="s0")
+        for i, action in enumerate(actions):
+            lts.add_transition(f"s{i}", action, f"s{i + 1}")
+        lts.add_state(f"s{len(actions)}", final=True)
+        return lts
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        """All observable actions (TAU excluded)."""
+        return frozenset(
+            action
+            for edges in self._transitions.values()
+            for action, _target in edges
+            if action != TAU
+        )
+
+    def transitions_from(self, state: str) -> list[tuple[str, str]]:
+        """Outgoing ``(action, target)`` pairs of ``state``."""
+        try:
+            return list(self._transitions[state])
+        except KeyError:
+            raise LtsError(f"unknown state {state!r} in LTS {self.name!r}") from None
+
+    def successors(self, state: str, action: str) -> set[str]:
+        """Targets reachable from ``state`` via exactly ``action``."""
+        return {
+            target for act, target in self.transitions_from(state) if act == action
+        }
+
+    def enabled(self, state: str) -> set[str]:
+        """Actions enabled in ``state``."""
+        return {action for action, _target in self.transitions_from(state)}
+
+    def all_transitions(self) -> Iterator[tuple[str, str, str]]:
+        for source, edges in self._transitions.items():
+            for action, target in edges:
+                yield source, action, target
+
+    @property
+    def transition_count(self) -> int:
+        return sum(len(edges) for edges in self._transitions.values())
+
+    def is_deterministic(self) -> bool:
+        """True when no state has two identical-action transitions to
+        different targets and no TAU steps."""
+        for source, edges in self._transitions.items():
+            seen: dict[str, str] = {}
+            for action, target in edges:
+                if action == TAU:
+                    return False
+                if action in seen and seen[action] != target:
+                    return False
+                seen[action] = target
+        return True
+
+    def reachable_states(self) -> set[str]:
+        """States reachable from the initial state."""
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for _action, target in self._transitions[state]:
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def pruned(self) -> "Lts":
+        """A copy containing only reachable states."""
+        keep = self.reachable_states()
+        out = Lts(self.name, initial=self.initial)
+        for state in keep:
+            out.add_state(state, final=state in self.final)
+        for source, action, target in self.all_transitions():
+            if source in keep and target in keep:
+                out.add_transition(source, action, target)
+        return out
+
+    def renamed(self, mapping: dict[str, str]) -> "Lts":
+        """A copy with actions renamed via ``mapping`` (TAU kept)."""
+        out = Lts(self.name, initial=self.initial)
+        for state in self.states:
+            out.add_state(state, final=state in self.final)
+        for source, action, target in self.all_transitions():
+            out.add_transition(source, mapping.get(action, action), target)
+        return out
+
+    def hidden(self, actions: Iterable[str]) -> "Lts":
+        """A copy with the given actions turned into TAU (CSP hiding)."""
+        hide = set(actions)
+        out = Lts(self.name, initial=self.initial)
+        for state in self.states:
+            out.add_state(state, final=state in self.final)
+        for source, action, target in self.all_transitions():
+            out.add_transition(source, TAU if action in hide else action, target)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Lts({self.name!r}, states={len(self.states)}, "
+            f"transitions={self.transition_count})"
+        )

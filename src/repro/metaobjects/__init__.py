@@ -1,0 +1,11 @@
+"""Meta-object chains / interaction patterns (S9).
+
+Composable wrappers with declared properties (conditional, mandatory,
+exclusive, modificatory) and partial-order constraints, validated and
+topologically ordered before installation.
+"""
+
+from repro.metaobjects.chain import MetaChain, order, validate
+from repro.metaobjects.metaobject import MetaObject
+
+__all__ = ["MetaChain", "MetaObject", "order", "validate"]

@@ -1,0 +1,66 @@
+"""Meta-objects: composable wrappers with declared properties.
+
+The paper's *interaction patterns* mechanism: "chain meta-objects so that
+meta-controllers can be composed.  This requires specification of the
+partially ordered relations among meta-objects (priority, order of the
+declaration) … and of the important properties of the wrappers
+(conditional, mandatory, exclusive, modificatory)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import MetaObjectError
+from repro.kernel.component import Invocation
+
+
+@dataclass
+class MetaObject:
+    """One wrapper in a meta-level chain.
+
+    Attributes:
+        name: unique chain-wide identifier.
+        behaviour: interceptor body ``fn(invocation, proceed)``.
+        priority: higher priorities run earlier (outermost).
+        condition: when given, the wrapper only fires if it returns true
+            for the invocation (*conditional* property).
+        mandatory: the chain refuses to compose without this wrapper.
+        exclusive_group: at most one wrapper per group may be present.
+        modificatory: declares that the wrapper rewrites the invocation —
+            two unordered modificatory wrappers are ambiguous.
+        must_precede / must_follow: explicit partial-order constraints
+            naming other wrappers.
+    """
+
+    name: str
+    behaviour: Callable[[Invocation, Callable[[Invocation], Any]], Any]
+    priority: int = 0
+    condition: Callable[[Invocation], bool] | None = None
+    mandatory: bool = False
+    exclusive_group: str | None = None
+    modificatory: bool = False
+    must_precede: frozenset[str] = frozenset()
+    must_follow: frozenset[str] = frozenset()
+    fire_count: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MetaObjectError("meta-object name must be non-empty")
+        if self.name in self.must_precede or self.name in self.must_follow:
+            raise MetaObjectError(
+                f"meta-object {self.name!r} cannot be ordered against itself"
+            )
+        self.must_precede = frozenset(self.must_precede)
+        self.must_follow = frozenset(self.must_follow)
+
+    def apply(self, invocation: Invocation,
+              proceed: Callable[[Invocation], Any]) -> Any:
+        if self.condition is not None and not self.condition(invocation):
+            return proceed(invocation)
+        self.fire_count += 1
+        return self.behaviour(invocation, proceed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MetaObject({self.name!r}, priority={self.priority})"

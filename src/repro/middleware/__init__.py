@@ -1,0 +1,40 @@
+"""Adaptive middleware / ORB (S19).
+
+A CORBA-like broker per simulated node: object adapters, typed proxies,
+client/server request interceptors, deadlines, retries and reflective
+QoS observation feeding RAML.
+"""
+
+from repro.middleware.naming import (
+    NamedProxy,
+    NamingClient,
+    NamingService,
+    deploy_naming_service,
+    naming_interface,
+)
+from repro.middleware.orb import (
+    Orb,
+    OrbStats,
+    RequestContext,
+    RequestInterceptor,
+)
+from repro.middleware.proxy import (
+    RemoteProxy,
+    deadline_propagation,
+    metrics_recorder,
+)
+
+__all__ = [
+    "NamedProxy",
+    "NamingClient",
+    "NamingService",
+    "Orb",
+    "OrbStats",
+    "RemoteProxy",
+    "RequestContext",
+    "RequestInterceptor",
+    "deadline_propagation",
+    "deploy_naming_service",
+    "metrics_recorder",
+    "naming_interface",
+]

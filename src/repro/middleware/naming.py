@@ -1,0 +1,165 @@
+"""Naming service: location transparency over the ORB.
+
+A CORBA-Naming-style directory so callers address objects by *name*
+rather than by node: the registry lives on one node and is queried over
+the simulated network; :class:`NamedProxy` resolves lazily, caches, and
+re-resolves on failure — which is what makes geographical
+reconfiguration (migration) invisible to clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import MiddlewareError
+from repro.kernel.component import Component
+from repro.kernel.interface import Interface, Operation
+from repro.middleware.orb import Orb
+
+
+def naming_interface() -> Interface:
+    return Interface("Naming", "1.0", [
+        Operation("register", ("name", "node", "key")),
+        Operation("unregister", ("name",)),
+        Operation("resolve", ("name",)),
+        Operation("entries", ()),
+    ])
+
+
+class NamingService(Component):
+    """The directory component; export it through an ORB."""
+
+    OBJECT_KEY = "naming"
+
+    def on_initialize(self):
+        self.state.setdefault("entries", {})
+
+    def register(self, name, node, key):
+        self.state["entries"][name] = (node, key)
+        return True
+
+    def unregister(self, name):
+        return self.state["entries"].pop(name, None) is not None
+
+    def resolve(self, name):
+        entry = self.state["entries"].get(name)
+        if entry is None:
+            raise KeyError(f"no object named {name!r}")
+        return entry
+
+    def entries(self):
+        return dict(self.state["entries"])
+
+
+def deploy_naming_service(orb: Orb, name: str = "naming-service"
+                          ) -> NamingService:
+    """Create, activate and export a naming service on an ORB's node."""
+    service = NamingService(name)
+    service.provide("svc", naming_interface())
+    service.activate()
+    service.node_name = orb.node_name
+    orb.register(NamingService.OBJECT_KEY, service.provided_port("svc"))
+    return service
+
+
+class NamingClient:
+    """Client-side stub for the naming service (asynchronous)."""
+
+    def __init__(self, orb: Orb, naming_node: str) -> None:
+        self.orb = orb
+        self.naming_node = naming_node
+
+    def register(self, name: str, node: str, key: str,
+                 on_done: Callable[[], None] | None = None) -> None:
+        self.orb.call(self.naming_node, NamingService.OBJECT_KEY,
+                      "register", name, node, key,
+                      on_result=lambda _r: on_done() if on_done else None)
+
+    def unregister(self, name: str,
+                   on_done: Callable[[], None] | None = None) -> None:
+        self.orb.call(self.naming_node, NamingService.OBJECT_KEY,
+                      "unregister", name,
+                      on_result=lambda _r: on_done() if on_done else None)
+
+    def resolve(self, name: str,
+                on_result: Callable[[tuple[str, str]], None],
+                on_error: Callable[[Exception], None] | None = None) -> None:
+        self.orb.call(self.naming_node, NamingService.OBJECT_KEY,
+                      "resolve", name,
+                      on_result=lambda entry: on_result(tuple(entry)),
+                      on_error=on_error)
+
+
+class NamedProxy:
+    """A proxy addressing its target by directory name.
+
+    Resolution is lazy and cached; any request error or timeout drops
+    the cache so the next call re-resolves — a migration followed by a
+    directory update is therefore self-healing from the caller's side.
+    """
+
+    def __init__(self, orb: Orb, naming_node: str, name: str,
+                 interface: Interface,
+                 timeout: float | None = None) -> None:
+        self.orb = orb
+        self.naming = NamingClient(orb, naming_node)
+        self.name = name
+        self.interface = interface
+        self.timeout = timeout
+        self._cached: tuple[str, str] | None = None
+        self.resolution_count = 0
+
+    def invalidate(self) -> None:
+        self._cached = None
+
+    def call(self, operation: str, *args: Any,
+             on_result: Callable[[Any], None] | None = None,
+             on_error: Callable[[Exception], None] | None = None) -> None:
+        op = self.interface.operation(operation)
+        if not op.accepts_arity(len(args)):
+            raise MiddlewareError(
+                f"named proxy {self.name!r}: {operation} expects "
+                f"{op.min_arity}..{op.max_arity} args, got {len(args)}"
+            )
+
+        def fail(error: Exception) -> None:
+            self.invalidate()
+            if on_error is not None:
+                on_error(error)
+
+        def issue(entry: tuple[str, str]) -> None:
+            node, key = entry
+
+            def relay_error(error: Exception) -> None:
+                # Stale location: re-resolve once and retry before
+                # surfacing the failure.
+                self.invalidate()
+
+                def second_try(fresh: tuple[str, str]) -> None:
+                    if fresh == entry:
+                        fail(error)
+                        return
+                    self.orb.call(fresh[0], fresh[1], operation, *args,
+                                  on_result=on_result, on_error=fail,
+                                  timeout=self.timeout)
+
+                self._resolve(second_try, fail)
+
+            self.orb.call(node, key, operation, *args,
+                          on_result=on_result, on_error=relay_error,
+                          timeout=self.timeout)
+
+        self._resolve(issue, fail)
+
+    def _resolve(self, on_ready: Callable[[tuple[str, str]], None],
+                 on_error: Callable[[Exception], None]) -> None:
+        if self._cached is not None:
+            on_ready(self._cached)
+            return
+
+        def store(entry: tuple[str, str]) -> None:
+            self._cached = entry
+            self.resolution_count += 1
+            on_ready(entry)
+
+        self.naming.resolve(self.name, store, on_error)

@@ -1,0 +1,86 @@
+"""Client-side proxies.
+
+A :class:`RemoteProxy` gives callers a typed, location-transparent handle
+on a remote object; rebinding the proxy to another node/key is the
+middleware face of dynamic reconfiguration (geographic changes move the
+servant, the proxy follows).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import MiddlewareError
+from repro.kernel.interface import Interface
+from repro.middleware.orb import Orb
+
+
+class RemoteProxy:
+    """A typed handle to a remote object exported through an ORB."""
+
+    def __init__(self, orb: Orb, target_node: str, object_key: str,
+                 interface: Interface,
+                 timeout: float | None = None,
+                 retries: int = 0) -> None:
+        self.orb = orb
+        self.target_node = target_node
+        self.object_key = object_key
+        self.interface = interface
+        self.timeout = timeout
+        self.retries = retries
+
+    def call(self, operation: str, *args: Any,
+             on_result: Callable[[Any], None] | None = None,
+             on_error: Callable[[Exception], None] | None = None) -> int:
+        """Asynchronous typed invocation (arity checked locally)."""
+        op = self.interface.operation(operation)
+        if not op.accepts_arity(len(args)):
+            raise MiddlewareError(
+                f"proxy {self.object_key!r}: {operation} expects "
+                f"{op.min_arity}..{op.max_arity} args, got {len(args)}"
+            )
+        return self.orb.call(
+            self.target_node, self.object_key, operation, *args,
+            on_result=on_result, on_error=on_error,
+            timeout=self.timeout, retries=self.retries,
+        )
+
+    def rebind(self, target_node: str, object_key: str | None = None) -> None:
+        """Re-point the proxy (location transparency under migration)."""
+        self.target_node = target_node
+        if object_key is not None:
+            self.object_key = object_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"RemoteProxy({self.object_key!r} @ {self.target_node!r} "
+                f"via {self.orb.node_name!r})")
+
+
+def deadline_propagation() -> Any:
+    """Client interceptor stamping the remaining deadline into metadata."""
+
+    def interceptor(context, proceed):
+        if context.deadline is not None:
+            context.meta["deadline"] = context.deadline
+        proceed(context)
+
+    return interceptor
+
+
+def metrics_recorder(registry: Any, sim: Any,
+                     metric_prefix: str = "rpc") -> Callable:
+    """QoS observer recording per-request latency/outcome metrics.
+
+    Attach with ``orb.qos_observers.append(...)``; feeds the same metric
+    registry RAML sweeps.
+    """
+
+    def observer(kind: str, context, latency: float | None) -> None:
+        if kind == "response" and latency is not None:
+            registry.record(f"{metric_prefix}.latency", latency, sim.now)
+        elif kind == "timeout":
+            registry.record(f"{metric_prefix}.timeouts", 1.0, sim.now)
+        elif kind == "error":
+            registry.record(f"{metric_prefix}.errors", 1.0, sim.now)
+
+    return observer

@@ -1,0 +1,111 @@
+"""Failure injection.
+
+Schedules node crashes/recoveries and link flaps on the simulated network.
+Used by the fault-tolerance examples and by tests that assert the
+reconfiguration engine survives infrastructure failures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.netsim.network import Network
+
+
+@dataclass
+class FailureEvent:
+    """One scheduled failure or repair, recorded for post-run inspection."""
+
+    time: float
+    kind: str  # "node_crash" | "node_recover" | "link_fail" | "link_restore"
+    target: str
+
+
+class FailureInjector:
+    """Deterministic, seeded failure schedule over a network."""
+
+    def __init__(self, network: Network, seed: int = 0) -> None:
+        self.network = network
+        self.rng = random.Random(seed)
+        self.log: list[FailureEvent] = []
+
+    # -- explicit schedules --------------------------------------------------
+
+    def crash_node(self, name: str, at: float, recover_after: float | None = None) -> None:
+        """Crash ``name`` at time ``at``; optionally recover later."""
+        self.network.sim.at(at, self._crash, name)
+        if recover_after is not None:
+            self.network.sim.at(at + recover_after, self._recover, name)
+
+    def flap_link(self, a: str, b: str, at: float, down_for: float) -> None:
+        """Take the a-b link down at ``at`` and restore it ``down_for`` later."""
+        self.network.sim.at(at, self._link_fail, a, b)
+        self.network.sim.at(at + down_for, self._link_restore, a, b)
+
+    # -- random schedules ------------------------------------------------------
+
+    def random_node_crashes(
+        self,
+        horizon: float,
+        rate: float,
+        recover_after: float,
+        candidates: list[str] | None = None,
+    ) -> int:
+        """Schedule Poisson-ish node crashes up to ``horizon``.
+
+        Returns the number of crashes scheduled.
+        """
+        names = candidates if candidates is not None else list(self.network.nodes)
+        count = 0
+        t = self.rng.expovariate(rate) if rate > 0 else horizon + 1
+        while t < horizon:
+            victim = self.rng.choice(names)
+            self.crash_node(victim, at=t, recover_after=recover_after)
+            count += 1
+            t += self.rng.expovariate(rate)
+        return count
+
+    def random_link_flaps(
+        self,
+        horizon: float,
+        rate: float,
+        down_for: float,
+    ) -> int:
+        """Schedule random link flaps up to ``horizon``; returns the count."""
+        keys = list(self.network.links)
+        if not keys:
+            return 0
+        count = 0
+        t = self.rng.expovariate(rate) if rate > 0 else horizon + 1
+        while t < horizon:
+            a, b = self.rng.choice(keys)
+            self.flap_link(a, b, at=t, down_for=down_for)
+            count += 1
+            t += self.rng.expovariate(rate)
+        return count
+
+    # -- internals ---------------------------------------------------------
+
+    def _record(self, kind: str, target: str) -> None:
+        self.log.append(FailureEvent(self.network.sim.now, kind, target))
+
+    def _crash(self, name: str) -> None:
+        self.network.node(name).crash()
+        self.network.invalidate_routes()
+        self._record("node_crash", name)
+
+    def _recover(self, name: str) -> None:
+        self.network.node(name).recover()
+        self.network.invalidate_routes()
+        self._record("node_recover", name)
+
+    def _link_fail(self, a: str, b: str) -> None:
+        self.network.link_between(a, b).fail()
+        self.network.invalidate_routes()
+        self._record("link_fail", f"{a}<->{b}")
+
+    def _link_restore(self, a: str, b: str) -> None:
+        self.network.link_between(a, b).restore()
+        self.network.invalidate_routes()
+        self._record("link_restore", f"{a}<->{b}")

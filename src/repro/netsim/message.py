@@ -1,0 +1,60 @@
+"""Network messages.
+
+A :class:`Message` is the unit the simulated network transfers between
+nodes.  It carries an opaque payload plus headers used by the upper layers
+(middleware request ids, reconfiguration sequence numbers, QoS tags).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A message in flight between two nodes.
+
+    Attributes:
+        source: name of the sending node.
+        destination: name of the receiving node.
+        endpoint: logical endpoint on the destination node that should
+            receive the message (e.g. an object adapter).
+        payload: opaque application data.
+        size: size in bytes; drives transmission delay over links.
+        headers: free-form metadata for the upper layers.
+        msg_id: globally unique id, assigned at construction.
+        sent_at: simulated time the message entered the network.
+    """
+
+    source: str
+    destination: str
+    endpoint: str
+    payload: Any = None
+    size: int = 256
+    headers: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    sent_at: float = 0.0
+
+    def reply_to(self, payload: Any = None, size: int = 256) -> "Message":
+        """Build a response message with source/destination swapped."""
+        reply = Message(
+            source=self.destination,
+            destination=self.source,
+            endpoint=self.headers.get("reply_endpoint", self.endpoint),
+            payload=payload,
+            size=size,
+        )
+        reply.headers["in_reply_to"] = self.msg_id
+        if "request_id" in self.headers:
+            reply.headers["request_id"] = self.headers["request_id"]
+        return reply
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Message(#{self.msg_id} {self.source}->{self.destination}"
+            f"/{self.endpoint}, {self.size}B)"
+        )

@@ -1,0 +1,245 @@
+"""The simulated network: nodes, links, routing and delivery.
+
+:class:`Network` owns the topology and moves :class:`Message` objects
+between nodes over multi-hop shortest-latency routes.  Delivery takes
+simulated time (per-hop propagation + transmission) and may fail (link
+loss, node crash); the upper layers observe exactly what a real
+distributed system would: delay, loss and unreachability.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+import networkx as nx
+
+from repro.errors import LinkDownError, NetworkError, NodeDownError
+from repro.events import Simulator
+from repro.netsim.link import Link
+from repro.netsim.message import Message
+from repro.netsim.node import Node
+
+
+class NetworkStats:
+    """Aggregate counters for one network instance."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_loss = 0
+        self.dropped_link_down = 0
+        self.dropped_node_down = 0
+        self.dropped_no_route = 0
+        self.total_latency = 0.0
+        self.total_bytes = 0
+
+    @property
+    def dropped(self) -> int:
+        return (
+            self.dropped_loss
+            + self.dropped_link_down
+            + self.dropped_node_down
+            + self.dropped_no_route
+        )
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.delivered if self.delivered else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "mean_latency": self.mean_latency,
+            "total_bytes": self.total_bytes,
+        }
+
+
+class Network:
+    """A topology of nodes and links with latency-aware routing.
+
+    Routes are shortest paths by current link latency, recomputed lazily
+    whenever the topology or link states change.
+    """
+
+    def __init__(self, sim: Simulator, seed: int = 0) -> None:
+        self.sim = sim
+        self.rng = random.Random(seed)
+        self.nodes: dict[str, Node] = {}
+        self.links: dict[tuple[str, str], Link] = {}
+        self.stats = NetworkStats()
+        self._graph_dirty = True
+        self._graph = nx.Graph()
+        self.in_flight = 0
+        # Per-direction transmitter occupancy: concurrent messages on the
+        # same link direction serialize behind each other (full-duplex
+        # links: the two directions are independent transmitters).
+        self._transmitter_free_at: dict[tuple[tuple[str, str], str], float] = {}
+        #: Observers called as fn(event_name, message) on send/deliver/drop.
+        self.taps: list[Callable[[str, Message], None]] = []
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(
+        self, name: str, capacity: float = 100.0, region: str = "default"
+    ) -> Node:
+        """Create and register a node."""
+        if name in self.nodes:
+            raise NetworkError(f"node {name!r} already exists")
+        node = Node(name, self.sim, capacity=capacity, region=region)
+        self.nodes[name] = node
+        self._graph_dirty = True
+        return node
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        latency: float = 0.001,
+        bandwidth: float = 1_000_000.0,
+        loss: float = 0.0,
+    ) -> Link:
+        """Create and register a bidirectional link between two nodes."""
+        for name in (a, b):
+            if name not in self.nodes:
+                raise NetworkError(f"cannot link unknown node {name!r}")
+        if a == b:
+            raise NetworkError(f"cannot link node {a!r} to itself")
+        link = Link(a, b, latency=latency, bandwidth=bandwidth, loss=loss)
+        if link.key in self.links:
+            raise NetworkError(f"link {link.key} already exists")
+        self.links[link.key] = link
+        self._graph_dirty = True
+        return link
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def link_between(self, a: str, b: str) -> Link:
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self.links[key]
+        except KeyError:
+            raise LinkDownError(f"no link between {a!r} and {b!r}") from None
+
+    def invalidate_routes(self) -> None:
+        """Force route recomputation (call after link failures/repairs)."""
+        self._graph_dirty = True
+
+    def _rebuild_graph(self) -> None:
+        graph = nx.Graph()
+        for name, node in self.nodes.items():
+            if node.up:
+                graph.add_node(name)
+        for link in self.links.values():
+            if link.up and link.a in graph and link.b in graph:
+                graph.add_edge(link.a, link.b, weight=link.latency)
+        self._graph = graph
+        self._graph_dirty = False
+
+    def route(self, source: str, destination: str) -> list[str]:
+        """Shortest-latency node path, inclusive of both ends.
+
+        Raises :class:`NetworkError` when no route exists.
+        """
+        if self._graph_dirty:
+            self._rebuild_graph()
+        if source == destination:
+            return [source]
+        try:
+            return nx.shortest_path(
+                self._graph, source, destination, weight="weight"
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise NetworkError(
+                f"no route from {source!r} to {destination!r}"
+            ) from None
+
+    # -- delivery -----------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Inject a message; it is delivered (or dropped) asynchronously."""
+        message.sent_at = self.sim.now
+        self.stats.sent += 1
+        self._notify("send", message)
+        source = self.nodes.get(message.source)
+        if source is None or not source.up:
+            self._drop(message, "node_down")
+            return
+        try:
+            path = self.route(message.source, message.destination)
+        except NetworkError:
+            self._drop(message, "no_route")
+            return
+        self.in_flight += 1
+        self._forward(message, path, hop_index=0)
+
+    def _forward(self, message: Message, path: list[str], hop_index: int) -> None:
+        """Advance a message one hop along its precomputed path."""
+        if hop_index >= len(path) - 1:
+            self._arrive(message)
+            return
+        here, there = path[hop_index], path[hop_index + 1]
+        try:
+            link = self.link_between(here, there)
+            link.transfer_time(message.size)  # validates the link is up
+        except LinkDownError:
+            self.in_flight -= 1
+            self._drop(message, "link_down")
+            return
+        if link.loss and self.rng.random() < link.loss:
+            link.dropped_messages += 1
+            self.in_flight -= 1
+            self._drop(message, "loss")
+            return
+        link.transferred_messages += 1
+        link.transferred_bytes += message.size
+        # Serialize behind earlier traffic in this direction, then pay
+        # transmission + propagation.
+        transmitter = (link.key, here)
+        now = self.sim.now
+        start = max(now, self._transmitter_free_at.get(transmitter, 0.0))
+        transmission = message.size / link.bandwidth
+        self._transmitter_free_at[transmitter] = start + transmission
+        delay = (start - now) + transmission + link.latency
+        self.sim.schedule(delay, self._forward, message, path, hop_index + 1)
+
+    def _arrive(self, message: Message) -> None:
+        self.in_flight -= 1
+        node = self.nodes.get(message.destination)
+        if node is None or not node.up:
+            self._drop(message, "node_down")
+            return
+        self.stats.delivered += 1
+        self.stats.total_latency += self.sim.now - message.sent_at
+        self.stats.total_bytes += message.size
+        self._notify("deliver", message)
+        try:
+            node.deliver(message)
+        except NodeDownError:
+            # Node crashed between the liveness check and delivery.
+            self.stats.delivered -= 1
+            self._drop(message, "node_down")
+
+    def _drop(self, message: Message, reason: str) -> None:
+        counter = f"dropped_{reason}"
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        self._notify(f"drop:{reason}", message)
+
+    def _notify(self, event: str, message: Message) -> None:
+        for tap in self.taps:
+            tap(event, message)
+
+    # -- convenience --------------------------------------------------------
+
+    def live_nodes(self) -> Iterable[Node]:
+        return [node for node in self.nodes.values() if node.up]
+
+    def utilisation_map(self) -> dict[str, float]:
+        """Current utilisation per live node — the RAML observation feed."""
+        return {name: n.utilisation for name, n in self.nodes.items() if n.up}

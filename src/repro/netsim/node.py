@@ -1,0 +1,157 @@
+"""Simulated hosts.
+
+A :class:`Node` models one hardware platform from the paper's deployment
+concern: it has a CPU capacity, a fluctuating utilisation, named message
+endpoints, and can crash and recover.  Load figures feed the geographical
+reconfiguration planner ("host components on a less loaded hardware").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import CapacityError, NodeDownError
+from repro.events import Simulator
+from repro.netsim.message import Message
+
+#: Signature of an endpoint handler: receives the delivering node and message.
+EndpointHandler = Callable[["Node", Message], None]
+
+
+class Node:
+    """One simulated host.
+
+    CPU accounting model: work is expressed in abstract *cpu units*; a node
+    executes ``capacity`` units per time unit.  ``execution_time(work)``
+    converts work to simulated delay, inflated by current utilisation so a
+    loaded node runs visibly slower — the effect that motivates migration.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        capacity: float = 100.0,
+        region: str = "default",
+    ) -> None:
+        if capacity <= 0:
+            raise CapacityError(f"node capacity must be positive, got {capacity}")
+        self.name = name
+        self.sim = sim
+        self.capacity = capacity
+        self.region = region
+        self.up = True
+        self._endpoints: dict[str, EndpointHandler] = {}
+        self._background_load = 0.0  # externally imposed utilisation in [0, 1)
+        self._reserved = 0.0  # cpu units/time reserved by hosted components
+        self.delivered_messages = 0
+        self.dropped_messages = 0
+        self.crash_count = 0
+        self.on_crash: list[Callable[["Node"], None]] = []
+        self.on_recover: list[Callable[["Node"], None]] = []
+
+    # -- load accounting ---------------------------------------------------
+
+    @property
+    def background_load(self) -> float:
+        return self._background_load
+
+    def set_background_load(self, utilisation: float) -> None:
+        """Impose external utilisation in [0, 1); drives load fluctuation."""
+        self._background_load = min(max(utilisation, 0.0), 0.99)
+
+    @property
+    def reserved(self) -> float:
+        return self._reserved
+
+    def reserve(self, cpu_units: float) -> None:
+        """Reserve steady-state capacity for a hosted component."""
+        if self._reserved + cpu_units > self.capacity:
+            raise CapacityError(
+                f"node {self.name!r} cannot reserve {cpu_units} units: "
+                f"{self._reserved}/{self.capacity} already reserved"
+            )
+        self._reserved += cpu_units
+
+    def release(self, cpu_units: float) -> None:
+        """Release previously reserved capacity."""
+        self._reserved = max(0.0, self._reserved - cpu_units)
+
+    @property
+    def utilisation(self) -> float:
+        """Effective utilisation in [0, 1): background plus reservations."""
+        return min(0.99, self._background_load + self._reserved / self.capacity)
+
+    def execution_time(self, work: float) -> float:
+        """Simulated time to execute ``work`` cpu units at current load.
+
+        An M/M/1-style inflation ``1 / (1 - utilisation)`` models queueing
+        behind the existing load.
+        """
+        base = work / self.capacity
+        return base / (1.0 - self.utilisation)
+
+    # -- endpoints ----------------------------------------------------------
+
+    def bind_endpoint(self, name: str, handler: EndpointHandler) -> None:
+        """Expose a named message endpoint on this node."""
+        self._endpoints[name] = handler
+
+    def unbind_endpoint(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def has_endpoint(self, name: str) -> bool:
+        return name in self._endpoints
+
+    def endpoints(self) -> Iterable[str]:
+        return tuple(self._endpoints)
+
+    def deliver(self, message: Message) -> None:
+        """Deliver a message to the addressed endpoint.
+
+        Raises :class:`NodeDownError` if the node is down; messages to
+        unknown endpoints are counted as drops (the upper layer observes
+        the absence of a reply, as it would in a real system).
+        """
+        if not self.up:
+            raise NodeDownError(f"node {self.name!r} is down")
+        handler = self._endpoints.get(message.endpoint)
+        if handler is None:
+            self.dropped_messages += 1
+            return
+        self.delivered_messages += 1
+        handler(self, message)
+
+    # -- failure -----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the node down; hosted endpoints stop receiving."""
+        if not self.up:
+            return
+        self.up = False
+        self.crash_count += 1
+        for callback in list(self.on_crash):
+            callback(self)
+
+    def recover(self) -> None:
+        """Bring the node back up (endpoints remain bound)."""
+        if self.up:
+            return
+        self.up = True
+        for callback in list(self.on_recover):
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "DOWN"
+        return f"Node({self.name!r}, {state}, util={self.utilisation:.2f})"
+
+
+def least_loaded(nodes: Iterable[Node]) -> Node:
+    """Return the live node with the lowest utilisation.
+
+    Raises :class:`NodeDownError` when no node is up.
+    """
+    candidates = [node for node in nodes if node.up]
+    if not candidates:
+        raise NodeDownError("no live node available")
+    return min(candidates, key=lambda node: (node.utilisation, node.name))

@@ -1,0 +1,130 @@
+"""Topology builders.
+
+Canonical shapes used by the examples and benchmarks.  All builders take a
+:class:`~repro.events.Simulator` and return a populated
+:class:`~repro.netsim.network.Network`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+from repro.events import Simulator
+from repro.netsim.network import Network
+
+
+def star(
+    sim: Simulator,
+    leaves: int = 4,
+    hub_capacity: float = 400.0,
+    leaf_capacity: float = 100.0,
+    latency: float = 0.002,
+    bandwidth: float = 1_000_000.0,
+    seed: int = 0,
+) -> Network:
+    """A hub node ``hub`` with ``leaves`` leaf nodes ``leaf0..leafN-1``."""
+    if leaves < 1:
+        raise NetworkError("star topology needs at least one leaf")
+    net = Network(sim, seed=seed)
+    net.add_node("hub", capacity=hub_capacity)
+    for i in range(leaves):
+        name = f"leaf{i}"
+        net.add_node(name, capacity=leaf_capacity)
+        net.add_link("hub", name, latency=latency, bandwidth=bandwidth)
+    return net
+
+
+def line(
+    sim: Simulator,
+    length: int = 4,
+    capacity: float = 100.0,
+    latency: float = 0.002,
+    bandwidth: float = 1_000_000.0,
+    seed: int = 0,
+) -> Network:
+    """Nodes ``n0 - n1 - ... - n(length-1)`` in a chain."""
+    if length < 2:
+        raise NetworkError("line topology needs at least two nodes")
+    net = Network(sim, seed=seed)
+    for i in range(length):
+        net.add_node(f"n{i}", capacity=capacity)
+    for i in range(length - 1):
+        net.add_link(f"n{i}", f"n{i + 1}", latency=latency, bandwidth=bandwidth)
+    return net
+
+
+def ring(
+    sim: Simulator,
+    size: int = 5,
+    capacity: float = 100.0,
+    latency: float = 0.002,
+    bandwidth: float = 1_000_000.0,
+    seed: int = 0,
+) -> Network:
+    """Nodes ``n0..n(size-1)`` connected in a cycle."""
+    if size < 3:
+        raise NetworkError("ring topology needs at least three nodes")
+    net = Network(sim, seed=seed)
+    for i in range(size):
+        net.add_node(f"n{i}", capacity=capacity)
+    for i in range(size):
+        net.add_link(f"n{i}", f"n{(i + 1) % size}", latency=latency, bandwidth=bandwidth)
+    return net
+
+
+def full_mesh(
+    sim: Simulator,
+    size: int = 4,
+    capacity: float = 100.0,
+    latency: float = 0.002,
+    bandwidth: float = 1_000_000.0,
+    seed: int = 0,
+) -> Network:
+    """Every node linked to every other node."""
+    if size < 2:
+        raise NetworkError("mesh topology needs at least two nodes")
+    net = Network(sim, seed=seed)
+    for i in range(size):
+        net.add_node(f"n{i}", capacity=capacity)
+    for i in range(size):
+        for j in range(i + 1, size):
+            net.add_link(f"n{i}", f"n{j}", latency=latency, bandwidth=bandwidth)
+    return net
+
+
+def datacenter(
+    sim: Simulator,
+    racks: int = 2,
+    hosts_per_rack: int = 4,
+    host_capacity: float = 100.0,
+    rack_latency: float = 0.0005,
+    core_latency: float = 0.002,
+    bandwidth: float = 10_000_000.0,
+    seed: int = 0,
+) -> Network:
+    """Two-tier datacenter: core switch, rack switches, hosts.
+
+    Switch nodes (``core``, ``rackN``) have tiny capacity and are not meant
+    to host components; hosts are named ``rackN-hostM``.
+    """
+    if racks < 1 or hosts_per_rack < 1:
+        raise NetworkError("datacenter needs at least one rack and host")
+    net = Network(sim, seed=seed)
+    net.add_node("core", capacity=1.0, region="switch")
+    for r in range(racks):
+        rack = f"rack{r}"
+        net.add_node(rack, capacity=1.0, region="switch")
+        net.add_link("core", rack, latency=core_latency, bandwidth=bandwidth)
+        for h in range(hosts_per_rack):
+            host = f"{rack}-host{h}"
+            net.add_node(host, capacity=host_capacity, region=rack)
+            net.add_link(rack, host, latency=rack_latency, bandwidth=bandwidth)
+    return net
+
+
+def hosts(net: Network) -> list[str]:
+    """Names of nodes meant to host components (excludes switches)."""
+    return [
+        name
+        for name, node in net.nodes.items()
+        if node.region != "switch"
+    ]

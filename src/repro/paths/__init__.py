@@ -1,0 +1,11 @@
+"""Composition paths (S12): staged service families with context-driven
+path planning, after Hong & Landay's automatic path creation."""
+
+from repro.paths.path import (
+    CompositionPath,
+    PathFamily,
+    PathPlanner,
+    ServiceOption,
+)
+
+__all__ = ["CompositionPath", "PathFamily", "PathPlanner", "ServiceOption"]

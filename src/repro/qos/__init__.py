@@ -1,0 +1,30 @@
+"""QoS contracts and monitoring (S16).
+
+Sliding-window metric series, contracted obligations over windowed
+statistics, and a periodic monitor emitting compliance transitions.
+"""
+
+from repro.qos.contract import (
+    Comparator,
+    ComplianceReport,
+    Obligation,
+    ObligationStatus,
+    QosContract,
+    Statistic,
+)
+from repro.qos.metrics import MetricRegistry, MetricSeries
+from repro.qos.monitor import ComplianceListener, MonitorStats, QosMonitor
+
+__all__ = [
+    "Comparator",
+    "ComplianceListener",
+    "ComplianceReport",
+    "MetricRegistry",
+    "MetricSeries",
+    "MonitorStats",
+    "Obligation",
+    "ObligationStatus",
+    "QosContract",
+    "QosMonitor",
+    "Statistic",
+]

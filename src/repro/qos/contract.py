@@ -1,0 +1,156 @@
+"""QoS contracts.
+
+"Systems should also keep compliant with the contracted quality of
+service."  A :class:`QosContract` is a set of obligations over observed
+metrics; evaluation yields a compliance report per obligation that the
+monitor (and RAML) acts upon.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import QosError
+from repro.qos.metrics import MetricRegistry, MetricSeries
+
+
+class Statistic(enum.Enum):
+    """Which windowed statistic an obligation constrains."""
+
+    MEAN = "mean"
+    P50 = "p50"
+    P95 = "p95"
+    P99 = "p99"
+    MAX = "max"
+    MIN = "min"
+    LAST = "last"
+    RATE = "rate"
+
+    def evaluate(self, series: MetricSeries, now: float) -> float:
+        if self is Statistic.MEAN:
+            return series.mean()
+        if self is Statistic.P50:
+            return series.percentile(50)
+        if self is Statistic.P95:
+            return series.percentile(95)
+        if self is Statistic.P99:
+            return series.percentile(99)
+        if self is Statistic.MAX:
+            return series.maximum()
+        if self is Statistic.MIN:
+            return series.minimum()
+        if self is Statistic.LAST:
+            return series.last()
+        return series.rate(now)
+
+
+class Comparator(enum.Enum):
+    LE = "<="
+    GE = ">="
+
+    def holds(self, observed: float, threshold: float) -> bool:
+        if self is Comparator.LE:
+            return observed <= threshold
+        return observed >= threshold
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One contracted bound: ``statistic(metric) comparator threshold``."""
+
+    metric: str
+    statistic: Statistic
+    comparator: Comparator
+    threshold: float
+    #: Obligations on empty series are vacuously compliant unless strict.
+    strict: bool = False
+
+    def describe(self) -> str:
+        return (f"{self.statistic.value}({self.metric}) "
+                f"{self.comparator.value} {self.threshold}")
+
+
+@dataclass
+class ObligationStatus:
+    obligation: Obligation
+    observed: float
+    compliant: bool
+    vacuous: bool = False
+
+
+@dataclass
+class ComplianceReport:
+    """Outcome of evaluating a contract at one instant."""
+
+    contract: str
+    at: float
+    statuses: list[ObligationStatus] = field(default_factory=list)
+
+    @property
+    def compliant(self) -> bool:
+        return all(status.compliant for status in self.statuses)
+
+    @property
+    def violations(self) -> list[ObligationStatus]:
+        return [s for s in self.statuses if not s.compliant]
+
+    def __bool__(self) -> bool:
+        return self.compliant
+
+
+class QosContract:
+    """A named bundle of obligations, evaluable against a registry."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise QosError("contract name must be non-empty")
+        self.name = name
+        self.obligations: list[Obligation] = []
+
+    # -- fluent construction -----------------------------------------------
+
+    def require_max(self, metric: str, threshold: float,
+                    statistic: Statistic = Statistic.MEAN,
+                    strict: bool = False) -> "QosContract":
+        """Contract ``statistic(metric) <= threshold``."""
+        self.obligations.append(
+            Obligation(metric, statistic, Comparator.LE, threshold, strict)
+        )
+        return self
+
+    def require_min(self, metric: str, threshold: float,
+                    statistic: Statistic = Statistic.MEAN,
+                    strict: bool = False) -> "QosContract":
+        """Contract ``statistic(metric) >= threshold``."""
+        self.obligations.append(
+            Obligation(metric, statistic, Comparator.GE, threshold, strict)
+        )
+        return self
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, registry: MetricRegistry, now: float) -> ComplianceReport:
+        report = ComplianceReport(self.name, now)
+        for obligation in self.obligations:
+            if obligation.metric not in registry:
+                report.statuses.append(ObligationStatus(
+                    obligation, float("nan"),
+                    compliant=not obligation.strict, vacuous=True,
+                ))
+                continue
+            series = registry.series(obligation.metric)
+            if series.empty:
+                report.statuses.append(ObligationStatus(
+                    obligation, float("nan"),
+                    compliant=not obligation.strict, vacuous=True,
+                ))
+                continue
+            observed = obligation.statistic.evaluate(series, now)
+            report.statuses.append(ObligationStatus(
+                obligation, observed,
+                compliant=obligation.comparator.holds(
+                    observed, obligation.threshold
+                ),
+            ))
+        return report

@@ -1,0 +1,147 @@
+"""Metric collection.
+
+Sliding-window time series for the QoS parameters the paper's
+quality-aware middleware monitors: latency, throughput, loss, load,
+jitter.  Windows are time-based (simulated seconds), so statistics track
+"periodical measurements on the evolving infrastructure".
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable
+
+from repro.errors import QosError
+
+
+class MetricSeries:
+    """A sliding window of (timestamp, value) samples."""
+
+    def __init__(self, name: str, window: float = 10.0) -> None:
+        if window <= 0:
+            raise QosError(f"metric window must be positive, got {window}")
+        self.name = name
+        self.window = window
+        self._times: list[float] = []
+        self._values: list[float] = []
+        self.total_samples = 0
+
+    def record(self, value: float, now: float) -> None:
+        """Add a sample at simulated time ``now`` and expire old ones."""
+        if self._times and now < self._times[-1]:
+            raise QosError(
+                f"metric {self.name!r}: samples must arrive in time order "
+                f"({now} < {self._times[-1]})"
+            )
+        self._times.append(now)
+        self._values.append(float(value))
+        self.total_samples += 1
+        self._expire(now)
+
+    def reset(self) -> None:
+        """Drop all samples (e.g. after a repair invalidates the window)."""
+        self._times.clear()
+        self._values.clear()
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        keep_from = bisect.bisect_right(self._times, cutoff)
+        if keep_from:
+            del self._times[:keep_from]
+            del self._values[:keep_from]
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def empty(self) -> bool:
+        return not self._values
+
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def minimum(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    def maximum(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def last(self) -> float:
+        return self._values[-1] if self._values else 0.0
+
+    def stddev(self) -> float:
+        if len(self._values) < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self._values) / (len(self._values) - 1)
+        )
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (q in [0, 100]) by linear interpolation."""
+        if not 0 <= q <= 100:
+            raise QosError(f"percentile must be in [0, 100], got {q}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high or ordered[low] == ordered[high]:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def rate(self, now: float) -> float:
+        """Samples per time unit over the live window."""
+        if not self._values:
+            return 0.0
+        span = min(self.window, max(now - self._times[0], 1e-9))
+        return len(self._values) / span
+
+    def values(self) -> Iterable[float]:
+        return tuple(self._values)
+
+
+class MetricRegistry:
+    """Named metric series plus convenience recording helpers."""
+
+    def __init__(self, window: float = 10.0) -> None:
+        self.window = window
+        self._series: dict[str, MetricSeries] = {}
+
+    def series(self, name: str) -> MetricSeries:
+        if name not in self._series:
+            self._series[name] = MetricSeries(name, window=self.window)
+        return self._series[name]
+
+    def record(self, name: str, value: float, now: float) -> None:
+        self.series(name).record(value, now)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def snapshot(self, now: float) -> dict[str, dict[str, float]]:
+        """Statistics of every series — the observation record RAML reads."""
+        return {
+            name: {
+                "mean": series.mean(),
+                "p95": series.percentile(95),
+                "max": series.maximum(),
+                "last": series.last(),
+                "rate": series.rate(now),
+                "count": float(series.count),
+            }
+            for name, series in self._series.items()
+        }

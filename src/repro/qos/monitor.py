@@ -1,0 +1,94 @@
+"""QoS monitoring.
+
+A :class:`QosMonitor` periodically evaluates contracts over a metric
+registry and notifies subscribers of compliance transitions — the
+"specified criteria and periodical measurements" that trigger
+reconfiguration and adaptation in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.events import PeriodicTimer, Simulator
+from repro.qos.contract import ComplianceReport, QosContract
+from repro.qos.metrics import MetricRegistry
+
+#: Subscriber signature: fn(event, report) where event is
+#: "violation" | "restored" | "checked".
+ComplianceListener = Callable[[str, ComplianceReport], None]
+
+
+@dataclass
+class MonitorStats:
+    checks: int = 0
+    violations: int = 0
+    restorations: int = 0
+    compliant_checks: int = 0
+
+    @property
+    def compliance_ratio(self) -> float:
+        return self.compliant_checks / self.checks if self.checks else 1.0
+
+
+class QosMonitor:
+    """Periodic contract evaluation with transition notifications."""
+
+    def __init__(self, sim: Simulator, registry: MetricRegistry,
+                 period: float = 1.0) -> None:
+        self.sim = sim
+        self.registry = registry
+        self.period = period
+        self.contracts: list[QosContract] = []
+        self.listeners: list[ComplianceListener] = []
+        self.stats = MonitorStats()
+        self.history: list[ComplianceReport] = []
+        self._compliant: dict[str, bool] = {}
+        self._timer: PeriodicTimer | None = None
+
+    def add_contract(self, contract: QosContract) -> "QosMonitor":
+        self.contracts.append(contract)
+        self._compliant[contract.name] = True
+        return self
+
+    def subscribe(self, listener: ComplianceListener) -> None:
+        self.listeners.append(listener)
+
+    # -- operation ----------------------------------------------------------
+
+    def start(self) -> "QosMonitor":
+        """Begin periodic evaluation."""
+        if self._timer is None or not self._timer.running:
+            self._timer = PeriodicTimer(self.sim, self.period, self.check_now)
+        return self
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def check_now(self) -> list[ComplianceReport]:
+        """Evaluate every contract immediately."""
+        reports = []
+        for contract in self.contracts:
+            report = contract.evaluate(self.registry, self.sim.now)
+            reports.append(report)
+            self.history.append(report)
+            self.stats.checks += 1
+            if report.compliant:
+                self.stats.compliant_checks += 1
+            was_compliant = self._compliant[contract.name]
+            if was_compliant and not report.compliant:
+                self.stats.violations += 1
+                self._notify("violation", report)
+            elif not was_compliant and report.compliant:
+                self.stats.restorations += 1
+                self._notify("restored", report)
+            else:
+                self._notify("checked", report)
+            self._compliant[contract.name] = report.compliant
+        return reports
+
+    def _notify(self, event: str, report: ComplianceReport) -> None:
+        for listener in list(self.listeners):
+            listener(event, report)

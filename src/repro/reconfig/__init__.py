@@ -1,0 +1,69 @@
+"""Dynamic reconfiguration engine (S14).
+
+Change classes for the paper's four change categories, the quiescence
+protocol, global consistency checking, strong-reconfiguration state
+transfer, transactional apply with rollback, and migration planning.
+"""
+
+from repro.reconfig.changes import (
+    AddBinding,
+    AddComponent,
+    Change,
+    ModifyInterface,
+    RemoveBinding,
+    RemoveComponent,
+    ReplaceComponent,
+    ReplaceImplementation,
+    RewireBinding,
+    SwapConnector,
+)
+from repro.reconfig.consistency import ConsistencyReport, check_assembly
+from repro.reconfig.migration import (
+    MigrateComponent,
+    MigrationMove,
+    MigrationPlanner,
+    TrafficMatrix,
+)
+from repro.reconfig.quiescence import (
+    QuiescenceRegion,
+    QuiescenceReport,
+    reach_quiescence,
+)
+from repro.reconfig.state_transfer import (
+    StateTranslator,
+    state_size,
+    transfer_state,
+)
+from repro.reconfig.transaction import (
+    ReconfigurationTransaction,
+    TransactionReport,
+    TransactionState,
+)
+
+__all__ = [
+    "AddBinding",
+    "AddComponent",
+    "Change",
+    "ConsistencyReport",
+    "MigrateComponent",
+    "MigrationMove",
+    "MigrationPlanner",
+    "ModifyInterface",
+    "QuiescenceRegion",
+    "QuiescenceReport",
+    "ReconfigurationTransaction",
+    "RemoveBinding",
+    "RemoveComponent",
+    "ReplaceComponent",
+    "ReplaceImplementation",
+    "RewireBinding",
+    "StateTranslator",
+    "SwapConnector",
+    "TrafficMatrix",
+    "TransactionReport",
+    "TransactionState",
+    "check_assembly",
+    "reach_quiescence",
+    "state_size",
+    "transfer_state",
+]

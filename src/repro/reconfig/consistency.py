@@ -1,0 +1,155 @@
+"""Global consistency checking of configurations.
+
+"One important problem concerning reconfiguration is to assure the
+global consistency of a new configuration."  These checks run inside the
+reconfiguration transaction *after* changes are applied and *before* the
+system is released; any violation triggers rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.assembly import Assembly
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of a consistency sweep; falsy when violations exist."""
+
+    violations: list[str] = field(default_factory=list)
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def check_assembly(assembly: Assembly) -> ConsistencyReport:
+    """Run every structural consistency rule over an assembly."""
+    report = ConsistencyReport()
+    _check_components(assembly, report)
+    _check_bindings(assembly, report)
+    _check_connectors(assembly, report)
+    _check_placement(assembly, report)
+    return report
+
+
+def _check_components(assembly: Assembly, report: ConsistencyReport) -> None:
+    for component in assembly.registry:
+        if component.lifecycle.is_stopped:
+            report.add(
+                f"stopped component {component.name!r} is still registered"
+            )
+        if component.node_name is None:
+            report.add(f"component {component.name!r} is not deployed")
+        elif component.node_name not in assembly.network.nodes:
+            report.add(
+                f"component {component.name!r} is deployed on unknown node "
+                f"{component.node_name!r}"
+            )
+        for port_name, port in component.required.items():
+            if not port.is_bound:
+                report.add(
+                    f"required port {component.name}.{port_name} is unbound"
+                )
+
+
+def _binding_compatible(binding) -> bool:
+    """Structural satisfaction, or adapter-mediated compliance: a port
+    whose interface took a breaking evolution still serves old callers
+    when an installed adapter translates from the caller's interface."""
+    source, target = binding.source, binding.target
+    if target.interface.satisfies(source.interface):
+        return True
+    for adapter in getattr(target, "adapters", []):
+        if (adapter.new.name == target.interface.name
+                and adapter.new.version == target.interface.version
+                and adapter.old.satisfies(source.interface)):
+            return True
+    return False
+
+
+def _check_bindings(assembly: Assembly, report: ConsistencyReport) -> None:
+    for binding in assembly.bindings:
+        source = binding.source
+        target = binding.target
+        if source.binding is not binding:
+            report.add(
+                f"binding {binding.describe()} is stale (port rebound "
+                "elsewhere)"
+            )
+            continue
+        if not _binding_compatible(binding):
+            report.add(
+                f"binding {binding.describe()}: provider "
+                f"{target.interface.name!r} v{target.interface.version} no "
+                f"longer satisfies requirement v{source.interface.version}"
+            )
+        owner = getattr(target, "component", None)
+        if owner is not None:
+            if owner.lifecycle.is_stopped:
+                report.add(
+                    f"binding {binding.describe()} targets stopped component "
+                    f"{owner.name!r}"
+                )
+            elif owner.name not in assembly.registry:
+                report.add(
+                    f"binding {binding.describe()} targets unregistered "
+                    f"component {owner.name!r}"
+                )
+
+
+def _check_connectors(assembly: Assembly, report: ConsistencyReport) -> None:
+    for connector in assembly.connectors.values():
+        if not connector.is_complete():
+            missing = [
+                role.name
+                for role in connector.roles.values()
+                if role.required and role.kind.value == "callee"
+                and not connector.attachments[role.name]
+            ]
+            report.add(
+                f"connector {connector.name!r} has unfilled required roles: "
+                f"{missing}"
+            )
+        for role_name, attachments in connector.attachments.items():
+            for attachment in attachments:
+                owner = getattr(attachment.target, "component", None)
+                if owner is not None and owner.lifecycle.is_stopped:
+                    report.add(
+                        f"connector {connector.name!r} role {role_name!r} "
+                        f"is attached to stopped component {owner.name!r}"
+                    )
+
+
+def _check_placement(assembly: Assembly, report: ConsistencyReport) -> None:
+    for container in assembly.containers.values():
+        for name, descriptor in container.descriptors.items():
+            node = container.node
+            if not descriptor.placement.allows_node(node.name, node.region):
+                report.add(
+                    f"component {name!r} violates its placement constraints "
+                    f"on node {node.name!r}"
+                )
+            for peer in descriptor.placement.colocate_with:
+                if peer in assembly.registry:
+                    peer_node = assembly.registry.lookup(peer).node_name
+                    if peer_node != node.name:
+                        report.add(
+                            f"{name!r} must colocate with {peer!r} but they "
+                            f"are on {node.name!r} and {peer_node!r}"
+                        )
+            for peer in descriptor.placement.separate_from:
+                if peer in assembly.registry:
+                    peer_node = assembly.registry.lookup(peer).node_name
+                    if peer_node == node.name:
+                        report.add(
+                            f"{name!r} must be separated from {peer!r} but "
+                            f"both are on {node.name!r}"
+                        )

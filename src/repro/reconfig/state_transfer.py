@@ -1,0 +1,92 @@
+"""State transfer for strong dynamic reconfiguration.
+
+"New components must be initialized with adequate internal state
+variables, contexts, program counters and registers.  We term such a
+configuration as strong dynamic reconfiguration."
+
+Beyond a plain snapshot copy, replacements across *schema changes*
+(implementation v2 stores state differently) use a
+:class:`StateTranslator` mapping old keys/values to the new layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import StateTransferError
+from repro.kernel.component import Component
+
+
+@dataclass
+class StateTranslator:
+    """Maps a predecessor's state snapshot to a successor's schema.
+
+    ``renames`` maps old keys to new keys; ``converters`` post-process
+    individual (new-key) values; ``defaults`` fill keys the old component
+    never had; ``drop`` lists keys not carried over.
+    """
+
+    renames: dict[str, str] = field(default_factory=dict)
+    converters: dict[str, Callable[[Any], Any]] = field(default_factory=dict)
+    defaults: dict[str, Any] = field(default_factory=dict)
+    drop: frozenset[str] = frozenset()
+
+    def translate(self, snapshot: dict[str, Any]) -> dict[str, Any]:
+        translated: dict[str, Any] = dict(self.defaults)
+        for key, value in snapshot.items():
+            if key in self.drop:
+                continue
+            new_key = self.renames.get(key, key)
+            translated[new_key] = value
+        for key, converter in self.converters.items():
+            if key in translated:
+                translated[key] = converter(translated[key])
+        return translated
+
+
+IDENTITY_TRANSLATOR = StateTranslator()
+
+
+def transfer_state(source: Component, target: Component,
+                   translator: StateTranslator | None = None,
+                   verify: Callable[[dict[str, Any]], bool] | None = None
+                   ) -> dict[str, Any]:
+    """Capture, translate and install state from source to target.
+
+    Returns the snapshot installed in the target.  ``verify`` may inspect
+    the translated snapshot and veto the transfer.
+    """
+    try:
+        snapshot = source.capture_state()
+    except Exception as exc:  # noqa: BLE001 - wrapped with context
+        raise StateTransferError(
+            f"could not capture state of {source.name!r}: {exc}"
+        ) from exc
+    translated = (translator or IDENTITY_TRANSLATOR).translate(snapshot)
+    if verify is not None and not verify(translated):
+        raise StateTransferError(
+            f"translated state of {source.name!r} failed verification"
+        )
+    try:
+        target.restore_state(translated)
+    except Exception as exc:  # noqa: BLE001 - wrapped with context
+        raise StateTransferError(
+            f"could not restore state into {target.name!r}: {exc}"
+        ) from exc
+    return translated
+
+
+def state_size(component: Component) -> int:
+    """Rough byte size of a component's state — drives the simulated cost
+    of encoding and shipping state during migration."""
+    import sys
+
+    def sizeof(value: Any) -> int:
+        if isinstance(value, dict):
+            return sum(sizeof(k) + sizeof(v) for k, v in value.items()) + 64
+        if isinstance(value, (list, tuple, set)):
+            return sum(sizeof(v) for v in value) + 56
+        return sys.getsizeof(value)
+
+    return sizeof(component.state)

@@ -1,0 +1,247 @@
+"""Transactional reconfiguration.
+
+A :class:`ReconfigurationTransaction` bundles changes and applies them
+with the guarantees the paper demands:
+
+1. **validate** every change against the current configuration;
+2. **quiesce** the affected region (block channels, drain calls);
+3. **apply** the changes, keeping an undo log;
+4. **check global consistency** of the result;
+5. **release** the region (flush buffered traffic) — or, on any failure,
+   **roll back** the undo log and release, leaving the original
+   configuration intact.
+
+The reconfiguration window occupies simulated time (the sum of change
+costs), so concurrent traffic observes a realistic freeze.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import (
+    ConsistencyError,
+    QuiescenceError,
+    ReconfigurationError,
+    RollbackError,
+)
+from repro.kernel.assembly import Assembly
+from repro.reconfig.changes import Change, ReplaceComponent
+from repro.reconfig.consistency import check_assembly
+from repro.reconfig.quiescence import QuiescenceRegion, reach_quiescence
+
+
+class TransactionState(enum.Enum):
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled-back"
+    FAILED = "failed"
+
+
+@dataclass
+class TransactionReport:
+    """What happened during one reconfiguration transaction."""
+
+    name: str
+    state: TransactionState = TransactionState.PENDING
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    blocked_duration: float = 0.0
+    buffered_calls: int = 0
+    applied_changes: list[str] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class ReconfigurationTransaction:
+    """Builder + executor for one atomic reconfiguration."""
+
+    def __init__(self, assembly: Assembly, name: str = "reconfig") -> None:
+        self.assembly = assembly
+        self.name = name
+        self.changes: list[Change] = []
+        self.report = TransactionReport(name)
+
+    def add(self, change: Change) -> "ReconfigurationTransaction":
+        self.changes.append(change)
+        return self
+
+    # -- region computation ----------------------------------------------------
+
+    def region(self) -> QuiescenceRegion:
+        """The components and channels that must be frozen."""
+        components = []
+        seen = set()
+        for change in self.changes:
+            for component in change.affected_components(self.assembly):
+                if component.name not in seen:
+                    seen.add(component.name)
+                    components.append(component)
+        bindings = []
+        for component in components:
+            for binding in self.assembly.bindings_touching(component.name):
+                if binding not in bindings:
+                    bindings.append(binding)
+        return QuiescenceRegion(components, bindings)
+
+    def window_cost(self) -> float:
+        """Simulated time the reconfiguration window stays open."""
+        return sum(change.cost() for change in self.changes)
+
+    # -- synchronous execution ------------------------------------------------
+
+    def execute(self) -> TransactionReport:
+        """Validate → quiesce (immediately) → apply → check → release.
+
+        Synchronous variant: assumes no call is in progress (true between
+        simulator events).  Raises on failure *after* rolling back.
+        """
+        if self.report.state is not TransactionState.PENDING:
+            raise ReconfigurationError(
+                f"transaction {self.name!r} was already executed"
+            )
+        sim = self.assembly.sim
+        self.report.started_at = sim.now
+
+        # Pre-validate the first change only: later changes may depend on
+        # earlier ones, so they are validated just before they apply.
+        if self.changes:
+            try:
+                self.changes[0].validate(self.assembly)
+            except ConsistencyError as exc:
+                self.report.state = TransactionState.FAILED
+                self.report.error = str(exc)
+                self.report.finished_at = sim.now
+                raise
+
+        region = self.region()
+        region.block(now=sim.now)
+        if not region.is_drained():
+            region.release(now=sim.now)
+            self.report.state = TransactionState.FAILED
+            self.report.error = "region not idle"
+            raise QuiescenceError(
+                f"transaction {self.name!r}: affected components are mid-call; "
+                "use execute_async under live traffic"
+            )
+        region.passivate(now=sim.now)
+
+        applied: list[Change] = []
+        try:
+            for change in self.changes:
+                change.validate(self.assembly)
+                change.apply(self.assembly)
+                applied.append(change)
+                self.report.applied_changes.append(change.description)
+            consistency = check_assembly(self.assembly)
+            if not consistency:
+                raise ConsistencyError(
+                    "post-change consistency violations: "
+                    + "; ".join(consistency.violations)
+                )
+        except Exception as exc:
+            self._rollback(applied)
+            region.release(now=sim.now)
+            self.report.state = (
+                TransactionState.FAILED if not applied
+                else TransactionState.ROLLED_BACK
+            )
+            self.report.error = str(exc)
+            self.report.finished_at = sim.now
+            self.report.blocked_duration = region.report.blocked_duration
+            raise
+
+        # Commit: finalise replacements and release immediately.  The
+        # synchronous variant does not advance simulated time; use
+        # execute_async for a realistic timed window under live traffic.
+        for change in applied:
+            if isinstance(change, ReplaceComponent):
+                change.commit(self.assembly)
+        self._finish(region)
+        return self.report
+
+    def _finish(self, region: QuiescenceRegion) -> None:
+        sim = self.assembly.sim
+        region.release(now=sim.now)
+        self.report.blocked_duration = region.report.blocked_duration
+        self.report.buffered_calls = region.report.buffered_calls
+        self.report.state = TransactionState.COMMITTED
+        self.report.finished_at = sim.now
+
+    # -- asynchronous execution --------------------------------------------------
+
+    def execute_async(self, on_done: Callable[[TransactionReport], None]
+                      | None = None,
+                      quiescence_timeout: float = 10.0) -> None:
+        """Run under live traffic: schedule quiescence, apply when drained.
+
+        The window occupies simulated time; buffered calls flush on
+        release.  ``on_done`` receives the final report (committed or
+        rolled back — rollback errors propagate through the event loop).
+        """
+        if self.report.state is not TransactionState.PENDING:
+            raise ReconfigurationError(
+                f"transaction {self.name!r} was already executed"
+            )
+        sim = self.assembly.sim
+        self.report.started_at = sim.now
+
+        if self.changes:
+            self.changes[0].validate(self.assembly)
+
+        region = self.region()
+
+        def when_quiescent() -> None:
+            applied: list[Change] = []
+            try:
+                for change in self.changes:
+                    change.validate(self.assembly)
+                    change.apply(self.assembly)
+                    applied.append(change)
+                    self.report.applied_changes.append(change.description)
+                consistency = check_assembly(self.assembly)
+                if not consistency:
+                    raise ConsistencyError(
+                        "post-change consistency violations: "
+                        + "; ".join(consistency.violations)
+                    )
+            except Exception as exc:  # noqa: BLE001 - rolled back below
+                self._rollback(applied)
+                region.release(now=sim.now)
+                self.report.state = TransactionState.ROLLED_BACK
+                self.report.error = str(exc)
+                self.report.finished_at = sim.now
+                if on_done is not None:
+                    on_done(self.report)
+                return
+            for change in applied:
+                if isinstance(change, ReplaceComponent):
+                    change.commit(self.assembly)
+
+            def finish() -> None:
+                self._finish(region)
+                if on_done is not None:
+                    on_done(self.report)
+
+            sim.schedule(self.window_cost(), finish)
+
+        reach_quiescence(region, sim, when_quiescent,
+                         timeout=quiescence_timeout)
+
+    def _rollback(self, applied: list[Change]) -> None:
+        errors = []
+        for change in reversed(applied):
+            try:
+                change.revert(self.assembly)
+            except Exception as exc:  # noqa: BLE001 - aggregated
+                errors.append(f"{change.description}: {exc}")
+        if errors:
+            raise RollbackError(
+                f"transaction {self.name!r} rollback failed: "
+                + "; ".join(errors)
+            )

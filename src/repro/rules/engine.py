@@ -1,0 +1,205 @@
+"""The interaction-rule engine.
+
+Rules install as interceptors on the components they govern.  Before
+accepting a rule set the engine performs FLO/C's semantic check: "to
+guarantee that there is no occurrence of a cycle in the calling tree,
+rules are parsed and semantically checked".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import RuleError
+from repro.kernel.component import Invocation
+from repro.kernel.registry import Registry
+from repro.rules.cycle_check import check_acyclic
+from repro.rules.operators import CallAction, Rule, RuleOperator
+
+
+class RuleEngine:
+    """Holds the rule set and enforces it over registered components."""
+
+    def __init__(self, registry: Registry) -> None:
+        self.registry = registry
+        self.rules: list[Rule] = []
+        #: Deferred (rule, action, invocation) entries from impliesLater.
+        self.deferred: list[tuple[Rule, CallAction, Invocation]] = []
+        #: Buffered (rule, invocation, proceed) entries from waitUntil.
+        self.waiting: list[tuple[Rule, Invocation, Callable]] = []
+        self._installed: dict[str, list] = {}
+        self._pump = None
+
+    # -- rule management ------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> None:
+        """Add one rule after checking the combined set stays acyclic."""
+        if any(existing.name == rule.name for existing in self.rules):
+            raise RuleError(f"rule {rule.name!r} already exists")
+        candidate = self.rules + [rule]
+        check_acyclic(candidate)
+        self.rules.append(rule)
+        self._reinstall()
+
+    def add_rules(self, rules: list[Rule]) -> None:
+        """Add a batch atomically: all or none."""
+        names = {r.name for r in self.rules}
+        for rule in rules:
+            if rule.name in names:
+                raise RuleError(f"rule {rule.name!r} already exists")
+            names.add(rule.name)
+        check_acyclic(self.rules + rules)
+        self.rules.extend(rules)
+        self._reinstall()
+
+    def remove_rule(self, name: str) -> Rule:
+        for rule in self.rules:
+            if rule.name == name:
+                self.rules.remove(rule)
+                self._reinstall()
+                return rule
+        raise RuleError(f"no rule named {name!r}")
+
+    # -- installation -----------------------------------------------------------
+
+    def _reinstall(self) -> None:
+        """Re-sync interceptors on every registered component."""
+        for component_name, entries in self._installed.items():
+            for port, interceptor in entries:
+                try:
+                    port.remove_interceptor(interceptor)
+                except Exception:  # noqa: BLE001 - port may be gone
+                    pass
+        self._installed.clear()
+        for component in self.registry:
+            entries = []
+            for port in component.provided.values():
+                interceptor = self._make_interceptor(component.name, port.name)
+                port.add_interceptor(interceptor)
+                entries.append((port, interceptor))
+            self._installed[component.name] = entries
+
+    def govern(self, component_name: str) -> None:
+        """Install interceptors on a component registered after the rules."""
+        component = self.registry.lookup(component_name)
+        if component_name in self._installed:
+            return
+        entries = []
+        for port in component.provided.values():
+            interceptor = self._make_interceptor(component.name, port.name)
+            port.add_interceptor(interceptor)
+            entries.append((port, interceptor))
+        self._installed[component_name] = entries
+
+    def _make_interceptor(self, component_name: str, port_name: str) -> Callable:
+        def interceptor(invocation: Invocation, proceed: Callable) -> Any:
+            return self._apply_rules(component_name, invocation, proceed)
+
+        return interceptor
+
+    # -- semantics -----------------------------------------------------------------
+
+    def _matching(self, component_name: str, operation: str) -> list[Rule]:
+        return [
+            rule for rule in self.rules
+            if rule.trigger.matches(component_name, operation)
+        ]
+
+    def _apply_rules(self, component_name: str, invocation: Invocation,
+                     proceed: Callable) -> Any:
+        matching = self._matching(component_name, invocation.operation)
+
+        for rule in matching:
+            if rule.operator is RuleOperator.PERMITTED_IF:
+                assert rule.guard is not None
+                if not rule.guard(invocation):
+                    raise RuleError(
+                        f"rule {rule.name!r}: {component_name}."
+                        f"{invocation.operation} is not permitted"
+                    )
+                rule.fire_count += 1
+
+        for rule in matching:
+            if rule.operator is RuleOperator.WAIT_UNTIL:
+                assert rule.guard is not None
+                if not rule.guard(invocation):
+                    self.waiting.append((rule, invocation, proceed))
+                    return None
+
+        for rule in matching:
+            if rule.operator is RuleOperator.IMPLIES_BEFORE:
+                self._run_action(rule, invocation)
+
+        result = proceed(invocation)
+
+        for rule in matching:
+            if rule.operator is RuleOperator.IMPLIES:
+                self._run_action(rule, invocation)
+            elif rule.operator is RuleOperator.IMPLIES_LATER:
+                assert rule.action is not None
+                self.deferred.append((rule, rule.action, invocation))
+
+        return result
+
+    def _run_action(self, rule: Rule, trigger_invocation: Invocation) -> Any:
+        assert rule.action is not None
+        rule.fire_count += 1
+        component = self.registry.lookup(rule.action.component)
+        args = rule.action.args_builder(trigger_invocation)
+        action_invocation = Invocation(
+            rule.action.operation, tuple(args), caller=f"rule:{rule.name}"
+        )
+        for port in component.provided.values():
+            if rule.action.operation in port.interface:
+                return port.invoke(action_invocation)
+        raise RuleError(
+            f"rule {rule.name!r}: component {rule.action.component!r} has no "
+            f"operation {rule.action.operation!r}"
+        )
+
+    # -- pumps ---------------------------------------------------------------------
+
+    def run_deferred(self) -> int:
+        """Execute queued impliesLater actions; returns how many ran."""
+        pending, self.deferred = self.deferred, []
+        for rule, action, invocation in pending:
+            self._run_action(rule, invocation)
+        return len(pending)
+
+    def poke_waiting(self) -> int:
+        """Re-evaluate waitUntil guards; release and run newly-satisfied
+        invocations (in arrival order).  Returns how many were released."""
+        released = 0
+        still_waiting = []
+        for rule, invocation, proceed in self.waiting:
+            assert rule.guard is not None
+            if rule.guard(invocation):
+                rule.fire_count += 1
+                proceed(invocation)
+                released += 1
+            else:
+                still_waiting.append((rule, invocation, proceed))
+        self.waiting = still_waiting
+        return released
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self.waiting)
+
+    def start(self, sim, period: float = 0.1) -> "RuleEngine":
+        """Pump deferred actions and waiting guards on the simulated
+        clock — impliesLater becomes genuinely *later* and waitUntil
+        releases as soon as a pump tick finds its guard open."""
+        from repro.events import PeriodicTimer
+
+        if self._pump is None or not self._pump.running:
+            def tick() -> None:
+                self.run_deferred()
+                self.poke_waiting()
+
+            self._pump = PeriodicTimer(sim, period, tick)
+        return self
+
+    def stop(self) -> None:
+        if self._pump is not None:
+            self._pump.stop()

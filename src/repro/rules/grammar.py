@@ -1,0 +1,96 @@
+"""A small textual grammar for interaction rules.
+
+Rule syntax (one rule per line; ``#`` starts a comment)::
+
+    when billing.charge implies audit.log
+    when billing.charge impliesBefore auth.check
+    when media.frame impliesLater stats.count
+    permit admin.shutdown if is_admin
+    wait queue.pop until not_empty
+
+Named guards (``is_admin``, ``not_empty``) are resolved against the
+``guards`` mapping supplied to :func:`parse_rules`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Mapping
+
+from repro.errors import RuleError
+from repro.rules.operators import CallAction, CallPattern, Rule, RuleOperator
+
+_WHEN_RE = re.compile(
+    r"^when\s+(?P<trigger>\S+)\s+"
+    r"(?P<operator>implies|impliesBefore|impliesLater)\s+"
+    r"(?P<action>\S+)$"
+)
+_PERMIT_RE = re.compile(
+    r"^permit\s+(?P<trigger>\S+)\s+if\s+(?P<guard>\w+)$"
+)
+_WAIT_RE = re.compile(
+    r"^wait\s+(?P<trigger>\S+)\s+until\s+(?P<guard>\w+)$"
+)
+
+
+def parse_rule(line: str, guards: Mapping[str, Callable[[Any], bool]] | None = None,
+               name: str = "") -> Rule:
+    """Parse a single rule line."""
+    guards = guards or {}
+    text = line.strip()
+    rule_name = name or f"rule:{text}"
+
+    match = _WHEN_RE.match(text)
+    if match:
+        return Rule(
+            name=rule_name,
+            trigger=CallPattern.parse(match.group("trigger")),
+            operator=RuleOperator.parse(match.group("operator")),
+            action=CallAction.parse(match.group("action")),
+        )
+
+    match = _PERMIT_RE.match(text)
+    if match:
+        guard = _lookup_guard(guards, match.group("guard"), text)
+        return Rule(
+            name=rule_name,
+            trigger=CallPattern.parse(match.group("trigger")),
+            operator=RuleOperator.PERMITTED_IF,
+            guard=guard,
+        )
+
+    match = _WAIT_RE.match(text)
+    if match:
+        guard = _lookup_guard(guards, match.group("guard"), text)
+        return Rule(
+            name=rule_name,
+            trigger=CallPattern.parse(match.group("trigger")),
+            operator=RuleOperator.WAIT_UNTIL,
+            guard=guard,
+        )
+
+    raise RuleError(f"cannot parse rule {line!r}")
+
+
+def _lookup_guard(guards: Mapping[str, Callable[[Any], bool]],
+                  name: str, line: str) -> Callable[[Any], bool]:
+    try:
+        return guards[name]
+    except KeyError:
+        raise RuleError(
+            f"rule {line!r} references unknown guard {name!r}; provide it "
+            "in the guards mapping"
+        ) from None
+
+
+def parse_rules(source: str,
+                guards: Mapping[str, Callable[[Any], bool]] | None = None
+                ) -> list[Rule]:
+    """Parse a multi-line rule script; blank lines and comments ignored."""
+    rules = []
+    for index, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        rules.append(parse_rule(line, guards, name=f"rule{index}"))
+    return rules

@@ -1,0 +1,115 @@
+"""FLO/C-style interaction rule operators.
+
+"FLO/C allows the operator to specify rules that should govern the
+interaction between components or activities, and preserve the integrity
+of the system … The system provides the following operators:
+impliesLater, implies, impliesBefore, permittedIf, and waitUntil."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import RuleError
+
+
+class RuleOperator(enum.Enum):
+    """The five FLO/C operators."""
+
+    IMPLIES = "implies"              # trigger succeeds, then action runs
+    IMPLIES_BEFORE = "impliesBefore"  # action runs before the trigger
+    IMPLIES_LATER = "impliesLater"    # action is queued for later execution
+    PERMITTED_IF = "permittedIf"      # trigger allowed only when guard holds
+    WAIT_UNTIL = "waitUntil"          # trigger buffered until guard holds
+
+    @classmethod
+    def parse(cls, text: str) -> "RuleOperator":
+        for operator in cls:
+            if operator.value == text:
+                return operator
+        raise RuleError(
+            f"unknown rule operator {text!r}; expected one of "
+            f"{', '.join(op.value for op in cls)}"
+        )
+
+
+@dataclass(frozen=True)
+class CallPattern:
+    """A ``component.operation`` pattern; either side may be ``*``."""
+
+    component: str
+    operation: str
+
+    @classmethod
+    def parse(cls, text: str) -> "CallPattern":
+        parts = text.strip().split(".")
+        if len(parts) != 2 or not all(parts):
+            raise RuleError(
+                f"call pattern must be 'component.operation', got {text!r}"
+            )
+        return cls(parts[0], parts[1])
+
+    def matches(self, component: str, operation: str) -> bool:
+        return (self.component in ("*", component)
+                and self.operation in ("*", operation))
+
+    def __str__(self) -> str:
+        return f"{self.component}.{self.operation}"
+
+
+@dataclass(frozen=True)
+class CallAction:
+    """A concrete ``component.operation`` to invoke, with an argument
+    builder receiving the triggering invocation."""
+
+    component: str
+    operation: str
+    args_builder: Callable[[Any], tuple] = field(default=lambda invocation: ())
+
+    @classmethod
+    def parse(cls, text: str,
+              args_builder: Callable[[Any], tuple] | None = None) -> "CallAction":
+        parts = text.strip().split(".")
+        if len(parts) != 2 or not all(parts) or "*" in parts:
+            raise RuleError(
+                f"rule action must be a concrete 'component.operation', "
+                f"got {text!r}"
+            )
+        return cls(parts[0], parts[1], args_builder or (lambda invocation: ()))
+
+    def __str__(self) -> str:
+        return f"{self.component}.{self.operation}"
+
+
+@dataclass
+class Rule:
+    """One interaction rule.
+
+    For IMPLIES/IMPLIES_BEFORE/IMPLIES_LATER, ``action`` names the call to
+    make.  For PERMITTED_IF/WAIT_UNTIL, ``guard`` is the named predicate
+    evaluated against the triggering invocation.
+    """
+
+    name: str
+    trigger: CallPattern
+    operator: RuleOperator
+    action: CallAction | None = None
+    guard: Callable[[Any], bool] | None = None
+    fire_count: int = 0
+
+    def __post_init__(self) -> None:
+        needs_action = self.operator in (
+            RuleOperator.IMPLIES,
+            RuleOperator.IMPLIES_BEFORE,
+            RuleOperator.IMPLIES_LATER,
+        )
+        if needs_action and self.action is None:
+            raise RuleError(
+                f"rule {self.name!r} ({self.operator.value}) needs an action"
+            )
+        if not needs_action and self.guard is None:
+            raise RuleError(
+                f"rule {self.name!r} ({self.operator.value}) needs a guard"
+            )

@@ -1,0 +1,11 @@
+"""Strategy infrastructure (S11): runtime-swappable algorithms with
+introspection-driven selection."""
+
+from repro.strategy.strategy import (
+    SelectionRule,
+    Strategy,
+    StrategySelector,
+    StrategySlot,
+)
+
+__all__ = ["SelectionRule", "Strategy", "StrategySelector", "StrategySlot"]

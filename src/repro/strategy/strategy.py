@@ -1,0 +1,153 @@
+"""Strategy infrastructure.
+
+"The Strategy pattern is commonly used to implement dynamically changing
+algorithms … This pattern separates alternative algorithms that are to be
+changed from the adaptation mechanism that implements the change.
+Introspection mechanisms may capture state changes and set up the
+expected adaptation."
+
+:class:`StrategySlot` holds the interchangeable algorithms and the
+currently selected one; :class:`StrategySelector` is the adaptation
+mechanism: guard rules over an observed context choose the strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import StrategyError
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One interchangeable algorithm with descriptive metadata.
+
+    ``traits`` (e.g. quality, cpu_cost, bandwidth) let selectors reason
+    about candidates without executing them.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    traits: Mapping[str, float] = field(default_factory=dict)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.fn(*args, **kwargs)
+
+
+class StrategySlot:
+    """An atomically swappable algorithm holder.
+
+    The slot itself is callable, so it can serve directly as a component
+    implementation method.
+    """
+
+    def __init__(self, name: str, strategies: list[Strategy] | None = None,
+                 initial: str | None = None) -> None:
+        self.name = name
+        self._strategies: dict[str, Strategy] = {}
+        for strategy in strategies or []:
+            self.register(strategy)
+        self._current: str | None = None
+        #: (strategy_name, reason) switch log for introspection.
+        self.history: list[tuple[str, str]] = []
+        if initial is not None:
+            self.use(initial, reason="initial")
+        elif self._strategies:
+            self.use(next(iter(self._strategies)), reason="initial")
+
+    def register(self, strategy: Strategy) -> None:
+        if strategy.name in self._strategies:
+            raise StrategyError(
+                f"slot {self.name!r} already has strategy {strategy.name!r}"
+            )
+        self._strategies[strategy.name] = strategy
+
+    def unregister(self, name: str) -> None:
+        if name == self._current:
+            raise StrategyError(
+                f"cannot unregister active strategy {name!r} of slot "
+                f"{self.name!r}"
+            )
+        if self._strategies.pop(name, None) is None:
+            raise StrategyError(f"slot {self.name!r} has no strategy {name!r}")
+
+    def names(self) -> list[str]:
+        return sorted(self._strategies)
+
+    @property
+    def current(self) -> Strategy:
+        if self._current is None:
+            raise StrategyError(f"slot {self.name!r} has no active strategy")
+        return self._strategies[self._current]
+
+    @property
+    def current_name(self) -> str | None:
+        return self._current
+
+    def use(self, name: str, reason: str = "") -> None:
+        """Switch the active strategy (atomic)."""
+        if name not in self._strategies:
+            raise StrategyError(
+                f"slot {self.name!r} has no strategy {name!r}; choices: "
+                f"{', '.join(self.names())}"
+            )
+        self._current = name
+        self.history.append((name, reason))
+
+    @property
+    def switch_count(self) -> int:
+        """Number of actual switches (excluding the initial selection)."""
+        return max(0, len(self.history) - 1)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.current(*args, **kwargs)
+
+
+@dataclass
+class SelectionRule:
+    """Guarded choice: when ``condition(context)`` holds, use ``strategy``."""
+
+    condition: Callable[[Mapping[str, float]], bool]
+    strategy: str
+    priority: int = 0
+    label: str = ""
+
+
+class StrategySelector:
+    """Rule-driven strategy selection over an observed context.
+
+    Rules are evaluated by descending priority; the first whose condition
+    holds wins.  ``default`` applies when no rule fires.
+    """
+
+    def __init__(self, slot: StrategySlot, default: str | None = None) -> None:
+        self.slot = slot
+        self.default = default
+        self.rules: list[SelectionRule] = []
+
+    def add_rule(self, condition: Callable[[Mapping[str, float]], bool],
+                 strategy: str, priority: int = 0, label: str = "") -> None:
+        if strategy not in self.slot.names():
+            raise StrategyError(
+                f"selector rule targets unknown strategy {strategy!r}"
+            )
+        self.rules.append(SelectionRule(condition, strategy, priority, label))
+        self.rules.sort(key=lambda rule: -rule.priority)
+
+    def select(self, context: Mapping[str, float]) -> str | None:
+        """Pick and activate a strategy for ``context``.
+
+        Returns the new strategy name when a switch happened, else None.
+        """
+        chosen = self.default
+        reason = "default"
+        for rule in self.rules:
+            if rule.condition(context):
+                chosen = rule.strategy
+                reason = rule.label or f"rule->{rule.strategy}"
+                break
+        if chosen is None or chosen == self.slot.current_name:
+            return None
+        self.slot.use(chosen, reason=reason)
+        return chosen

@@ -1,0 +1,54 @@
+"""Workload generators (S21).
+
+Environment fluctuation profiles and drivers, open/closed-loop request
+traffic, and the paper's motivating multimedia telecom sessions with
+user mobility.
+"""
+
+from repro.workloads.fluctuation import (
+    LinkQualityDriver,
+    NodeLoadDriver,
+    Profile,
+    clamped,
+    composite,
+    constant,
+    random_walk,
+    sinusoidal,
+    square_wave,
+    step,
+)
+from repro.workloads.telecom import (
+    Session,
+    TelecomWorkload,
+    TelecomWorkloadConfig,
+)
+from repro.workloads.traffic import (
+    AsyncTransport,
+    ClosedLoopGenerator,
+    OpenLoopGenerator,
+    TrafficStats,
+    binding_transport,
+    proxy_transport,
+)
+
+__all__ = [
+    "AsyncTransport",
+    "ClosedLoopGenerator",
+    "LinkQualityDriver",
+    "NodeLoadDriver",
+    "OpenLoopGenerator",
+    "Profile",
+    "Session",
+    "TelecomWorkload",
+    "TelecomWorkloadConfig",
+    "TrafficStats",
+    "binding_transport",
+    "clamped",
+    "composite",
+    "constant",
+    "proxy_transport",
+    "random_walk",
+    "sinusoidal",
+    "square_wave",
+    "step",
+]

@@ -1,0 +1,131 @@
+"""Environment fluctuation models.
+
+"The execution context of modern distributed systems is not static but
+fluctuates dynamically."  Profiles are deterministic functions of
+simulated time; drivers sample a profile periodically and apply it to
+node loads or link qualities.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from repro.events import PeriodicTimer, Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+
+#: A profile maps simulated time to a value.
+Profile = Callable[[float], float]
+
+
+def constant(value: float) -> Profile:
+    return lambda t: value
+
+
+def sinusoidal(base: float, amplitude: float, period: float,
+               phase: float = 0.0) -> Profile:
+    """Smooth daily/rush-hour style oscillation."""
+
+    def profile(t: float) -> float:
+        return base + amplitude * math.sin(2 * math.pi * (t / period) + phase)
+
+    return profile
+
+
+def step(before: float, after: float, at: float) -> Profile:
+    """A single regime change (e.g. a link downgrade)."""
+    return lambda t: before if t < at else after
+
+
+def square_wave(low: float, high: float, period: float,
+                duty: float = 0.5) -> Profile:
+    """Bursty on/off load."""
+
+    def profile(t: float) -> float:
+        return high if (t % period) < duty * period else low
+
+    return profile
+
+
+def random_walk(start: float, step_size: float, low: float, high: float,
+                seed: int = 0, dt: float = 1.0) -> Profile:
+    """Seeded bounded random walk, deterministic per (seed, dt).
+
+    Values are pre-generated lazily per integer step so repeated queries
+    at the same time agree.
+    """
+    rng = random.Random(seed)
+    values = [start]
+
+    def profile(t: float) -> float:
+        index = max(0, int(t / dt))
+        while len(values) <= index:
+            nxt = values[-1] + rng.uniform(-step_size, step_size)
+            values.append(min(high, max(low, nxt)))
+        return values[index]
+
+    return profile
+
+
+def composite(*profiles: Profile) -> Profile:
+    """Sum of profiles (e.g. baseline + bursts)."""
+    return lambda t: sum(profile(t) for profile in profiles)
+
+
+def clamped(profile: Profile, low: float, high: float) -> Profile:
+    return lambda t: min(high, max(low, profile(t)))
+
+
+class NodeLoadDriver:
+    """Applies a load profile to a node's background utilisation."""
+
+    def __init__(self, sim: Simulator, node: Node, profile: Profile,
+                 period: float = 0.5) -> None:
+        self.sim = sim
+        self.node = node
+        self.profile = profile
+        self.samples: list[tuple[float, float]] = []
+        self._timer = PeriodicTimer(sim, period, self._apply)
+        self._apply()
+
+    def _apply(self) -> None:
+        value = self.profile(self.sim.now)
+        self.node.set_background_load(value)
+        self.samples.append((self.sim.now, self.node.background_load))
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+
+class LinkQualityDriver:
+    """Applies bandwidth/latency/loss profiles to a link."""
+
+    def __init__(self, sim: Simulator, link: Link,
+                 bandwidth: Profile | None = None,
+                 latency: Profile | None = None,
+                 loss: Profile | None = None,
+                 period: float = 0.5) -> None:
+        self.sim = sim
+        self.link = link
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.loss = loss
+        self.samples: list[tuple[float, float, float, float]] = []
+        self._timer = PeriodicTimer(sim, period, self._apply)
+        self._apply()
+
+    def _apply(self) -> None:
+        now = self.sim.now
+        self.link.set_quality(
+            latency=self.latency(now) if self.latency else None,
+            bandwidth=max(1e-6, self.bandwidth(now)) if self.bandwidth else None,
+            loss=self.loss(now) if self.loss else None,
+        )
+        self.samples.append(
+            (now, self.link.latency, self.link.bandwidth, self.link.loss)
+        )
+
+    def stop(self) -> None:
+        self._timer.stop()

@@ -1,0 +1,160 @@
+"""Multimedia telecom session workloads.
+
+The paper's motivating domain: "the new multimedia telecom services …
+deployed optimally on network equipments, adapted to the available
+resources and reconfigured automatically according to user's mobility,
+preferences, profiles and equipments."  Sessions arrive (Poisson), run
+for a random duration at a frame rate, and may roam between access
+nodes mid-session.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.events import Simulator
+
+
+@dataclass
+class Session:
+    """One multimedia session."""
+
+    session_id: int
+    user: str
+    access_node: str
+    started_at: float
+    duration: float
+    frame_interval: float
+    profile: str = "standard"  # user preference class
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    handovers: int = 0
+    ended: bool = False
+
+    @property
+    def delivery_ratio(self) -> float:
+        return (self.frames_delivered / self.frames_sent
+                if self.frames_sent else 1.0)
+
+
+@dataclass
+class TelecomWorkloadConfig:
+    """Parameters of the session generator."""
+
+    arrival_rate: float = 1.0          # sessions per time unit
+    mean_duration: float = 20.0
+    frame_rate: float = 25.0           # frames per time unit
+    mobility_rate: float = 0.0         # handovers per session time unit
+    profiles: tuple[str, ...] = ("standard", "premium")
+    seed: int = 0
+
+
+class TelecomWorkload:
+    """Generates roaming multimedia sessions over access nodes.
+
+    ``send_frame(session, on_delivered)`` is supplied by the scenario —
+    typically a call through a pipeline connector or an ORB proxy from
+    the session's current access node.
+    """
+
+    def __init__(self, sim: Simulator, access_nodes: list[str],
+                 send_frame: Callable[[Session, Callable[[], None]], None],
+                 config: TelecomWorkloadConfig | None = None) -> None:
+        if not access_nodes:
+            raise ValueError("telecom workload needs at least one access node")
+        self.sim = sim
+        self.access_nodes = list(access_nodes)
+        self.send_frame = send_frame
+        self.config = config or TelecomWorkloadConfig()
+        self.rng = random.Random(self.config.seed)
+        self.sessions: list[Session] = []
+        self._next_id = 1
+        self._running = False
+
+    # -- generation ---------------------------------------------------------
+
+    def start(self, duration: float) -> "TelecomWorkload":
+        """Generate arrivals over ``duration`` simulated seconds."""
+        self._running = True
+        self._stop_at = self.sim.now + duration
+        self._schedule_arrival()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_arrival(self) -> None:
+        if not self._running:
+            return
+        gap = self.rng.expovariate(self.config.arrival_rate)
+        if self.sim.now + gap >= self._stop_at:
+            self._running = False
+            return
+        self.sim.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        config = self.config
+        session = Session(
+            session_id=self._next_id,
+            user=f"user{self._next_id}",
+            access_node=self.rng.choice(self.access_nodes),
+            started_at=self.sim.now,
+            duration=self.rng.expovariate(1.0 / config.mean_duration),
+            frame_interval=1.0 / config.frame_rate,
+            profile=self.rng.choice(list(config.profiles)),
+        )
+        self._next_id += 1
+        self.sessions.append(session)
+        self.sim.call_soon(self._frame, session)
+        if config.mobility_rate > 0 and len(self.access_nodes) > 1:
+            self._schedule_handover(session)
+        self._schedule_arrival()
+
+    def _frame(self, session: Session) -> None:
+        if session.ended:
+            return
+        if self.sim.now - session.started_at >= session.duration:
+            session.ended = True
+            return
+        session.frames_sent += 1
+
+        def delivered() -> None:
+            session.frames_delivered += 1
+
+        self.send_frame(session, delivered)
+        self.sim.schedule(session.frame_interval, self._frame, session)
+
+    def _schedule_handover(self, session: Session) -> None:
+        gap = self.rng.expovariate(self.config.mobility_rate)
+        if gap >= session.duration:
+            return
+
+        def handover() -> None:
+            if session.ended:
+                return
+            others = [n for n in self.access_nodes if n != session.access_node]
+            session.access_node = self.rng.choice(others)
+            session.handovers += 1
+            self._schedule_handover(session)
+
+        self.sim.schedule(gap, handover)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def active_sessions(self) -> list[Session]:
+        return [s for s in self.sessions if not s.ended]
+
+    def summary(self) -> dict[str, float]:
+        total_sent = sum(s.frames_sent for s in self.sessions)
+        total_delivered = sum(s.frames_delivered for s in self.sessions)
+        return {
+            "sessions": float(len(self.sessions)),
+            "frames_sent": float(total_sent),
+            "frames_delivered": float(total_delivered),
+            "delivery_ratio": (total_delivered / total_sent
+                               if total_sent else 1.0),
+            "handovers": float(sum(s.handovers for s in self.sessions)),
+        }

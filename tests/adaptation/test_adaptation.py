@@ -1,0 +1,188 @@
+"""Unit tests for the adaptation engine."""
+
+import pytest
+
+from repro.adaptation import (
+    AdaptationManager,
+    AdaptationPolicy,
+    attach_filters,
+    call,
+    detach_filters,
+    set_connector_policy,
+    switch_strategy,
+)
+from repro.errors import AdaptationError
+from repro.events import Simulator
+from repro.filters import FilterSet, StopFilter, match
+from repro.qos import MetricRegistry
+from repro.strategy import Strategy, StrategySlot
+
+from tests.helpers import echo_interface, make_counter, make_echo
+
+
+def make_manager(period=0.5):
+    sim = Simulator()
+    registry = MetricRegistry(window=5.0)
+    return sim, registry, AdaptationManager(sim, registry, period=period)
+
+
+class TestPolicy:
+    def test_name_required(self):
+        with pytest.raises(AdaptationError):
+            AdaptationPolicy("", condition=lambda ctx: True)
+
+    def test_arm_after_validated(self):
+        with pytest.raises(AdaptationError):
+            AdaptationPolicy("p", condition=lambda ctx: True, arm_after=0)
+
+    def test_fires_when_condition_holds(self):
+        fired = []
+        policy = AdaptationPolicy(
+            "p", condition=lambda ctx: ctx["load"] > 0.5,
+            actions=[lambda ctx: fired.append(ctx["load"])],
+        )
+        assert policy.ready({"load": 0.9}, now=0.0)
+        policy.fire({"load": 0.9}, now=0.0)
+        assert fired == [0.9]
+        assert policy.fired_count == 1
+
+    def test_cooldown_suppresses_refiring(self):
+        policy = AdaptationPolicy("p", condition=lambda ctx: True, cooldown=5.0)
+        assert policy.ready({}, now=0.0)
+        policy.fire({}, now=0.0)
+        assert not policy.ready({}, now=3.0)
+        assert policy.ready({}, now=5.0)
+
+    def test_arm_after_debounces(self):
+        policy = AdaptationPolicy("p", condition=lambda ctx: True, arm_after=3)
+        assert not policy.ready({}, now=0.0)
+        assert not policy.ready({}, now=1.0)
+        assert policy.ready({}, now=2.0)
+
+    def test_streak_resets_on_false_condition(self):
+        values = iter([True, True, False, True, True, True])
+        policy = AdaptationPolicy("p", condition=lambda ctx: next(values),
+                                  arm_after=3)
+        assert not policy.ready({}, now=0.0)
+        assert not policy.ready({}, now=1.0)
+        assert not policy.ready({}, now=2.0)  # False resets
+        assert not policy.ready({}, now=3.0)
+        assert not policy.ready({}, now=4.0)
+        assert policy.ready({}, now=5.0)
+
+    def test_one_shot_exhausts(self):
+        policy = AdaptationPolicy("p", condition=lambda ctx: True,
+                                  one_shot=True)
+        policy.fire({}, now=0.0)
+        assert not policy.ready({}, now=100.0)
+
+
+class TestManager:
+    def test_duplicate_policy_rejected(self):
+        _sim, _registry, manager = make_manager()
+        manager.add_policy(AdaptationPolicy("p", condition=lambda ctx: False))
+        with pytest.raises(AdaptationError):
+            manager.add_policy(AdaptationPolicy("p", condition=lambda ctx: False))
+
+    def test_remove_policy(self):
+        _sim, _registry, manager = make_manager()
+        manager.add_policy(AdaptationPolicy("p", condition=lambda ctx: False))
+        manager.remove_policy("p")
+        with pytest.raises(AdaptationError):
+            manager.remove_policy("p")
+
+    def test_context_flattens_metrics_and_probes(self):
+        sim, registry, manager = make_manager()
+        registry.record("latency", 0.2, now=0.0)
+        manager.add_probe("battery", lambda: 0.8)
+        context = manager.context()
+        assert context["latency.mean"] == pytest.approx(0.2)
+        assert context["battery"] == 0.8
+
+    def test_evaluate_fires_matching_policies(self):
+        sim, registry, manager = make_manager()
+        registry.record("latency", 0.9, now=0.0)
+        hits = []
+        manager.add_policy(AdaptationPolicy(
+            "degrade", condition=lambda ctx: ctx.get("latency.mean", 0) > 0.5,
+            actions=[lambda ctx: hits.append("degrade")],
+        ))
+        fired = manager.evaluate()
+        assert fired == ["degrade"]
+        assert manager.log[0].policy == "degrade"
+
+    def test_priority_orders_evaluation(self):
+        _sim, _registry, manager = make_manager()
+        order = []
+        manager.add_policy(AdaptationPolicy(
+            "low", condition=lambda ctx: True, priority=1,
+            actions=[lambda ctx: order.append("low")]))
+        manager.add_policy(AdaptationPolicy(
+            "high", condition=lambda ctx: True, priority=9,
+            actions=[lambda ctx: order.append("high")]))
+        manager.evaluate()
+        assert order == ["high", "low"]
+
+    def test_periodic_evaluation(self):
+        sim, registry, manager = make_manager(period=1.0)
+        registry.record("load", 0.9, now=0.0)
+        counter = []
+        manager.add_policy(AdaptationPolicy(
+            "tick", condition=lambda ctx: ctx.get("load.last", 0) > 0.5,
+            actions=[lambda ctx: counter.append(1)], cooldown=0.0,
+        ))
+        manager.start()
+        sim.run(until=3.5)
+        manager.stop()
+        assert len(counter) == 3
+
+    def test_on_violation_listener_reacts_immediately(self):
+        sim, registry, manager = make_manager()
+        hits = []
+        manager.add_policy(AdaptationPolicy(
+            "react", condition=lambda ctx: True,
+            actions=[lambda ctx: hits.append(sim.now)],
+        ))
+        manager.on_violation("violation", None)
+        manager.on_violation("checked", None)
+        assert hits == [0.0]
+
+
+class TestActions:
+    def test_switch_strategy_action(self):
+        slot = StrategySlot("codec", [
+            Strategy("hq", lambda v: "hq"),
+            Strategy("lq", lambda v: "lq"),
+        ], initial="hq")
+        action = switch_strategy(slot, "lq", reason="congestion")
+        action({})
+        assert slot.current_name == "lq"
+        action({})  # idempotent
+        assert slot.switch_count == 1
+
+    def test_attach_detach_filters_actions(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        filter_set = FilterSet("mute", [StopFilter("absorb", match("increment"))])
+        attach = attach_filters(filter_set, port)
+        detach = detach_filters(filter_set, port)
+        attach({})
+        attach({})  # idempotent
+        assert filter_set.attachment_count == 1
+        detach({})
+        detach({})  # idempotent
+        assert filter_set.attachment_count == 0
+
+    def test_set_connector_policy_action(self):
+        from repro.connectors import LoadBalancerConnector
+
+        lb = LoadBalancerConnector("lb", echo_interface())
+        action = set_connector_policy(lb, "least_busy")
+        action({})
+        assert lb.policy == "least_busy"
+
+    def test_call_action(self):
+        hits = []
+        action = call(hits.append, 42)
+        action({})
+        assert hits == [42]

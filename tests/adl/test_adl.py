@@ -1,0 +1,332 @@
+"""Unit tests for the ADL: lexer, parser, validator, builder."""
+
+import pytest
+
+from repro.adl import (
+    build_architecture,
+    check_document,
+    interface_from_decl,
+    lts_from_behaviour,
+    parse_adl,
+    validate_document,
+)
+from repro.errors import AdlSyntaxError, AdlValidationError
+from repro.events import Simulator
+from repro.netsim import star
+
+GOOD_SOURCE = """
+// A counting service with a load-balanced front.
+interface Counter version 1.0 {
+  operation increment(amount?)
+  operation total()
+}
+
+component CounterServer {
+  provides svc : Counter 1.0
+  behaviour {
+    init s0
+    s0 -> s0 : increment
+    s0 -> s0 : total
+    final s0
+  }
+}
+
+component CounterClient {
+  requires peer : Counter 1.0
+}
+
+connector Front kind load-balancer interface Counter 1.0 {
+  option policy = "round_robin"
+  option seed = 7
+}
+
+architecture App {
+  instance client : CounterClient on leaf0
+  instance server1 : CounterServer on leaf1
+  instance server2 : CounterServer on leaf2
+  use lb : Front
+  bind client.peer -> lb.client
+  attach server1.svc -> lb.worker
+  attach server2.svc -> lb.worker
+}
+"""
+
+
+class TestParser:
+    def test_parses_all_declarations(self):
+        document = parse_adl(GOOD_SOURCE)
+        assert set(document.interfaces) == {"Counter"}
+        assert set(document.components) == {"CounterServer", "CounterClient"}
+        assert set(document.connectors) == {"Front"}
+        assert set(document.architectures) == {"App"}
+
+    def test_interface_details(self):
+        document = parse_adl(GOOD_SOURCE)
+        counter = document.interfaces["Counter"]
+        assert counter.version == "1.0"
+        increment = counter.operations[0]
+        assert increment.name == "increment"
+        assert increment.params == ("amount",)
+        assert increment.optional == 1
+
+    def test_behaviour_block(self):
+        document = parse_adl(GOOD_SOURCE)
+        behaviour = document.components["CounterServer"].behaviour
+        assert behaviour.initial == "s0"
+        assert behaviour.final_states == ("s0",)
+        assert len(behaviour.transitions) == 2
+
+    def test_connector_options(self):
+        document = parse_adl(GOOD_SOURCE)
+        options = dict(document.connectors["Front"].options)
+        assert options == {"policy": "round_robin", "seed": 7}
+
+    def test_architecture_details(self):
+        document = parse_adl(GOOD_SOURCE)
+        app = document.architectures["App"]
+        assert len(app.instances) == 3
+        assert app.instances[0].node == "leaf0"
+        assert len(app.binds) == 1
+        assert app.binds[0].target_instance == "lb"
+        assert len(app.attaches) == 2
+
+    def test_comments_ignored(self):
+        document = parse_adl("# hash comment\ninterface I { }\n// slash\n")
+        assert "I" in document.interfaces
+
+    def test_syntax_error_reports_location(self):
+        with pytest.raises(AdlSyntaxError) as error:
+            parse_adl("interface {")
+        assert "line" in str(error.value)
+
+    def test_unexpected_character(self):
+        with pytest.raises(AdlSyntaxError):
+            parse_adl("interface I @ {}")
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(AdlSyntaxError, match="duplicate"):
+            parse_adl("interface I { }\ninterface I { }")
+
+    def test_required_after_optional_param_rejected(self):
+        with pytest.raises(AdlSyntaxError):
+            parse_adl("interface I { operation f(a?, b) }")
+
+
+class TestValidator:
+    def test_good_document_validates(self):
+        assert validate_document(parse_adl(GOOD_SOURCE)) == []
+
+    def test_unknown_interface_in_port(self):
+        source = "component C { provides svc : Ghost }"
+        problems = validate_document(parse_adl(source))
+        assert any("unknown interface" in p for p in problems)
+
+    def test_duplicate_port(self):
+        source = """
+        interface I { }
+        component C { provides p : I  provides p : I }
+        """
+        problems = validate_document(parse_adl(source))
+        assert any("duplicate port" in p for p in problems)
+
+    def test_behaviour_action_must_be_provided(self):
+        source = """
+        interface I { operation f() }
+        component C {
+          provides svc : I
+          behaviour { s0 -> s0 : ghost_op }
+        }
+        """
+        problems = validate_document(parse_adl(source))
+        assert any("ghost_op" in p for p in problems)
+
+    def test_unknown_connector_kind(self):
+        source = """
+        interface I { }
+        connector X kind quantum interface I
+        """
+        problems = validate_document(parse_adl(source))
+        assert any("unknown kind" in p for p in problems)
+
+    def test_bind_to_missing_port(self):
+        source = """
+        interface I { operation f() }
+        component A { requires r : I }
+        component B { provides p : I }
+        architecture App {
+          instance a : A on n0
+          instance b : B on n0
+          bind a.r -> b.ghost
+        }
+        """
+        problems = validate_document(parse_adl(source))
+        assert any("no provided port" in p for p in problems)
+
+    def test_bind_interface_mismatch(self):
+        source = """
+        interface I { operation f() }
+        interface J { operation g() }
+        component A { requires r : I }
+        component B { provides p : J }
+        architecture App {
+          instance a : A on n0
+          instance b : B on n0
+          bind a.r -> b.p
+        }
+        """
+        problems = validate_document(parse_adl(source))
+        assert any("interface mismatch" in p for p in problems)
+
+    def test_bind_to_callee_role_rejected(self):
+        source = """
+        interface I { operation f() }
+        component A { requires r : I }
+        connector C kind rpc interface I
+        architecture App {
+          instance a : A on n0
+          use c : C
+          bind a.r -> c.server
+        }
+        """
+        problems = validate_document(parse_adl(source))
+        assert any("not a caller role" in p for p in problems)
+
+    def test_attach_to_caller_role_rejected(self):
+        source = """
+        interface I { operation f() }
+        component B { provides p : I }
+        connector C kind rpc interface I
+        architecture App {
+          instance b : B on n0
+          use c : C
+          attach b.p -> c.client
+        }
+        """
+        problems = validate_document(parse_adl(source))
+        assert any("not a callee role" in p for p in problems)
+
+    def test_check_document_raises(self):
+        with pytest.raises(AdlValidationError):
+            check_document(parse_adl("component C { provides p : Ghost }"))
+
+
+class TestBuilder:
+    def implementations(self):
+        class ServerImpl:
+            def __init__(self):
+                self.calls = 0
+                self.value = 0
+
+            def increment(self, amount=1):
+                self.calls += 1
+                self.value += amount
+                return self.value
+
+            def total(self):
+                return self.value
+
+        servers = {}
+
+        def server_factory(instance_name):
+            impl = ServerImpl()
+            servers[instance_name] = impl
+            return impl
+
+        return {
+            "CounterServer": server_factory,
+            "CounterClient": lambda name: object(),
+        }, servers
+
+    def test_build_produces_running_assembly(self):
+        sim = Simulator()
+        network = star(sim, leaves=3)
+        document = parse_adl(GOOD_SOURCE)
+        implementations, servers = self.implementations()
+        assembly = build_architecture(document, "App", network,
+                                      implementations)
+        assert set(assembly.registry.names()) == {"client", "server1",
+                                                  "server2"}
+        assert assembly.component("server1").node_name == "leaf1"
+        assert "lb" in assembly.connectors
+        # Round-robin over both servers through the connector.
+        client = assembly.component("client")
+        for i in range(4):
+            client.required_port("peer").call("increment", 1)
+        assert servers["server1"].value == 2
+        assert servers["server2"].value == 2
+
+    def test_behaviour_becomes_lts(self):
+        sim = Simulator()
+        network = star(sim, leaves=3)
+        implementations, _servers = self.implementations()
+        assembly = build_architecture(parse_adl(GOOD_SOURCE), "App", network,
+                                      implementations)
+        behaviour = assembly.component("server1").behaviour
+        assert behaviour is not None
+        assert behaviour.successors("s0", "increment") == {"s0"}
+        assert "s0" in behaviour.final
+
+    def test_unknown_architecture_rejected(self):
+        sim = Simulator()
+        network = star(sim, leaves=3)
+        implementations, _servers = self.implementations()
+        with pytest.raises(AdlValidationError, match="no architecture"):
+            build_architecture(parse_adl(GOOD_SOURCE), "Ghost", network,
+                               implementations)
+
+    def test_missing_implementation_rejected(self):
+        sim = Simulator()
+        network = star(sim, leaves=3)
+        with pytest.raises(AdlValidationError, match="no implementation"):
+            build_architecture(parse_adl(GOOD_SOURCE), "App", network, {})
+
+    def test_invalid_document_rejected_before_build(self):
+        source = """
+        interface I { operation f() }
+        component A { requires r : I }
+        architecture App {
+          instance a : A on leaf0
+          bind a.r -> ghost.p
+        }
+        """
+        sim = Simulator()
+        network = star(sim, leaves=1)
+        with pytest.raises(AdlValidationError):
+            build_architecture(parse_adl(source), "App", network,
+                               {"A": lambda name: object()})
+
+    def test_component_factory_may_return_component(self):
+        from repro.kernel import Component
+
+        source = """
+        interface I { operation f() }
+        component A { provides p : I }
+        architecture App { instance a : A on leaf0 }
+        """
+
+        class CustomComponent(Component):
+            def f(self):
+                return "custom"
+
+        sim = Simulator()
+        network = star(sim, leaves=1)
+        assembly = build_architecture(
+            parse_adl(source), "App", network,
+            {"A": lambda name: CustomComponent(name)},
+        )
+        from repro.kernel import Invocation
+
+        port = assembly.component("a").provided_port("p")
+        assert port.invoke(Invocation("f")) == "custom"
+
+    def test_interface_from_decl(self):
+        document = parse_adl(GOOD_SOURCE)
+        interface = interface_from_decl(document.interfaces["Counter"])
+        assert interface.operation("increment").optional == 1
+
+    def test_lts_from_behaviour(self):
+        document = parse_adl(GOOD_SOURCE)
+        behaviour = document.components["CounterServer"].behaviour
+        lts = lts_from_behaviour("b", behaviour)
+        assert lts.initial == "s0"
+        assert lts.alphabet == frozenset({"increment", "total"})

@@ -1,0 +1,130 @@
+"""Unit tests for ADL instance descriptor blocks."""
+
+import pytest
+
+from repro.adl import build_architecture, parse_adl, validate_document
+from repro.errors import AdlSyntaxError, DeploymentError
+from repro.events import Simulator
+from repro.netsim import star
+
+SOURCE = """
+interface Work { operation run(job) }
+component Worker { provides svc : Work }
+architecture App {
+  instance heavy : Worker on leaf0 {
+    cpu 40
+    services logging metering
+    separate light
+  }
+  instance light : Worker on leaf1 {
+    cpu 5
+  }
+}
+"""
+
+
+class WorkerImpl:
+    def run(self, job):
+        return job
+
+
+def implementations():
+    return {"Worker": lambda name: WorkerImpl()}
+
+
+class TestParsing:
+    def test_descriptor_block_parsed(self):
+        document = parse_adl(SOURCE)
+        heavy = document.architectures["App"].instances[0]
+        assert heavy.cpu == 40.0
+        assert heavy.services == ("logging", "metering")
+        assert heavy.separate_from == ("light",)
+        light = document.architectures["App"].instances[1]
+        assert light.cpu == 5.0
+        assert light.services == ()
+
+    def test_descriptor_block_optional(self):
+        source = """
+        interface I { }
+        component C { provides p : I }
+        architecture A { instance c : C on n0 }
+        """
+        document = parse_adl(source)
+        assert document.architectures["A"].instances[0].cpu == 0.0
+
+    def test_bad_descriptor_keyword_rejected(self):
+        source = SOURCE.replace("cpu 40", "memory 40")
+        with pytest.raises(AdlSyntaxError):
+            parse_adl(source)
+
+    def test_cpu_needs_number(self):
+        source = SOURCE.replace("cpu 40", "cpu lots")
+        with pytest.raises(AdlSyntaxError):
+            parse_adl(source)
+
+    def test_colocate_parsed(self):
+        source = SOURCE.replace("separate light", "colocate light")
+        document = parse_adl(source)
+        heavy = document.architectures["App"].instances[0]
+        assert heavy.colocate_with == ("light",)
+
+
+class TestValidation:
+    def test_unknown_service_flagged(self):
+        source = SOURCE.replace("services logging metering",
+                                "services teleport")
+        problems = validate_document(parse_adl(source))
+        assert any("unknown container services" in p for p in problems)
+
+    def test_unknown_placement_peer_flagged(self):
+        source = SOURCE.replace("separate light", "separate ghost")
+        problems = validate_document(parse_adl(source))
+        assert any("unknown instance 'ghost'" in p for p in problems)
+
+    def test_good_document_validates(self):
+        assert validate_document(parse_adl(SOURCE)) == []
+
+
+class TestBuild:
+    def test_descriptor_applied_on_deploy(self):
+        sim = Simulator()
+        network = star(sim, leaves=2)
+        assembly = build_architecture(parse_adl(SOURCE), "App", network,
+                                      implementations())
+        node = network.node("leaf0")
+        assert node.reserved == 40.0
+        heavy = assembly.component("heavy")
+        # Container services installed: logging + metering on the port.
+        assert len(heavy.provided_port("svc").interceptors) == 2
+
+    def test_separation_enforced_at_build(self):
+        source = SOURCE.replace("on leaf1", "on leaf0")  # both on leaf0
+        sim = Simulator()
+        network = star(sim, leaves=2)
+        with pytest.raises(DeploymentError, match="must not share"):
+            build_architecture(parse_adl(source), "App", network,
+                               implementations())
+
+    def test_colocation_enforced_at_build(self):
+        source = SOURCE.replace("separate light", "colocate light")
+        # heavy on leaf0 demands colocation with light (deployed later on
+        # leaf1): the container rejects the violation when light lands.
+        sim = Simulator()
+        network = star(sim, leaves=2)
+        # Order matters: light is deployed second, so the check fires on
+        # heavy's constraint at heavy's deploy time only if light exists.
+        # Reverse the declaration order to exercise the check.
+        reordered = """
+        interface Work { operation run(job) }
+        component Worker { provides svc : Work }
+        architecture App {
+          instance light : Worker on leaf1 { cpu 5 }
+          instance heavy : Worker on leaf0 {
+            cpu 40
+            colocate light
+          }
+        }
+        """
+        with pytest.raises(DeploymentError, match="must colocate"):
+            build_architecture(parse_adl(reordered), "App", network,
+                               implementations())

@@ -1,0 +1,166 @@
+"""Unit tests for ADL pretty-printing and assembly export."""
+
+import pytest
+
+from repro.adl import (
+    build_architecture,
+    export_assembly,
+    parse_adl,
+    print_document,
+    validate_document,
+)
+from repro.events import Simulator
+from repro.netsim import star
+
+SOURCE = """
+interface Counter version 1.0 {
+  operation increment(amount?)
+  operation total()
+}
+
+component Server {
+  provides svc : Counter 1.0
+  behaviour {
+    init s0
+    s0 -> s0 : increment
+    s0 -> s0 : total
+    final s0
+  }
+}
+
+component Client { requires peer : Counter 1.0 }
+
+connector Front kind load-balancer interface Counter 1.0 {
+  option policy = "round_robin"
+  option seed = 7
+}
+
+architecture App {
+  instance client : Client on leaf0
+  instance server : Server on leaf1 {
+    cpu 10
+    services logging
+  }
+  use lb : Front
+  bind client.peer -> lb.client
+  attach server.svc -> lb.worker
+}
+"""
+
+
+def structure(document):
+    """A comparable structural digest of a document."""
+    return {
+        "interfaces": {
+            name: [(op.name, op.params, op.optional)
+                   for op in decl.operations]
+            for name, decl in document.interfaces.items()
+        },
+        "components": {
+            name: (
+                [(p.kind, p.name, p.interface, p.version)
+                 for p in decl.ports],
+                None if decl.behaviour is None else (
+                    decl.behaviour.initial,
+                    sorted((t.source, t.action, t.target)
+                           for t in decl.behaviour.transitions),
+                    sorted(decl.behaviour.final_states),
+                ),
+            )
+            for name, decl in document.components.items()
+        },
+        "connectors": {
+            name: (decl.kind, decl.interface, decl.version,
+                   sorted(decl.options))
+            for name, decl in document.connectors.items()
+        },
+        "architectures": {
+            name: (
+                [(i.name, i.type_name, i.node, i.cpu, i.services,
+                  i.colocate_with, i.separate_from)
+                 for i in decl.instances],
+                [(u.name, u.connector_type) for u in decl.connectors],
+                [(b.source_instance, b.source_port, b.target_instance,
+                  b.target_port) for b in decl.binds],
+                [(a.component_instance, a.component_port,
+                  a.connector_instance, a.role) for a in decl.attaches],
+            )
+            for name, decl in document.architectures.items()
+        },
+    }
+
+
+class TestRoundTrip:
+    def test_print_parse_roundtrip_preserves_structure(self):
+        original = parse_adl(SOURCE)
+        printed = print_document(original)
+        reparsed = parse_adl(printed)
+        assert structure(original) == structure(reparsed)
+
+    def test_printed_document_validates(self):
+        printed = print_document(parse_adl(SOURCE))
+        assert validate_document(parse_adl(printed)) == []
+
+    def test_idempotent_printing(self):
+        once = print_document(parse_adl(SOURCE))
+        twice = print_document(parse_adl(once))
+        assert once == twice
+
+
+class TestExportAssembly:
+    def build(self):
+        class ServerImpl:
+            def increment(self, amount=1):
+                return amount
+
+            def total(self):
+                return 0
+
+        sim = Simulator()
+        network = star(sim, leaves=2)
+        assembly = build_architecture(
+            parse_adl(SOURCE), "App", network,
+            {"Client": lambda name: object(),
+             "Server": lambda name: ServerImpl()},
+        )
+        return assembly
+
+    def test_exported_source_parses_and_validates(self):
+        assembly = self.build()
+        exported = export_assembly(assembly)
+        document = parse_adl(exported)
+        assert validate_document(document) == []
+        assert "App" in document.architectures
+
+    def test_export_reflects_live_wiring(self):
+        assembly = self.build()
+        exported = export_assembly(assembly)
+        document = parse_adl(exported)
+        app = document.architectures["App"]
+        assert {i.name for i in app.instances} == {"client", "server"}
+        assert [u.name for u in app.connectors] == ["lb"]
+        assert app.binds[0].target_instance == "lb"
+        assert app.attaches[0].component_instance == "server"
+
+    def test_export_carries_behaviour(self):
+        assembly = self.build()
+        document = parse_adl(export_assembly(assembly))
+        server_type = next(
+            decl for name, decl in document.components.items()
+            if "server" in name
+        )
+        assert server_type.behaviour is not None
+        actions = {t.action for t in server_type.behaviour.transitions}
+        assert actions == {"increment", "total"}
+
+    def test_export_tracks_reconfiguration(self):
+        from repro.reconfig import MigrateComponent, ReconfigurationTransaction
+
+        assembly = self.build()
+        ReconfigurationTransaction(assembly).add(
+            MigrateComponent("server", "hub")
+        ).execute()
+        document = parse_adl(export_assembly(assembly))
+        server = next(i for i in document.architectures["App"].instances
+                      if i.name == "server")
+        assert server.node == "hub"

@@ -1,0 +1,177 @@
+"""Unit tests for aspects and the weaver."""
+
+import pytest
+
+from repro.aspects import Aspect, JoinPoint, Pointcut, Weaver, join_points_of
+from repro.errors import AspectError
+from repro.kernel import Invocation
+
+from tests.helpers import make_counter, make_echo
+
+
+class TestPointcut:
+    def test_wildcards(self):
+        pointcut = Pointcut()
+        assert pointcut.selects(JoinPoint("any", "port", "op"))
+
+    def test_exact_match(self):
+        pointcut = Pointcut(component="billing", operation="charge")
+        assert pointcut.selects(JoinPoint("billing", "svc", "charge"))
+        assert not pointcut.selects(JoinPoint("billing", "svc", "refund"))
+        assert not pointcut.selects(JoinPoint("audit", "svc", "charge"))
+
+    def test_prefix_match(self):
+        pointcut = Pointcut(component="worker*")
+        assert pointcut.selects(JoinPoint("worker3", "svc", "op"))
+        assert not pointcut.selects(JoinPoint("manager", "svc", "op"))
+
+    def test_condition_admits(self):
+        pointcut = Pointcut(condition=lambda inv: inv.args and inv.args[0] > 5)
+        assert pointcut.admits(Invocation("op", (6,)))
+        assert not pointcut.admits(Invocation("op", (1,)))
+
+
+class TestJoinPoints:
+    def test_enumeration(self):
+        component = make_counter()
+        points = [jp for jp, _port in join_points_of(component)]
+        operations = {jp.operation for jp in points}
+        assert operations == {"increment", "total"}
+
+
+class TestWeaver:
+    def test_before_and_after_advice(self):
+        component = make_counter()
+        log = []
+        aspect = Aspect("trace")
+        aspect.before(lambda inv: log.append(f"before:{inv.operation}"),
+                      operation="increment")
+        aspect.after(lambda inv, result: (log.append(f"after:{result}"), result)[1],
+                     operation="increment")
+        weaver = Weaver()
+        count = weaver.weave(aspect, [component])
+        assert count == 1
+        component.provided_port("svc").invoke(Invocation("increment", (3,)))
+        assert log == ["before:increment", "after:3"]
+
+    def test_after_advice_may_replace_result(self):
+        component = make_counter()
+        aspect = Aspect("cap").after(
+            lambda inv, result: min(result, 10), operation="increment"
+        )
+        Weaver().weave(aspect, [component])
+        port = component.provided_port("svc")
+        assert port.invoke(Invocation("increment", (100,))) == 10
+        assert component.state["total"] == 100  # state unchanged, result capped
+
+    def test_around_advice_wraps(self):
+        component = make_echo()
+        aspect = Aspect("bracket").around(
+            lambda inv, proceed: f"[{proceed(inv)}]", operation="echo"
+        )
+        Weaver().weave(aspect, [component])
+        result = component.provided_port("svc").invoke(Invocation("echo", ("x",)))
+        assert result == "[echo:x]"
+
+    def test_on_error_advice_recovers(self):
+        from tests.helpers import make_flaky
+
+        component = make_flaky("flaky", failures=1)
+        aspect = Aspect("rescue").on_error(
+            lambda inv, exc: "recovered", operation="echo"
+        )
+        Weaver().weave(aspect, [component])
+        port = component.provided_port("svc")
+        assert port.invoke(Invocation("echo", ("x",))) == "recovered"
+        assert port.invoke(Invocation("echo", ("y",))) == "flaky:y"
+
+    def test_conditional_advice(self):
+        component = make_counter()
+        hits = []
+        aspect = Aspect("big-only").before(
+            lambda inv: hits.append(inv.args[0]),
+            operation="increment",
+            condition=lambda inv: inv.args and inv.args[0] >= 10,
+        )
+        Weaver().weave(aspect, [component])
+        port = component.provided_port("svc")
+        port.invoke(Invocation("increment", (5,)))
+        port.invoke(Invocation("increment", (50,)))
+        assert hits == [50]
+
+    def test_unweave_restores_behaviour(self):
+        component = make_counter()
+        log = []
+        aspect = Aspect("trace").before(lambda inv: log.append(1))
+        weaver = Weaver()
+        weaver.weave(aspect, [component])
+        component.provided_port("svc").invoke(Invocation("total"))
+        assert weaver.unweave("trace") == 1
+        component.provided_port("svc").invoke(Invocation("total"))
+        assert log == [1]
+        assert not weaver.is_woven("trace")
+
+    def test_double_weave_rejected(self):
+        component = make_counter()
+        aspect = Aspect("a").before(lambda inv: None)
+        weaver = Weaver()
+        weaver.weave(aspect, [component])
+        with pytest.raises(AspectError):
+            weaver.weave(aspect, [make_counter("other")])
+
+    def test_unweave_unknown_rejected(self):
+        with pytest.raises(AspectError):
+            Weaver().unweave("ghost")
+
+    def test_no_matching_join_point_rejected(self):
+        component = make_counter()
+        aspect = Aspect("nomatch").before(lambda inv: None, operation="fly")
+        with pytest.raises(AspectError):
+            Weaver().weave(aspect, [component])
+
+    def test_unknown_mode_rejected(self):
+        component = make_counter()
+        aspect = Aspect("a").before(lambda inv: None)
+        with pytest.raises(AspectError):
+            Weaver().weave(aspect, [component], mode="quantum")
+
+    def test_swap_interchanges_aspects(self):
+        component = make_echo()
+        weaver = Weaver()
+        first = Aspect("deco-v1").around(
+            lambda inv, proceed: f"v1({proceed(inv)})", operation="echo"
+        )
+        second = Aspect("deco-v2").around(
+            lambda inv, proceed: f"v2({proceed(inv)})", operation="echo"
+        )
+        weaver.weave(first, [component])
+        port = component.provided_port("svc")
+        assert port.invoke(Invocation("echo", ("x",))) == "v1(echo:x)"
+        weaver.swap("deco-v1", second, [component])
+        assert port.invoke(Invocation("echo", ("x",))) == "v2(echo:x)"
+        assert weaver.woven_names() == ["deco-v2"]
+
+    def test_static_mode_produces_same_semantics(self):
+        for mode in ("dynamic", "static"):
+            component = make_counter(f"c-{mode}")
+            log = []
+            aspect = Aspect(f"trace-{mode}").before(
+                lambda inv: log.append(inv.operation), operation="increment"
+            )
+            Weaver().weave(aspect, [component], mode=mode)
+            port = component.provided_port("svc")
+            port.invoke(Invocation("increment", (1,)))
+            port.invoke(Invocation("total"))
+            assert log == ["increment"], mode
+
+    def test_crosscutting_over_multiple_components(self):
+        components = [make_counter(f"c{i}") for i in range(3)]
+        calls = []
+        aspect = Aspect("global-trace").before(
+            lambda inv: calls.append(inv.operation), operation="total"
+        )
+        count = Weaver().weave(aspect, components)
+        assert count == 3
+        for component in components:
+            component.provided_port("svc").invoke(Invocation("total"))
+        assert calls == ["total"] * 3

@@ -1,0 +1,111 @@
+"""Unit tests for aspect introductions (inter-type declarations)."""
+
+import pytest
+
+from repro.aspects import Aspect, Weaver
+from repro.errors import AspectError, InterfaceError
+from repro.kernel import Invocation
+
+from tests.helpers import make_counter
+
+
+def snapshot_aspect():
+    """Grafts a ``snapshot()`` operation returning the component state."""
+    return Aspect("snapshot").introduce(
+        "*.svc", "snapshot", lambda component: dict(component.state)
+    )
+
+
+class TestIntroduce:
+    def test_introduced_operation_callable(self):
+        component = make_counter()
+        Weaver().weave(snapshot_aspect(), [component])
+        port = component.provided_port("svc")
+        port.invoke(Invocation("increment", (5,)))
+        assert port.invoke(Invocation("snapshot")) == {"total": 5}
+
+    def test_interface_version_bumped_compatibly(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        before = port.interface
+        Weaver().weave(snapshot_aspect(), [component])
+        after = port.interface
+        assert after.version.minor == before.version.minor + 1
+        assert after.satisfies(before)
+        assert "snapshot" in after
+
+    def test_existing_operations_untouched(self):
+        component = make_counter()
+        Weaver().weave(snapshot_aspect(), [component])
+        port = component.provided_port("svc")
+        assert port.invoke(Invocation("increment", (3,))) == 3
+
+    def test_introduction_with_params(self):
+        aspect = Aspect("adder").introduce(
+            "*.svc", "add_many",
+            lambda component, *amounts: [
+                component.increment(a) for a in amounts
+            ][-1],
+            params=("a", "b"),
+        )
+        component = make_counter()
+        Weaver().weave(aspect, [component])
+        port = component.provided_port("svc")
+        assert port.invoke(Invocation("add_many", (2, 3))) == 5
+
+    def test_pattern_scopes_targets(self):
+        aspect = Aspect("scoped").introduce(
+            "special.*", "snapshot", lambda component: dict(component.state)
+        )
+        special = make_counter("special")
+        ordinary = make_counter("ordinary")
+        Weaver().weave(aspect, [special, ordinary])
+        assert "snapshot" in special.provided_port("svc").interface
+        assert "snapshot" not in ordinary.provided_port("svc").interface
+
+    def test_unweave_removes_operation_and_restores_interface(self):
+        component = make_counter()
+        weaver = Weaver()
+        port = component.provided_port("svc")
+        before = port.interface
+        weaver.weave(snapshot_aspect(), [component])
+        weaver.unweave("snapshot")
+        assert port.interface is before
+        with pytest.raises(InterfaceError):
+            port.invoke(Invocation("snapshot"))
+
+    def test_pure_introduction_aspect_needs_no_advice(self):
+        component = make_counter()
+        count = Weaver().weave(snapshot_aspect(), [component])
+        assert count == 1
+
+    def test_no_match_still_errors(self):
+        aspect = Aspect("nowhere").introduce(
+            "ghost.*", "snapshot", lambda component: None
+        )
+        with pytest.raises(AspectError, match="matched no join point"):
+            Weaver().weave(aspect, [make_counter()])
+
+    def test_existing_operation_not_overridden(self):
+        # An introduction colliding with an existing operation is skipped:
+        # advice, not replacement, is the tool for changing behaviour.
+        aspect = Aspect("clash").introduce(
+            "*.svc", "total", lambda component: -1
+        )
+        component = make_counter()
+        with pytest.raises(AspectError, match="matched no join point"):
+            Weaver().weave(aspect, [component])
+        assert component.provided_port("svc").invoke(
+            Invocation("total")) == 0
+
+    def test_combined_advice_and_introduction(self):
+        log = []
+        aspect = snapshot_aspect().before(
+            lambda inv: log.append(inv.operation), operation="increment"
+        )
+        component = make_counter()
+        Weaver().weave(aspect, [component])
+        port = component.provided_port("svc")
+        port.invoke(Invocation("increment", (1,)))
+        port.invoke(Invocation("snapshot"))
+        assert log == ["increment"]

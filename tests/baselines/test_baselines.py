@@ -1,0 +1,178 @@
+"""Unit tests for the Polylith and Durra baseline reconfigurators."""
+
+import pytest
+
+from repro.baselines import DurraManager, PolylithReconfigurator
+from repro.errors import ReconfigurationError
+from repro.events import Simulator
+from repro.kernel import Assembly
+from repro.netsim import star
+from repro.reconfig import RewireBinding
+
+from tests.helpers import CounterComponent, counter_interface
+
+
+def fresh_counter(name):
+    component = CounterComponent(name)
+    component.provide("svc", counter_interface())
+    return component
+
+
+def fresh_client(name):
+    component = CounterComponent(name)
+    component.provide("svc", counter_interface())
+    component.require("peer", counter_interface())
+    return component
+
+
+def two_service_assembly():
+    """Two independent client→server pairs on a star network."""
+    sim = Simulator()
+    assembly = Assembly(star(sim, leaves=4))
+    for index, service in enumerate(("alpha", "beta")):
+        client = fresh_client(f"{service}-client")
+        assembly.deploy(client, f"leaf{index * 2}")
+        server = fresh_counter(f"{service}-server")
+        assembly.deploy(server, f"leaf{index * 2 + 1}")
+        assembly.connect(f"{service}-client", "peer",
+                         target_component=f"{service}-server")
+    return sim, assembly
+
+
+class TestPolylith:
+    def test_replace_module_swaps_and_keeps_state(self):
+        sim, assembly = two_service_assembly()
+        client = assembly.component("alpha-client")
+        client.required_port("peer").call("increment", 5)
+        reports = []
+        reconfigurator = PolylithReconfigurator(assembly)
+        reconfigurator.replace_module("alpha-server",
+                                      fresh_counter("alpha-server-v2"),
+                                      on_done=reports.append)
+        sim.run()
+        assert reports and reports[0].blocked_duration > 0
+        assert client.required_port("peer").call("total") == 5
+
+    def test_global_freeze_blocks_unrelated_services(self):
+        """The defining Polylith cost: beta's channel is frozen while
+        alpha is being reconfigured."""
+        sim, assembly = two_service_assembly()
+        beta_client = assembly.component("beta-client")
+        beta_binding = beta_client.required_port("peer").binding
+        observed = []
+
+        def probe():
+            observed.append(beta_binding.is_blocked)
+
+        reconfigurator = PolylithReconfigurator(assembly)
+        reconfigurator.replace_module("alpha-server",
+                                      fresh_counter("alpha-server-v2"))
+        sim.at(0.0005, probe)  # mid-window
+        sim.run()
+        assert observed == [True]
+        assert not beta_binding.is_blocked  # thawed afterwards
+
+    def test_blocked_channel_count_is_global(self):
+        sim, assembly = two_service_assembly()
+        reports = []
+        PolylithReconfigurator(assembly).replace_module(
+            "alpha-server", fresh_counter("v2"), on_done=reports.append
+        )
+        sim.run()
+        assert reports[0].blocked_channels == len(assembly.bindings) == 2
+
+    def test_buffered_traffic_flushes_after_thaw(self):
+        sim, assembly = two_service_assembly()
+        beta_client = assembly.component("beta-client")
+        results = []
+
+        def beta_traffic():
+            beta_client.required_port("peer").call_async(
+                "increment", 1, on_result=results.append
+            )
+
+        PolylithReconfigurator(assembly).replace_module(
+            "alpha-server", fresh_counter("v2")
+        )
+        sim.at(0.0005, beta_traffic)  # lands in the frozen window
+        sim.run()
+        assert results == [1]
+
+    def test_timeout_when_never_quiescent(self):
+        sim, assembly = two_service_assembly()
+        assembly.component("alpha-server")._active_calls = 1
+        reconfigurator = PolylithReconfigurator(assembly)
+        reconfigurator.apply_async(
+            [RewireBinding("alpha-client", "peer",
+                           target_component="beta-server")],
+            timeout=0.05,
+        )
+        with pytest.raises(ReconfigurationError, match="reconfiguration point"):
+            sim.run()
+
+
+class TestDurra:
+    def test_event_triggered_switch(self):
+        sim, assembly = two_service_assembly()
+        standby = fresh_counter("alpha-standby")
+        assembly.deploy(standby, "leaf2")
+        durra = DurraManager(assembly)
+        durra.define_configuration(
+            "alpha-failover",
+            lambda a: [RewireBinding("alpha-client", "peer",
+                                     target_component="alpha-standby")],
+        )
+        durra.on_event("alpha-server-failed", "alpha-failover")
+
+        switch = durra.raise_event("alpha-server-failed")
+        assert switch is not None
+        assert switch.configuration == "alpha-failover"
+        client = assembly.component("alpha-client")
+        client.required_port("peer").call("increment", 1)
+        assert standby.state["total"] == 1
+
+    def test_unplanned_event_ignored(self):
+        _sim, assembly = two_service_assembly()
+        durra = DurraManager(assembly)
+        assert durra.raise_event("surprise") is None
+        assert durra.switches == []
+
+    def test_duplicate_configuration_rejected(self):
+        _sim, assembly = two_service_assembly()
+        durra = DurraManager(assembly)
+        durra.define_configuration("c", lambda a: [])
+        with pytest.raises(ReconfigurationError):
+            durra.define_configuration("c", lambda a: [])
+
+    def test_trigger_for_unknown_configuration_rejected(self):
+        _sim, assembly = two_service_assembly()
+        with pytest.raises(ReconfigurationError):
+            DurraManager(assembly).on_event("e", "ghost")
+
+    def test_inconsistent_plan_raises(self):
+        _sim, assembly = two_service_assembly()
+        durra = DurraManager(assembly)
+
+        from repro.reconfig import RemoveBinding
+
+        durra.define_configuration(
+            "bad", lambda a: [RemoveBinding("alpha-client", "peer")]
+        )
+        durra.on_event("e", "bad")
+        with pytest.raises(ReconfigurationError, match="inconsistencies"):
+            durra.raise_event("e")
+
+    def test_switch_log(self):
+        sim, assembly = two_service_assembly()
+        standby = fresh_counter("alpha-standby")
+        assembly.deploy(standby, "leaf2")
+        durra = DurraManager(assembly)
+        durra.define_configuration(
+            "failover",
+            lambda a: [RewireBinding("alpha-client", "peer",
+                                     target_component="alpha-standby")],
+        )
+        durra.on_event("fail", "failover")
+        durra.raise_event("fail")
+        assert len(durra.switches) == 1
+        assert durra.switches[0].changes

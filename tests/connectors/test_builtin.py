@@ -1,0 +1,238 @@
+"""Unit tests for builtin connector kinds."""
+
+import pytest
+
+from repro.errors import ConnectorError
+from repro.kernel import Invocation
+from repro.connectors import (
+    BroadcastConnector,
+    EventBusConnector,
+    FailoverConnector,
+    LoadBalancerConnector,
+    PipelineConnector,
+    RpcConnector,
+)
+
+from tests.helpers import (
+    echo_interface,
+    make_echo,
+    make_flaky,
+    make_stage,
+)
+
+
+def call(connector, role, operation, *args, meta=None):
+    invocation = Invocation(operation, args)
+    if meta:
+        invocation.meta.update(meta)
+    return connector.endpoint(role).invoke(invocation)
+
+
+class TestRpc:
+    def test_forwards_to_server(self):
+        rpc = RpcConnector("rpc", echo_interface())
+        rpc.attach("server", make_echo("srv").provided_port("svc"))
+        assert call(rpc, "client", "echo", "hi") == "srv:hi"
+
+    def test_no_server_raises(self):
+        rpc = RpcConnector("rpc", echo_interface())
+        with pytest.raises(ConnectorError):
+            call(rpc, "client", "echo", "hi")
+
+    def test_retries_transient_failures(self):
+        rpc = RpcConnector("rpc", echo_interface(), retries=2)
+        flaky = make_flaky("flaky", failures=2)
+        rpc.attach("server", flaky.provided_port("svc"))
+        assert call(rpc, "client", "echo", "x") == "flaky:x"
+        assert flaky.calls == 3
+
+    def test_retries_exhausted_reraises(self):
+        rpc = RpcConnector("rpc", echo_interface(), retries=1)
+        rpc.attach("server", make_flaky("flaky", failures=5).provided_port("svc"))
+        with pytest.raises(RuntimeError):
+            call(rpc, "client", "echo", "x")
+
+
+class TestBroadcast:
+    def test_all_subscribers_receive(self):
+        bus = BroadcastConnector("bcast", echo_interface())
+        subs = [make_echo(f"s{i}") for i in range(3)]
+        for sub in subs:
+            bus.attach("subscriber", sub.provided_port("svc"))
+        results = call(bus, "publisher", "echo", "ev")
+        assert results == ["s0:ev", "s1:ev", "s2:ev"]
+        assert all(sub.state["seen"] == ["ev"] for sub in subs)
+
+    def test_error_policy_collect(self):
+        bus = BroadcastConnector("bcast", echo_interface())
+        bus.error_policy = "collect"
+        bus.attach("subscriber", make_flaky("bad", failures=10).provided_port("svc"))
+        bus.attach("subscriber", make_echo("good").provided_port("svc"))
+        results = call(bus, "publisher", "echo", "ev")
+        assert isinstance(results[0], RuntimeError)
+        assert results[1] == "good:ev"
+
+    def test_error_policy_raise(self):
+        bus = BroadcastConnector("bcast", echo_interface())
+        bus.attach("subscriber", make_flaky("bad", failures=10).provided_port("svc"))
+        with pytest.raises(RuntimeError):
+            call(bus, "publisher", "echo", "ev")
+
+    def test_each_subscriber_gets_private_invocation_copy(self):
+        bus = BroadcastConnector("bcast", echo_interface())
+        seen_meta = []
+
+        def tagger(invocation, proceed):
+            return proceed(invocation)
+
+        class Tagger:
+            def __init__(self, label):
+                self.label = label
+
+            def echo(self, value):
+                seen_meta.append(value)
+                return value
+
+        from repro.kernel import Component
+
+        for i in range(2):
+            c = Component(f"t{i}")
+            c.provide("svc", echo_interface(), implementation=Tagger(i))
+            c.activate()
+            bus.attach("subscriber", c.provided_port("svc"))
+        call(bus, "publisher", "echo", "ev")
+        assert seen_meta == ["ev", "ev"]
+
+
+class TestEventBus:
+    def test_topic_filtering(self):
+        bus = EventBusConnector("bus", echo_interface())
+        video = make_echo("video")
+        audio = make_echo("audio")
+        everything = make_echo("everything")
+        bus.subscribe(video.provided_port("svc"), topic="media.video")
+        bus.subscribe(audio.provided_port("svc"), topic="media.audio")
+        bus.subscribe(everything.provided_port("svc"), topic="*")
+        delivered = call(bus, "publisher", "echo", "frame",
+                         meta={"topic": "media.video"})
+        assert delivered == 2
+        assert video.state["seen"] == ["frame"]
+        assert audio.state["seen"] == []
+        assert everything.state["seen"] == ["frame"]
+
+    def test_prefix_wildcard(self):
+        bus = EventBusConnector("bus", echo_interface())
+        media = make_echo("media")
+        bus.subscribe(media.provided_port("svc"), topic="media.*")
+        assert call(bus, "publisher", "echo", "x", meta={"topic": "media.video"}) == 1
+        assert call(bus, "publisher", "echo", "x", meta={"topic": "system.load"}) == 0
+
+    def test_no_subscribers_is_fine(self):
+        bus = EventBusConnector("bus", echo_interface())
+        assert call(bus, "publisher", "echo", "x", meta={"topic": "t"}) == 0
+
+
+class TestPipeline:
+    def test_stages_thread_value(self):
+        pipeline = PipelineConnector("pipe")
+        pipeline.attach("stage", make_stage("double", lambda v: v * 2).provided_port("svc"))
+        pipeline.attach("stage", make_stage("inc", lambda v: v + 1).provided_port("svc"))
+        assert call(pipeline, "source", "process", 5) == 11
+
+    def test_stage_order_matters(self):
+        pipeline = PipelineConnector("pipe")
+        pipeline.attach("stage", make_stage("inc", lambda v: v + 1).provided_port("svc"))
+        pipeline.attach("stage", make_stage("double", lambda v: v * 2).provided_port("svc"))
+        assert call(pipeline, "source", "process", 5) == 12
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConnectorError):
+            call(PipelineConnector("pipe"), "source", "process", 1)
+
+
+class TestLoadBalancer:
+    def make_lb(self, policy, n=3, seed=0):
+        lb = LoadBalancerConnector("lb", echo_interface(), policy=policy, seed=seed)
+        workers = [make_echo(f"w{i}") for i in range(n)]
+        for i, worker in enumerate(workers):
+            lb.attach("worker", worker.provided_port("svc"), weight=float(i + 1))
+        return lb, workers
+
+    def test_round_robin_cycles(self):
+        lb, workers = self.make_lb("round_robin")
+        results = [call(lb, "client", "echo", i) for i in range(6)]
+        assert results == ["w0:0", "w1:1", "w2:2", "w0:3", "w1:4", "w2:5"]
+
+    def test_random_is_seed_deterministic(self):
+        lb1, _ = self.make_lb("random", seed=3)
+        lb2, _ = self.make_lb("random", seed=3)
+        seq1 = [call(lb1, "client", "echo", i) for i in range(10)]
+        seq2 = [call(lb2, "client", "echo", i) for i in range(10)]
+        assert seq1 == seq2
+
+    def test_weighted_prefers_heavier_workers(self):
+        lb, workers = self.make_lb("weighted", seed=1)
+        for i in range(300):
+            call(lb, "client", "echo", i)
+        counts = [len(w.state["seen"]) for w in workers]
+        assert counts[2] > counts[0]  # weight 3 vs weight 1
+
+    def test_least_busy_prefers_idle(self):
+        lb, workers = self.make_lb("least_busy")
+        workers[0]._active_calls = 5
+        workers[1]._active_calls = 2
+        assert call(lb, "client", "echo", "x") == "w2:x"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConnectorError):
+            LoadBalancerConnector("lb", echo_interface(), policy="psychic")
+
+    def test_policy_swap_at_runtime(self):
+        lb, _ = self.make_lb("round_robin")
+        lb.set_policy("least_busy")
+        assert lb.policy == "least_busy"
+
+    def test_no_workers_raises(self):
+        lb = LoadBalancerConnector("lb", echo_interface())
+        with pytest.raises(ConnectorError):
+            call(lb, "client", "echo", "x")
+
+
+class TestFailover:
+    def test_failover_to_backup(self):
+        fo = FailoverConnector("fo", echo_interface())
+        fo.attach("replica", make_flaky("primary", failures=100).provided_port("svc"))
+        fo.attach("replica", make_echo("backup").provided_port("svc"))
+        assert call(fo, "client", "echo", "x") == "backup:x"
+        assert fo.failover_count == 1
+
+    def test_suspected_primary_skipped_next_time(self):
+        fo = FailoverConnector("fo", echo_interface())
+        primary = make_flaky("primary", failures=1)
+        fo.attach("replica", primary.provided_port("svc"))
+        fo.attach("replica", make_echo("backup").provided_port("svc"))
+        call(fo, "client", "echo", "a")
+        call(fo, "client", "echo", "b")
+        assert primary.calls == 1  # not retried while suspected
+
+    def test_reset_restores_primary(self):
+        fo = FailoverConnector("fo", echo_interface())
+        primary = make_flaky("primary", failures=1)
+        fo.attach("replica", primary.provided_port("svc"))
+        fo.attach("replica", make_echo("backup").provided_port("svc"))
+        call(fo, "client", "echo", "a")
+        fo.reset()
+        assert call(fo, "client", "echo", "b") == "primary:b"
+
+    def test_all_replicas_suspected_raises(self):
+        fo = FailoverConnector("fo", echo_interface())
+        fo.attach("replica", make_flaky("r0", failures=100).provided_port("svc"))
+        with pytest.raises(RuntimeError):
+            call(fo, "client", "echo", "x")
+        with pytest.raises(ConnectorError, match="all 1 replicas"):
+            call(fo, "client", "echo", "x")
+
+    def test_no_replicas_raises(self):
+        fo = FailoverConnector("fo", echo_interface())
+        with pytest.raises(ConnectorError):
+            call(fo, "client", "echo", "x")

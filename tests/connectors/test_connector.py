@@ -1,0 +1,185 @@
+"""Unit tests for the connector base class and roles."""
+
+import pytest
+
+from repro.errors import ConnectorError, RoleError
+from repro.kernel import Component, Interface, Invocation, Operation, bind
+from repro.lts import Lts
+from repro.connectors import Connector, RoleKind, callee, caller
+
+from tests.helpers import echo_interface, make_echo
+
+
+def direct_connector(name="conn"):
+    return Connector(name, [
+        caller("client", echo_interface(), many=True),
+        callee("server", echo_interface()),
+    ])
+
+
+class TestConstruction:
+    def test_needs_roles(self):
+        with pytest.raises(ConnectorError):
+            Connector("empty", [])
+
+    def test_duplicate_role_names_rejected(self):
+        with pytest.raises(ConnectorError):
+            Connector("dup", [
+                caller("x", echo_interface()),
+                callee("x", echo_interface()),
+            ])
+
+    def test_role_lookup(self):
+        connector = direct_connector()
+        assert connector.role("client").kind is RoleKind.CALLER
+        with pytest.raises(RoleError):
+            connector.role("ghost")
+
+
+class TestEndpoints:
+    def test_caller_role_exposes_endpoint(self):
+        connector = direct_connector()
+        endpoint = connector.endpoint("client")
+        assert endpoint.interface.name == "Echo"
+        assert endpoint.qualified_name == "conn:client"
+        assert connector.endpoint("client") is endpoint  # cached
+
+    def test_callee_role_has_no_endpoint(self):
+        with pytest.raises(RoleError):
+            direct_connector().endpoint("server")
+
+
+class TestAttachment:
+    def test_attach_and_route(self):
+        connector = direct_connector()
+        server = make_echo("server")
+        connector.attach("server", server.provided_port("svc"))
+        result = connector.endpoint("client").invoke(Invocation("echo", ("hi",)))
+        assert result == "server:hi"
+        assert connector.is_complete()
+
+    def test_attach_to_caller_role_rejected(self):
+        connector = direct_connector()
+        with pytest.raises(RoleError):
+            connector.attach("client", make_echo().provided_port("svc"))
+
+    def test_interface_mismatch_rejected(self):
+        connector = direct_connector()
+        stranger = Component("stranger")
+        stranger.provide("svc", Interface("Other", "1.0", [Operation("x")]))
+        stranger.activate()
+        with pytest.raises(RoleError):
+            connector.attach("server", stranger.provided_port("svc"))
+
+    def test_single_role_rejects_second_attachment(self):
+        connector = direct_connector()
+        connector.attach("server", make_echo("a").provided_port("svc"))
+        with pytest.raises(RoleError):
+            connector.attach("server", make_echo("b").provided_port("svc"))
+
+    def test_detach(self):
+        connector = direct_connector()
+        server = make_echo("server")
+        connector.attach("server", server.provided_port("svc"))
+        connector.detach("server", server.provided_port("svc"))
+        assert not connector.is_complete()
+        with pytest.raises(RoleError):
+            connector.detach("server", server.provided_port("svc"))
+
+    def test_replace_attachment(self):
+        connector = direct_connector()
+        old, new = make_echo("old"), make_echo("new")
+        connector.attach("server", old.provided_port("svc"))
+        connector.replace_attachment(
+            "server", old.provided_port("svc"), new.provided_port("svc")
+        )
+        result = connector.endpoint("client").invoke(Invocation("echo", ("x",)))
+        assert result == "new:x"
+
+    def test_route_without_attachment_fails(self):
+        connector = direct_connector()
+        with pytest.raises(ConnectorError):
+            connector.endpoint("client").invoke(Invocation("echo", ("x",)))
+
+    def test_behaviour_checked_against_role_protocol(self):
+        protocol = Lts.cycle("echo-protocol", ["echo"])
+        connector = Connector("conn", [
+            caller("client", echo_interface(), many=True),
+            callee("server", echo_interface(), protocol=protocol),
+        ])
+        good = make_echo("good")
+        good.behaviour = Lts.cycle("good", ["echo"])
+        connector.attach("server", good.provided_port("svc"))
+
+        bad = make_echo("bad")
+        bad.behaviour = Lts.cycle("bad", ["echo", "sneak"])
+        with pytest.raises(RoleError):
+            Connector("conn2", [
+                caller("client", echo_interface(), many=True),
+                callee("server", echo_interface(), protocol=protocol),
+            ]).attach("server", bad.provided_port("svc"))
+
+    def test_behaviour_check_can_be_skipped(self):
+        protocol = Lts.cycle("echo-protocol", ["echo"])
+        connector = Connector("conn", [
+            caller("client", echo_interface(), many=True),
+            callee("server", echo_interface(), protocol=protocol),
+        ])
+        bad = make_echo("bad")
+        bad.behaviour = Lts.cycle("bad", ["echo", "sneak"])
+        connector.attach("server", bad.provided_port("svc"), check_behaviour=False)
+
+
+class TestPipelineIntegration:
+    def test_component_binds_to_connector_endpoint(self):
+        connector = direct_connector()
+        server = make_echo("server")
+        connector.attach("server", server.provided_port("svc"))
+
+        client = Component("client")
+        client.require("peer", echo_interface())
+        client.activate()
+        bind(client.required_port("peer"), connector.endpoint("client"))
+        assert client.required_port("peer").call("echo", "via-conn") == "server:via-conn"
+
+    def test_interceptors_wrap_routing(self):
+        connector = direct_connector()
+        connector.attach("server", make_echo("server").provided_port("svc"))
+        trace = []
+
+        def spy(invocation, proceed):
+            trace.append("before")
+            result = proceed(invocation)
+            trace.append("after")
+            return result
+
+        connector.interceptors.append(spy)
+        connector.endpoint("client").invoke(Invocation("echo", ("x",)))
+        assert trace == ["before", "after"]
+
+    def test_observers_see_phases_and_errors(self):
+        connector = direct_connector()
+        events = []
+        connector.observers.append(
+            lambda phase, role, inv, payload: events.append((phase, role))
+        )
+        with pytest.raises(ConnectorError):
+            connector.endpoint("client").invoke(Invocation("echo", ("x",)))
+        assert events == [("before", "client"), ("error", "client")]
+        assert connector.stats.errors == 1
+
+    def test_disabled_connector_rejects_traffic(self):
+        connector = direct_connector()
+        connector.attach("server", make_echo().provided_port("svc"))
+        connector.enabled = False
+        with pytest.raises(ConnectorError):
+            connector.endpoint("client").invoke(Invocation("echo", ("x",)))
+
+    def test_describe(self):
+        connector = direct_connector()
+        connector.attach("server", make_echo("server").provided_port("svc"))
+        connector.endpoint("client").invoke(Invocation("echo", ("x",)))
+        info = connector.describe()
+        assert info["kind"] == "direct"
+        assert info["roles"]["server"]["attachments"] == ["server.svc"]
+        assert info["invocations"] == 1

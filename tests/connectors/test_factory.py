@@ -1,0 +1,152 @@
+"""Unit tests for the connector factory and protocol verification."""
+
+import pytest
+
+from repro.errors import ConnectorError, IncompatibleProtocolError
+from repro.kernel import Invocation
+from repro.lts import Lts
+from repro.connectors import (
+    Connector,
+    ConnectorFactory,
+    ConnectorSpec,
+    broadcast_glue,
+    callee,
+    caller,
+    pipeline_glue,
+    pipeline_stage_protocol,
+    rpc_client_protocol,
+    rpc_glue,
+    rpc_server_protocol,
+    subscriber_protocol,
+    verify_glue,
+)
+
+from tests.helpers import echo_interface, make_echo
+
+
+class TestProtocolModels:
+    def test_rpc_glue_compatible_with_wellbehaved_roles(self):
+        report = verify_glue(rpc_glue(), [rpc_client_protocol(), rpc_server_protocol()])
+        assert report.deadlock_free
+
+    def test_rpc_glue_detects_misbehaving_client(self):
+        # A client that fires two calls before awaiting a return.
+        impatient = Lts.cycle("impatient", ["call", "call", "return"])
+        report = verify_glue(rpc_glue(), [impatient, rpc_server_protocol()])
+        assert not report.deadlock_free
+
+    def test_pipeline_glue_compatible(self):
+        glue = pipeline_glue(3)
+        roles = [pipeline_stage_protocol(i) for i in range(3)]
+        assert verify_glue(glue, roles).deadlock_free
+
+    def test_broadcast_glue_compatible(self):
+        glue = broadcast_glue(2)
+        roles = [subscriber_protocol(i) for i in range(2)]
+        assert verify_glue(glue, roles).deadlock_free
+
+    def test_broadcast_glue_detects_oneshot_subscriber(self):
+        # Subscriber 0 accepts a single delivery and then refuses all
+        # further ones, wedging the glue on the second publish round.
+        oneshot = Lts.sequence("oneshot", ["deliver0"])
+        report = verify_glue(broadcast_glue(2), [oneshot, subscriber_protocol(1)])
+        assert not report.deadlock_free
+        assert report.witness_trace[:2] == ["publish", "deliver0"]
+
+
+class TestFactory:
+    def test_builtin_kinds_available(self):
+        factory = ConnectorFactory()
+        assert set(factory.kinds()) >= {
+            "rpc", "broadcast", "event-bus", "pipeline", "load-balancer", "failover",
+        }
+
+    def test_create_rpc(self):
+        factory = ConnectorFactory()
+        connector = factory.create(
+            ConnectorSpec("c1", "rpc", echo_interface(), options={"retries": 1})
+        )
+        assert connector.kind == "rpc"
+        assert connector.retries == 1
+        assert factory.built == ["c1"]
+
+    def test_unknown_kind_rejected(self):
+        factory = ConnectorFactory()
+        with pytest.raises(ConnectorError, match="unknown connector kind"):
+            factory.create(ConnectorSpec("c", "quantum", echo_interface()))
+
+    def test_custom_kind_registration(self):
+        factory = ConnectorFactory()
+
+        def build(name, interface, options):
+            return Connector(name, [
+                caller("in", interface, many=True),
+                callee("out", interface),
+            ])
+
+        factory.register_kind("custom", build)
+        connector = factory.create(
+            ConnectorSpec("c", "custom", echo_interface(), verify_protocols=False)
+        )
+        assert connector.name == "c"
+        with pytest.raises(ConnectorError):
+            factory.register_kind("custom", build)
+
+    def test_protocol_verification_rejects_bad_glue(self):
+        factory = ConnectorFactory()
+        broken_client = Lts.cycle("broken", ["call", "call", "return"])
+        spec = ConnectorSpec(
+            "bad", "rpc", echo_interface(),
+            options={"protocols": (rpc_glue(), [broken_client, rpc_server_protocol()])},
+        )
+        with pytest.raises(IncompatibleProtocolError):
+            factory.create(spec)
+
+    def test_verification_can_be_skipped(self):
+        factory = ConnectorFactory()
+        broken_client = Lts.cycle("broken", ["call", "call", "return"])
+        spec = ConnectorSpec(
+            "tolerated", "rpc", echo_interface(),
+            options={"protocols": (rpc_glue(), [broken_client])},
+            verify_protocols=False,
+        )
+        assert factory.create(spec).name == "tolerated"
+
+    def test_aspect_weaving(self):
+        factory = ConnectorFactory()
+        log = []
+
+        def make_logging_aspect(options):
+            def aspect(invocation, proceed):
+                log.append(invocation.operation)
+                return proceed(invocation)
+            return aspect
+
+        factory.register_aspect("call-log", make_logging_aspect)
+        connector = factory.create(
+            ConnectorSpec("c", "rpc", echo_interface(), aspects=("call-log",))
+        )
+        connector.attach("server", make_echo("srv").provided_port("svc"))
+        connector.endpoint("client").invoke(Invocation("echo", ("x",)))
+        assert log == ["echo"]
+
+    def test_unknown_aspect_rejected(self):
+        factory = ConnectorFactory()
+        with pytest.raises(ConnectorError, match="unknown aspect"):
+            factory.create(
+                ConnectorSpec("c", "rpc", echo_interface(), aspects=("ghost",))
+            )
+
+    def test_duplicate_aspect_registration_rejected(self):
+        factory = ConnectorFactory()
+        factory.register_aspect("a", lambda options: lambda inv, proceed: proceed(inv))
+        with pytest.raises(ConnectorError):
+            factory.register_aspect("a", lambda options: lambda inv, proceed: proceed(inv))
+
+    def test_load_balancer_options_flow_through(self):
+        factory = ConnectorFactory()
+        connector = factory.create(
+            ConnectorSpec("lb", "load-balancer", echo_interface(),
+                          options={"policy": "least_busy", "seed": 9})
+        )
+        assert connector.policy == "least_busy"

@@ -1,0 +1,52 @@
+"""Coverage for connector statistics and description records."""
+
+import pytest
+
+from repro.kernel import Invocation
+from repro.connectors import (
+    EventBusConnector,
+    LoadBalancerConnector,
+    RpcConnector,
+)
+
+from tests.helpers import echo_interface, make_echo
+
+
+def test_stats_count_by_role():
+    bus = EventBusConnector("bus", echo_interface())
+    bus.subscribe(make_echo("s0").provided_port("svc"), topic="*")
+    for _ in range(3):
+        invocation = Invocation("echo", ("x",))
+        invocation.meta["topic"] = "t"
+        bus.endpoint("publisher").invoke(invocation)
+    assert bus.stats.invocations == 3
+    assert bus.stats.by_role == {"publisher": 3}
+    assert bus.stats.errors == 0
+
+
+def test_errors_counted():
+    rpc = RpcConnector("rpc", echo_interface())
+    with pytest.raises(Exception):
+        rpc.endpoint("client").invoke(Invocation("echo", ("x",)))
+    assert rpc.stats.errors == 1
+
+
+def test_describe_builtin_kinds():
+    lb = LoadBalancerConnector("lb", echo_interface(), policy="least_busy")
+    for index in range(2):
+        lb.attach("worker", make_echo(f"w{index}").provided_port("svc"))
+    info = lb.describe()
+    assert info["kind"] == "load-balancer"
+    assert info["enabled"] is True
+    assert info["roles"]["worker"]["many"] is True
+    assert info["roles"]["worker"]["attachments"] == ["w0.svc", "w1.svc"]
+    assert info["roles"]["client"]["kind"] == "caller"
+
+
+def test_attachment_weight_recorded():
+    lb = LoadBalancerConnector("lb", echo_interface(), policy="weighted",
+                               seed=1)
+    attachment = lb.attach("worker", make_echo("w").provided_port("svc"),
+                           weight=2.5)
+    assert attachment.weight == 2.5
+    assert attachment.name == "w.svc"

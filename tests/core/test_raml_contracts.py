@@ -1,0 +1,75 @@
+"""Tests for QoS contracts under RAML governance."""
+
+import pytest
+
+from repro.core import Raml, Response
+from repro.events import Simulator
+from repro.kernel import Assembly
+from repro.netsim import star
+from repro.qos import QosContract, Statistic
+
+
+def make_raml():
+    sim = Simulator()
+    assembly = Assembly(star(sim, leaves=1))
+    return sim, Raml(assembly, period=0.5, metric_window=2.0)
+
+
+def test_contract_becomes_constraint():
+    _sim, raml = make_raml()
+    contract = QosContract("sla").require_max("latency", 0.1, Statistic.MEAN)
+    raml.add_contract(contract)
+    raml.record_metric("latency", 0.5)
+    record = raml.sweep()
+    assert "contract:sla" in record.violations
+    # The violation message carries the obligation and observation.
+    message = record.violations["contract:sla"][0]
+    assert "mean(latency) <= 0.1" in message
+    assert "0.5" in message
+
+
+def test_contract_vacuous_without_data():
+    _sim, raml = make_raml()
+    raml.add_contract(QosContract("sla").require_max("latency", 0.1))
+    assert raml.sweep().healthy
+
+
+def test_contract_violation_drives_response():
+    sim, raml = make_raml()
+    contract = QosContract("sla").require_max("latency", 0.1)
+    adaptations = []
+
+    def adapt(raml_, violations):
+        # The adaptation "fixes" the latency and acknowledges the window.
+        raml_.metrics.series("latency").reset()
+        raml_.record_metric("latency", 0.01)
+        adaptations.append(raml_.now)
+
+    raml.add_contract(contract, Response(adapt=adapt))
+    raml.record_metric("latency", 0.9)
+    raml.sweep()
+    assert adaptations
+    assert raml.sweep().healthy
+
+
+def test_contract_registered_with_monitor_too():
+    sim, raml = make_raml()
+    contract = QosContract("sla").require_max("latency", 0.1)
+    raml.add_contract(contract)
+    raml.start()
+    raml.record_metric("latency", 0.9)
+    sim.run(until=1.6)
+    raml.stop()
+    assert raml.monitor.stats.checks >= 2
+    assert raml.monitor.stats.violations >= 1
+
+
+def test_multiple_contracts_independent():
+    _sim, raml = make_raml()
+    raml.add_contract(QosContract("lat").require_max("latency", 0.1))
+    raml.add_contract(QosContract("tput").require_min("throughput", 100.0))
+    raml.record_metric("latency", 0.01)
+    raml.record_metric("throughput", 10.0)
+    record = raml.sweep()
+    assert "contract:lat" not in record.violations
+    assert "contract:tput" in record.violations

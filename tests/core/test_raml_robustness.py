@@ -1,0 +1,48 @@
+"""Meta-level robustness: crashing constraints and responses."""
+
+import pytest
+
+from repro.core import Raml, Response, custom
+from repro.events import Simulator
+from repro.kernel import Assembly
+from repro.netsim import star
+
+
+def make_raml():
+    sim = Simulator()
+    return sim, Raml(Assembly(star(sim, leaves=1)), period=0.5)
+
+
+def test_crashing_constraint_becomes_violation():
+    _sim, raml = make_raml()
+
+    def explode(view):
+        raise RuntimeError("constraint bug")
+
+    raml.add_constraint(custom("buggy", explode))
+    raml.add_constraint(custom("fine", lambda view: []))
+    record = raml.sweep()
+    assert "buggy" in record.violations
+    assert "constraint check crashed" in record.violations["buggy"][0]
+    assert "fine" not in record.violations
+
+
+def test_crashing_constraint_does_not_stop_periodic_sweeps():
+    sim, raml = make_raml()
+    raml.add_constraint(custom("buggy", lambda view: 1 / 0))
+    raml.start()
+    sim.run(until=2.6)
+    raml.stop()
+    assert len(raml.history) == 5
+    assert all("buggy" in record.violations for record in raml.history)
+
+
+def test_crashed_constraint_can_trigger_response():
+    _sim, raml = make_raml()
+    reactions = []
+    raml.add_constraint(
+        custom("buggy", lambda view: 1 / 0),
+        Response(adapt=lambda r, v: reactions.append(v)),
+    )
+    raml.sweep()
+    assert reactions and "crashed" in reactions[0][0]

@@ -1,0 +1,168 @@
+"""Unit tests for whole-assembly composition-correctness verification."""
+
+import pytest
+
+from repro.core import (
+    Raml,
+    composition_correctness,
+    verify_assembly,
+)
+from repro.events import Simulator
+from repro.kernel import Assembly, Component
+from repro.lts import Lts
+from repro.netsim import star
+from repro.connectors import (
+    BroadcastConnector,
+    PipelineConnector,
+    RpcConnector,
+    callee,
+    caller,
+)
+from repro.connectors.connector import Connector
+
+from tests.helpers import (
+    echo_interface,
+    make_echo,
+    make_stage,
+    stage_interface,
+)
+
+
+def make_assembly():
+    sim = Simulator()
+    return Assembly(star(sim, leaves=3))
+
+
+def deploy_echo(assembly, name, node):
+    component = make_echo(name)
+    # make_echo activates; deploy expects to own lifecycle, so register
+    # through the container on the node.
+    assembly.container_on(node).deploy(component)
+    return component
+
+
+class TestVerifyAssembly:
+    def test_empty_assembly_is_correct(self):
+        report = verify_assembly(make_assembly())
+        assert report.correct
+        assert report.connectors_checked == 0
+
+    def test_rpc_connector_checks_glue(self):
+        assembly = make_assembly()
+        connector = RpcConnector("rpc", echo_interface())
+        server = deploy_echo(assembly, "server", "leaf0")
+        connector.attach("server", server.provided_port("svc"))
+        assembly.add_connector(connector)
+        report = verify_assembly(assembly)
+        assert report.correct
+        assert "rpc" in report.glue_reports
+        assert report.glue_reports["rpc"].deadlock_free
+
+    def test_role_conformance_violation_detected(self):
+        assembly = make_assembly()
+        protocol = Lts.cycle("echo-only", ["echo"])
+        connector = Connector("strict", [
+            caller("client", echo_interface(), many=True),
+            callee("server", echo_interface(), protocol=protocol),
+        ])
+        rogue = deploy_echo(assembly, "rogue", "leaf0")
+        rogue.behaviour = Lts.cycle("rogue", ["echo", "sneak"])
+        connector.attach("server", rogue.provided_port("svc"),
+                         check_behaviour=False)  # slipped past attach
+        assembly.add_connector(connector)
+        report = verify_assembly(assembly)
+        assert not report.correct
+        assert any("exceeds role" in p for p in report.problems)
+        assert report.attachments_checked == 1
+
+    def test_broadcast_glue_rechecked_at_current_fanout(self):
+        assembly = make_assembly()
+        connector = BroadcastConnector("bcast", echo_interface())
+        for index in range(3):
+            sub = deploy_echo(assembly, f"s{index}", "leaf0")
+            connector.attach("subscriber", sub.provided_port("svc"))
+        assembly.add_connector(connector)
+        report = verify_assembly(assembly)
+        assert report.correct
+        # Fan-out of 3 means the composed glue explores >3 states.
+        assert report.glue_reports["bcast"].explored_states > 3
+
+    def test_pipeline_with_no_stages_skips_glue(self):
+        assembly = make_assembly()
+        assembly.add_connector(PipelineConnector("pipe"))
+        report = verify_assembly(assembly)
+        assert report.correct
+        assert "pipe" not in report.glue_reports
+
+    def test_pipeline_glue_checked_with_stages(self):
+        assembly = make_assembly()
+        pipe = PipelineConnector("pipe")
+        stage = make_stage("double", lambda v: v * 2)
+        assembly.container_on("leaf0").deploy(stage)
+        pipe.attach("stage", stage.provided_port("svc"))
+        assembly.add_connector(pipe)
+        report = verify_assembly(assembly)
+        assert report.correct
+        assert report.glue_reports["pipe"].deadlock_free
+
+    def test_custom_glue_model_can_flag_deadlock(self):
+        assembly = make_assembly()
+        connector = RpcConnector("rpc", echo_interface())
+        server = deploy_echo(assembly, "server", "leaf0")
+        connector.attach("server", server.provided_port("svc"))
+        assembly.add_connector(connector)
+
+        def broken_model(conn):
+            from repro.connectors import rpc_glue, rpc_server_protocol
+
+            impatient = Lts.cycle("impatient", ["call", "call", "return"])
+            return rpc_glue(), [impatient, rpc_server_protocol()]
+
+        report = verify_assembly(assembly, glue_model=broken_model)
+        assert not report.correct
+        assert any("deadlock" in p for p in report.problems)
+
+    def test_binding_interface_regression_detected(self):
+        assembly = make_assembly()
+        client = Component("client")
+        client.require("peer", echo_interface())
+        assembly.container_on("leaf0").deploy(client)
+        server = deploy_echo(assembly, "server", "leaf1")
+        assembly.connect("client", "peer", target_component="server")
+        # Sabotage: narrow the provider's interface behind the binding.
+        from repro.kernel import Interface, Operation
+
+        server.provided_port("svc").interface = Interface(
+            "Echo", "0.1", [Operation("echo", ("value",))]
+        )
+        report = verify_assembly(assembly)
+        assert not report.correct
+        assert any("no longer satisfied" in p for p in report.problems)
+
+
+class TestCompositionCorrectnessConstraint:
+    def test_constraint_feeds_raml_sweep(self):
+        assembly = make_assembly()
+        protocol = Lts.cycle("echo-only", ["echo"])
+        connector = Connector("strict", [
+            caller("client", echo_interface(), many=True),
+            callee("server", echo_interface(), protocol=protocol),
+        ])
+        server = deploy_echo(assembly, "server", "leaf0")
+        connector.attach("server", server.provided_port("svc"))
+        assembly.add_connector(connector)
+
+        raml = Raml(assembly).instrument()
+        raml.add_constraint(composition_correctness())
+        assert raml.sweep().healthy
+
+        # A reconfiguration slips in a non-conforming replacement; the
+        # next sweep flags the composition.
+        rogue = make_echo("rogue")
+        rogue.behaviour = Lts.cycle("rogue", ["echo", "sneak"])
+        assembly.container_on("leaf1").deploy(rogue)
+        connector.detach("server", server.provided_port("svc"))
+        connector.attach("server", rogue.provided_port("svc"),
+                         check_behaviour=False)
+        record = raml.sweep()
+        assert "composition-correctness" in record.violations

@@ -1,0 +1,179 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.events import Delay, Signal, Simulator, Wait, all_of, spawn
+
+
+def test_process_delays_advance_clock():
+    sim = Simulator()
+    timestamps = []
+
+    def body():
+        timestamps.append(sim.now)
+        yield Delay(1.5)
+        timestamps.append(sim.now)
+        yield Delay(2.5)
+        timestamps.append(sim.now)
+
+    spawn(sim, body())
+    sim.run()
+    assert timestamps == [0.0, 1.5, 4.0]
+
+
+def test_process_result_is_return_value():
+    sim = Simulator()
+
+    def body():
+        yield Delay(1.0)
+        return 42
+
+    process = spawn(sim, body())
+    sim.run()
+    assert process.done
+    assert process.result == 42
+
+
+def test_wait_resumes_with_fired_value():
+    sim = Simulator()
+    signal = Signal("data")
+    received = []
+
+    def consumer():
+        value = yield Wait(signal)
+        received.append(value)
+
+    spawn(sim, consumer())
+    sim.at(3.0, signal.fire, "payload")
+    sim.run()
+    assert received == ["payload"]
+
+
+def test_signal_resumes_all_waiters():
+    sim = Simulator()
+    signal = Signal()
+    hits = []
+
+    def waiter(label):
+        yield Wait(signal)
+        hits.append(label)
+
+    for label in ("a", "b", "c"):
+        spawn(sim, waiter(label))
+    sim.at(1.0, signal.fire)
+    sim.run()
+    assert sorted(hits) == ["a", "b", "c"]
+
+
+def test_signal_only_resumes_current_waiters():
+    sim = Simulator()
+    signal = Signal()
+    hits = []
+
+    def late_waiter():
+        yield Delay(5.0)
+        yield Wait(signal)
+        hits.append("late")
+
+    spawn(sim, late_waiter())
+    sim.at(1.0, signal.fire)
+    sim.run()
+    assert hits == []  # fired before the waiter subscribed
+
+
+def test_bare_yield_is_cooperative():
+    sim = Simulator()
+    order = []
+
+    def a():
+        order.append("a1")
+        yield
+        order.append("a2")
+
+    def b():
+        order.append("b1")
+        yield
+        order.append("b2")
+
+    spawn(sim, a())
+    spawn(sim, b())
+    sim.run()
+    assert order == ["a1", "b1", "a2", "b2"]
+
+
+def test_unknown_command_sets_process_error():
+    sim = Simulator()
+
+    def bad():
+        yield "not-a-command"
+
+    process = spawn(sim, bad())
+    sim.run()
+    assert process.done
+    assert isinstance(process.error, ProcessError)
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def boom():
+        yield Delay(1.0)
+        raise ValueError("kaput")
+
+    spawn(sim, boom())
+    with pytest.raises(ValueError, match="kaput"):
+        sim.run()
+
+
+def test_interrupt_stops_process():
+    sim = Simulator()
+    steps = []
+
+    def body():
+        steps.append(1)
+        yield Delay(1.0)
+        steps.append(2)
+
+    process = spawn(sim, body())
+    sim.run(until=0.5)
+    process.interrupt()
+    sim.run()
+    assert steps == [1]
+
+
+def test_finished_signal_fires_on_completion():
+    sim = Simulator()
+    notified = []
+
+    def body():
+        yield Delay(1.0)
+        return "done"
+
+    process = spawn(sim, body())
+    process.finished.subscribe(notified.append)
+    sim.run()
+    assert notified == ["done"]
+
+
+def test_all_of_fires_after_every_process():
+    sim = Simulator()
+    done_at = []
+
+    def body(duration):
+        yield Delay(duration)
+
+    processes = [spawn(sim, body(d)) for d in (1.0, 3.0, 2.0)]
+    gate = all_of(sim, processes)
+    gate.subscribe(lambda _v: done_at.append(sim.now))
+    sim.run()
+    assert done_at == [3.0]
+
+
+def test_all_of_with_no_processes_fires_immediately():
+    sim = Simulator()
+    fired = []
+    gate = all_of(sim, [])
+    gate.subscribe(lambda _v: fired.append(sim.now))
+    sim.run()
+    assert fired == [0.0]

@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.events import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "low", priority=5)
+    sim.schedule(1.0, fired.append, "high", priority=-5)
+    sim.run()
+    assert fired == ["high", "low"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(10.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ClockError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ClockError):
+        sim.at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_events_scheduled_during_run_are_executed():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_executed_and_pending_counters():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    event = sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.executed_events == 1
+    assert sim.pending_events == 0
+
+
+def test_reset_clears_queue_and_clock():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+    assert sim.executed_events == 0
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(ClockError):
+        sim.run()

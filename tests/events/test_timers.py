@@ -1,0 +1,85 @@
+"""Unit tests for one-shot and periodic timers."""
+
+import random
+
+import pytest
+
+from repro.errors import ClockError
+from repro.events import PeriodicTimer, Simulator, Timer
+
+
+def test_one_shot_timer_fires_once():
+    sim = Simulator()
+    fired = []
+    Timer(sim, 2.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_one_shot_timer_cancel():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, 2.0, fired.append, "x")
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_periodic_timer_fires_every_period():
+    sim = Simulator()
+    ticks = []
+    PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    sim.run(until=4.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_periodic_timer_stop():
+    sim = Simulator()
+    timer = PeriodicTimer(sim, 1.0, lambda: None)
+    sim.run(until=2.5)
+    timer.stop()
+    executed_before = sim.executed_events
+    sim.run(until=10.0)
+    assert timer.tick_count == 2
+    assert sim.executed_events == executed_before
+    assert not timer.running
+
+
+def test_periodic_timer_stop_inside_callback():
+    sim = Simulator()
+    timer = PeriodicTimer(sim, 1.0, lambda: timer.stop())
+    sim.run(until=10.0)
+    assert timer.tick_count == 1
+
+
+def test_periodic_timer_set_period():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    sim.run(until=2.0)
+    # The tick at t=3.0 is already scheduled; the new period applies after it.
+    timer.set_period(3.0)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0, 3.0, 6.0, 9.0]
+
+
+def test_periodic_timer_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(ClockError):
+        PeriodicTimer(sim, 0.0, lambda: None)
+    timer = PeriodicTimer(sim, 1.0, lambda: None)
+    with pytest.raises(ClockError):
+        timer.set_period(-1.0)
+
+
+def test_periodic_timer_jitter_stays_near_period():
+    sim = Simulator()
+    ticks = []
+    PeriodicTimer(
+        sim, 1.0, lambda: ticks.append(sim.now), jitter=0.1, rng=random.Random(7)
+    )
+    sim.run(until=20.0)
+    gaps = [b - a for a, b in zip([0.0] + ticks, ticks)]
+    assert all(0.9 <= gap <= 1.1 for gap in gaps)
+    assert 17 <= len(ticks) <= 22

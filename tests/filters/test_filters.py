@@ -1,0 +1,206 @@
+"""Unit tests for composition filters."""
+
+import pytest
+
+from repro.errors import FilterError
+from repro.filters import (
+    DispatchFilter,
+    ErrorFilter,
+    FilterSet,
+    PassFilter,
+    StopFilter,
+    TransformFilter,
+    WaitFilter,
+    match,
+)
+from repro.kernel import Invocation
+
+from tests.helpers import make_counter, make_echo
+
+
+class TestMatcher:
+    def test_wildcard_matches_everything(self):
+        assert match().matches(Invocation("anything"))
+
+    def test_operation_filtering(self):
+        matcher = match("get", "put")
+        assert matcher.matches(Invocation("get"))
+        assert not matcher.matches(Invocation("delete"))
+
+    def test_condition(self):
+        matcher = match(when=lambda inv: inv.args and inv.args[0] > 10)
+        assert matcher.matches(Invocation("op", (11,)))
+        assert not matcher.matches(Invocation("op", (5,)))
+        assert not matcher.matches(Invocation("op"))
+
+
+class TestBuiltinFilters:
+    def test_error_filter_rejects(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        filter_set = FilterSet("guard", [ErrorFilter("no-writes", match("increment"))])
+        filter_set.attach_to(port)
+        with pytest.raises(FilterError):
+            port.invoke(Invocation("increment", (1,)))
+        assert port.invoke(Invocation("total")) == 0
+
+    def test_stop_filter_absorbs(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        FilterSet("mute", [StopFilter("absorb", match("increment"), result=-1)]
+                  ).attach_to(port)
+        assert port.invoke(Invocation("increment", (5,))) == -1
+        assert component.state["total"] == 0
+
+    def test_transform_filter_rewrites_args(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+
+        def clamp(invocation):
+            amount = invocation.args[0] if invocation.args else 1
+            clamped = Invocation("increment", (min(amount, 10),),
+                                 meta=invocation.meta)
+            return clamped
+
+        FilterSet("clamp", [TransformFilter("clamp", clamp, match("increment"))]
+                  ).attach_to(port)
+        assert port.invoke(Invocation("increment", (100,))) == 10
+
+    def test_transform_must_return_invocation(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        FilterSet("bad", [TransformFilter("bad", lambda inv: "nope")]
+                  ).attach_to(port)
+        with pytest.raises(FilterError):
+            port.invoke(Invocation("total"))
+
+    def test_dispatch_filter_redirects(self):
+        component = make_echo("front")
+        backend = make_echo("backend")
+        port = component.provided_port("svc")
+        FilterSet("route", [
+            DispatchFilter("to-backend", backend.provided_port("svc"),
+                           match("echo")),
+        ]).attach_to(port)
+        assert port.invoke(Invocation("echo", ("x",))) == "backend:x"
+        assert component.state["seen"] == []
+
+    def test_pass_filter_counts_matches(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        keep = PassFilter("keep", match("total"))
+        FilterSet("s", [keep]).attach_to(port)
+        port.invoke(Invocation("total"))
+        port.invoke(Invocation("increment"))
+        assert keep.match_count == 1
+
+    def test_wait_filter_queues_until_release(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        gate = {"open": False}
+        waiter = WaitFilter("hold", guard=lambda: gate["open"],
+                            matcher=match("increment"), queued_result="queued")
+        FilterSet("w", [waiter]).attach_to(port)
+        assert port.invoke(Invocation("increment", (5,))) == "queued"
+        assert waiter.pending == 1
+        assert component.state["total"] == 0
+        gate["open"] = True
+        results = waiter.release()
+        assert results == [5]
+        assert component.state["total"] == 5
+        assert waiter.pending == 0
+
+    def test_wait_filter_release_keeps_unsatisfied(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        gate = {"open": False}
+        waiter = WaitFilter("hold", guard=lambda: gate["open"],
+                            matcher=match("increment"))
+        FilterSet("w", [waiter]).attach_to(port)
+        port.invoke(Invocation("increment", (1,)))
+        assert waiter.release() == []
+        assert waiter.pending == 1
+
+
+class TestFilterSet:
+    def test_sequencing_order_matters(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+
+        def add_ten(invocation):
+            return Invocation("increment", (invocation.args[0] + 10,))
+
+        def double(invocation):
+            return Invocation("increment", (invocation.args[0] * 2,))
+
+        ordered = FilterSet("math", [
+            TransformFilter("add", add_ten, match("increment")),
+            TransformFilter("double", double, match("increment")),
+        ])
+        ordered.attach_to(port)
+        # (1 + 10) * 2 = 22
+        assert port.invoke(Invocation("increment", (1,))) == 22
+
+        ordered.reorder(["double", "add"])
+        component.state["total"] = 0
+        # (1 * 2) + 10 = 12
+        assert port.invoke(Invocation("increment", (1,))) == 12
+
+    def test_reorder_must_mention_all(self):
+        filter_set = FilterSet("s", [PassFilter("a"), PassFilter("b")])
+        with pytest.raises(FilterError):
+            filter_set.reorder(["a"])
+        with pytest.raises(FilterError):
+            filter_set.reorder(["a", "c"])
+
+    def test_remove_by_name(self):
+        filter_set = FilterSet("s", [PassFilter("a")])
+        filter_set.remove("a")
+        assert len(filter_set) == 0
+        with pytest.raises(FilterError):
+            filter_set.remove("a")
+
+    def test_contains_and_insert(self):
+        filter_set = FilterSet("s", [PassFilter("a")])
+        filter_set.insert(0, PassFilter("first"))
+        assert "first" in filter_set
+        assert filter_set.filters[0].name == "first"
+
+    def test_dynamic_attach_detach(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        filter_set = FilterSet("mute", [StopFilter("absorb", match("increment"))])
+        filter_set.attach_to(port)
+        assert filter_set.attachment_count == 1
+        port.invoke(Invocation("increment", (5,)))
+        assert component.state["total"] == 0
+        filter_set.detach_from(port)
+        port.invoke(Invocation("increment", (5,)))
+        assert component.state["total"] == 5
+
+    def test_detach_not_attached_raises(self):
+        component = make_counter()
+        with pytest.raises(FilterError):
+            FilterSet("s").detach_from(component.provided_port("svc"))
+
+    def test_attach_to_required_port_filters_output(self):
+        from repro.kernel import Component, bind
+
+        client = Component("client")
+        from tests.helpers import counter_interface
+
+        client.require("peer", counter_interface())
+        client.activate()
+        server = make_counter("server")
+        bind(client.required_port("peer"), server.provided_port("svc"))
+
+        def double(invocation):
+            return Invocation("increment", (invocation.args[0] * 2,))
+
+        FilterSet("out", [TransformFilter("double", double, match("increment"))]
+                  ).attach_to(client.required_port("peer"))
+        assert client.required_port("peer").call("increment", 3) == 6
+
+    def test_attach_to_incompatible_object_raises(self):
+        with pytest.raises(FilterError):
+            FilterSet("s").attach_to(object())

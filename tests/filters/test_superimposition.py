@@ -1,0 +1,83 @@
+"""Unit tests for filter superimposition."""
+
+from repro.filters import (
+    FilterSet,
+    PassFilter,
+    StopFilter,
+    Superimposition,
+    SuperimpositionManager,
+    match,
+    select_all,
+    select_components,
+    select_interface,
+)
+from repro.kernel import Invocation, Registry
+
+from tests.helpers import make_counter, make_echo
+
+
+def test_select_all_touches_every_port():
+    components = [make_counter("c1"), make_echo("e1")]
+    superimposition = Superimposition(
+        "audit", select_all, lambda: FilterSet("audit", [PassFilter("count")])
+    )
+    applied = superimposition.apply(components)
+    assert len(applied) == 2
+
+
+def test_select_interface_narrows_scope():
+    components = [make_counter("c1"), make_echo("e1")]
+    superimposition = Superimposition(
+        "echo-only",
+        select_interface("Echo"),
+        lambda: FilterSet("s", [PassFilter("p")]),
+    )
+    applied = superimposition.apply(components)
+    assert len(applied) == 1
+
+
+def test_select_components_by_name():
+    components = [make_counter("a"), make_counter("b"), make_counter("c")]
+    superimposition = Superimposition(
+        "targeted",
+        select_components("a", "c"),
+        lambda: FilterSet("s", [PassFilter("p")]),
+    )
+    assert len(superimposition.apply(components)) == 2
+
+
+def test_each_port_gets_fresh_filter_set():
+    components = [make_counter("a"), make_counter("b")]
+    superimposition = Superimposition(
+        "fresh", select_all, lambda: FilterSet("s", [PassFilter("p")])
+    )
+    applied = superimposition.apply(components)
+    assert applied[0] is not applied[1]
+
+
+def test_manager_impose_and_retract():
+    registry = Registry()
+    a, b = make_counter("a"), make_counter("b")
+    registry.register(a)
+    registry.register(b)
+    manager = SuperimpositionManager(registry)
+    count = manager.impose(Superimposition(
+        "mute-writes",
+        select_all,
+        lambda: FilterSet("mute", [StopFilter("absorb", match("increment"))]),
+    ))
+    assert count == 2
+    assert manager.live_names() == ["mute-writes"]
+
+    a.provided_port("svc").invoke(Invocation("increment", (5,)))
+    assert a.state["total"] == 0  # filtered
+
+    assert manager.retract("mute-writes") == 2
+    a.provided_port("svc").invoke(Invocation("increment", (5,)))
+    assert a.state["total"] == 5  # filter gone
+    assert manager.live_names() == []
+
+
+def test_retract_unknown_is_harmless():
+    manager = SuperimpositionManager(Registry())
+    assert manager.retract("ghost") == 0

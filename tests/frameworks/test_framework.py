@@ -1,0 +1,171 @@
+"""Unit tests for composition frameworks."""
+
+import pytest
+
+from repro.frameworks import CompositionFramework, FrameworkError, SlotSpec
+from repro.kernel import Component, Interface, Invocation, Operation, bind
+from repro.lts import Lts
+
+from tests.helpers import (
+    counter_interface,
+    echo_interface,
+    make_counter,
+    make_echo,
+)
+
+
+def cabinet():
+    return CompositionFramework("cabinet", [
+        SlotSpec("codec", echo_interface()),
+        SlotSpec("store", counter_interface()),
+        SlotSpec("spare", echo_interface(), required=False),
+    ])
+
+
+class TestConstruction:
+    def test_needs_slots(self):
+        with pytest.raises(FrameworkError):
+            CompositionFramework("empty", [])
+
+    def test_duplicate_slots_rejected(self):
+        with pytest.raises(FrameworkError):
+            CompositionFramework("dup", [
+                SlotSpec("a", echo_interface()),
+                SlotSpec("a", echo_interface()),
+            ])
+
+    def test_unknown_slot_lookup(self):
+        with pytest.raises(FrameworkError):
+            cabinet().slot("ghost")
+
+
+class TestPlugging:
+    def test_plug_and_invoke(self):
+        framework = cabinet()
+        framework.plug("codec", make_echo("enc").provided_port("svc"))
+        result = framework.facade("codec").invoke(Invocation("echo", ("x",)))
+        assert result == "enc:x"
+
+    def test_family_compliance_enforced(self):
+        framework = cabinet()
+        with pytest.raises(FrameworkError, match="accepts family"):
+            framework.plug("codec", make_counter("c").provided_port("svc"))
+
+    def test_protocol_compliance_enforced(self):
+        protocol = Lts.cycle("family", ["echo"])
+        framework = CompositionFramework("strict", [
+            SlotSpec("codec", echo_interface(), protocol=protocol),
+        ])
+        rogue = make_echo("rogue")
+        rogue.behaviour = Lts.cycle("rogue", ["echo", "leak"])
+        with pytest.raises(FrameworkError, match="violates the family"):
+            framework.plug("codec", rogue.provided_port("svc"))
+        good = make_echo("good")
+        good.behaviour = Lts.cycle("good", ["echo"])
+        framework.plug("codec", good.provided_port("svc"))
+
+    def test_occupied_slot_rejects_plug(self):
+        framework = cabinet()
+        framework.plug("codec", make_echo("a").provided_port("svc"))
+        with pytest.raises(FrameworkError, match="occupied"):
+            framework.plug("codec", make_echo("b").provided_port("svc"))
+
+    def test_empty_slot_invocation_fails(self):
+        framework = cabinet()
+        with pytest.raises(FrameworkError, match="empty"):
+            framework.facade("codec").invoke(Invocation("echo", ("x",)))
+
+    def test_unplug(self):
+        framework = cabinet()
+        port = make_echo("a").provided_port("svc")
+        framework.plug("codec", port)
+        assert framework.unplug("codec") is port
+        with pytest.raises(FrameworkError):
+            framework.unplug("codec")
+
+    def test_completeness_tracks_required_slots(self):
+        framework = cabinet()
+        assert not framework.is_complete()
+        framework.plug("codec", make_echo("a").provided_port("svc"))
+        framework.plug("store", make_counter("c").provided_port("svc"))
+        assert framework.is_complete()  # 'spare' is optional
+
+
+class TestInterchange:
+    def test_swap_interchanges_card_atomically(self):
+        framework = cabinet()
+        framework.plug("codec", make_echo("v1").provided_port("svc"))
+        facade = framework.facade("codec")
+        assert facade.invoke(Invocation("echo", ("x",))) == "v1:x"
+        old = framework.swap("codec", make_echo("v2").provided_port("svc"))
+        assert old.component.name == "v1"
+        assert facade.invoke(Invocation("echo", ("x",))) == "v2:x"
+        assert framework.slot("codec").swap_count == 1
+
+    def test_swap_validates_before_removal(self):
+        framework = cabinet()
+        framework.plug("codec", make_echo("v1").provided_port("svc"))
+        with pytest.raises(FrameworkError):
+            framework.swap("codec", make_counter("bad").provided_port("svc"))
+        # Old card still in place after the rejected swap.
+        assert framework.facade("codec").invoke(
+            Invocation("echo", ("x",))) == "v1:x"
+
+    def test_callers_bound_to_facade_survive_swaps(self):
+        framework = cabinet()
+        framework.plug("codec", make_echo("v1").provided_port("svc"))
+        client = Component("client")
+        client.require("enc", echo_interface())
+        client.activate()
+        bind(client.required_port("enc"), framework.facade("codec"))
+        assert client.required_port("enc").call("echo", "a") == "v1:a"
+        framework.swap("codec", make_echo("v2").provided_port("svc"))
+        assert client.required_port("enc").call("echo", "b") == "v2:b"
+
+
+class TestAspectSlots:
+    def test_aspects_cut_across_all_slots(self):
+        framework = cabinet()
+        framework.plug("codec", make_echo("enc").provided_port("svc"))
+        framework.plug("store", make_counter("db").provided_port("svc"))
+        seen = []
+
+        def audit(invocation, proceed):
+            seen.append((invocation.meta["slot"], invocation.operation))
+            return proceed(invocation)
+
+        framework.install_aspect("audit", audit)
+        framework.facade("codec").invoke(Invocation("echo", ("x",)))
+        framework.facade("store").invoke(Invocation("increment", (1,)))
+        assert seen == [("codec", "echo"), ("store", "increment")]
+
+    def test_aspects_interchange_dynamically(self):
+        framework = cabinet()
+        framework.plug("codec", make_echo("enc").provided_port("svc"))
+        framework.install_aspect("wrap",
+                                 lambda inv, proceed: f"[{proceed(inv)}]")
+        facade = framework.facade("codec")
+        assert facade.invoke(Invocation("echo", ("x",))) == "[enc:x]"
+        framework.remove_aspect("wrap")
+        assert facade.invoke(Invocation("echo", ("x",))) == "enc:x"
+
+    def test_duplicate_and_missing_aspects_rejected(self):
+        framework = cabinet()
+        framework.install_aspect("a", lambda inv, proceed: proceed(inv))
+        with pytest.raises(FrameworkError):
+            framework.install_aspect("a", lambda inv, proceed: proceed(inv))
+        with pytest.raises(FrameworkError):
+            framework.remove_aspect("ghost")
+
+
+class TestDescribe:
+    def test_describe_reports_cabinet_state(self):
+        framework = cabinet()
+        framework.plug("codec", make_echo("enc").provided_port("svc"))
+        framework.install_aspect("audit",
+                                 lambda inv, proceed: proceed(inv))
+        info = framework.describe()
+        assert info["complete"] is False
+        assert info["slots"]["codec"]["occupant"] == "enc.svc"
+        assert info["slots"]["store"]["occupant"] is None
+        assert info["aspects"] == ["audit"]

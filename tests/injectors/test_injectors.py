@@ -1,0 +1,187 @@
+"""Unit tests for injectors."""
+
+import pytest
+
+from repro.errors import InjectorError
+from repro.injectors import (
+    DropInjector,
+    InjectorManager,
+    MulticastInjector,
+    RerouteInjector,
+    TransformInjector,
+    channels_from,
+    channels_to,
+)
+from repro.kernel import Component, Invocation, bind
+
+from tests.helpers import echo_interface, make_echo
+
+
+def make_channel(client_name="client", server_name="server"):
+    client = Component(client_name)
+    client.require("peer", echo_interface())
+    client.activate()
+    server = make_echo(server_name)
+    binding = bind(client.required_port("peer"), server.provided_port("svc"))
+    return client, server, binding
+
+
+class TestInjectorKinds:
+    def test_transform_injector(self):
+        client, server, binding = make_channel()
+        manager = InjectorManager()
+        manager.inject(
+            TransformInjector(
+                "upper",
+                lambda inv: Invocation(inv.operation,
+                                       tuple(a.upper() for a in inv.args)),
+            ),
+            [binding],
+        )
+        assert client.required_port("peer").call("echo", "hi") == "server:HI"
+
+    def test_reroute_injector(self):
+        client, server, binding = make_channel()
+        shadow = make_echo("shadow")
+        manager = InjectorManager()
+        manager.inject(
+            RerouteInjector("detour", shadow.provided_port("svc")),
+            [binding],
+        )
+        assert client.required_port("peer").call("echo", "x") == "shadow:x"
+        assert server.state["seen"] == []
+
+    def test_conditional_reroute(self):
+        client, server, binding = make_channel()
+        shadow = make_echo("shadow")
+        manager = InjectorManager()
+        manager.inject(
+            RerouteInjector(
+                "detour", shadow.provided_port("svc"),
+                predicate=lambda inv: inv.args[0] == "special",
+            ),
+            [binding],
+        )
+        assert client.required_port("peer").call("echo", "normal") == "server:normal"
+        assert client.required_port("peer").call("echo", "special") == "shadow:special"
+
+    def test_drop_injector(self):
+        client, server, binding = make_channel()
+        manager = InjectorManager()
+        drop = DropInjector("spam-filter",
+                            predicate=lambda inv: inv.args[0] == "spam",
+                            result="dropped")
+        manager.inject(drop, [binding])
+        assert client.required_port("peer").call("echo", "spam") == "dropped"
+        assert client.required_port("peer").call("echo", "ham") == "server:ham"
+        assert drop.dropped == 1
+        assert server.state["seen"] == ["ham"]
+
+    def test_multicast_injector(self):
+        client, server, binding = make_channel()
+        mirror = make_echo("mirror")
+        manager = InjectorManager()
+        manager.inject(
+            MulticastInjector("tee", [mirror.provided_port("svc")]),
+            [binding],
+        )
+        assert client.required_port("peer").call("echo", "x") == "server:x"
+        assert mirror.state["seen"] == ["x"]
+
+
+class TestScoping:
+    def test_channels_from_limits_scope(self):
+        client_a, server_a, binding_a = make_channel("alpha", "server-a")
+        client_b, server_b, binding_b = make_channel("beta", "server-b")
+        manager = InjectorManager()
+        count = manager.inject(
+            DropInjector("block", predicate=lambda inv: True),
+            [binding_a, binding_b],
+            scope=channels_from("alpha"),
+        )
+        assert count == 1
+        assert client_a.required_port("peer").call("echo", "x") is None
+        assert client_b.required_port("peer").call("echo", "x") == "server-b:x"
+
+    def test_channels_to_matches_target(self):
+        client_a, server_a, binding_a = make_channel("alpha", "srv1")
+        client_b, server_b, binding_b = make_channel("beta", "srv2")
+        manager = InjectorManager()
+        count = manager.inject(
+            TransformInjector("mark", lambda inv: Invocation(
+                inv.operation, (f"*{inv.args[0]}",))),
+            [binding_a, binding_b],
+            scope=channels_to("srv2"),
+        )
+        assert count == 1
+        assert client_b.required_port("peer").call("echo", "x") == "srv2:*x"
+
+    def test_empty_scope_rejected(self):
+        _client, _server, binding = make_channel()
+        manager = InjectorManager()
+        with pytest.raises(InjectorError, match="matched no channel"):
+            manager.inject(
+                DropInjector("x", predicate=lambda inv: True),
+                [binding],
+                scope=channels_from("nobody"),
+            )
+
+
+class TestLifecycle:
+    def test_retract_restores_channel(self):
+        client, server, binding = make_channel()
+        original_target = binding.target
+        manager = InjectorManager()
+        manager.inject(DropInjector("block", predicate=lambda inv: True),
+                       [binding])
+        manager.retract("block")
+        assert binding.target is original_target
+        assert client.required_port("peer").call("echo", "x") == "server:x"
+
+    def test_stacked_injections_compose_and_unwind(self):
+        client, server, binding = make_channel()
+        manager = InjectorManager()
+        manager.inject(
+            TransformInjector("upper", lambda inv: Invocation(
+                inv.operation, (inv.args[0].upper(),))),
+            [binding],
+        )
+        manager.inject(
+            TransformInjector("bang", lambda inv: Invocation(
+                inv.operation, (inv.args[0] + "!",))),
+            [binding],
+        )
+        # upper runs first (installed first), then bang.
+        assert client.required_port("peer").call("echo", "hi") == "server:HI!"
+        manager.retract("upper")
+        assert client.required_port("peer").call("echo", "hi") == "server:hi!"
+        manager.retract("bang")
+        assert client.required_port("peer").call("echo", "hi") == "server:hi"
+
+    def test_duplicate_injection_name_rejected(self):
+        _client, _server, binding = make_channel()
+        manager = InjectorManager()
+        manager.inject(DropInjector("x", predicate=lambda inv: False), [binding])
+        with pytest.raises(InjectorError):
+            manager.inject(DropInjector("x", predicate=lambda inv: False),
+                           [binding])
+
+    def test_retract_unknown_rejected(self):
+        with pytest.raises(InjectorError):
+            InjectorManager().retract("ghost")
+
+    def test_active_names(self):
+        _client, _server, binding = make_channel()
+        manager = InjectorManager()
+        manager.inject(DropInjector("b", predicate=lambda inv: False), [binding])
+        manager.inject(DropInjector("a", predicate=lambda inv: False), [binding])
+        assert manager.active_names() == ["a", "b"]
+
+    def test_hit_count(self):
+        client, _server, binding = make_channel()
+        manager = InjectorManager()
+        injector = TransformInjector("id", lambda inv: inv)
+        manager.inject(injector, [binding])
+        client.required_port("peer").call("echo", "x")
+        client.required_port("peer").call("echo", "y")
+        assert injector.hit_count == 2

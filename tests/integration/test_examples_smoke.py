@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    path.name for path in
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_example_inventory():
+    assert len(EXAMPLES) >= 6
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    root = Path(__file__).resolve().parents[2]
+    result = subprocess.run(
+        [sys.executable, str(root / "examples" / example)],
+        capture_output=True, text=True, timeout=240, cwd=root,
+    )
+    assert result.returncode == 0, (
+        f"{example} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{example} printed nothing"
+
+
+def test_module_demo_runs():
+    root = Path(__file__).resolve().parents[2]
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True, text=True, timeout=120, cwd=root,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "INTERCESSION" in result.stdout

@@ -1,0 +1,98 @@
+"""Failure-storm survival: RAML keeps the application placed on live
+nodes through a randomized crash/recovery schedule."""
+
+import pytest
+
+from repro import Simulator
+from repro.core import Raml, Response, all_nodes_up
+from repro.kernel import Assembly
+from repro.netsim import FailureInjector, full_mesh, least_loaded
+
+from tests.helpers import CounterComponent, counter_interface
+
+
+def fresh(name):
+    component = CounterComponent(name)
+    component.provide("svc", counter_interface())
+    return component
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_raml_keeps_components_on_live_nodes(seed):
+    sim = Simulator()
+    assembly = Assembly(full_mesh(sim, size=6))
+    for index in range(3):
+        assembly.deploy(fresh(f"svc{index}"), f"n{index}")
+
+    raml = Raml(assembly, period=0.5).instrument()
+
+    def heal(raml_, violations):
+        for component in list(assembly.registry):
+            node = assembly.network.nodes.get(component.node_name or "")
+            if node is not None and not node.up:
+                candidates = [
+                    n for n in assembly.network.live_nodes()
+                    if n.name != component.node_name
+                ]
+                if not candidates:
+                    return  # nowhere to go this sweep
+                target = least_loaded(candidates)
+                try:
+                    raml_.intercessor.migrate(component.name, target.name)
+                except Exception:  # noqa: BLE001 - retried next sweep
+                    pass
+
+    raml.add_constraint(all_nodes_up(),
+                        Response(reconfigure=heal, escalate_after=1))
+    raml.start()
+
+    injector = FailureInjector(assembly.network, seed=seed)
+    crashes = injector.random_node_crashes(
+        horizon=30.0, rate=0.3, recover_after=5.0,
+    )
+    assert crashes > 0
+
+    sim.run(until=40.0)
+    raml.stop()
+
+    # Every component survived and sits on a live node.
+    assert len(assembly.registry) == 3
+    for component in assembly.registry:
+        assert component.lifecycle.can_serve
+        node = assembly.network.node(component.node_name)
+        assert node.up, (
+            f"{component.name} stranded on dead {component.node_name}"
+        )
+    # The meta-level actually had to work for it.
+    if any(event.kind == "node_crash" for event in injector.log):
+        assert raml.health()["sweeps"] > 0
+
+
+def test_component_survives_crash_of_every_other_node():
+    """Sequentially crash every node except one; the component hops."""
+    sim = Simulator()
+    assembly = Assembly(full_mesh(sim, size=4))
+    component = assembly.deploy(fresh("nomad"), "n0")
+    raml = Raml(assembly, period=0.2).instrument()
+
+    def heal(raml_, violations):
+        node = assembly.network.nodes.get(component.node_name or "")
+        if node is not None and not node.up:
+            live = [n for n in assembly.network.live_nodes()]
+            if live:
+                raml_.intercessor.migrate("nomad", live[0].name)
+
+    raml.add_constraint(all_nodes_up(),
+                        Response(reconfigure=heal, escalate_after=1))
+    raml.start()
+
+    injector = FailureInjector(assembly.network)
+    injector.crash_node("n0", at=1.0)
+    injector.crash_node("n1", at=2.0)
+    injector.crash_node("n2", at=3.0)
+    sim.run(until=5.0)
+    raml.stop()
+
+    assert component.node_name == "n3"
+    assert component.lifecycle.can_serve
+    assert len(raml.intercessor.transactions) >= 3

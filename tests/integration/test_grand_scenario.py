@@ -1,0 +1,194 @@
+"""The grand scenario: every layer of the platform in one run.
+
+An ADL-defined telecom video service runs over the ORB on a datacenter
+topology while the environment fluctuates and nodes fail.  RAML holds it
+together: composition filters throttle spam, the adaptation manager
+degrades the codec under congestion, the reconfiguration engine migrates
+off hot nodes, and the failover connector masks a crash.  Assertions
+check the end state of every subsystem.
+"""
+
+import pytest
+
+from repro import Simulator, parse_adl
+from repro.adl import build_architecture
+from repro.core import (
+    Raml,
+    Response,
+    all_nodes_up,
+    composition_correctness,
+    structural_consistency,
+)
+from repro.events import PeriodicTimer
+from repro.filters import FilterSet, StopFilter, match
+from repro.netsim import FailureInjector, least_loaded, star
+from repro.strategy import Strategy, StrategySlot
+from repro.adaptation import AdaptationPolicy, switch_strategy
+from repro.workloads import clamped, sinusoidal
+
+ARCHITECTURE = """
+interface Media version 1.0 {
+  operation render(frame)
+}
+
+component Gateway {
+  requires media : Media 1.0
+}
+
+component Renderer {
+  provides svc : Media 1.0
+  behaviour {
+    init ready
+    ready -> ready : render
+    final ready
+  }
+}
+
+connector Replicas kind failover interface Media 1.0
+
+architecture VideoService {
+  instance gateway : Gateway on leaf0
+  instance renderer1 : Renderer on leaf1
+  instance renderer2 : Renderer on leaf2
+  use replicas : Replicas
+  bind gateway.media -> replicas.client
+  attach renderer1.svc -> replicas.replica
+  attach renderer2.svc -> replicas.replica
+}
+"""
+
+
+class RendererImpl:
+    def __init__(self, codec):
+        self.codec = codec
+        self.rendered = 0
+
+    def render(self, frame):
+        self.rendered += 1
+        return f"{self.codec.current_name}:{frame}"
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    network = star(sim, leaves=4)
+    codec = StrategySlot("codec", [
+        Strategy("hq", lambda: "hq", traits={"bandwidth": 6.0}),
+        Strategy("lq", lambda: "lq", traits={"bandwidth": 1.0}),
+    ], initial="hq")
+    impls = {}
+
+    def renderer_factory(name):
+        impl = RendererImpl(codec)
+        impls[name] = impl
+        return impl
+
+    assembly = build_architecture(
+        parse_adl(ARCHITECTURE), "VideoService", network,
+        {"Gateway": lambda name: object(), "Renderer": renderer_factory},
+    )
+    return sim, network, assembly, codec, impls
+
+
+def test_grand_scenario(world):
+    sim, network, assembly, codec, impls = world
+    gateway = assembly.component("gateway")
+    connector = assembly.connectors["replicas"]
+
+    # --- RAML with structural + behavioural constraints -----------------
+    raml = Raml(assembly, period=0.5).instrument()
+    raml.add_constraint(structural_consistency())
+    raml.add_constraint(composition_correctness())
+
+    def heal(raml_, violations):
+        for component in list(assembly.registry):
+            node = network.nodes.get(component.node_name or "")
+            if node is not None and not node.up:
+                target = least_loaded(
+                    n for n in network.live_nodes()
+                    if not assembly.registry.on_node(n.name)
+                )
+                raml_.intercessor.migrate(component.name, target.name)
+        connector.reset()
+
+    # escalate_after=2 leaves a one-sweep outage window during which the
+    # failover connector must carry the traffic on the standby replica.
+    raml.add_constraint(all_nodes_up(),
+                        Response(reconfigure=heal, escalate_after=2))
+
+    # --- adaptation: degrade codec when bandwidth sags -------------------
+    bandwidth = clamped(sinusoidal(base=5.5, amplitude=3.0, period=20.0),
+                        0.5, 10.0)
+    raml.adaptation.add_probe("bandwidth", lambda: bandwidth(sim.now))
+    raml.adaptation.add_policy(AdaptationPolicy(
+        "degrade", condition=lambda ctx: ctx["bandwidth"] < 6.0,
+        actions=[switch_strategy(codec, "lq", "congestion")], cooldown=1.0))
+    raml.adaptation.add_policy(AdaptationPolicy(
+        "restore", condition=lambda ctx: ctx["bandwidth"] >= 6.0,
+        actions=[switch_strategy(codec, "hq", "recovered")], cooldown=1.0))
+    raml.adaptation.start()
+    raml.start()
+
+    # --- crosscutting filter: drop spam frames ---------------------------
+    spam_filter = FilterSet("anti-spam", [
+        StopFilter("drop-spam",
+                   match("render", when=lambda inv: inv.args[0] == "spam"),
+                   result="dropped"),
+    ])
+    for name in ("renderer1", "renderer2"):
+        spam_filter_instance = FilterSet("anti-spam", [
+            StopFilter("drop-spam",
+                       match("render",
+                             when=lambda inv: inv.args[0] == "spam"),
+                       result="dropped"),
+        ])
+        spam_filter_instance.attach_to(
+            assembly.component(name).provided_port("svc"))
+
+    # --- traffic ---------------------------------------------------------
+    results = {"ok": 0, "dropped": 0, "failed": 0, "sent": 0}
+
+    def call():
+        index = results["sent"]
+        results["sent"] += 1
+        frame = "spam" if index % 10 == 9 else f"f{index}"
+        try:
+            outcome = gateway.required_port("media").call("render", frame)
+        except Exception:  # noqa: BLE001
+            results["failed"] += 1
+            return
+        if outcome == "dropped":
+            results["dropped"] += 1
+        else:
+            results["ok"] += 1
+
+    traffic = PeriodicTimer(sim, 0.02, call)
+
+    # --- failures ---------------------------------------------------------
+    injector = FailureInjector(network, seed=5)
+    injector.crash_node("leaf1", at=6.0)
+
+    sim.run(until=20.0)
+    traffic.stop()
+    raml.stop()
+    raml.adaptation.stop()
+
+    # --- the whole platform did its job -----------------------------------
+    # Failover + healing masked the crash almost entirely.
+    assert results["failed"] <= 2
+    assert results["ok"] > 700
+    # The spam filter dropped exactly the spam frames.
+    assert results["dropped"] > 50
+    # Adaptation switched codecs with the sinusoidal bandwidth.
+    assert codec.switch_count >= 2
+    renders = [impl.rendered for impl in impls.values()]
+    assert all(count > 0 for count in renders)
+    # The crashed node hosts nothing anymore; everything is on live nodes.
+    for component in assembly.registry:
+        assert network.node(component.node_name).up
+    # Meta-level: healed exactly once, constraints clean at the end.
+    health = raml.health()
+    assert health["reconfigurations"] >= 1
+    assert health["healthy"]
+    # Behaviour conformance held throughout (renderers follow their LTS).
+    assert raml.conformance.violations == []

@@ -1,0 +1,115 @@
+"""Scalability sanity: the platform stays correct and fast at size.
+
+Builds an assembly of 120 components wired into service chains behind
+load-balancer connectors, puts it under RAML, performs a burst of
+reconfigurations, and checks correctness plus loose wall-clock bounds
+(generous enough for slow CI, tight enough to catch quadratic blowups).
+"""
+
+import time
+
+import pytest
+
+from repro import Simulator
+from repro.core import Raml, structural_consistency
+from repro.kernel import Assembly
+from repro.netsim import full_mesh
+from repro.connectors import LoadBalancerConnector
+from repro.reconfig import (
+    MigrateComponent,
+    ReconfigurationTransaction,
+    ReplaceComponent,
+    check_assembly,
+)
+
+from tests.helpers import CounterComponent, counter_interface
+
+NODES = 8
+SERVICES = 20
+WORKERS_PER_SERVICE = 5  # 120 components + 20 clients
+
+
+def fresh(name, require_peer=False):
+    component = CounterComponent(name)
+    component.provide("svc", counter_interface())
+    if require_peer:
+        component.require("peer", counter_interface())
+    return component
+
+
+@pytest.fixture(scope="module")
+def big_assembly():
+    sim = Simulator()
+    assembly = Assembly(full_mesh(sim, size=NODES))
+    for service in range(SERVICES):
+        connector = LoadBalancerConnector(f"lb{service}", counter_interface())
+        assembly.add_connector(connector)
+        for worker_index in range(WORKERS_PER_SERVICE):
+            worker = fresh(f"s{service}w{worker_index}")
+            assembly.deploy(
+                worker, f"n{(service + worker_index) % NODES}"
+            )
+            connector.attach("worker", worker.provided_port("svc"))
+        client = fresh(f"s{service}client", require_peer=True)
+        assembly.deploy(client, f"n{service % NODES}")
+        assembly.connect(f"s{service}client", "peer",
+                         target=connector.endpoint("client"))
+    return sim, assembly
+
+
+def test_scale_build_is_consistent(big_assembly):
+    _sim, assembly = big_assembly
+    assert len(assembly.registry) == SERVICES * (WORKERS_PER_SERVICE + 1)
+    start = time.perf_counter()
+    report = check_assembly(assembly)
+    elapsed = time.perf_counter() - start
+    assert report.consistent
+    assert elapsed < 1.0
+
+
+def test_scale_traffic_round_robins_everywhere(big_assembly):
+    _sim, assembly = big_assembly
+    for service in range(SERVICES):
+        client = assembly.component(f"s{service}client")
+        for _ in range(WORKERS_PER_SERVICE):
+            client.required_port("peer").call("increment", 1)
+    for service in range(SERVICES):
+        for worker_index in range(WORKERS_PER_SERVICE):
+            worker = assembly.component(f"s{service}w{worker_index}")
+            assert worker.state["total"] >= 1
+
+
+def test_scale_raml_sweep_cost(big_assembly):
+    _sim, assembly = big_assembly
+    raml = Raml(assembly).instrument()
+    raml.add_constraint(structural_consistency())
+    start = time.perf_counter()
+    for _ in range(5):
+        record = raml.sweep()
+    elapsed = (time.perf_counter() - start) / 5
+    assert record.healthy
+    assert elapsed < 0.5, f"sweep took {elapsed:.3f}s on 140 components"
+
+
+def test_scale_reconfiguration_burst(big_assembly):
+    sim, assembly = big_assembly
+    start = time.perf_counter()
+    for service in range(0, SERVICES, 2):
+        replacement = fresh(f"s{service}w0-v2")
+        ReconfigurationTransaction(assembly).add(
+            ReplaceComponent(f"s{service}w0", replacement)
+        ).execute()
+        ReconfigurationTransaction(assembly).add(
+            MigrateComponent(f"s{service}w1",
+                             f"n{(service + 5) % NODES}")
+        ).execute()
+    elapsed = time.perf_counter() - start
+    assert elapsed < 10.0, f"20 transactions took {elapsed:.1f}s"
+    assert check_assembly(assembly).consistent
+    # Replaced services still serve through their connectors.
+    client = assembly.component("s0client")
+    before = sum(
+        assembly.component(name).state["total"]
+        for name in assembly.registry.names() if name.startswith("s0w")
+    )
+    client.required_port("peer").call("increment", 1)

@@ -1,0 +1,143 @@
+"""User preferences & profiles: premium sessions keep quality longer.
+
+The paper's motivating sentence: services "reconfigured automatically
+according to user's mobility, preferences, profiles and equipments".
+Here an adaptation policy degrades *standard*-profile sessions first
+when bandwidth sags, protecting *premium* sessions — per-profile QoS
+differentiation built from the platform's strategy + adaptation pieces.
+"""
+
+import pytest
+
+from repro import Simulator
+from repro.adaptation import AdaptationManager, AdaptationPolicy
+from repro.strategy import Strategy, StrategySlot
+from repro.workloads import TelecomWorkload, TelecomWorkloadConfig, step
+
+
+HQ_COST = 4.0
+LQ_COST = 1.0
+
+
+def make_codec(profile):
+    return StrategySlot(f"codec-{profile}", [
+        Strategy("hq", lambda: HQ_COST),
+        Strategy("lq", lambda: LQ_COST),
+    ], initial="hq")
+
+
+def run_scenario(protect_premium: bool):
+    sim = Simulator()
+    # Capacity halves at t=20 ("cell congestion").
+    capacity = step(40.0, 12.0, at=20.0)
+    codecs = {"standard": make_codec("standard"),
+              "premium": make_codec("premium")}
+
+    quality = {"standard": [], "premium": []}
+    delivered = {"standard": 0, "premium": 0}
+    dropped = {"standard": 0, "premium": 0}
+    active_by_profile = {"standard": 0, "premium": 0}
+
+    def demand():
+        return sum(active_by_profile[p] * codecs[p].current()
+                   for p in codecs)
+
+    manager = AdaptationManager(sim, period=0.5)
+    manager.add_probe("capacity", lambda: capacity(sim.now))
+    manager.add_probe("demand", demand)
+
+    def degrade(profiles):
+        def action(context):
+            for profile in profiles:
+                if codecs[profile].current_name != "lq":
+                    codecs[profile].use("lq", reason="congestion")
+        return action
+
+    def restore_all(context):
+        for codec in codecs.values():
+            if codec.current_name != "hq":
+                codec.use("hq", reason="recovered")
+
+    if protect_premium:
+        # Two-stage degradation: standard first, premium only if still
+        # over capacity afterwards.
+        manager.add_policy(AdaptationPolicy(
+            "degrade-standard",
+            condition=lambda ctx: ctx["demand"] > ctx["capacity"],
+            actions=[degrade(["standard"])], priority=10, cooldown=1.0))
+        manager.add_policy(AdaptationPolicy(
+            "degrade-premium",
+            condition=lambda ctx: (
+                ctx["demand"] > ctx["capacity"]
+                and codecs["standard"].current_name == "lq"),
+            actions=[degrade(["premium"])], priority=5, cooldown=1.0,
+            arm_after=2))
+    else:
+        manager.add_policy(AdaptationPolicy(
+            "degrade-everyone",
+            condition=lambda ctx: ctx["demand"] > ctx["capacity"],
+            actions=[degrade(["standard", "premium"])], cooldown=1.0))
+    manager.add_policy(AdaptationPolicy(
+        "restore",
+        condition=lambda ctx: ctx["demand"] <= ctx["capacity"] * 0.5,
+        actions=[restore_all], cooldown=2.0, priority=1))
+    manager.start()
+
+    def send_frame(session, on_delivered):
+        codec = codecs[session.profile]
+        if demand() <= capacity(sim.now):
+            quality[session.profile].append(
+                1.0 if codec.current_name == "hq" else 0.4)
+            delivered[session.profile] += 1
+            on_delivered()
+        else:
+            dropped[session.profile] += 1
+
+    workload = TelecomWorkload(
+        sim, ["cell0"], send_frame,
+        TelecomWorkloadConfig(arrival_rate=0.5, mean_duration=25.0,
+                              frame_rate=8.0,
+                              profiles=("standard", "premium"), seed=3),
+    )
+
+    # Track active sessions per profile for the demand model.
+    original_arrive = workload._arrive
+
+    def tracked_arrive():
+        original_arrive()
+        counts = {"standard": 0, "premium": 0}
+        for session in workload.active_sessions:
+            counts[session.profile] += 1
+        active_by_profile.update(counts)
+
+    workload._arrive = tracked_arrive
+    workload.start(duration=40.0)
+    sim.run(until=60.0)
+    manager.stop()
+
+    def mean_quality(profile):
+        values = quality[profile]
+        return sum(values) / len(values) if values else 0.0
+
+    return {
+        "premium_quality": mean_quality("premium"),
+        "standard_quality": mean_quality("standard"),
+        "premium_drop": dropped["premium"]
+        / max(1, dropped["premium"] + delivered["premium"]),
+    }
+
+
+def test_premium_profiles_keep_quality_when_protected():
+    protected = run_scenario(protect_premium=True)
+    flat = run_scenario(protect_premium=False)
+    # With profile-aware adaptation, premium users see higher quality
+    # than standard users during the congestion episode…
+    assert protected["premium_quality"] > protected["standard_quality"]
+    # …and higher than they would under profile-blind degradation.
+    assert protected["premium_quality"] > flat["premium_quality"]
+
+
+def test_flat_policy_treats_profiles_equally():
+    flat = run_scenario(protect_premium=False)
+    assert flat["premium_quality"] == pytest.approx(
+        flat["standard_quality"], abs=0.15)

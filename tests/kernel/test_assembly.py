@@ -1,0 +1,143 @@
+"""Unit tests for assemblies."""
+
+import pytest
+
+from repro.errors import BindingError, ComponentError, DeploymentError
+from repro.events import Simulator
+from repro.kernel import Assembly
+from repro.netsim import star
+from repro.connectors import RpcConnector
+
+from tests.helpers import (
+    CounterComponent,
+    counter_interface,
+    echo_interface,
+    make_counter,
+    make_echo,
+)
+
+
+def make_assembly():
+    sim = Simulator()
+    net = star(sim, leaves=3)
+    return Assembly(net, name="test-app")
+
+
+def fresh_counter(name):
+    component = CounterComponent(name)
+    component.provide("svc", counter_interface())
+    return component
+
+
+class TestDeployment:
+    def test_deploy_places_component(self):
+        assembly = make_assembly()
+        component = assembly.deploy(fresh_counter("c"), "leaf0")
+        assert component.node_name == "leaf0"
+        assert assembly.component("c") is component
+        assert assembly.registry.on_node("leaf0") == [component]
+
+    def test_container_created_lazily_and_cached(self):
+        assembly = make_assembly()
+        container = assembly.container_on("leaf1")
+        assert assembly.container_on("leaf1") is container
+
+    def test_undeploy(self):
+        assembly = make_assembly()
+        assembly.deploy(fresh_counter("c"), "leaf0")
+        assembly.undeploy("c")
+        assert "c" not in assembly.registry
+
+    def test_undeploy_unknown_raises(self):
+        with pytest.raises(Exception):
+            make_assembly().undeploy("ghost")
+
+
+class TestWiring:
+    def wire(self, assembly):
+        client = CounterComponent("client")
+        client.provide("svc", counter_interface())
+        client.require("peer", counter_interface())
+        assembly.deploy(client, "leaf0")
+        server = fresh_counter("server")
+        assembly.deploy(server, "leaf1")
+        binding = assembly.connect("client", "peer", target_component="server")
+        return client, server, binding
+
+    def test_connect_by_component_name(self):
+        assembly = make_assembly()
+        client, server, binding = self.wire(assembly)
+        assert binding in assembly.bindings
+        assert client.required_port("peer").call("increment", 2) == 2
+        assert server.state["total"] == 2
+
+    def test_connect_needs_target(self):
+        assembly = make_assembly()
+        client = CounterComponent("client")
+        client.require("peer", counter_interface())
+        assembly.deploy(client, "leaf0")
+        with pytest.raises(BindingError):
+            assembly.connect("client", "peer")
+
+    def test_disconnect(self):
+        assembly = make_assembly()
+        client, _server, binding = self.wire(assembly)
+        assembly.disconnect(binding)
+        assert binding not in assembly.bindings
+        assert not client.required_port("peer").is_bound
+
+    def test_bindings_from_and_to(self):
+        assembly = make_assembly()
+        self.wire(assembly)
+        assert len(assembly.bindings_from("client")) == 1
+        assert len(assembly.bindings_to("server")) == 1
+        assert len(assembly.bindings_touching("client")) == 1
+        assert assembly.bindings_from("server") == []
+
+    def test_connector_registration(self):
+        assembly = make_assembly()
+        connector = RpcConnector("rpc", echo_interface())
+        assembly.add_connector(connector)
+        with pytest.raises(ComponentError):
+            assembly.add_connector(RpcConnector("rpc", echo_interface()))
+        assert assembly.remove_connector("rpc") is connector
+        with pytest.raises(ComponentError):
+            assembly.remove_connector("rpc")
+
+
+class TestIntrospection:
+    def test_architecture_graph_shape(self):
+        assembly = make_assembly()
+        client = CounterComponent("client")
+        client.provide("svc", counter_interface())
+        client.require("peer", counter_interface())
+        assembly.deploy(client, "leaf0")
+        assembly.deploy(fresh_counter("server"), "leaf1")
+        assembly.connect("client", "peer", target_component="server")
+        graph = assembly.architecture_graph()
+        assert set(graph.nodes) == {"client", "server"}
+        assert graph.has_edge("client", "server")
+        assert graph.edges["client", "server"]["kind"] == "binding"
+
+    def test_architecture_graph_includes_connectors(self):
+        assembly = make_assembly()
+        connector = RpcConnector("rpc", echo_interface())
+        server = make_echo("server")
+        assembly.deploy(server, "leaf0")
+        connector.attach("server", server.provided_port("svc"))
+        assembly.add_connector(connector)
+        client = CounterComponent("client")
+        client.require("peer", echo_interface())
+        assembly.deploy(client, "leaf1")
+        assembly.connect("client", "peer", target=connector.endpoint("client"))
+        graph = assembly.architecture_graph()
+        assert graph.has_edge("rpc", "server")
+        assert graph.has_edge("client", "rpc")
+
+    def test_describe_snapshot(self):
+        assembly = make_assembly()
+        assembly.deploy(fresh_counter("c"), "leaf0")
+        info = assembly.describe()
+        assert info["name"] == "test-app"
+        assert "c" in info["components"]
+        assert "leaf0" in info["nodes"]

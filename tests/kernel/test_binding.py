@@ -1,0 +1,182 @@
+"""Unit tests for bindings: blocking, buffering, redirect."""
+
+import pytest
+
+from repro.errors import BindingError, ComponentError, InterfaceError
+from repro.kernel import Component, Interface, Operation, Version, bind
+
+from tests.kernel.test_component import CounterComponent, counter_interface, make_counter
+
+
+def make_client(name="client"):
+    client = Component(name)
+    client.require("counter", counter_interface())
+    client.activate()
+    return client
+
+
+class TestBind:
+    def test_call_through_binding(self):
+        client, server = make_client(), make_counter("server")
+        bind(client.required_port("counter"), server.provided_port("svc"))
+        assert client.required_port("counter").call("increment", 2) == 2
+
+    def test_unbound_port_raises(self):
+        client = make_client()
+        with pytest.raises(ComponentError):
+            client.required_port("counter").call("total")
+
+    def test_double_bind_rejected(self):
+        client, server = make_client(), make_counter("server")
+        bind(client.required_port("counter"), server.provided_port("svc"))
+        with pytest.raises(BindingError):
+            bind(client.required_port("counter"), server.provided_port("svc"))
+
+    def test_incompatible_interface_rejected(self):
+        client = Component("client")
+        client.require("dep", Interface("Other", "1.0", [Operation("x")]))
+        client.activate()
+        server = make_counter("server")
+        with pytest.raises(InterfaceError):
+            bind(client.required_port("dep"), server.provided_port("svc"))
+
+    def test_version_mismatch_rejected(self):
+        client = Component("client")
+        newer = Interface("Counter", Version(1, 5), [Operation("total")])
+        client.require("counter", newer)
+        client.activate()
+        server = make_counter("server")  # provides 1.0 < required 1.5
+        with pytest.raises(InterfaceError):
+            bind(client.required_port("counter"), server.provided_port("svc"))
+
+    def test_check_can_be_disabled(self):
+        client = Component("client")
+        client.require("dep", Interface("Other", "1.0", [Operation("total")]))
+        client.activate()
+        server = make_counter("server")
+        binding = bind(
+            client.required_port("dep"), server.provided_port("svc"), check=False
+        )
+        assert binding.call("total") == 0
+
+    def test_caller_identity_propagates(self):
+        client, server = make_client(), make_counter("server")
+        seen = []
+        server.provided_port("svc").observers.append(
+            lambda phase, inv, payload: seen.append(inv.caller)
+        )
+        bind(client.required_port("counter"), server.provided_port("svc"))
+        client.required_port("counter").call("total")
+        assert seen == ["client", "client"]
+
+
+class TestBlocking:
+    def test_sync_call_fails_while_blocked(self):
+        client, server = make_client(), make_counter("server")
+        binding = bind(client.required_port("counter"), server.provided_port("svc"))
+        binding.block()
+        with pytest.raises(BindingError):
+            client.required_port("counter").call("total")
+
+    def test_async_calls_buffer_and_flush_fifo(self):
+        client, server = make_client(), make_counter("server")
+        binding = bind(client.required_port("counter"), server.provided_port("svc"))
+        results = []
+        binding.block()
+        for amount in (1, 2, 3):
+            client.required_port("counter").call_async(
+                "increment", amount, on_result=results.append
+            )
+        assert results == []
+        assert binding.pending_count == 3
+        binding.unblock()
+        # FIFO: totals accumulate 1, 3, 6.
+        assert results == [1, 3, 6]
+        assert binding.pending_count == 0
+        assert binding.stats.buffered == 3
+        assert binding.stats.flushed == 3
+
+    def test_async_call_direct_when_active(self):
+        client, server = make_client(), make_counter("server")
+        bind(client.required_port("counter"), server.provided_port("svc"))
+        results = []
+        client.required_port("counter").call_async(
+            "increment", 5, on_result=results.append
+        )
+        assert results == [5]
+
+    def test_no_message_loss_or_duplication_across_block_cycles(self):
+        client, server = make_client(), make_counter("server")
+        binding = bind(client.required_port("counter"), server.provided_port("svc"))
+        sent = 0
+        for cycle in range(5):
+            binding.block()
+            for _ in range(4):
+                client.required_port("counter").call_async("increment", 1)
+                sent += 1
+            binding.unblock()
+        assert server.state["total"] == sent
+
+
+class TestRedirect:
+    def test_redirect_switches_target(self):
+        client = make_client()
+        old = make_counter("old")
+        new = make_counter("new")
+        binding = bind(client.required_port("counter"), old.provided_port("svc"))
+        client.required_port("counter").call("increment", 10)
+        binding.redirect(new.provided_port("svc"))
+        client.required_port("counter").call("increment", 1)
+        assert old.state["total"] == 10
+        assert new.state["total"] == 1
+        assert binding.stats.redirects == 1
+
+    def test_redirect_checks_compatibility(self):
+        client = make_client()
+        old = make_counter("old")
+        binding = bind(client.required_port("counter"), old.provided_port("svc"))
+        stranger = Component("stranger")
+        stranger.provide("svc", Interface("Other", "1.0", [Operation("x")]))
+        stranger.activate()
+        with pytest.raises(InterfaceError):
+            binding.redirect(stranger.provided_port("svc"))
+
+    def test_blocked_redirect_flushes_to_new_target(self):
+        client = make_client()
+        old = make_counter("old")
+        new = make_counter("new")
+        binding = bind(client.required_port("counter"), old.provided_port("svc"))
+        binding.block()
+        client.required_port("counter").call_async("increment", 3)
+        binding.redirect(new.provided_port("svc"))
+        binding.unblock()
+        assert old.state["total"] == 0
+        assert new.state["total"] == 3
+
+    def test_unbind_detaches(self):
+        client = make_client()
+        server = make_counter("server")
+        binding = bind(client.required_port("counter"), server.provided_port("svc"))
+        binding.unbind()
+        assert not client.required_port("counter").is_bound
+        with pytest.raises(ComponentError):
+            client.required_port("counter").call("total")
+
+    def test_taps_observe_success_and_failure(self):
+        client = make_client()
+
+        class Flaky(CounterComponent):
+            def total(self):
+                raise RuntimeError("flaky")
+
+        server = Flaky("server")
+        server.provide("svc", counter_interface())
+        server.activate()
+        binding = bind(client.required_port("counter"), server.provided_port("svc"))
+        events = []
+        binding.taps.append(lambda inv, payload, ok: events.append((inv.operation, ok)))
+        client.required_port("counter").call("increment", 1)
+        with pytest.raises(RuntimeError):
+            client.required_port("counter").call("total")
+        assert events == [("increment", True), ("total", False)]
+        assert binding.stats.errors == 1

@@ -1,0 +1,282 @@
+"""Unit tests for components, ports and the invocation pipeline."""
+
+import pytest
+
+from repro.errors import ComponentError, InterfaceError, LifecycleError
+from repro.kernel import (
+    Component,
+    Interface,
+    Invocation,
+    LifecycleState,
+    Operation,
+    bind,
+)
+
+
+def counter_interface():
+    return Interface("Counter", "1.0", [
+        Operation("increment", ("amount",), optional=1),
+        Operation("total", ()),
+    ])
+
+
+class CounterComponent(Component):
+    def on_initialize(self):
+        self.state["total"] = 0
+
+    def increment(self, amount=1):
+        self.state["total"] += amount
+        return self.state["total"]
+
+    def total(self):
+        return self.state["total"]
+
+
+def make_counter(name="counter"):
+    component = CounterComponent(name)
+    component.provide("svc", counter_interface())
+    component.activate()
+    return component
+
+
+class TestComponentBasics:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ComponentError):
+            Component("")
+
+    def test_duplicate_ports_rejected(self):
+        component = CounterComponent("c")
+        component.provide("svc", counter_interface())
+        with pytest.raises(ComponentError):
+            component.provide("svc", counter_interface())
+        component.require("dep", counter_interface())
+        with pytest.raises(ComponentError):
+            component.require("dep", counter_interface())
+
+    def test_port_lookup(self):
+        component = make_counter()
+        assert component.provided_port("svc").name == "svc"
+        with pytest.raises(ComponentError):
+            component.provided_port("nope")
+        with pytest.raises(ComponentError):
+            component.required_port("nope")
+
+    def test_on_initialize_sets_state(self):
+        component = make_counter()
+        assert component.state["total"] == 0
+
+    def test_activate_from_created_runs_initialize(self):
+        component = CounterComponent("c")
+        component.activate()
+        assert component.lifecycle.state is LifecycleState.ACTIVE
+        assert component.state["total"] == 0
+
+
+class TestInvocation:
+    def test_invoke_dispatches_to_method(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        assert port.invoke(Invocation("increment", (5,))) == 5
+        assert port.invoke(Invocation("total")) == 5
+
+    def test_unknown_operation_rejected(self):
+        component = make_counter()
+        with pytest.raises(InterfaceError):
+            component.provided_port("svc").invoke(Invocation("reset"))
+
+    def test_wrong_arity_rejected(self):
+        component = make_counter()
+        with pytest.raises(InterfaceError):
+            component.provided_port("svc").invoke(Invocation("increment", (1, 2)))
+
+    def test_optional_arg_may_be_omitted(self):
+        component = make_counter()
+        assert component.provided_port("svc").invoke(Invocation("increment")) == 1
+
+    def test_inactive_component_rejects_calls(self):
+        component = CounterComponent("c")
+        component.provide("svc", counter_interface())
+        component.initialize()
+        with pytest.raises(LifecycleError):
+            component.provided_port("svc").invoke(Invocation("total"))
+
+    def test_passive_component_rejects_calls(self):
+        component = make_counter()
+        component.passivate()
+        with pytest.raises(LifecycleError):
+            component.provided_port("svc").invoke(Invocation("total"))
+
+    def test_missing_implementation_method(self):
+        component = Component("bare")
+        component.provide("svc", counter_interface())
+        component.activate()
+        with pytest.raises(ComponentError):
+            component.provided_port("svc").invoke(Invocation("total"))
+
+    def test_external_implementation_object(self):
+        class Impl:
+            def __init__(self):
+                self.hits = 0
+
+            def increment(self, amount=1):
+                self.hits += amount
+                return self.hits
+
+            def total(self):
+                return self.hits
+
+        impl = Impl()
+        component = Component("wrapper")
+        component.provide("svc", counter_interface(), implementation=impl)
+        component.activate()
+        assert component.provided_port("svc").invoke(Invocation("increment", (3,))) == 3
+        assert impl.hits == 3
+
+    def test_replace_implementation(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        port.invoke(Invocation("increment", (10,)))
+
+        class FasterImpl:
+            def increment(self, amount=1):
+                return amount * 2
+
+            def total(self):
+                return -1
+
+        component.replace_implementation("svc", FasterImpl())
+        assert port.invoke(Invocation("increment", (10,))) == 20
+
+    def test_replace_implementation_unknown_port(self):
+        with pytest.raises(ComponentError):
+            make_counter().replace_implementation("nope", object())
+
+
+class TestInterceptors:
+    def test_interceptors_wrap_in_order(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        trace = []
+
+        def outer(inv, proceed):
+            trace.append("outer-before")
+            result = proceed(inv)
+            trace.append("outer-after")
+            return result
+
+        def inner(inv, proceed):
+            trace.append("inner-before")
+            result = proceed(inv)
+            trace.append("inner-after")
+            return result
+
+        port.add_interceptor(outer)
+        port.add_interceptor(inner)
+        port.invoke(Invocation("total"))
+        assert trace == ["outer-before", "inner-before", "inner-after", "outer-after"]
+
+    def test_interceptor_may_modify_args(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+
+        def doubler(inv, proceed):
+            if inv.operation == "increment":
+                inv = Invocation("increment", (inv.args[0] * 2,), meta=inv.meta)
+            return proceed(inv)
+
+        port.add_interceptor(doubler)
+        assert port.invoke(Invocation("increment", (4,))) == 8
+
+    def test_interceptor_may_short_circuit(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        port.add_interceptor(lambda inv, proceed: "cached")
+        assert port.invoke(Invocation("total")) == "cached"
+        assert component.state["total"] == 0
+
+    def test_interceptor_insert_at_index(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        order = []
+        port.add_interceptor(lambda i, p: (order.append("a"), p(i))[1])
+        port.add_interceptor(
+            lambda i, p: (order.append("first"), p(i))[1], index=0
+        )
+        port.invoke(Invocation("total"))
+        assert order == ["first", "a"]
+
+    def test_remove_interceptor(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        interceptor = lambda inv, proceed: proceed(inv)  # noqa: E731
+        port.add_interceptor(interceptor)
+        port.remove_interceptor(interceptor)
+        with pytest.raises(ComponentError):
+            port.remove_interceptor(interceptor)
+
+    def test_observers_see_phases(self):
+        component = make_counter()
+        port = component.provided_port("svc")
+        phases = []
+        port.observers.append(lambda phase, inv, payload: phases.append(phase))
+        port.invoke(Invocation("increment", (1,)))
+        assert phases == ["before", "after"]
+
+    def test_observers_see_errors(self):
+        class Boom(Component):
+            def total(self):
+                raise RuntimeError("boom")
+
+        component = Boom("boom")
+        component.provide("svc", Interface("Svc", "1.0", [Operation("total")]))
+        component.activate()
+        port = component.provided_port("svc")
+        seen = []
+        port.observers.append(lambda phase, inv, payload: seen.append(phase))
+        with pytest.raises(RuntimeError):
+            port.invoke(Invocation("total"))
+        assert seen == ["before", "error"]
+        assert port.error_count == 1
+
+    def test_active_calls_counter_resets_after_error(self):
+        class Boom(Component):
+            def total(self):
+                raise RuntimeError("boom")
+
+        component = Boom("boom")
+        component.provide("svc", Interface("Svc", "1.0", [Operation("total")]))
+        component.activate()
+        with pytest.raises(RuntimeError):
+            component.provided_port("svc").invoke(Invocation("total"))
+        assert component.is_idle
+
+
+class TestStateTransfer:
+    def test_capture_restore_roundtrip(self):
+        source = make_counter("source")
+        source.provided_port("svc").invoke(Invocation("increment", (7,)))
+        snapshot = source.capture_state()
+
+        replacement = make_counter("replacement")
+        replacement.restore_state(snapshot)
+        assert replacement.provided_port("svc").invoke(Invocation("total")) == 7
+
+    def test_capture_is_deep_copy(self):
+        component = make_counter()
+        component.state["nested"] = {"items": [1, 2]}
+        snapshot = component.capture_state()
+        component.state["nested"]["items"].append(3)
+        assert snapshot["nested"]["items"] == [1, 2]
+
+
+class TestDescribe:
+    def test_describe_reports_ports_and_counts(self):
+        component = make_counter()
+        component.require("peer", counter_interface())
+        component.provided_port("svc").invoke(Invocation("increment"))
+        info = component.describe()
+        assert info["name"] == "counter"
+        assert info["lifecycle"] == "active"
+        assert info["provided"]["svc"]["calls"] == 1
+        assert info["required"]["peer"]["bound"] is False
+        assert info["active_calls"] == 0

@@ -1,0 +1,101 @@
+"""Unit tests for the remaining container services and audit trail."""
+
+import pytest
+
+from repro.events import Simulator
+from repro.kernel import Container, DeploymentDescriptor, Invocation
+from repro.netsim import Network
+
+from tests.helpers import CounterComponent, counter_interface
+
+
+def make_node(name="host", capacity=100.0):
+    net = Network(Simulator())
+    return net.add_node(name, capacity=capacity)
+
+
+def deployed(services, config=None, node=None):
+    node = node or make_node()
+    container = Container(node)
+    component = CounterComponent("counter")
+    component.provide("svc", counter_interface())
+    container.deploy(component, DeploymentDescriptor(
+        "counter", services=tuple(services), config=config or {}))
+    return node, container, component
+
+
+class TestMetering:
+    def test_metering_annotates_execution_time(self):
+        node, _container, component = deployed(["metering"])
+        invocation = Invocation("increment", (1,))
+        component.provided_port("svc").invoke(invocation)
+        assert invocation.meta["execution_time"] == pytest.approx(
+            node.execution_time(1.0)
+        )
+
+    def test_metering_respects_declared_work(self):
+        node, _container, component = deployed(["metering"])
+        light = Invocation("increment", (1,))
+        heavy = Invocation("increment", (1,), meta={"work": 50.0})
+        port = component.provided_port("svc")
+        port.invoke(light)
+        port.invoke(heavy)
+        assert heavy.meta["execution_time"] > light.meta["execution_time"]
+
+    def test_metering_reflects_node_load(self):
+        node, _container, component = deployed(["metering"])
+        port = component.provided_port("svc")
+        idle = Invocation("total")
+        port.invoke(idle)
+        node.set_background_load(0.9)
+        busy = Invocation("total")
+        port.invoke(busy)
+        assert busy.meta["execution_time"] > idle.meta["execution_time"]
+
+
+class TestPersistence:
+    def test_snapshot_taken_after_each_call(self):
+        _node, container, component = deployed(["persistence"])
+        port = component.provided_port("svc")
+        first = Invocation("increment", (5,))
+        port.invoke(first)
+        assert "persisted_at" in first.meta
+        # The stored snapshot reflects the state after the call.
+        interceptor = container._installed["counter"][0][1]
+        assert interceptor.store["last_snapshot"]["total"] == 5
+
+    def test_snapshot_updates_with_later_calls(self):
+        _node, container, component = deployed(["persistence"])
+        port = component.provided_port("svc")
+        port.invoke(Invocation("increment", (5,)))
+        port.invoke(Invocation("increment", (3,)))
+        interceptor = container._installed["counter"][0][1]
+        assert interceptor.store["last_snapshot"]["total"] == 8
+
+
+class TestServiceStacking:
+    def test_multiple_services_compose(self):
+        _node, container, component = deployed(
+            ["logging", "metering", "transactions"])
+        port = component.provided_port("svc")
+        invocation = Invocation("increment", (2,))
+        assert port.invoke(invocation) == 2
+        assert invocation.meta["txn"] == "committed"
+        assert "execution_time" in invocation.meta
+        assert any(entry[1] == "call:increment"
+                   for entry in container.audit_log)
+
+    def test_undeploy_removes_all_service_interceptors(self):
+        _node, container, component = deployed(["logging", "metering"])
+        port = component.provided_port("svc")
+        assert len(port.interceptors) == 2
+        container.undeploy("counter", stop=False)
+        assert len(port.interceptors) == 0
+
+    def test_audit_log_is_time_ordered(self):
+        node, container, component = deployed(["logging"])
+        port = component.provided_port("svc")
+        node.sim.at(1.0, port.invoke, Invocation("total"))
+        node.sim.run()
+        times = [entry[0] for entry in container.audit_log]
+        assert times == sorted(times)

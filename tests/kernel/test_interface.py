@@ -1,0 +1,182 @@
+"""Unit tests for interfaces, operations, versions and adapters."""
+
+import pytest
+
+from repro.errors import InterfaceError, VersionError
+from repro.kernel import Interface, InterfaceAdapter, Operation, Version, interface_of
+
+
+class TestVersion:
+    def test_parse(self):
+        assert Version.parse("2.5") == Version(2, 5)
+
+    def test_parse_rejects_garbage(self):
+        for text in ("", "1", "1.2.3", "a.b", "-1.0"):
+            with pytest.raises(VersionError):
+                Version.parse(text)
+
+    def test_negative_rejected(self):
+        with pytest.raises(VersionError):
+            Version(-1, 0)
+
+    def test_ordering(self):
+        assert Version(1, 2) < Version(1, 10) < Version(2, 0)
+
+    def test_compatibility_same_major_higher_minor(self):
+        assert Version(1, 3).compatible_with(Version(1, 1))
+        assert not Version(1, 0).compatible_with(Version(1, 1))
+        assert not Version(2, 0).compatible_with(Version(1, 9))
+
+    def test_bumps(self):
+        assert Version(1, 2).bump_minor() == Version(1, 3)
+        assert Version(1, 2).bump_major() == Version(2, 0)
+
+    def test_str(self):
+        assert str(Version(3, 1)) == "3.1"
+
+
+class TestOperation:
+    def test_arity_bounds(self):
+        op = Operation("f", ("a", "b", "c"), optional=1)
+        assert op.min_arity == 2
+        assert op.max_arity == 3
+        assert op.accepts_arity(2) and op.accepts_arity(3)
+        assert not op.accepts_arity(1) and not op.accepts_arity(4)
+
+    def test_invalid_optional_rejected(self):
+        with pytest.raises(InterfaceError):
+            Operation("f", ("a",), optional=2)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InterfaceError):
+            Operation("")
+
+    def test_extends_adds_optional_params(self):
+        old = Operation("f", ("a",))
+        new = Operation("f", ("a", "b"), optional=1)
+        assert new.extends(old)
+
+    def test_extends_rejects_new_required_params(self):
+        old = Operation("f", ("a",))
+        new = Operation("f", ("a", "b"))
+        assert not new.extends(old)
+
+    def test_extends_rejects_renamed_params(self):
+        old = Operation("f", ("a", "b"))
+        new = Operation("f", ("a", "c"))
+        assert not new.extends(old)
+
+    def test_extends_rejects_different_name(self):
+        assert not Operation("g", ("a",)).extends(Operation("f", ("a",)))
+
+    def test_extends_may_relax_required_params(self):
+        old = Operation("f", ("a", "b"))
+        new = Operation("f", ("a", "b"), optional=1)
+        assert new.extends(old)
+
+
+class TestInterface:
+    def make(self):
+        return Interface(
+            "Storage", "1.0",
+            [Operation("get", ("key",)), Operation("put", ("key", "value"))],
+        )
+
+    def test_lookup(self):
+        iface = self.make()
+        assert iface.operation("get").params == ("key",)
+        assert "put" in iface
+        with pytest.raises(InterfaceError):
+            iface.operation("delete")
+
+    def test_duplicate_operation_rejected(self):
+        iface = self.make()
+        with pytest.raises(InterfaceError):
+            iface.add_operation(Operation("get", ("key",)))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InterfaceError):
+            Interface("")
+
+    def test_satisfies_self(self):
+        iface = self.make()
+        assert iface.satisfies(iface)
+
+    def test_satisfies_requires_same_name(self):
+        other = Interface("Cache", "1.0", self.make().operations.values())
+        assert not other.satisfies(self.make())
+
+    def test_newer_minor_satisfies_older(self):
+        old = self.make()
+        new = old.evolve(add=[Operation("delete", ("key",))])
+        assert new.version == Version(1, 1)
+        assert new.satisfies(old)
+        assert not old.satisfies(new)  # old lacks delete... version also lower
+
+    def test_breaking_evolution_bumps_major(self):
+        old = self.make()
+        new = old.evolve(
+            extend={"get": Operation("get", ("key", "namespace"))}, breaking=True
+        )
+        assert new.version == Version(2, 0)
+        assert not new.satisfies(old)
+
+    def test_incompatible_extension_without_breaking_rejected(self):
+        old = self.make()
+        with pytest.raises(VersionError):
+            old.evolve(extend={"get": Operation("get", ("key", "namespace"))})
+
+    def test_extend_unknown_operation_rejected(self):
+        with pytest.raises(InterfaceError):
+            self.make().evolve(extend={"nope": Operation("nope")})
+
+    def test_compatible_extension_keeps_compliancy(self):
+        old = self.make()
+        new = old.evolve(
+            extend={"get": Operation("get", ("key", "default"), optional=1)}
+        )
+        assert new.satisfies(old)
+
+
+class TestInterfaceAdapter:
+    def test_rename_and_defaults(self):
+        old = Interface("Svc", "1.0", [Operation("fetch", ("key",))])
+        new = Interface("Svc", "2.0", [Operation("get", ("key", "region"))])
+        adapter = InterfaceAdapter(
+            old, new, renames={"fetch": "get"}, defaults={"fetch": ("eu",)}
+        )
+        adapter.verify()
+        name, args = adapter.translate("fetch", ("k1",))
+        assert name == "get"
+        assert args == ("k1", "eu")
+
+    def test_unknown_old_operation_rejected(self):
+        old = Interface("Svc", "1.0", [Operation("fetch", ("key",))])
+        adapter = InterfaceAdapter(old, old)
+        with pytest.raises(InterfaceError):
+            adapter.translate("nope", ())
+
+    def test_arity_mismatch_detected_by_verify(self):
+        old = Interface("Svc", "1.0", [Operation("fetch", ("key",))])
+        new = Interface("Svc", "2.0", [Operation("fetch", ("key", "region"))])
+        adapter = InterfaceAdapter(old, new)  # no defaults for new param
+        with pytest.raises(InterfaceError):
+            adapter.verify()
+
+
+class TestInterfaceOf:
+    def test_derives_public_methods(self):
+        class Impl:
+            def greet(self, who):
+                return f"hi {who}"
+
+            def add(self, a, b=0):
+                return a + b
+
+            def _private(self):
+                pass
+
+        iface = interface_of(Impl(), "Greeter")
+        assert set(iface.operations) == {"greet", "add"}
+        assert iface.operation("add").optional == 1
+        assert "_private" not in iface

@@ -1,0 +1,78 @@
+"""Unit tests for the lifecycle state machine."""
+
+import pytest
+
+from repro.errors import LifecycleError
+from repro.kernel import Lifecycle, LifecycleState
+
+
+def test_initial_state_is_created():
+    assert Lifecycle().state is LifecycleState.CREATED
+
+
+def test_normal_progression():
+    lifecycle = Lifecycle()
+    lifecycle.transition(LifecycleState.INITIALIZED)
+    lifecycle.transition(LifecycleState.ACTIVE)
+    lifecycle.transition(LifecycleState.PASSIVE)
+    lifecycle.transition(LifecycleState.ACTIVE)
+    lifecycle.transition(LifecycleState.STOPPED)
+    assert lifecycle.is_stopped
+
+
+def test_skipping_states_rejected():
+    lifecycle = Lifecycle()
+    with pytest.raises(LifecycleError):
+        lifecycle.transition(LifecycleState.ACTIVE)
+    with pytest.raises(LifecycleError):
+        lifecycle.transition(LifecycleState.PASSIVE)
+
+
+def test_stopped_is_terminal():
+    lifecycle = Lifecycle()
+    lifecycle.transition(LifecycleState.STOPPED)
+    for target in (LifecycleState.INITIALIZED, LifecycleState.ACTIVE):
+        with pytest.raises(LifecycleError):
+            lifecycle.transition(target)
+
+
+def test_self_transition_is_noop():
+    lifecycle = Lifecycle()
+    lifecycle.transition(LifecycleState.CREATED)
+    assert lifecycle.history == [LifecycleState.CREATED]
+
+
+def test_observers_see_transitions():
+    lifecycle = Lifecycle()
+    seen = []
+    lifecycle.observers.append(lambda old, new: seen.append((old, new)))
+    lifecycle.transition(LifecycleState.INITIALIZED)
+    assert seen == [(LifecycleState.CREATED, LifecycleState.INITIALIZED)]
+
+
+def test_history_records_path():
+    lifecycle = Lifecycle()
+    lifecycle.transition(LifecycleState.INITIALIZED)
+    lifecycle.transition(LifecycleState.ACTIVE)
+    assert lifecycle.history == [
+        LifecycleState.CREATED,
+        LifecycleState.INITIALIZED,
+        LifecycleState.ACTIVE,
+    ]
+
+
+def test_guards():
+    lifecycle = Lifecycle()
+    assert not lifecycle.can_serve
+    lifecycle.transition(LifecycleState.INITIALIZED)
+    lifecycle.transition(LifecycleState.ACTIVE)
+    assert lifecycle.can_serve
+    lifecycle.transition(LifecycleState.PASSIVE)
+    assert lifecycle.is_quiescent
+
+
+def test_require_raises_with_helpful_message():
+    lifecycle = Lifecycle()
+    with pytest.raises(LifecycleError, match="requires lifecycle state"):
+        lifecycle.require(LifecycleState.ACTIVE)
+    lifecycle.require(LifecycleState.CREATED, LifecycleState.ACTIVE)

@@ -1,0 +1,259 @@
+"""Unit tests for the registry, deployment descriptors and containers."""
+
+import pytest
+
+from repro.errors import DeploymentError, RegistryError
+from repro.events import Simulator
+from repro.kernel import (
+    Component,
+    Container,
+    DeploymentDescriptor,
+    Interface,
+    Invocation,
+    Operation,
+    PlacementConstraint,
+    Registry,
+)
+from repro.netsim import Network
+
+from tests.kernel.test_component import counter_interface, make_counter
+
+
+def make_node(name="host", region="default", capacity=100.0):
+    net = Network(Simulator())
+    return net.add_node(name, capacity=capacity, region=region)
+
+
+class TestRegistry:
+    def test_register_lookup_unregister(self):
+        registry = Registry()
+        component = make_counter("a")
+        registry.register(component)
+        assert registry.lookup("a") is component
+        assert "a" in registry
+        assert len(registry) == 1
+        registry.unregister("a")
+        assert "a" not in registry
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry()
+        registry.register(make_counter("a"))
+        with pytest.raises(RegistryError):
+            registry.register(make_counter("a"))
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(RegistryError):
+            Registry().lookup("ghost")
+        with pytest.raises(RegistryError):
+            Registry().unregister("ghost")
+
+    def test_observers_notified(self):
+        registry = Registry()
+        events = []
+        registry.observers.append(lambda event, c: events.append((event, c.name)))
+        registry.register(make_counter("a"))
+        registry.unregister("a")
+        assert events == [("register", "a"), ("unregister", "a")]
+
+    def test_providers_of_filters_by_interface_and_version(self):
+        registry = Registry()
+        registry.register(make_counter("a"))
+        other = Component("other")
+        other.provide("svc", Interface("Other", "1.0", [Operation("x")]))
+        other.activate()
+        registry.register(other)
+        ports = registry.providers_of("Counter")
+        assert [p.qualified_name for p in ports] == ["a.svc"]
+        assert registry.providers_of("Counter", version="1.0")
+        assert not registry.providers_of("Counter", version="1.5")
+        assert not registry.providers_of("Counter", version="2.0")
+
+    def test_on_node(self):
+        registry = Registry()
+        a, b = make_counter("a"), make_counter("b")
+        a.node_name, b.node_name = "n1", "n2"
+        registry.register(a)
+        registry.register(b)
+        assert [c.name for c in registry.on_node("n1")] == ["a"]
+
+    def test_describe_snapshot(self):
+        registry = Registry()
+        registry.register(make_counter("a"))
+        snapshot = registry.describe()
+        assert snapshot["a"]["lifecycle"] == "active"
+
+
+class TestDescriptor:
+    def test_valid_descriptor(self):
+        DeploymentDescriptor("c", cpu_reservation=10.0,
+                             services=("logging",)).validate()
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(DeploymentError):
+            DeploymentDescriptor("c", services=("teleport",)).validate()
+
+    def test_negative_reservation_rejected(self):
+        with pytest.raises(DeploymentError):
+            DeploymentDescriptor("c", cpu_reservation=-1.0).validate()
+
+    def test_conflicting_placement_rejected(self):
+        placement = PlacementConstraint(
+            colocate_with=frozenset({"x"}), separate_from=frozenset({"x"})
+        )
+        with pytest.raises(DeploymentError):
+            DeploymentDescriptor("c", placement=placement).validate()
+
+    def test_negative_qos_rejected(self):
+        with pytest.raises(DeploymentError):
+            DeploymentDescriptor("c", qos_properties={"latency": -1}).validate()
+
+    def test_placement_allows_node(self):
+        placement = PlacementConstraint(
+            regions=frozenset({"eu"}), forbidden_nodes=frozenset({"bad"})
+        )
+        assert placement.allows_node("good", "eu")
+        assert not placement.allows_node("bad", "eu")
+        assert not placement.allows_node("good", "us")
+
+
+class TestContainer:
+    def test_deploy_activates_and_registers(self):
+        node = make_node()
+        registry = Registry()
+        container = Container(node, registry)
+        component = CounterFactory()
+        container.deploy(component)
+        assert component.node_name == "host"
+        assert component.lifecycle.can_serve
+        assert registry.lookup("counter") is component
+
+    def test_deploy_reserves_cpu(self):
+        node = make_node(capacity=100.0)
+        container = Container(node)
+        container.deploy(
+            CounterFactory(), DeploymentDescriptor("counter", cpu_reservation=40.0)
+        )
+        assert node.reserved == 40.0
+        container.undeploy("counter")
+        assert node.reserved == 0.0
+
+    def test_descriptor_name_mismatch_rejected(self):
+        container = Container(make_node())
+        with pytest.raises(DeploymentError):
+            container.deploy(CounterFactory(), DeploymentDescriptor("other"))
+
+    def test_duplicate_deploy_rejected(self):
+        container = Container(make_node())
+        container.deploy(CounterFactory())
+        with pytest.raises(DeploymentError):
+            container.deploy(CounterFactory())
+
+    def test_placement_enforced(self):
+        node = make_node(region="us")
+        container = Container(node)
+        descriptor = DeploymentDescriptor(
+            "counter", placement=PlacementConstraint(regions=frozenset({"eu"}))
+        )
+        with pytest.raises(DeploymentError):
+            container.deploy(CounterFactory(), descriptor)
+
+    def test_separation_constraint_enforced(self):
+        registry = Registry()
+        container = Container(make_node(), registry)
+        container.deploy(CounterFactory("a"))
+        descriptor = DeploymentDescriptor(
+            "b", placement=PlacementConstraint(separate_from=frozenset({"a"}))
+        )
+        with pytest.raises(DeploymentError):
+            container.deploy(CounterFactory("b"), descriptor)
+
+    def test_colocation_constraint_enforced(self):
+        registry = Registry()
+        node1, node2 = make_node("n1"), make_node("n2")
+        c1 = Container(node1, registry)
+        c2 = Container(node2, registry)
+        c1.deploy(CounterFactory("a"))
+        descriptor = DeploymentDescriptor(
+            "b", placement=PlacementConstraint(colocate_with=frozenset({"a"}))
+        )
+        with pytest.raises(DeploymentError):
+            c2.deploy(CounterFactory("b"), descriptor)
+
+    def test_undeploy_unknown_rejected(self):
+        with pytest.raises(DeploymentError):
+            Container(make_node()).undeploy("ghost")
+
+    def test_logging_service_audits_calls(self):
+        container = Container(make_node())
+        component = container.deploy(
+            CounterFactory(), DeploymentDescriptor("counter", services=("logging",))
+        )
+        component.provided_port("svc").invoke(Invocation("increment", (1,)))
+        events = [entry[1] for entry in container.audit_log]
+        assert "deploy" in events
+        assert "call:increment" in events
+
+    def test_security_service_blocks_unknown_callers(self):
+        container = Container(make_node())
+        component = container.deploy(
+            CounterFactory(),
+            DeploymentDescriptor(
+                "counter",
+                services=("security",),
+                config={"allowed_callers": ["admin"]},
+            ),
+        )
+        port = component.provided_port("svc")
+        with pytest.raises(PermissionError):
+            port.invoke(Invocation("total", caller="stranger"))
+        assert port.invoke(Invocation("total", caller="admin")) == 0
+
+    def test_transaction_service_rolls_back_on_error(self):
+        class Shaky(CounterFactoryBase):
+            def increment(self, amount=1):
+                self.state["total"] += amount
+                raise RuntimeError("mid-transaction crash")
+
+        component = Shaky("counter")
+        component.provide("svc", counter_interface())
+        container = Container(make_node())
+        container.deploy(
+            component, DeploymentDescriptor("counter", services=("transactions",))
+        )
+        with pytest.raises(RuntimeError):
+            component.provided_port("svc").invoke(Invocation("increment", (5,)))
+        assert component.state["total"] == 0  # rolled back
+
+    def test_detach_keeps_component_alive(self):
+        container = Container(make_node())
+        component = container.deploy(
+            CounterFactory(), DeploymentDescriptor("counter", cpu_reservation=10.0)
+        )
+        detached, descriptor = container.detach("counter")
+        assert detached is component
+        assert detached.lifecycle.can_serve
+        assert container.node.reserved == 0.0
+        assert descriptor.cpu_reservation == 10.0
+        assert not container.hosts("counter")
+
+    def test_detach_unknown_rejected(self):
+        with pytest.raises(DeploymentError):
+            Container(make_node()).detach("ghost")
+
+
+class CounterFactoryBase(Component):
+    def on_initialize(self):
+        self.state.setdefault("total", 0)
+
+    def increment(self, amount=1):
+        self.state["total"] += amount
+        return self.state["total"]
+
+    def total(self):
+        return self.state["total"]
+
+
+def CounterFactory(name="counter"):
+    component = CounterFactoryBase(name)
+    component.provide("svc", counter_interface())
+    return component

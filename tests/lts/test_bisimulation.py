@@ -1,0 +1,70 @@
+"""Unit tests for bisimulation and minimization."""
+
+from repro.lts import Lts, bisimilar, minimize
+
+
+def test_identical_ltss_bisimilar():
+    assert bisimilar(Lts.cycle("a", ["x", "y"]), Lts.cycle("b", ["x", "y"]))
+
+
+def test_unrolled_cycle_is_bisimilar():
+    one = Lts.cycle("one", ["t"])
+    two = Lts.cycle("two", ["t", "t"])
+    assert bisimilar(one, two)
+
+
+def test_different_alphabet_not_bisimilar():
+    assert not bisimilar(Lts.cycle("a", ["x"]), Lts.cycle("b", ["y"]))
+
+
+def test_classic_nondeterminism_distinguishes():
+    # a.(b + c) vs a.b + a.c — trace equivalent but not bisimilar.
+    branching = Lts.from_triples(
+        "branching",
+        [("s0", "a", "s1"), ("s1", "b", "s2"), ("s1", "c", "s3")],
+        final=["s2", "s3"],
+    )
+    choosing = Lts.from_triples(
+        "choosing",
+        [("s0", "a", "s1"), ("s0", "a", "s2"), ("s1", "b", "s3"), ("s2", "c", "s4")],
+        final=["s3", "s4"],
+    )
+    assert not bisimilar(branching, choosing)
+
+
+def test_final_marking_distinguishes():
+    stop = Lts.from_triples("stop", [("s0", "a", "s1")], final=["s1"])
+    stuck = Lts.from_triples("stuck", [("s0", "a", "s1")])
+    assert not bisimilar(stop, stuck)
+
+
+def test_unreachable_states_ignored():
+    messy = Lts.from_triples(
+        "messy", [("s0", "a", "s0"), ("junk", "z", "junk2")], initial="s0"
+    )
+    clean = Lts.cycle("clean", ["a"])
+    assert bisimilar(messy, clean)
+
+
+def test_minimize_collapses_equivalent_states():
+    lts = Lts.cycle("big", ["t", "t", "t"])
+    small = minimize(lts)
+    assert len(small.states) == 1
+    assert bisimilar(lts, small)
+
+
+def test_minimize_preserves_distinctions():
+    lts = Lts.from_triples(
+        "two-phase",
+        [("s0", "req", "s1"), ("s1", "rep", "s0")],
+    )
+    small = minimize(lts)
+    assert len(small.states) == 2
+    assert bisimilar(lts, small)
+
+
+def test_minimize_keeps_final_flags():
+    lts = Lts.sequence("seq", ["a", "b"])
+    small = minimize(lts)
+    assert len(small.final) == 1
+    assert bisimilar(lts, small)

@@ -1,0 +1,156 @@
+"""Unit tests for LTS composition and analyses."""
+
+import pytest
+
+from repro.errors import LtsError
+from repro.lts import (
+    TAU,
+    Lts,
+    check_compatibility,
+    compose,
+    find_deadlocks,
+    interleave,
+    is_deadlock_free,
+    simulates,
+    trace_refines,
+    traces,
+)
+
+
+def client() -> Lts:
+    return Lts.cycle("client", ["request", "reply"])
+
+
+def server() -> Lts:
+    return Lts.cycle("server", ["request", "reply"])
+
+
+def bad_server() -> Lts:
+    # Protocol bug: expects two requests before each reply.  After the
+    # first request the client insists on "reply" while the server insists
+    # on "request" — both shared actions, so the pair deadlocks.
+    return Lts.cycle("bad-server", ["request", "request", "reply"])
+
+
+class TestCompose:
+    def test_empty_composition_rejected(self):
+        with pytest.raises(LtsError):
+            compose([])
+
+    def test_single_component_is_pruned_copy(self):
+        lts = Lts.sequence("s", ["a"])
+        result = compose([lts])
+        assert result.alphabet == lts.alphabet
+
+    def test_synchronised_actions_move_together(self):
+        composite = compose([client(), server()])
+        # Both cycle in lockstep: exactly two reachable states.
+        assert len(composite.reachable_states()) == 2
+        assert composite.alphabet == frozenset({"request", "reply"})
+
+    def test_unshared_actions_interleave(self):
+        a = Lts.cycle("a", ["work_a"])
+        b = Lts.cycle("b", ["work_b"])
+        composite = compose([a, b])
+        initial = composite.initial
+        assert composite.enabled(initial) == {"work_a", "work_b"}
+
+    def test_blocked_shared_action_deadlocks(self):
+        composite = compose([client(), bad_server()])
+        report = find_deadlocks(composite)
+        assert not report.deadlock_free
+        # Witness: request succeeds, then client wants reply, server wants auth.
+        assert report.witness_trace == ["request"]
+
+    def test_tau_interleaves_freely(self):
+        a = Lts.from_triples("a", [("s0", TAU, "s1"), ("s1", "go", "s2")],
+                             final=["s2"])
+        b = Lts.from_triples("b", [("s0", "go", "s1")], final=["s1"])
+        composite = compose([a, b])
+        assert is_deadlock_free(composite)
+
+    def test_final_requires_all_final(self):
+        a = Lts.sequence("a", ["x"])
+        b = Lts.sequence("b", ["x"])
+        composite = compose([a, b])
+        report = find_deadlocks(composite)
+        assert report.deadlock_free  # both end final simultaneously
+
+    def test_one_nonfinal_end_is_deadlock(self):
+        a = Lts.sequence("a", ["x"])
+        b = Lts.from_triples("b", [("s0", "x", "s1")])  # s1 not final
+        composite = compose([a, b])
+        assert not is_deadlock_free(composite)
+
+    def test_nondeterministic_owner_targets_expand(self):
+        a = Lts.from_triples("a", [("s0", "x", "s1"), ("s0", "x", "s2")],
+                             final=["s1", "s2"])
+        b = Lts.sequence("b", ["x"])
+        composite = compose([a, b])
+        assert len(composite.reachable_states()) == 3
+
+    def test_three_way_synchronisation(self):
+        a = Lts.sequence("a", ["go"])
+        b = Lts.sequence("b", ["go"])
+        c = Lts.sequence("c", ["go"])
+        composite = compose([a, b, c])
+        assert composite.transition_count == 1
+        assert is_deadlock_free(composite)
+
+    def test_interleave_ignores_shared_names(self):
+        a = Lts.cycle("a", ["tick"])
+        b = Lts.cycle("b", ["tick"])
+        inter = interleave([a, b])
+        assert inter.enabled(inter.initial) == {"tick"}
+        # Two independent ticks => 4 product states reachable... actually 1x1
+        # cycles => 1 state each, product has 1 state with 2 self loops.
+        assert len(inter.reachable_states()) == 1
+        state = next(iter(inter.reachable_states()))
+        assert len(inter.transitions_from(state)) == 2
+
+
+class TestChecks:
+    def test_compatible_pair(self):
+        report = check_compatibility([client(), server()])
+        assert report.deadlock_free
+
+    def test_incompatible_pair_detected(self):
+        report = check_compatibility([client(), bad_server()])
+        assert not report.deadlock_free
+        assert report.deadlock_states
+
+    def test_explored_states_counted(self):
+        report = check_compatibility([client(), server()])
+        assert report.explored_states >= 2
+
+    def test_simulates_reflexive(self):
+        lts = Lts.cycle("c", ["a", "b"])
+        assert simulates(lts, lts)
+
+    def test_simulation_allows_subset_behaviour(self):
+        role = Lts.from_triples(
+            "role",
+            [("s0", "read", "s0"), ("s0", "write", "s0")],
+        )
+        component = Lts.cycle("comp", ["read"])
+        assert simulates(role, component)
+        assert not simulates(component, role)
+
+    def test_weak_simulation_absorbs_tau(self):
+        concrete = Lts.from_triples(
+            "concrete", [("s0", TAU, "s1"), ("s1", "a", "s2")], final=["s2"]
+        )
+        abstract = Lts.sequence("abstract", ["a"])
+        assert simulates(abstract, concrete)
+
+    def test_traces_bounded(self):
+        lts = Lts.cycle("c", ["a"])
+        assert traces(lts, max_length=3) == {(), ("a",), ("a", "a"), ("a", "a", "a")}
+
+    def test_trace_refinement(self):
+        abstract = Lts.from_triples(
+            "spec", [("s0", "a", "s0"), ("s0", "b", "s0")]
+        )
+        concrete = Lts.cycle("impl", ["a", "b"])
+        assert trace_refines(abstract, concrete)
+        assert not trace_refines(concrete, abstract, max_length=2)

@@ -1,0 +1,89 @@
+"""Unit and property tests for LTS determinization."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.lts import TAU, Lts, determinize, trace_refines, traces
+
+
+def test_already_deterministic_is_preserved():
+    lts = Lts.cycle("c", ["a", "b"])
+    det = determinize(lts)
+    assert det.is_deterministic()
+    assert traces(det, 4) == traces(lts, 4)
+
+
+def test_nondeterministic_choice_merged():
+    lts = Lts.from_triples("n", [
+        ("s0", "a", "s1"),
+        ("s0", "a", "s2"),
+        ("s1", "b", "s3"),
+        ("s2", "c", "s4"),
+    ], final=["s3", "s4"])
+    det = determinize(lts)
+    assert det.is_deterministic()
+    # After 'a' the subset {s1,s2} offers both b and c.
+    assert traces(det, 2) == traces(lts, 2)
+
+
+def test_tau_steps_eliminated():
+    lts = Lts.from_triples("t", [
+        ("s0", TAU, "s1"),
+        ("s1", "go", "s2"),
+    ], final=["s2"])
+    det = determinize(lts)
+    assert det.is_deterministic()
+    assert TAU not in {a for _s, a, _t in det.all_transitions()}
+    assert det.enabled(det.initial) == {"go"}
+
+
+def test_final_marking_is_existential():
+    lts = Lts.from_triples("f", [
+        ("s0", "a", "s1"),
+        ("s0", "a", "s2"),
+    ], final=["s1"])  # only one branch is final
+    det = determinize(lts)
+    target = next(iter(det.successors(det.initial, "a")))
+    assert target in det.final
+
+
+states = st.sampled_from([f"s{i}" for i in range(4)])
+actions = st.sampled_from(["a", "b", TAU])
+
+
+@st.composite
+def random_lts(draw):
+    triples = draw(st.lists(st.tuples(states, actions, states),
+                            min_size=1, max_size=10))
+    lts = Lts("r", initial=triples[0][0])
+    for source, action, target in triples:
+        lts.add_transition(source, action, target)
+    finals = draw(st.lists(st.sampled_from(sorted(lts.states)), max_size=2))
+    lts.mark_final(*finals)
+    return lts
+
+
+@given(random_lts())
+@settings(max_examples=60, deadline=None)
+def test_determinize_preserves_traces(lts):
+    det = determinize(lts)
+    assert det.is_deterministic()
+    assert traces(det, 4) == traces(lts, 4)
+
+
+@given(random_lts())
+@settings(max_examples=60, deadline=None)
+def test_determinize_idempotent_up_to_traces(lts):
+    once = determinize(lts)
+    twice = determinize(once)
+    assert traces(once, 4) == traces(twice, 4)
+    assert len(twice.states) <= len(once.states)
+
+
+@given(random_lts())
+@settings(max_examples=40, deadline=None)
+def test_determinized_mutually_refines_original(lts):
+    det = determinize(lts)
+    assert trace_refines(det, lts, max_length=4)
+    assert trace_refines(lts, det, max_length=4)

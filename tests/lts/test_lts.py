@@ -1,0 +1,92 @@
+"""Unit tests for the LTS data structure."""
+
+import pytest
+
+from repro.errors import LtsError
+from repro.lts import TAU, Lts
+
+
+def test_add_transition_creates_states():
+    lts = Lts("t")
+    lts.add_transition("s0", "a", "s1")
+    assert lts.states == {"s0", "s1"}
+    assert lts.successors("s0", "a") == {"s1"}
+
+
+def test_empty_action_rejected():
+    with pytest.raises(LtsError):
+        Lts("t").add_transition("s0", "", "s1")
+
+
+def test_mark_final_unknown_state_rejected():
+    with pytest.raises(LtsError):
+        Lts("t").mark_final("ghost")
+
+
+def test_alphabet_excludes_tau():
+    lts = Lts("t")
+    lts.add_transition("s0", "a", "s1")
+    lts.add_transition("s1", TAU, "s0")
+    assert lts.alphabet == frozenset({"a"})
+
+
+def test_transitions_from_unknown_state_raises():
+    with pytest.raises(LtsError):
+        Lts("t").transitions_from("ghost")
+
+
+def test_enabled_actions():
+    lts = Lts.from_triples("t", [("s0", "a", "s1"), ("s0", "b", "s2")])
+    assert lts.enabled("s0") == {"a", "b"}
+    assert lts.enabled("s1") == set()
+
+
+def test_sequence_builder_is_final_terminated():
+    lts = Lts.sequence("seq", ["a", "b", "c"])
+    assert lts.final == {"s3"}
+    assert lts.transition_count == 3
+    assert lts.is_deterministic()
+
+
+def test_cycle_builder_loops():
+    lts = Lts.cycle("cyc", ["a", "b"])
+    assert lts.successors("s1", "b") == {"s0"}
+    assert lts.final == set()
+
+
+def test_cycle_requires_actions():
+    with pytest.raises(LtsError):
+        Lts.cycle("cyc", [])
+
+
+def test_determinism_detection():
+    det = Lts.from_triples("d", [("s0", "a", "s1")])
+    assert det.is_deterministic()
+    nondet = Lts.from_triples("n", [("s0", "a", "s1"), ("s0", "a", "s2")])
+    assert not nondet.is_deterministic()
+    taud = Lts.from_triples("t", [("s0", TAU, "s1")])
+    assert not taud.is_deterministic()
+
+
+def test_reachable_states_and_pruned():
+    lts = Lts.from_triples(
+        "t", [("s0", "a", "s1"), ("orphan", "b", "s1")], initial="s0"
+    )
+    assert lts.reachable_states() == {"s0", "s1"}
+    pruned = lts.pruned()
+    assert pruned.states == {"s0", "s1"}
+    assert pruned.transition_count == 1
+
+
+def test_renamed_preserves_structure():
+    lts = Lts.sequence("seq", ["a", "b"])
+    renamed = lts.renamed({"a": "x"})
+    assert renamed.alphabet == frozenset({"x", "b"})
+    assert renamed.final == lts.final
+
+
+def test_hidden_turns_actions_into_tau():
+    lts = Lts.sequence("seq", ["a", "b"])
+    hidden = lts.hidden(["a"])
+    assert hidden.alphabet == frozenset({"b"})
+    assert hidden.successors("s0", TAU) == {"s1"}

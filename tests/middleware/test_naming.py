@@ -1,0 +1,125 @@
+"""Unit tests for the naming service and named proxies."""
+
+import pytest
+
+from repro.errors import MiddlewareError, RequestError
+from repro.events import Simulator
+from repro.middleware import (
+    NamedProxy,
+    NamingClient,
+    deploy_naming_service,
+    Orb,
+)
+from repro.netsim import star
+
+from tests.helpers import counter_interface, make_counter
+
+
+def make_world():
+    sim = Simulator()
+    net = star(sim, leaves=3)
+    orbs = {name: Orb(net, name, default_timeout=2.0)
+            for name in ("hub", "leaf0", "leaf1", "leaf2")}
+    naming = deploy_naming_service(orbs["hub"])
+    return sim, net, orbs, naming
+
+
+class TestDirectory:
+    def test_register_and_resolve_remotely(self):
+        sim, _net, orbs, _naming = make_world()
+        client = NamingClient(orbs["leaf0"], "hub")
+        client.register("counter", "leaf1", "counter-key")
+        resolved = []
+        client.resolve("counter", resolved.append)
+        sim.run()
+        assert resolved == [("leaf1", "counter-key")]
+
+    def test_resolve_unknown_errors(self):
+        sim, _net, orbs, _naming = make_world()
+        client = NamingClient(orbs["leaf0"], "hub")
+        errors = []
+        client.resolve("ghost", lambda entry: None, errors.append)
+        sim.run()
+        assert isinstance(errors[0], RequestError)
+
+    def test_unregister(self):
+        sim, _net, orbs, naming = make_world()
+        client = NamingClient(orbs["leaf0"], "hub")
+        client.register("x", "leaf1", "k")
+        client.unregister("x")
+        sim.run()
+        assert naming.state["entries"] == {}
+
+
+class TestNamedProxy:
+    def export_counter(self, orbs, node="leaf1"):
+        server = make_counter("server")
+        orbs[node].register("counter-key", server.provided_port("svc"))
+        NamingClient(orbs[node], "hub").register("counter", node,
+                                                 "counter-key")
+        return server
+
+    def test_call_by_name(self):
+        sim, _net, orbs, _naming = make_world()
+        server = self.export_counter(orbs)
+        proxy = NamedProxy(orbs["leaf0"], "hub", "counter",
+                           counter_interface())
+        results = []
+        proxy.call("increment", 5, on_result=results.append)
+        sim.run()
+        assert results == [5]
+        assert server.state["total"] == 5
+        assert proxy.resolution_count == 1
+
+    def test_resolution_cached_across_calls(self):
+        sim, _net, orbs, _naming = make_world()
+        self.export_counter(orbs)
+        proxy = NamedProxy(orbs["leaf0"], "hub", "counter",
+                           counter_interface())
+        results = []
+        proxy.call("increment", 1, on_result=results.append)
+        sim.run()
+        proxy.call("increment", 1, on_result=results.append)
+        sim.run()
+        assert results == [1, 2]
+        assert proxy.resolution_count == 1  # second call hit the cache
+
+    def test_arity_checked_locally(self):
+        _sim, _net, orbs, _naming = make_world()
+        proxy = NamedProxy(orbs["leaf0"], "hub", "counter",
+                           counter_interface())
+        with pytest.raises(MiddlewareError):
+            proxy.call("increment", 1, 2, 3)
+
+    def test_migration_transparent_via_reresolution(self):
+        sim, _net, orbs, _naming = make_world()
+        server = self.export_counter(orbs, node="leaf1")
+        proxy = NamedProxy(orbs["leaf0"], "hub", "counter",
+                           counter_interface(), timeout=0.5)
+        results, errors = [], []
+        proxy.call("increment", 1, on_result=results.append,
+                   on_error=errors.append)
+        sim.run()
+
+        # Migrate: re-export on leaf2 and update the directory; the
+        # caller never touches the proxy.
+        orbs["leaf1"].unregister("counter-key")
+        orbs["leaf2"].register("counter-key", server.provided_port("svc"))
+        NamingClient(orbs["leaf2"], "hub").register("counter", "leaf2",
+                                                    "counter-key")
+        sim.run()
+        proxy.call("increment", 1, on_result=results.append,
+                   on_error=errors.append)
+        sim.run()
+        assert results == [1, 2]
+        assert errors == []
+        assert proxy.resolution_count == 2  # stale cache was refreshed
+
+    def test_unresolvable_name_propagates_error(self):
+        sim, _net, orbs, _naming = make_world()
+        proxy = NamedProxy(orbs["leaf0"], "hub", "ghost",
+                           counter_interface())
+        errors = []
+        proxy.call("total", on_error=errors.append)
+        sim.run()
+        assert errors

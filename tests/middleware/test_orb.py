@@ -1,0 +1,247 @@
+"""Unit tests for the ORB and remote proxies."""
+
+import pytest
+
+from repro.errors import MiddlewareError, RequestError
+from repro.errors import TimeoutError as OrbTimeoutError
+from repro.events import Simulator
+from repro.middleware import Orb, RemoteProxy, metrics_recorder
+from repro.netsim import star
+from repro.qos import MetricRegistry
+
+from tests.helpers import counter_interface, make_counter, make_flaky
+
+
+def make_world(loss=0.0):
+    sim = Simulator()
+    net = star(sim, leaves=2)
+    if loss:
+        net.link_between("hub", "leaf1").set_quality(loss=loss)
+    client_orb = Orb(net, "leaf0", default_timeout=1.0)
+    server_orb = Orb(net, "leaf1")
+    server = make_counter("server")
+    server.node_name = "leaf1"
+    server_orb.register("counter", server.provided_port("svc"))
+    return sim, net, client_orb, server_orb, server
+
+
+class TestBasicRpc:
+    def test_request_response_roundtrip(self):
+        sim, _net, client_orb, _server_orb, server = make_world()
+        results = []
+        client_orb.call("leaf1", "counter", "increment", 5,
+                        on_result=results.append)
+        sim.run()
+        assert results == [5]
+        assert server.state["total"] == 5
+        assert client_orb.stats.responses_received == 1
+
+    def test_latency_includes_network_and_execution(self):
+        sim, _net, client_orb, _server_orb, _server = make_world()
+        done = []
+        client_orb.call("leaf1", "counter", "total",
+                        on_result=lambda r: done.append(sim.now))
+        sim.run()
+        # Two link hops each way plus server execution: strictly > 0.
+        assert done[0] > 0.004
+        assert client_orb.stats.mean_latency > 0
+
+    def test_unknown_object_returns_error(self):
+        sim, _net, client_orb, _server_orb, _server = make_world()
+        errors = []
+        client_orb.call("leaf1", "ghost", "total", on_error=errors.append)
+        sim.run()
+        assert isinstance(errors[0], RequestError)
+        assert "no object" in str(errors[0])
+
+    def test_servant_exception_ships_to_caller(self):
+        sim, net, client_orb, server_orb, _server = make_world()
+        flaky = make_flaky("flaky", failures=1)
+        server_orb.register("flaky", flaky.provided_port("svc"))
+        errors = []
+        client_orb.call("leaf1", "flaky", "echo", "x", on_error=errors.append)
+        sim.run()
+        assert isinstance(errors[0], RequestError)
+        assert client_orb.stats.remote_errors == 1
+
+    def test_duplicate_registration_rejected(self):
+        _sim, _net, _client_orb, server_orb, server = make_world()
+        with pytest.raises(MiddlewareError):
+            server_orb.register("counter", server.provided_port("svc"))
+
+    def test_unregister(self):
+        sim, _net, client_orb, server_orb, _server = make_world()
+        server_orb.unregister("counter")
+        with pytest.raises(MiddlewareError):
+            server_orb.unregister("counter")
+        errors = []
+        client_orb.call("leaf1", "counter", "total", on_error=errors.append)
+        sim.run()
+        assert errors
+
+
+class TestTimeoutsAndRetries:
+    def test_timeout_on_dead_server(self):
+        sim, net, client_orb, _server_orb, _server = make_world()
+        net.node("leaf1").crash()
+        net.invalidate_routes()
+        errors = []
+        client_orb.call("leaf1", "counter", "total", on_error=errors.append,
+                        timeout=0.5)
+        sim.run()
+        assert isinstance(errors[0], OrbTimeoutError)
+        assert client_orb.stats.timeouts == 1
+
+    def test_retry_recovers_from_transient_loss(self):
+        # 100% loss initially; link heals before the retry fires.
+        sim, net, client_orb, _server_orb, server = make_world()
+        net.link_between("hub", "leaf1").set_quality(loss=1.0)
+        results, errors = [], []
+        client_orb.call("leaf1", "counter", "increment", 1,
+                        on_result=results.append, on_error=errors.append,
+                        timeout=0.2, retries=2)
+        sim.at(0.3, net.link_between("hub", "leaf1").set_quality, 0.002,
+               1_000_000.0, 0.0)
+        sim.run()
+        assert results == [1]
+        assert errors == []
+        assert client_orb.stats.retries >= 1
+
+    def test_retries_exhausted(self):
+        sim, net, client_orb, _server_orb, _server = make_world()
+        net.link_between("hub", "leaf1").set_quality(loss=1.0)
+        errors = []
+        client_orb.call("leaf1", "counter", "total", on_error=errors.append,
+                        timeout=0.1, retries=1)
+        sim.run()
+        assert isinstance(errors[0], OrbTimeoutError)
+
+    def test_late_reply_after_timeout_dropped(self):
+        # Slow link: reply arrives after the timeout already fired.
+        sim = Simulator()
+        net = star(sim, leaves=2, latency=0.4)
+        client_orb = Orb(net, "leaf0")
+        server_orb = Orb(net, "leaf1")
+        server = make_counter("server")
+        server_orb.register("counter", server.provided_port("svc"))
+        results, errors = [], []
+        client_orb.call("leaf1", "counter", "increment", 1,
+                        on_result=results.append, on_error=errors.append,
+                        timeout=0.5)
+        sim.run()
+        assert results == []  # reply (1.6s rtt) discarded
+        assert len(errors) == 1
+        assert server.state["total"] == 1  # server did serve it
+
+
+class TestDynamicBinding:
+    def test_rebind_object_key(self):
+        sim, _net, client_orb, server_orb, server = make_world()
+        replacement = make_counter("server-v2")
+        replacement.state["total"] = 100
+        server_orb.rebind("counter", replacement.provided_port("svc"))
+        results = []
+        client_orb.call("leaf1", "counter", "total", on_result=results.append)
+        sim.run()
+        assert results == [100]
+
+    def test_rebind_unknown_key_rejected(self):
+        _sim, _net, _client_orb, server_orb, server = make_world()
+        with pytest.raises(MiddlewareError):
+            server_orb.rebind("ghost", server.provided_port("svc"))
+
+    def test_proxy_rebind_follows_migration(self):
+        sim = Simulator()
+        net = star(sim, leaves=3)
+        client_orb = Orb(net, "leaf0")
+        orb_a = Orb(net, "leaf1")
+        orb_b = Orb(net, "leaf2")
+        server = make_counter("server")
+        orb_a.register("counter", server.provided_port("svc"))
+        proxy = RemoteProxy(client_orb, "leaf1", "counter",
+                            counter_interface())
+        results = []
+        proxy.call("increment", 1, on_result=results.append)
+        sim.run()
+        # "Migrate": export on leaf2, rebind the proxy.
+        orb_a.unregister("counter")
+        orb_b.register("counter", server.provided_port("svc"))
+        proxy.rebind("leaf2")
+        proxy.call("increment", 1, on_result=results.append)
+        sim.run()
+        assert results == [1, 2]
+
+
+class TestProxy:
+    def test_arity_checked_locally(self):
+        _sim, _net, client_orb, _server_orb, _server = make_world()
+        proxy = RemoteProxy(client_orb, "leaf1", "counter",
+                            counter_interface())
+        with pytest.raises(MiddlewareError):
+            proxy.call("increment", 1, 2, 3)
+
+    def test_unknown_operation_rejected_locally(self):
+        from repro.errors import InterfaceError
+
+        _sim, _net, client_orb, _server_orb, _server = make_world()
+        proxy = RemoteProxy(client_orb, "leaf1", "counter",
+                            counter_interface())
+        with pytest.raises(InterfaceError):
+            proxy.call("vanish")
+
+
+class TestInterceptorsAndQos:
+    def test_client_interceptor_observes_and_rewrites(self):
+        sim, _net, client_orb, _server_orb, server = make_world()
+        seen = []
+
+        def doubler(context, proceed):
+            seen.append(context.operation)
+            context.args = tuple(a * 2 for a in context.args)
+            proceed(context)
+
+        client_orb.client_interceptors.append(doubler)
+        results = []
+        client_orb.call("leaf1", "counter", "increment", 3,
+                        on_result=results.append)
+        sim.run()
+        assert seen == ["increment"]
+        assert results == [6]
+
+    def test_server_interceptor_can_short_circuit(self):
+        sim, _net, client_orb, server_orb, server = make_world()
+
+        def block_all(context, proceed):
+            # Never call proceed: the request is silently dropped (the
+            # client times out) — an admission-control interceptor.
+            return None
+
+        server_orb.server_interceptors.append(block_all)
+        errors = []
+        client_orb.call("leaf1", "counter", "total", on_error=errors.append,
+                        timeout=0.2)
+        sim.run()
+        assert isinstance(errors[0], OrbTimeoutError)
+        assert server.state["total"] == 0
+
+    def test_metrics_recorder_feeds_registry(self):
+        sim, _net, client_orb, _server_orb, _server = make_world()
+        registry = MetricRegistry()
+        client_orb.qos_observers.append(metrics_recorder(registry, sim))
+        done = []
+        client_orb.call("leaf1", "counter", "total", on_result=done.append)
+        sim.run()
+        assert "rpc.latency" in registry
+        assert registry.series("rpc.latency").count == 1
+
+    def test_loaded_server_serves_slower(self):
+        times = []
+        for load in (0.0, 0.9):
+            sim, net, client_orb, _server_orb, _server = make_world()
+            net.node("leaf1").set_background_load(load)
+            done = []
+            client_orb.call("leaf1", "counter", "total",
+                            on_result=lambda r: done.append(sim.now))
+            sim.run()
+            times.append(done[0])
+        assert times[1] > times[0]

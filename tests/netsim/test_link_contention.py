@@ -1,0 +1,75 @@
+"""Tests for per-direction link serialization (bandwidth contention)."""
+
+import pytest
+
+from repro.events import Simulator
+from repro.netsim import Message, Network, line
+
+
+def net_with_slow_link(bandwidth=1000.0, latency=0.0):
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", latency=latency, bandwidth=bandwidth)
+    return sim, net
+
+
+def test_single_message_unaffected():
+    sim, net = net_with_slow_link(bandwidth=1000.0, latency=0.5)
+    arrivals = []
+    net.node("b").bind_endpoint("svc", lambda n, m: arrivals.append(sim.now))
+    net.send(Message("a", "b", "svc", size=500))
+    sim.run()
+    assert arrivals == [pytest.approx(0.5 + 0.5)]
+
+
+def test_same_direction_messages_serialize():
+    sim, net = net_with_slow_link(bandwidth=1000.0)
+    arrivals = []
+    net.node("b").bind_endpoint("svc", lambda n, m: arrivals.append(sim.now))
+    for _ in range(3):
+        net.send(Message("a", "b", "svc", size=500))  # 0.5s each on wire
+    sim.run()
+    assert arrivals == [pytest.approx(0.5), pytest.approx(1.0),
+                        pytest.approx(1.5)]
+
+
+def test_opposite_directions_do_not_contend():
+    sim, net = net_with_slow_link(bandwidth=1000.0)
+    arrivals = {}
+    net.node("a").bind_endpoint("svc",
+                                lambda n, m: arrivals.setdefault("a", sim.now))
+    net.node("b").bind_endpoint("svc",
+                                lambda n, m: arrivals.setdefault("b", sim.now))
+    net.send(Message("a", "b", "svc", size=500))
+    net.send(Message("b", "a", "svc", size=500))
+    sim.run()
+    # Full duplex: both arrive after one transmission time, not two.
+    assert arrivals["a"] == pytest.approx(0.5)
+    assert arrivals["b"] == pytest.approx(0.5)
+
+
+def test_transmitter_frees_up_over_time():
+    sim, net = net_with_slow_link(bandwidth=1000.0)
+    arrivals = []
+    net.node("b").bind_endpoint("svc", lambda n, m: arrivals.append(sim.now))
+    net.send(Message("a", "b", "svc", size=500))
+    # Second message sent after the first finished transmitting: no wait.
+    sim.at(2.0, lambda: net.send(Message("a", "b", "svc", size=500)))
+    sim.run()
+    assert arrivals == [pytest.approx(0.5), pytest.approx(2.5)]
+
+
+def test_contention_on_middle_hop():
+    sim = Simulator()
+    net = line(sim, length=3, latency=0.0, bandwidth=1000.0)
+    arrivals = []
+    net.node("n2").bind_endpoint("svc", lambda n, m: arrivals.append(sim.now))
+    # Two flows converge on the n1->n2 hop.
+    net.send(Message("n0", "n2", "svc", size=500))
+    net.send(Message("n1", "n2", "svc", size=500))
+    sim.run()
+    # n1's message grabs the n1->n2 transmitter first (it has no first
+    # hop); n0's message arrives at n1 at t=0.5 and then waits behind it.
+    assert sorted(arrivals) == [pytest.approx(0.5), pytest.approx(1.0)]

@@ -1,0 +1,188 @@
+"""Unit tests for the network simulator."""
+
+import pytest
+
+from repro.errors import LinkDownError, NetworkError
+from repro.events import Simulator
+from repro.netsim import Message, Network
+
+
+def two_node_net(latency=0.01, bandwidth=1000.0, loss=0.0, seed=0):
+    sim = Simulator()
+    net = Network(sim, seed=seed)
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", latency=latency, bandwidth=bandwidth, loss=loss)
+    return sim, net
+
+
+def test_message_delivered_to_endpoint():
+    sim, net = two_node_net()
+    received = []
+    net.node("b").bind_endpoint("svc", lambda node, msg: received.append(msg.payload))
+    net.send(Message("a", "b", "svc", payload="hello", size=100))
+    sim.run()
+    assert received == ["hello"]
+    assert net.stats.delivered == 1
+
+
+def test_delivery_takes_latency_plus_transmission():
+    sim, net = two_node_net(latency=0.01, bandwidth=1000.0)
+    arrival = []
+    net.node("b").bind_endpoint("svc", lambda node, msg: arrival.append(sim.now))
+    net.send(Message("a", "b", "svc", size=500))
+    sim.run()
+    assert arrival == [pytest.approx(0.01 + 500 / 1000.0)]
+
+
+def test_duplicate_node_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("a")
+    with pytest.raises(NetworkError):
+        net.add_node("a")
+
+
+def test_self_link_and_duplicate_link_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("a")
+    net.add_node("b")
+    with pytest.raises(NetworkError):
+        net.add_link("a", "a")
+    net.add_link("a", "b")
+    with pytest.raises(NetworkError):
+        net.add_link("b", "a")
+
+
+def test_link_to_unknown_node_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("a")
+    with pytest.raises(NetworkError):
+        net.add_link("a", "ghost")
+
+
+def test_multi_hop_routing_sums_latency():
+    sim = Simulator()
+    net = Network(sim)
+    for name in "abc":
+        net.add_node(name)
+    net.add_link("a", "b", latency=0.01, bandwidth=1e9)
+    net.add_link("b", "c", latency=0.02, bandwidth=1e9)
+    arrival = []
+    net.node("c").bind_endpoint("svc", lambda node, msg: arrival.append(sim.now))
+    net.send(Message("a", "c", "svc", size=0))
+    sim.run()
+    assert arrival == [pytest.approx(0.03)]
+
+
+def test_route_prefers_lower_total_latency():
+    sim = Simulator()
+    net = Network(sim)
+    for name in "abcd":
+        net.add_node(name)
+    net.add_link("a", "d", latency=1.0)  # direct but slow
+    net.add_link("a", "b", latency=0.1)
+    net.add_link("b", "c", latency=0.1)
+    net.add_link("c", "d", latency=0.1)
+    assert net.route("a", "d") == ["a", "b", "c", "d"]
+
+
+def test_no_route_counts_drop():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("a")
+    net.add_node("b")  # no link
+    net.send(Message("a", "b", "svc"))
+    sim.run()
+    assert net.stats.dropped_no_route == 1
+    assert net.stats.delivered == 0
+
+
+def test_crashed_destination_drops_message():
+    sim, net = two_node_net()
+    net.node("b").bind_endpoint("svc", lambda node, msg: None)
+    net.node("b").crash()
+    net.invalidate_routes()
+    net.send(Message("a", "b", "svc"))
+    sim.run()
+    assert net.stats.delivered == 0
+    assert net.stats.dropped > 0
+
+
+def test_node_crash_mid_flight_drops_message():
+    sim, net = two_node_net(latency=1.0)
+    net.node("b").bind_endpoint("svc", lambda node, msg: None)
+    net.send(Message("a", "b", "svc", size=0))
+    sim.at(0.5, net.node("b").crash)
+    sim.run()
+    assert net.stats.delivered == 0
+    assert net.stats.dropped_node_down == 1
+
+
+def test_link_failure_drops_in_new_sends():
+    sim, net = two_node_net()
+    net.node("b").bind_endpoint("svc", lambda node, msg: None)
+    net.link_between("a", "b").fail()
+    net.invalidate_routes()
+    net.send(Message("a", "b", "svc"))
+    sim.run()
+    assert net.stats.dropped_no_route == 1
+
+
+def test_lossy_link_drops_fraction_of_messages():
+    sim, net = two_node_net(loss=0.5, seed=42)
+    net.node("b").bind_endpoint("svc", lambda node, msg: None)
+    for _ in range(500):
+        net.send(Message("a", "b", "svc", size=1))
+    sim.run()
+    assert 150 < net.stats.delivered < 350
+    assert net.stats.dropped_loss == 500 - net.stats.delivered
+
+
+def test_loss_is_deterministic_for_fixed_seed():
+    results = []
+    for _ in range(2):
+        sim, net = two_node_net(loss=0.3, seed=7)
+        net.node("b").bind_endpoint("svc", lambda node, msg: None)
+        for _ in range(100):
+            net.send(Message("a", "b", "svc", size=1))
+        sim.run()
+        results.append(net.stats.delivered)
+    assert results[0] == results[1]
+
+
+def test_unknown_endpoint_counts_node_drop():
+    sim, net = two_node_net()
+    net.send(Message("a", "b", "nope"))
+    sim.run()
+    assert net.node("b").dropped_messages == 1
+
+
+def test_reply_to_swaps_direction():
+    msg = Message("a", "b", "svc", payload="req")
+    msg.headers["request_id"] = 99
+    reply = msg.reply_to(payload="resp")
+    assert (reply.source, reply.destination) == ("b", "a")
+    assert reply.headers["in_reply_to"] == msg.msg_id
+    assert reply.headers["request_id"] == 99
+
+
+def test_taps_observe_send_and_deliver():
+    sim, net = two_node_net()
+    events = []
+    net.taps.append(lambda event, msg: events.append(event))
+    net.node("b").bind_endpoint("svc", lambda node, msg: None)
+    net.send(Message("a", "b", "svc"))
+    sim.run()
+    assert events == ["send", "deliver"]
+
+
+def test_utilisation_map_excludes_down_nodes():
+    sim, net = two_node_net()
+    net.node("a").set_background_load(0.5)
+    net.node("b").crash()
+    util = net.utilisation_map()
+    assert "b" not in util
+    assert util["a"] == pytest.approx(0.5)

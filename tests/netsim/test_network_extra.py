@@ -1,0 +1,95 @@
+"""Additional network-simulator coverage: stats, in-flight accounting,
+route invalidation and multi-hop loss."""
+
+import pytest
+
+from repro.events import Simulator
+from repro.netsim import Message, Network, line, ring
+
+
+def test_stats_snapshot_fields():
+    sim = Simulator()
+    net = line(sim, length=2)
+    net.node("n1").bind_endpoint("svc", lambda node, msg: None)
+    for _ in range(3):
+        net.send(Message("n0", "n1", "svc", size=100))
+    sim.run()
+    snapshot = net.stats.snapshot()
+    assert snapshot["sent"] == 3
+    assert snapshot["delivered"] == 3
+    assert snapshot["dropped"] == 0
+    assert snapshot["total_bytes"] == 300
+    assert snapshot["mean_latency"] > 0
+
+
+def test_in_flight_accounting():
+    sim = Simulator()
+    net = line(sim, length=2, latency=1.0)
+    net.node("n1").bind_endpoint("svc", lambda node, msg: None)
+    net.send(Message("n0", "n1", "svc", size=0))
+    assert net.in_flight == 1
+    sim.run()
+    assert net.in_flight == 0
+
+
+def test_in_flight_decrements_on_drop():
+    sim = Simulator()
+    net = line(sim, length=3, latency=0.5)
+    net.node("n2").bind_endpoint("svc", lambda node, msg: None)
+    net.send(Message("n0", "n2", "svc", size=0))
+    # Second hop's link dies while the message is on the first hop.
+    sim.at(0.25, net.link_between("n1", "n2").fail)
+    sim.run()
+    assert net.in_flight == 0
+    assert net.stats.dropped_link_down == 1
+
+
+def test_route_cache_invalidation_after_repair():
+    sim = Simulator()
+    net = ring(sim, size=4)
+    assert net.route("n0", "n2") in (["n0", "n1", "n2"], ["n0", "n3", "n2"])
+    net.link_between("n0", "n1").fail()
+    net.invalidate_routes()
+    assert net.route("n0", "n2") == ["n0", "n3", "n2"]
+    net.link_between("n0", "n1").restore()
+    net.invalidate_routes()
+    assert len(net.route("n0", "n2")) == 3
+
+
+def test_multi_hop_loss_compounds():
+    """Per-hop loss means longer paths lose more messages."""
+    delivered = {}
+    for hops in (1, 3):
+        sim = Simulator()
+        net = line(sim, length=hops + 1, seed=99)
+        for link in net.links.values():
+            link.loss = 0.2
+        last = f"n{hops}"
+        net.node(last).bind_endpoint("svc", lambda node, msg: None)
+        for _ in range(800):
+            net.send(Message("n0", last, "svc", size=1))
+        sim.run()
+        delivered[hops] = net.stats.delivered
+    assert delivered[3] < delivered[1]
+    # Roughly (1 - 0.2)^hops of the traffic should survive.
+    assert delivered[1] == pytest.approx(800 * 0.8, rel=0.1)
+    assert delivered[3] == pytest.approx(800 * 0.8 ** 3, rel=0.15)
+
+
+def test_send_from_down_node_drops():
+    sim = Simulator()
+    net = line(sim, length=2)
+    net.node("n0").crash()
+    net.send(Message("n0", "n1", "svc"))
+    sim.run()
+    assert net.stats.dropped_node_down == 1
+
+
+def test_send_to_self_delivers_locally():
+    sim = Simulator()
+    net = line(sim, length=2)
+    received = []
+    net.node("n0").bind_endpoint("svc", lambda node, msg: received.append(1))
+    net.send(Message("n0", "n0", "svc"))
+    sim.run()
+    assert received == [1]

@@ -1,0 +1,137 @@
+"""Unit tests for nodes and links."""
+
+import pytest
+
+from repro.errors import CapacityError, LinkDownError, NodeDownError
+from repro.events import Simulator
+from repro.netsim import Link, Message, Node, least_loaded
+
+
+def make_node(name="n", capacity=100.0):
+    return Node(name, Simulator(), capacity=capacity)
+
+
+class TestNode:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(CapacityError):
+            Node("n", Simulator(), capacity=0.0)
+
+    def test_execution_time_scales_with_capacity(self):
+        fast = make_node(capacity=200.0)
+        slow = make_node(capacity=50.0)
+        assert fast.execution_time(100.0) < slow.execution_time(100.0)
+
+    def test_execution_time_inflates_with_load(self):
+        node = make_node()
+        idle = node.execution_time(10.0)
+        node.set_background_load(0.8)
+        assert node.execution_time(10.0) == pytest.approx(idle / 0.2)
+
+    def test_background_load_clamped(self):
+        node = make_node()
+        node.set_background_load(5.0)
+        assert node.background_load == pytest.approx(0.99)
+        node.set_background_load(-1.0)
+        assert node.background_load == 0.0
+
+    def test_reserve_and_release(self):
+        node = make_node(capacity=100.0)
+        node.reserve(30.0)
+        assert node.utilisation == pytest.approx(0.3)
+        node.release(30.0)
+        assert node.utilisation == 0.0
+
+    def test_reserve_over_capacity_rejected(self):
+        node = make_node(capacity=100.0)
+        node.reserve(80.0)
+        with pytest.raises(CapacityError):
+            node.reserve(30.0)
+
+    def test_release_never_goes_negative(self):
+        node = make_node()
+        node.release(50.0)
+        assert node.reserved == 0.0
+
+    def test_deliver_to_down_node_raises(self):
+        node = make_node()
+        node.crash()
+        with pytest.raises(NodeDownError):
+            node.deliver(Message("x", "n", "svc"))
+
+    def test_crash_and_recover_callbacks(self):
+        node = make_node()
+        log = []
+        node.on_crash.append(lambda n: log.append("crash"))
+        node.on_recover.append(lambda n: log.append("recover"))
+        node.crash()
+        node.crash()  # idempotent
+        node.recover()
+        node.recover()  # idempotent
+        assert log == ["crash", "recover"]
+        assert node.crash_count == 1
+
+    def test_endpoint_bind_unbind(self):
+        node = make_node()
+        node.bind_endpoint("svc", lambda n, m: None)
+        assert node.has_endpoint("svc")
+        node.unbind_endpoint("svc")
+        assert not node.has_endpoint("svc")
+
+    def test_least_loaded_picks_lowest_utilisation(self):
+        a, b, c = make_node("a"), make_node("b"), make_node("c")
+        a.set_background_load(0.5)
+        b.set_background_load(0.1)
+        c.set_background_load(0.9)
+        assert least_loaded([a, b, c]) is b
+
+    def test_least_loaded_skips_down_nodes(self):
+        a, b = make_node("a"), make_node("b")
+        a.set_background_load(0.0)
+        a.crash()
+        b.set_background_load(0.9)
+        assert least_loaded([a, b]) is b
+
+    def test_least_loaded_empty_raises(self):
+        a = make_node()
+        a.crash()
+        with pytest.raises(NodeDownError):
+            least_loaded([a])
+
+
+class TestLink:
+    def test_transfer_time(self):
+        link = Link("a", "b", latency=0.5, bandwidth=100.0)
+        assert link.transfer_time(50) == pytest.approx(0.5 + 0.5)
+
+    def test_transfer_on_down_link_raises(self):
+        link = Link("a", "b")
+        link.fail()
+        with pytest.raises(LinkDownError):
+            link.transfer_time(10)
+        link.restore()
+        assert link.transfer_time(10) >= 0
+
+    def test_key_is_canonical(self):
+        assert Link("b", "a").key == Link("a", "b").key == ("a", "b")
+
+    def test_other_endpoint(self):
+        link = Link("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(LinkDownError):
+            link.other("c")
+
+    def test_set_quality_validates(self):
+        link = Link("a", "b")
+        link.set_quality(latency=0.2, bandwidth=10.0, loss=2.0)
+        assert link.loss == 1.0
+        with pytest.raises(LinkDownError):
+            link.set_quality(latency=-1.0)
+        with pytest.raises(LinkDownError):
+            link.set_quality(bandwidth=0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(LinkDownError):
+            Link("a", "b", latency=-0.1)
+        with pytest.raises(LinkDownError):
+            Link("a", "b", bandwidth=0.0)

@@ -1,0 +1,83 @@
+"""Determinism properties: identical seeds produce identical runs.
+
+Reproducible evaluation rests on this: every scenario bench assumes two
+runs with the same seed interleave identically.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.events import PeriodicTimer, Simulator
+from repro.netsim import FailureInjector, Message, full_mesh
+from repro.workloads import OpenLoopGenerator, binding_transport
+
+
+@given(st.integers(0, 10_000), st.integers(2, 5), st.floats(0.01, 0.5))
+@settings(max_examples=25, deadline=None)
+def test_lossy_network_runs_identically_per_seed(seed, size, loss):
+    def run():
+        sim = Simulator()
+        net = full_mesh(sim, size=size, seed=seed)
+        for link in net.links.values():
+            link.loss = loss
+        trace = []
+        for name in net.nodes:
+            net.node(name).bind_endpoint(
+                "svc", lambda node, msg: trace.append(
+                    (sim.now, msg.source, msg.destination))
+            )
+        nodes = sorted(net.nodes)
+        for index in range(40):
+            src = nodes[index % size]
+            dst = nodes[(index + 1) % size]
+            sim.at(index * 0.01, net.send,
+                   Message(src, dst, "svc", size=64))
+        sim.run()
+        return trace, net.stats.snapshot()
+
+    first = run()
+    second = run()
+    assert first == second
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_failure_schedules_identical_per_seed(seed):
+    def run():
+        sim = Simulator()
+        net = full_mesh(sim, size=4, seed=0)
+        injector = FailureInjector(net, seed=seed)
+        injector.random_node_crashes(horizon=50.0, rate=0.2,
+                                     recover_after=3.0)
+        injector.random_link_flaps(horizon=50.0, rate=0.2, down_for=2.0)
+        sim.run()
+        return [(e.time, e.kind, e.target) for e in injector.log]
+
+    assert run() == run()
+
+
+@given(st.integers(0, 10_000), st.floats(10.0, 200.0))
+@settings(max_examples=15, deadline=None)
+def test_poisson_traffic_identical_per_seed(seed, rate):
+    from tests.helpers import CounterComponent, counter_interface
+    from repro.kernel import Component, bind
+
+    def run():
+        sim = Simulator()
+        client = Component("client")
+        client.require("peer", counter_interface())
+        client.activate()
+        server = CounterComponent("server")
+        server.provide("svc", counter_interface())
+        server.activate()
+        bind(client.required_port("peer"), server.provided_port("svc"))
+        generator = OpenLoopGenerator(
+            sim, binding_transport(client.required_port("peer")),
+            "increment", make_args=lambda i: (1,), rate=rate,
+            poisson=True, seed=seed,
+        )
+        generator.start(duration=1.0)
+        sim.run()
+        return generator.stats.issued, server.state["total"]
+
+    assert run() == run()

@@ -1,0 +1,119 @@
+"""Property-based tests for composition-filter sequencing laws."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.filters import (
+    FilterSet,
+    PassFilter,
+    StopFilter,
+    TransformFilter,
+    match,
+)
+from repro.kernel import Invocation
+
+from tests.helpers import make_counter
+
+
+def add_filter(constant):
+    return TransformFilter(
+        f"add{constant}",
+        lambda inv, c=constant: Invocation("increment", (inv.args[0] + c,)),
+        match("increment"),
+    )
+
+
+def mul_filter(constant):
+    return TransformFilter(
+        f"mul{constant}",
+        lambda inv, c=constant: Invocation("increment", (inv.args[0] * c,)),
+        match("increment"),
+    )
+
+
+transform_specs = st.lists(
+    st.tuples(st.sampled_from(["add", "mul"]), st.integers(1, 5)),
+    min_size=0, max_size=6,
+)
+
+
+def build_filters(specs):
+    filters = []
+    for index, (kind, constant) in enumerate(specs):
+        base = add_filter(constant) if kind == "add" else mul_filter(constant)
+        base.name = f"{kind}{constant}-{index}"  # unique names
+        filters.append(base)
+    return filters
+
+
+def apply_specs(value, specs):
+    for kind, constant in specs:
+        value = value + constant if kind == "add" else value * constant
+    return value
+
+
+@given(transform_specs, st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_filter_stack_equals_function_composition(specs, start):
+    """A stack of transform filters behaves as left-to-right function
+    composition over the message content."""
+    component = make_counter()
+    port = component.provided_port("svc")
+    FilterSet("stack", build_filters(specs)).attach_to(port)
+    result = port.invoke(Invocation("increment", (start,)))
+    assert result == apply_specs(start, specs)
+
+
+@given(transform_specs, st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_attach_detach_is_identity(specs, start):
+    """Attaching then detaching a filter set leaves behaviour unchanged."""
+    component = make_counter()
+    port = component.provided_port("svc")
+    filter_set = FilterSet("stack", build_filters(specs))
+    filter_set.attach_to(port)
+    filter_set.detach_from(port)
+    result = port.invoke(Invocation("increment", (start,)))
+    assert result == start
+    assert component.state["total"] == start
+
+
+@given(transform_specs)
+@settings(max_examples=60, deadline=None)
+def test_pass_filters_are_neutral(specs):
+    """Interleaving Pass filters anywhere never changes the outcome."""
+    component_plain = make_counter("plain")
+    component_padded = make_counter("padded")
+    FilterSet("plain", build_filters(specs)).attach_to(
+        component_plain.provided_port("svc"))
+    padded = []
+    for index, filter_ in enumerate(build_filters(specs)):
+        padded.append(PassFilter(f"noop-{index}"))
+        padded.append(filter_)
+    padded.append(PassFilter("noop-tail"))
+    FilterSet("padded", padded).attach_to(
+        component_padded.provided_port("svc"))
+
+    plain = component_plain.provided_port("svc").invoke(
+        Invocation("increment", (7,)))
+    with_padding = component_padded.provided_port("svc").invoke(
+        Invocation("increment", (7,)))
+    assert plain == with_padding
+
+
+@given(transform_specs, st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_stop_filter_short_circuits_everything_after_it(specs, position):
+    """A Stop filter absorbs the message: later filters and the
+    implementation never run."""
+    component = make_counter()
+    port = component.provided_port("svc")
+    filters = build_filters(specs)
+    position = min(position, len(filters))
+    filters.insert(position, StopFilter("stop", match("increment"),
+                                        result="stopped"))
+    FilterSet("stack", filters).attach_to(port)
+    assert port.invoke(Invocation("increment", (1,))) == "stopped"
+    assert component.state["total"] == 0
+    for filter_ in filters[position + 1:]:
+        assert filter_.match_count == 0

@@ -1,0 +1,129 @@
+"""Property-based tests for kernel invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.kernel import Component, Interface, Operation, Version, bind
+
+from tests.helpers import CounterComponent, counter_interface
+
+
+versions = st.builds(Version, st.integers(0, 5), st.integers(0, 5))
+
+
+class TestVersionProperties:
+    @given(versions)
+    def test_compatibility_reflexive(self, version):
+        assert version.compatible_with(version)
+
+    @given(versions, versions, versions)
+    def test_compatibility_transitive(self, a, b, c):
+        if a.compatible_with(b) and b.compatible_with(c):
+            assert a.compatible_with(c)
+
+    @given(versions, versions)
+    def test_compatibility_antisymmetric_within_major(self, a, b):
+        if a.compatible_with(b) and b.compatible_with(a):
+            assert a == b
+
+    @given(versions)
+    def test_minor_bump_stays_compatible(self, version):
+        assert version.bump_minor().compatible_with(version)
+
+    @given(versions)
+    def test_major_bump_breaks_compatibility(self, version):
+        assert not version.bump_major().compatible_with(version)
+
+    @given(versions, versions)
+    def test_ordering_total(self, a, b):
+        assert (a < b) or (b < a) or (a == b)
+
+
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+param_lists = st.lists(
+    st.sampled_from(["x", "y", "z", "w"]), max_size=4, unique=True
+)
+
+
+class TestOperationProperties:
+    @given(names, param_lists, st.integers(0, 4))
+    def test_extends_reflexive(self, name, params, optional):
+        optional = min(optional, len(params))
+        operation = Operation(name, tuple(params), optional)
+        assert operation.extends(operation)
+
+    @given(names, param_lists, st.integers(0, 4))
+    def test_adding_optional_param_extends(self, name, params, optional):
+        optional = min(optional, len(params))
+        base = Operation(name, tuple(params), optional)
+        extended = Operation(
+            name, tuple(params) + ("extra_param",), optional + 1
+        )
+        assert extended.extends(base)
+
+    @given(names, param_lists, st.integers(0, 4))
+    def test_extends_accepts_every_legal_call(self, name, params, optional):
+        # If new extends old, every arity the old operation accepted must
+        # be accepted by the new one.
+        optional = min(optional, len(params))
+        old = Operation(name, tuple(params), optional)
+        new = Operation(name, tuple(params) + ("p9",), optional + 1)
+        assert new.extends(old)
+        for arity in range(old.min_arity, old.max_arity + 1):
+            assert new.accepts_arity(arity)
+
+
+class TestInterfaceEvolutionProperties:
+    @given(st.lists(st.sampled_from(["f", "g", "h", "k"]), min_size=1,
+                    max_size=4, unique=True))
+    def test_evolution_chain_stays_compatible(self, new_ops):
+        interface = Interface("I", "1.0", [Operation("base", ("a",))])
+        history = [interface]
+        for op_name in new_ops:
+            interface = interface.evolve(add=[Operation(op_name, ())])
+            history.append(interface)
+        # Every newer version satisfies every older one (compat is
+        # preserved along the whole minor-version chain).
+        for older in history[:-1]:
+            assert history[-1].satisfies(older)
+
+
+class TestBindingBufferProperties:
+    @given(st.lists(st.integers(1, 10), min_size=0, max_size=30),
+           st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_no_loss_no_duplication_no_reorder(self, amounts, cycles):
+        """The paper's channel-preservation guarantee under arbitrary
+        block/unblock cycles and traffic patterns."""
+        client = Component("client")
+        client.require("peer", counter_interface())
+        client.activate()
+        server = CounterComponent("server")
+        server.provide("svc", counter_interface())
+        server.activate()
+        binding = bind(client.required_port("peer"),
+                       server.provided_port("svc"))
+        results = []
+        cursor = 0
+        per_cycle = max(1, len(amounts) // cycles)
+        for cycle in range(cycles):
+            binding.block()
+            chunk = amounts[cursor:cursor + per_cycle]
+            cursor += per_cycle
+            for amount in chunk:
+                client.required_port("peer").call_async(
+                    "increment", amount, on_result=results.append
+                )
+            binding.unblock()
+        for amount in amounts[cursor:]:
+            client.required_port("peer").call_async(
+                "increment", amount, on_result=results.append
+            )
+        # No loss, no duplication: final total is the exact sum.
+        assert server.state["total"] == sum(amounts)
+        # No reorder: results are the running prefix sums.
+        expected, running = [], 0
+        for amount in amounts:
+            running += amount
+            expected.append(running)
+        assert results == expected

@@ -1,0 +1,123 @@
+"""Property-based tests for the LTS algebra."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lts import (
+    Lts,
+    bisimilar,
+    compose,
+    find_deadlocks,
+    minimize,
+    simulates,
+    trace_refines,
+    traces,
+)
+
+actions = st.sampled_from(["a", "b", "c", "d"])
+states = st.sampled_from([f"s{i}" for i in range(5)])
+
+
+@st.composite
+def random_lts(draw, name="L"):
+    triples = draw(st.lists(st.tuples(states, actions, states),
+                            min_size=1, max_size=12))
+    initial = triples[0][0]
+    lts = Lts(name, initial=initial)
+    for source, action, target in triples:
+        lts.add_transition(source, action, target)
+    final_candidates = sorted(lts.states)
+    finals = draw(st.lists(st.sampled_from(final_candidates), max_size=3))
+    lts.mark_final(*finals)
+    return lts
+
+
+@given(random_lts())
+@settings(max_examples=60, deadline=None)
+def test_pruned_is_bisimilar_to_original(lts):
+    assert bisimilar(lts, lts.pruned())
+
+
+@given(random_lts())
+@settings(max_examples=60, deadline=None)
+def test_minimize_preserves_bisimilarity(lts):
+    small = minimize(lts)
+    assert bisimilar(lts, small)
+    assert len(small.states) <= len(lts.pruned().states)
+
+
+@given(random_lts())
+@settings(max_examples=60, deadline=None)
+def test_minimize_is_idempotent_in_size(lts):
+    once = minimize(lts)
+    twice = minimize(once)
+    assert len(twice.states) == len(once.states)
+
+
+@given(random_lts())
+@settings(max_examples=40, deadline=None)
+def test_self_composition_preserves_deadlock_freedom_shape(lts):
+    # L || L over identical alphabets moves in lockstep; its states map
+    # onto pairs, and its traces are included in L's traces.
+    composite = compose([lts, lts])
+    assert traces(composite, max_length=4) <= traces(lts, max_length=4)
+
+
+@given(random_lts(), random_lts())
+@settings(max_examples=40, deadline=None)
+def test_composition_is_commutative_up_to_traces(a, b):
+    b2 = b.renamed({})  # structural copy
+    left = compose([a, b])
+    right = compose([b2, a])
+    assert traces(left, max_length=4) == traces(right, max_length=4)
+
+
+@given(random_lts())
+@settings(max_examples=60, deadline=None)
+def test_simulation_is_reflexive(lts):
+    assert simulates(lts, lts)
+
+
+@given(random_lts())
+@settings(max_examples=60, deadline=None)
+def test_trace_refinement_is_reflexive(lts):
+    assert trace_refines(lts, lts, max_length=4)
+
+
+@given(random_lts())
+@settings(max_examples=40, deadline=None)
+def test_simulation_implies_trace_refinement(lts):
+    # Build an "abstract" version by adding behaviour (extra loop at the
+    # initial state): abstract simulates concrete, so traces refine.
+    abstract = lts.pruned()
+    abstract.add_transition(abstract.initial, "extra", abstract.initial)
+    if simulates(abstract, lts):
+        assert trace_refines(abstract, lts, max_length=4)
+
+
+@given(random_lts())
+@settings(max_examples=60, deadline=None)
+def test_deadlock_witness_is_reproducible(lts):
+    report = find_deadlocks(lts)
+    if not report.deadlock_free:
+        # Follow the witness from the initial state; it must end in one
+        # of the reported deadlock states.
+        current = {lts.initial}
+        for action in report.witness_trace:
+            nxt = set()
+            for state in current:
+                nxt |= lts.successors(state, action)
+            current = nxt
+            assert current, "witness trace must be executable"
+        assert current & set(report.deadlock_states)
+
+
+@given(random_lts())
+@settings(max_examples=60, deadline=None)
+def test_hiding_removes_from_alphabet(lts):
+    victim = next(iter(lts.alphabet), None)
+    if victim is None:
+        return
+    hidden = lts.hidden([victim])
+    assert victim not in hidden.alphabet
+    assert hidden.alphabet == lts.alphabet - {victim}

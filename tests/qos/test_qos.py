@@ -1,0 +1,182 @@
+"""Unit tests for metrics, contracts and the QoS monitor."""
+
+import pytest
+
+from repro.errors import QosError
+from repro.events import Simulator
+from repro.qos import (
+    MetricRegistry,
+    MetricSeries,
+    QosContract,
+    QosMonitor,
+    Statistic,
+)
+
+
+class TestMetricSeries:
+    def test_window_validation(self):
+        with pytest.raises(QosError):
+            MetricSeries("m", window=0)
+
+    def test_mean_and_extremes(self):
+        series = MetricSeries("m", window=10)
+        for i, value in enumerate([1.0, 2.0, 3.0]):
+            series.record(value, now=float(i))
+        assert series.mean() == 2.0
+        assert series.minimum() == 1.0
+        assert series.maximum() == 3.0
+        assert series.last() == 3.0
+        assert series.count == 3
+
+    def test_out_of_order_rejected(self):
+        series = MetricSeries("m")
+        series.record(1.0, now=5.0)
+        with pytest.raises(QosError):
+            series.record(2.0, now=4.0)
+
+    def test_window_expiry(self):
+        series = MetricSeries("m", window=2.0)
+        series.record(100.0, now=0.0)
+        series.record(1.0, now=3.0)
+        assert series.count == 1
+        assert series.mean() == 1.0
+        assert series.total_samples == 2
+
+    def test_percentiles(self):
+        series = MetricSeries("m", window=100)
+        for i in range(1, 101):
+            series.record(float(i), now=float(i) / 100)
+        assert series.percentile(50) == pytest.approx(50.5)
+        assert series.percentile(95) == pytest.approx(95.05)
+        assert series.percentile(0) == 1.0
+        assert series.percentile(100) == 100.0
+
+    def test_percentile_bounds(self):
+        series = MetricSeries("m")
+        with pytest.raises(QosError):
+            series.percentile(101)
+
+    def test_empty_statistics_are_zero(self):
+        series = MetricSeries("m")
+        assert series.mean() == 0.0
+        assert series.percentile(95) == 0.0
+        assert series.stddev() == 0.0
+        assert series.rate(10.0) == 0.0
+        assert series.empty
+
+    def test_stddev(self):
+        series = MetricSeries("m", window=100)
+        for i, v in enumerate([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]):
+            series.record(v, now=float(i))
+        assert series.stddev() == pytest.approx(2.138, abs=0.01)
+
+    def test_rate(self):
+        series = MetricSeries("m", window=10)
+        for i in range(20):
+            series.record(1.0, now=i * 0.5)
+        # 20 samples, window covers all (span exactly 9.5 -> 20/9.5)
+        assert series.rate(now=9.5) == pytest.approx(20 / 9.5)
+
+
+class TestRegistry:
+    def test_lazy_series_creation(self):
+        registry = MetricRegistry()
+        registry.record("latency", 0.1, now=0.0)
+        assert "latency" in registry
+        assert registry.names() == ["latency"]
+
+    def test_snapshot(self):
+        registry = MetricRegistry()
+        registry.record("latency", 0.1, now=0.0)
+        registry.record("latency", 0.3, now=1.0)
+        snapshot = registry.snapshot(now=1.0)
+        assert snapshot["latency"]["mean"] == pytest.approx(0.2)
+        assert snapshot["latency"]["count"] == 2.0
+
+
+class TestContract:
+    def test_empty_name_rejected(self):
+        with pytest.raises(QosError):
+            QosContract("")
+
+    def make_contract(self):
+        return (QosContract("video-sla")
+                .require_max("latency", 0.1, Statistic.P95)
+                .require_min("throughput", 50.0))
+
+    def test_compliant_when_within_bounds(self):
+        registry = MetricRegistry()
+        for i in range(20):
+            registry.record("latency", 0.01, now=i * 0.1)
+            registry.record("throughput", 100.0, now=i * 0.1)
+        report = self.make_contract().evaluate(registry, now=2.0)
+        assert report.compliant
+        assert not report.violations
+
+    def test_violation_detected(self):
+        registry = MetricRegistry()
+        for i in range(20):
+            registry.record("latency", 0.5, now=i * 0.1)
+            registry.record("throughput", 100.0, now=i * 0.1)
+        report = self.make_contract().evaluate(registry, now=2.0)
+        assert not report.compliant
+        assert len(report.violations) == 1
+        assert report.violations[0].obligation.metric == "latency"
+
+    def test_missing_metric_vacuous_by_default(self):
+        report = self.make_contract().evaluate(MetricRegistry(), now=0.0)
+        assert report.compliant
+        assert all(status.vacuous for status in report.statuses)
+
+    def test_strict_obligation_fails_on_missing_metric(self):
+        contract = QosContract("strict").require_min(
+            "heartbeat", 1.0, strict=True
+        )
+        report = contract.evaluate(MetricRegistry(), now=0.0)
+        assert not report.compliant
+
+    def test_obligation_describe(self):
+        contract = self.make_contract()
+        assert contract.obligations[0].describe() == "p95(latency) <= 0.1"
+
+
+class TestMonitor:
+    def test_periodic_checks(self):
+        sim = Simulator()
+        registry = MetricRegistry()
+        monitor = QosMonitor(sim, registry, period=1.0)
+        monitor.add_contract(QosContract("c").require_max("latency", 0.1))
+        monitor.start()
+        registry.record("latency", 0.05, now=0.0)
+        sim.run(until=5.5)
+        assert monitor.stats.checks == 5
+        assert monitor.stats.compliance_ratio == 1.0
+
+    def test_violation_and_restoration_transitions(self):
+        sim = Simulator()
+        registry = MetricRegistry(window=1.0)
+        monitor = QosMonitor(sim, registry, period=1.0)
+        monitor.add_contract(QosContract("c").require_max("latency", 0.1))
+        events = []
+        monitor.subscribe(lambda event, report: events.append(event))
+        monitor.start()
+        # Good at t<1.5, bad between 1.5 and 3.5, good again after.
+        sim.at(0.5, registry.record, "latency", 0.05, 0.5)
+        sim.at(1.5, registry.record, "latency", 0.5, 1.5)
+        sim.at(2.5, registry.record, "latency", 0.5, 2.5)
+        sim.at(3.5, registry.record, "latency", 0.05, 3.5)
+        sim.run(until=5.5)
+        assert "violation" in events
+        assert "restored" in events
+        assert monitor.stats.violations == 1
+        assert monitor.stats.restorations == 1
+
+    def test_stop_halts_checks(self):
+        sim = Simulator()
+        monitor = QosMonitor(sim, MetricRegistry(), period=1.0)
+        monitor.add_contract(QosContract("c").require_max("latency", 0.1))
+        monitor.start()
+        sim.run(until=2.5)
+        monitor.stop()
+        sim.run(until=10.0)
+        assert monitor.stats.checks == 2

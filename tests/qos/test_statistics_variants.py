@@ -1,0 +1,75 @@
+"""Coverage for every contracted statistic and misc QoS paths."""
+
+import pytest
+
+from repro.qos import (
+    Comparator,
+    MetricRegistry,
+    MetricSeries,
+    QosContract,
+    Statistic,
+)
+
+
+@pytest.fixture
+def series():
+    s = MetricSeries("m", window=100.0)
+    for index, value in enumerate([1.0, 2.0, 3.0, 4.0, 5.0,
+                                   6.0, 7.0, 8.0, 9.0, 10.0]):
+        s.record(value, now=float(index))
+    return s
+
+
+@pytest.mark.parametrize("statistic,expected", [
+    (Statistic.MEAN, 5.5),
+    (Statistic.P50, 5.5),
+    (Statistic.MAX, 10.0),
+    (Statistic.MIN, 1.0),
+    (Statistic.LAST, 10.0),
+])
+def test_statistics_evaluate(series, statistic, expected):
+    assert statistic.evaluate(series, now=9.0) == pytest.approx(expected)
+
+
+def test_p95_p99_order(series):
+    p95 = Statistic.P95.evaluate(series, now=9.0)
+    p99 = Statistic.P99.evaluate(series, now=9.0)
+    assert p95 <= p99 <= 10.0
+
+
+def test_rate_statistic(series):
+    assert Statistic.RATE.evaluate(series, now=9.0) == pytest.approx(10 / 9)
+
+
+def test_comparators():
+    assert Comparator.LE.holds(1.0, 2.0)
+    assert not Comparator.LE.holds(3.0, 2.0)
+    assert Comparator.GE.holds(3.0, 2.0)
+    assert not Comparator.GE.holds(1.0, 2.0)
+
+
+def test_contract_min_statistic_observes_minimum():
+    registry = MetricRegistry()
+    for index in range(5):
+        registry.record("fps", 30.0 - index, now=float(index))
+    contract = QosContract("floor").require_min("fps", 27.0, Statistic.MIN)
+    report = contract.evaluate(registry, now=4.0)
+    assert not report.compliant  # min is 26 < 27
+    assert report.statuses[0].observed == 26.0
+
+
+def test_contract_min_statistic_compliant():
+    registry = MetricRegistry()
+    for index in range(5):
+        registry.record("fps", 30.0 - index, now=float(index))
+    contract = QosContract("floor").require_min("fps", 25.0, Statistic.MIN)
+    assert contract.evaluate(registry, now=4.0).compliant
+
+
+def test_series_reset():
+    series = MetricSeries("m")
+    series.record(5.0, now=1.0)
+    series.reset()
+    assert series.empty
+    series.record(1.0, now=0.5)  # time may restart after reset
+    assert series.last() == 1.0

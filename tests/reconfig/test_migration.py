@@ -1,0 +1,193 @@
+"""Unit tests for migration and the migration planner."""
+
+import pytest
+
+from repro.errors import ConsistencyError, MigrationError
+from repro.events import Simulator
+from repro.kernel import Assembly, DeploymentDescriptor, PlacementConstraint
+from repro.netsim import full_mesh
+from repro.reconfig import (
+    MigrateComponent,
+    MigrationPlanner,
+    ReconfigurationTransaction,
+    TrafficMatrix,
+    TransactionState,
+)
+
+from tests.helpers import CounterComponent, counter_interface
+
+
+def fresh_counter(name):
+    component = CounterComponent(name)
+    component.provide("svc", counter_interface())
+    return component
+
+
+def mesh_assembly(size=4):
+    sim = Simulator()
+    return Assembly(full_mesh(sim, size=size))
+
+
+class TestMigrateChange:
+    def test_migration_moves_component(self):
+        assembly = mesh_assembly()
+        component = assembly.deploy(fresh_counter("c"), "n0")
+        report = ReconfigurationTransaction(assembly).add(
+            MigrateComponent("c", "n2")
+        ).execute()
+        assert report.state is TransactionState.COMMITTED
+        assert component.node_name == "n2"
+        assert assembly.registry.on_node("n0") == []
+
+    def test_migration_preserves_state_and_bindings(self):
+        assembly = mesh_assembly()
+        client = CounterComponent("client")
+        client.provide("svc", counter_interface())
+        client.require("peer", counter_interface())
+        assembly.deploy(client, "n0")
+        server = assembly.deploy(fresh_counter("server"), "n1")
+        assembly.connect("client", "peer", target_component="server")
+        client.required_port("peer").call("increment", 9)
+
+        ReconfigurationTransaction(assembly).add(
+            MigrateComponent("server", "n3")
+        ).execute()
+        assert server.node_name == "n3"
+        assert client.required_port("peer").call("total") == 9
+
+    def test_migration_to_same_node_rejected(self):
+        assembly = mesh_assembly()
+        assembly.deploy(fresh_counter("c"), "n0")
+        with pytest.raises(ConsistencyError, match="already on"):
+            ReconfigurationTransaction(assembly).add(
+                MigrateComponent("c", "n0")
+            ).execute()
+
+    def test_migration_to_down_node_rejected(self):
+        assembly = mesh_assembly()
+        assembly.deploy(fresh_counter("c"), "n0")
+        assembly.network.node("n1").crash()
+        with pytest.raises(ConsistencyError, match="down"):
+            ReconfigurationTransaction(assembly).add(
+                MigrateComponent("c", "n1")
+            ).execute()
+
+    def test_migration_respects_placement(self):
+        assembly = mesh_assembly()
+        descriptor = DeploymentDescriptor(
+            "c", placement=PlacementConstraint(
+                forbidden_nodes=frozenset({"n1"}))
+        )
+        assembly.deploy(fresh_counter("c"), "n0", descriptor)
+        with pytest.raises(ConsistencyError, match="placement"):
+            ReconfigurationTransaction(assembly).add(
+                MigrateComponent("c", "n1")
+            ).execute()
+
+    def test_migration_respects_capacity(self):
+        assembly = mesh_assembly()
+        descriptor = DeploymentDescriptor("c", cpu_reservation=60.0)
+        assembly.deploy(fresh_counter("c"), "n0", descriptor)
+        assembly.network.node("n1").reserve(50.0)
+        with pytest.raises(ConsistencyError, match="capacity"):
+            ReconfigurationTransaction(assembly).add(
+                MigrateComponent("c", "n1")
+            ).execute()
+
+    def test_migration_cost_grows_with_state(self):
+        assembly = mesh_assembly()
+        small = assembly.deploy(fresh_counter("small"), "n0")
+        big = assembly.deploy(fresh_counter("big"), "n0")
+        big.state["payload"] = list(range(10_000))
+        move_small = MigrateComponent("small", "n1")
+        move_big = MigrateComponent("big", "n1")
+        move_small.apply(assembly)
+        move_big.apply(assembly)
+        assert move_big.cost() > move_small.cost()
+
+
+class TestPlanner:
+    def test_watermark_validation(self):
+        assembly = mesh_assembly()
+        with pytest.raises(MigrationError):
+            MigrationPlanner(assembly, high_watermark=0.3, low_watermark=0.5)
+
+    def test_load_levelling_moves_off_hot_node(self):
+        assembly = mesh_assembly()
+        assembly.deploy(fresh_counter("hot-comp"), "n0")
+        assembly.network.node("n0").set_background_load(0.9)
+        assembly.network.node("n1").set_background_load(0.6)
+        assembly.network.node("n2").set_background_load(0.1)
+        assembly.network.node("n3").set_background_load(0.6)
+        planner = MigrationPlanner(assembly)
+        moves = planner.plan_load_levelling()
+        assert len(moves) == 1
+        assert moves[0].component == "hot-comp"
+        assert moves[0].target == "n2"
+
+    def test_no_moves_when_balanced(self):
+        assembly = mesh_assembly()
+        assembly.deploy(fresh_counter("c"), "n0")
+        for node in assembly.network.nodes.values():
+            node.set_background_load(0.4)
+        assert MigrationPlanner(assembly).plan_load_levelling() == []
+
+    def test_no_moves_without_cool_target(self):
+        assembly = mesh_assembly()
+        assembly.deploy(fresh_counter("c"), "n0")
+        for node in assembly.network.nodes.values():
+            node.set_background_load(0.9)
+        assert MigrationPlanner(assembly).plan_load_levelling() == []
+
+    def test_one_move_per_hot_node_per_round(self):
+        assembly = mesh_assembly()
+        assembly.deploy(fresh_counter("a"), "n0")
+        assembly.deploy(fresh_counter("b"), "n0")
+        assembly.network.node("n0").set_background_load(0.9)
+        moves = MigrationPlanner(assembly).plan_load_levelling()
+        assert len(moves) == 1
+
+    def test_affinity_moves_towards_demand(self):
+        assembly = mesh_assembly()
+        assembly.deploy(fresh_counter("svc"), "n0")
+        traffic = TrafficMatrix()
+        traffic.record("n3", "svc", calls=100)
+        traffic.record("n1", "svc", calls=5)
+        moves = MigrationPlanner(assembly).plan_affinity(traffic)
+        assert len(moves) == 1
+        assert moves[0].target == "n3"
+
+    def test_affinity_skips_if_already_colocated(self):
+        assembly = mesh_assembly()
+        assembly.deploy(fresh_counter("svc"), "n3")
+        traffic = TrafficMatrix()
+        traffic.record("n3", "svc", calls=100)
+        assert MigrationPlanner(assembly).plan_affinity(traffic) == []
+
+    def test_affinity_skips_overloaded_destination(self):
+        assembly = mesh_assembly()
+        assembly.deploy(fresh_counter("svc"), "n0")
+        assembly.network.node("n3").set_background_load(0.95)
+        traffic = TrafficMatrix()
+        traffic.record("n3", "svc", calls=100)
+        assert MigrationPlanner(assembly).plan_affinity(traffic) == []
+
+    def test_planner_to_changes_executes(self):
+        assembly = mesh_assembly()
+        component = assembly.deploy(fresh_counter("c"), "n0")
+        assembly.network.node("n0").set_background_load(0.9)
+        planner = MigrationPlanner(assembly)
+        moves = planner.plan_load_levelling()
+        txn = ReconfigurationTransaction(assembly, name="rebalance")
+        for change in planner.to_changes(moves):
+            txn.add(change)
+        txn.execute()
+        assert component.node_name != "n0"
+
+    def test_traffic_matrix_hottest(self):
+        traffic = TrafficMatrix()
+        assert traffic.hottest_source("svc") is None
+        traffic.record("a", "svc", 10)
+        traffic.record("b", "svc", 20)
+        traffic.record("b", "other", 99)
+        assert traffic.hottest_source("svc") == "b"

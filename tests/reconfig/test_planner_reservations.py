@@ -1,0 +1,84 @@
+"""Migration planning with CPU reservations: moves spread, not stack.
+
+Without reservations a migrated component leaves no footprint on its
+target, so every planning round picks the same coolest node; with
+descriptors reserving CPU each move warms its target, and successive
+rounds naturally spread the load.
+"""
+
+import pytest
+
+from repro.events import Simulator
+from repro.kernel import Assembly, DeploymentDescriptor
+from repro.netsim import full_mesh
+from repro.reconfig import MigrationPlanner, ReconfigurationTransaction
+
+from tests.helpers import CounterComponent, counter_interface
+
+
+def fresh(name):
+    component = CounterComponent(name)
+    component.provide("svc", counter_interface())
+    return component
+
+
+def build(reserve: float, workers: int, background: float):
+    sim = Simulator()
+    assembly = Assembly(full_mesh(sim, size=5))
+    for index in range(workers):
+        name = f"w{index}"
+        descriptor = DeploymentDescriptor(name, cpu_reservation=reserve)
+        assembly.deploy(fresh(name), "n0", descriptor)
+    assembly.network.node("n0").set_background_load(background)
+    return assembly
+
+
+def drain(assembly, rounds=8):
+    planner = MigrationPlanner(assembly, high_watermark=0.6,
+                               low_watermark=0.5)
+    targets = []
+    for _ in range(rounds):
+        moves = planner.plan_load_levelling(max_moves=1)
+        if not moves:
+            break
+        txn = ReconfigurationTransaction(assembly)
+        for change in planner.to_changes(moves):
+            txn.add(change)
+        txn.execute()
+        targets.append(moves[0].target)
+    return targets
+
+
+def test_reservations_spread_migrations_across_hosts():
+    # 3 workers x 30 units on a 100-unit node + 0.45 background: hot
+    # until all three have left.
+    assembly = build(reserve=30.0, workers=3, background=0.45)
+    targets = drain(assembly)
+    assert len(targets) == 3
+    # Each move warms its target (0.3 utilisation), so the next round's
+    # least-loaded pick is a different host.
+    assert len(set(targets)) == 3
+
+
+def test_without_reservations_targets_stack():
+    # Footprint-free components: the hot node stays hot (background
+    # only) and the coolest target never warms, so moves stack.
+    assembly = build(reserve=0.0, workers=3, background=0.9)
+    targets = drain(assembly)
+    assert len(targets) == 3
+    assert len(set(targets)) == 1
+
+
+def test_drain_cools_the_hot_node():
+    assembly = build(reserve=30.0, workers=3, background=0.45)
+    before = assembly.network.node("n0").utilisation
+    drain(assembly)
+    after = assembly.network.node("n0").utilisation
+    assert before > 0.9
+    assert after == pytest.approx(0.45)
+    assert assembly.registry.on_node("n0") == []
+    # Every worker still serves from its new host.
+    for index in range(3):
+        worker = assembly.component(f"w{index}")
+        assert worker.lifecycle.can_serve
+        assert worker.node_name != "n0"

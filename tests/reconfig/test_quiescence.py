@@ -1,0 +1,112 @@
+"""Unit tests for the quiescence protocol."""
+
+import pytest
+
+from repro.errors import QuiescenceError
+from repro.events import Simulator
+from repro.kernel import Component, bind
+from repro.reconfig import QuiescenceRegion, reach_quiescence
+
+from tests.helpers import counter_interface, make_counter
+
+
+def make_region():
+    client = Component("client")
+    client.require("peer", counter_interface())
+    client.activate()
+    server = make_counter("server")
+    binding = bind(client.required_port("peer"), server.provided_port("svc"))
+    region = QuiescenceRegion([server], [binding])
+    return client, server, binding, region
+
+
+class TestRegion:
+    def test_block_buffers_async_traffic(self):
+        client, server, binding, region = make_region()
+        region.block()
+        client.required_port("peer").call_async("increment", 1)
+        assert binding.pending_count == 1
+        assert server.state["total"] == 0
+        region.passivate()
+        region.release()
+        assert server.state["total"] == 1
+
+    def test_double_block_rejected(self):
+        _c, _s, _b, region = make_region()
+        region.block()
+        with pytest.raises(QuiescenceError):
+            region.block()
+
+    def test_passivate_requires_block(self):
+        _c, _s, _b, region = make_region()
+        with pytest.raises(QuiescenceError):
+            region.passivate()
+
+    def test_release_requires_block(self):
+        _c, _s, _b, region = make_region()
+        with pytest.raises(QuiescenceError):
+            region.release()
+
+    def test_passivate_freezes_component(self):
+        _c, server, _b, region = make_region()
+        region.block()
+        region.passivate()
+        assert server.lifecycle.is_quiescent
+        region.release()
+        assert server.lifecycle.can_serve
+
+    def test_passivate_rejected_while_busy(self):
+        _c, server, _b, region = make_region()
+        server._active_calls = 1  # simulate an in-flight call
+        region.block()
+        assert not region.is_drained()
+        with pytest.raises(QuiescenceError, match="in progress"):
+            region.passivate()
+        server._active_calls = 0
+        region.passivate()
+        region.release()
+
+    def test_report_counts_buffered(self):
+        client, _server, _binding, region = make_region()
+        region.block(now=1.0)
+        for _ in range(3):
+            client.required_port("peer").call_async("increment", 1)
+        region.passivate(now=2.0)
+        region.release(now=5.0)
+        assert region.report.buffered_calls == 3
+        assert region.report.blocked_duration == 4.0
+        assert region.report.drain_duration == 1.0
+
+
+class TestReachQuiescence:
+    def test_immediate_quiescence(self):
+        sim = Simulator()
+        _c, server, _b, region = make_region()
+        ready = []
+        reach_quiescence(region, sim, lambda: ready.append(sim.now))
+        sim.run()
+        assert ready == [0.0]
+        assert server.lifecycle.is_quiescent
+
+    def test_waits_for_busy_component(self):
+        sim = Simulator()
+        _c, server, _b, region = make_region()
+        server._active_calls = 1
+        sim.at(0.05, lambda: setattr(server, "_active_calls", 0))
+        ready = []
+        reach_quiescence(region, sim, lambda: ready.append(sim.now),
+                         poll_interval=0.01)
+        sim.run()
+        assert len(ready) == 1
+        assert ready[0] >= 0.05
+        assert region.report.polls > 1
+
+    def test_timeout_releases_and_raises(self):
+        sim = Simulator()
+        _c, server, _b, region = make_region()
+        server._active_calls = 1  # never drains
+        reach_quiescence(region, sim, lambda: None,
+                         poll_interval=0.01, timeout=0.1)
+        with pytest.raises(QuiescenceError, match="not reached"):
+            sim.run()
+        assert not region.is_blocked  # released on failure

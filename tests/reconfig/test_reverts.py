@@ -1,0 +1,180 @@
+"""Explicit revert-path tests for every change class."""
+
+import pytest
+
+from repro.errors import ConsistencyError, ReconfigurationError
+from repro.events import Simulator
+from repro.kernel import Assembly, Interface, Operation
+from repro.netsim import full_mesh
+from repro.reconfig import (
+    AddBinding,
+    AddComponent,
+    MigrateComponent,
+    ModifyInterface,
+    RemoveBinding,
+    RemoveComponent,
+    ReplaceComponent,
+    ReplaceImplementation,
+    RewireBinding,
+    SwapConnector,
+)
+
+from tests.helpers import CounterComponent, counter_interface
+
+
+def fresh(name, require_peer=False):
+    component = CounterComponent(name)
+    component.provide("svc", counter_interface())
+    if require_peer:
+        component.require("peer", counter_interface())
+    return component
+
+
+def wired():
+    sim = Simulator()
+    assembly = Assembly(full_mesh(sim, size=3))
+    client = assembly.deploy(fresh("client", require_peer=True), "n0")
+    server = assembly.deploy(fresh("server"), "n1")
+    assembly.connect("client", "peer", target_component="server")
+    return assembly, client, server
+
+
+class TestApplyRevertRoundtrips:
+    def test_add_component_revert(self):
+        assembly, _c, _s = wired()
+        change = AddComponent(fresh("extra"), "n2")
+        change.apply(assembly)
+        assert "extra" in assembly.registry
+        change.revert(assembly)
+        assert "extra" not in assembly.registry
+
+    def test_add_binding_revert(self):
+        assembly, _c, _s = wired()
+        second = assembly.deploy(fresh("client2", require_peer=True), "n2")
+        change = AddBinding("client2", "peer", target_component="server")
+        change.apply(assembly)
+        assert second.required_port("peer").is_bound
+        change.revert(assembly)
+        assert not second.required_port("peer").is_bound
+
+    def test_remove_binding_revert_restores_target(self):
+        assembly, client, server = wired()
+        change = RemoveBinding("client", "peer")
+        change.apply(assembly)
+        assert not client.required_port("peer").is_bound
+        change.revert(assembly)
+        client.required_port("peer").call("increment", 2)
+        assert server.state["total"] == 2
+
+    def test_rewire_revert_restores_old_target(self):
+        assembly, client, server = wired()
+        other = assembly.deploy(fresh("other"), "n2")
+        change = RewireBinding("client", "peer", target_component="other")
+        change.apply(assembly)
+        change.revert(assembly)
+        client.required_port("peer").call("increment", 3)
+        assert server.state["total"] == 3
+        assert other.state["total"] == 0
+
+    def test_replace_component_revert_reactivates_old(self):
+        assembly, client, server = wired()
+        client.required_port("peer").call("increment", 7)
+        replacement = fresh("server-v2")
+        change = ReplaceComponent("server", replacement)
+        change.apply(assembly)
+        assert server.lifecycle.is_quiescent
+        change.revert(assembly)
+        assert server.lifecycle.can_serve
+        assert "server-v2" not in assembly.registry
+        assert client.required_port("peer").call("total") == 7
+
+    def test_replace_implementation_revert(self):
+        assembly, client, server = wired()
+
+        class Doubler:
+            def __init__(self, state):
+                self.state = state
+
+            def increment(self, amount=1):
+                self.state["total"] += amount * 2
+                return self.state["total"]
+
+            def total(self):
+                return self.state["total"]
+
+        change = ReplaceImplementation("server", "svc", Doubler(server.state))
+        change.apply(assembly)
+        assert client.required_port("peer").call("increment", 1) == 2
+        change.revert(assembly)
+        assert client.required_port("peer").call("increment", 1) == 3
+
+    def test_modify_interface_revert_restores_version(self):
+        assembly, _c, server = wired()
+        old = server.provided_port("svc").interface
+        new = old.evolve(add=[Operation("reset", ())])
+        change = ModifyInterface("server", "svc", new)
+        change.apply(assembly)
+        assert "reset" in server.provided_port("svc").interface
+        change.revert(assembly)
+        assert server.provided_port("svc").interface is old
+
+    def test_migrate_revert_returns_home(self):
+        assembly, _c, server = wired()
+        change = MigrateComponent("server", "n2")
+        change.apply(assembly)
+        assert server.node_name == "n2"
+        change.revert(assembly)
+        assert server.node_name == "n1"
+
+    def test_remove_component_cannot_revert_after_stop(self):
+        assembly, client, _server = wired()
+        second = assembly.deploy(fresh("spare"), "n2")
+        change = RemoveComponent("spare")
+        change.validate(assembly)
+        change.apply(assembly)
+        with pytest.raises(ReconfigurationError, match="cannot be reverted"):
+            change.revert(assembly)
+
+
+class TestSwapConnectorRoundtrip:
+    def build_with_connector(self):
+        from repro.connectors import RpcConnector
+
+        assembly, client, server = wired()
+        assembly.disconnect(client.required_port("peer").binding)
+        rpc = RpcConnector("front", counter_interface())
+        rpc.attach("server", server.provided_port("svc"))
+        assembly.add_connector(rpc)
+        assembly.connect("client", "peer", target=rpc.endpoint("client"))
+        return assembly, client, server, rpc
+
+    def test_swap_and_revert(self):
+        from repro.connectors import FailoverConnector
+
+        assembly, client, server, rpc = self.build_with_connector()
+        failover = FailoverConnector("front-v2", counter_interface())
+        change = SwapConnector("front", failover,
+                               role_mapping={"client": "client",
+                                             "server": "replica"})
+        change.validate(assembly)
+        change.apply(assembly)
+        assert "front-v2" in assembly.connectors
+        assert not rpc.enabled
+        client.required_port("peer").call("increment", 1)
+        assert server.state["total"] == 1
+
+        change.revert(assembly)
+        assert "front" in assembly.connectors
+        assert "front-v2" not in assembly.connectors
+        assert rpc.enabled
+        client.required_port("peer").call("increment", 1)
+        assert server.state["total"] == 2
+
+    def test_swap_missing_role_rejected(self):
+        from repro.connectors import BroadcastConnector
+
+        assembly, _client, _server, _rpc = self.build_with_connector()
+        broadcast = BroadcastConnector("bcast", counter_interface())
+        change = SwapConnector("front", broadcast)  # roles don't line up
+        with pytest.raises(ConsistencyError, match="lacks role"):
+            change.validate(assembly)

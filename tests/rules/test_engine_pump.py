@@ -1,0 +1,87 @@
+"""Tests for the simulator-driven rule pump."""
+
+from repro.events import Simulator
+from repro.kernel import Invocation, Registry
+from repro.rules import CallAction, CallPattern, Rule, RuleEngine, RuleOperator
+
+from tests.helpers import make_counter, make_echo
+
+
+def make_world():
+    registry = Registry()
+    counter = make_counter("audit")
+    echo = make_echo("billing")
+    registry.register(counter)
+    registry.register(echo)
+    return registry, RuleEngine(registry), counter, echo
+
+
+def call(component, operation, *args):
+    return component.provided_port("svc").invoke(Invocation(operation, args))
+
+
+def test_pump_runs_deferred_actions_later():
+    sim = Simulator()
+    _registry, engine, counter, echo = make_world()
+    engine.add_rule(Rule(
+        "later", CallPattern.parse("billing.echo"),
+        RuleOperator.IMPLIES_LATER,
+        action=CallAction("audit", "increment"),
+    ))
+    engine.start(sim, period=0.5)
+    sim.at(0.1, call, echo, "echo", "x")
+    sim.run(until=0.3)
+    assert counter.state["total"] == 0  # not yet pumped
+    sim.run(until=0.6)
+    assert counter.state["total"] == 1  # pumped at t=0.5
+    engine.stop()
+
+
+def test_pump_releases_waiting_when_guard_opens():
+    sim = Simulator()
+    _registry, engine, _counter, echo = make_world()
+    gate = {"open": False}
+    engine.add_rule(Rule(
+        "hold", CallPattern.parse("billing.echo"),
+        RuleOperator.WAIT_UNTIL,
+        guard=lambda inv: gate["open"],
+    ))
+    engine.start(sim, period=0.25)
+    sim.at(0.1, call, echo, "echo", "x")
+    sim.at(1.0, lambda: gate.__setitem__("open", True))
+    sim.run(until=0.9)
+    assert echo.state["seen"] == []
+    sim.run(until=1.5)
+    assert echo.state["seen"] == ["x"]
+    engine.stop()
+
+
+def test_stop_halts_pumping():
+    sim = Simulator()
+    _registry, engine, counter, echo = make_world()
+    engine.add_rule(Rule(
+        "later", CallPattern.parse("billing.echo"),
+        RuleOperator.IMPLIES_LATER,
+        action=CallAction("audit", "increment"),
+    ))
+    engine.start(sim, period=0.5)
+    engine.stop()
+    sim.at(0.1, call, echo, "echo", "x")
+    sim.run(until=5.0)
+    assert counter.state["total"] == 0
+    assert len(engine.deferred) == 1
+
+
+def test_start_is_idempotent():
+    sim = Simulator()
+    _registry, engine, counter, echo = make_world()
+    engine.add_rule(Rule(
+        "later", CallPattern.parse("billing.echo"),
+        RuleOperator.IMPLIES_LATER,
+        action=CallAction("audit", "increment"),
+    ))
+    engine.start(sim, period=0.5)
+    engine.start(sim, period=0.5)  # no double pump
+    sim.at(0.1, call, echo, "echo", "x")
+    sim.run(until=1.1)
+    assert counter.state["total"] == 1

@@ -1,0 +1,306 @@
+"""Unit tests for the FLO/C-style rule system."""
+
+import pytest
+
+from repro.errors import RuleCycleError, RuleError
+from repro.kernel import Invocation, Registry
+from repro.rules import (
+    CallAction,
+    CallPattern,
+    Rule,
+    RuleEngine,
+    RuleOperator,
+    check_acyclic,
+    is_acyclic,
+    parse_rule,
+    parse_rules,
+)
+
+from tests.helpers import make_counter, make_echo
+
+
+class TestPatterns:
+    def test_parse(self):
+        pattern = CallPattern.parse("billing.charge")
+        assert pattern.component == "billing"
+        assert pattern.matches("billing", "charge")
+        assert not pattern.matches("billing", "refund")
+
+    def test_wildcards(self):
+        assert CallPattern.parse("*.charge").matches("anything", "charge")
+        assert CallPattern.parse("billing.*").matches("billing", "anything")
+
+    def test_bad_patterns_rejected(self):
+        for text in ("billing", "a.b.c", ".charge", "billing."):
+            with pytest.raises(RuleError):
+                CallPattern.parse(text)
+
+    def test_action_must_be_concrete(self):
+        with pytest.raises(RuleError):
+            CallAction.parse("*.log")
+
+
+class TestRuleValidation:
+    def test_implies_needs_action(self):
+        with pytest.raises(RuleError):
+            Rule("r", CallPattern.parse("a.b"), RuleOperator.IMPLIES)
+
+    def test_permitted_if_needs_guard(self):
+        with pytest.raises(RuleError):
+            Rule("r", CallPattern.parse("a.b"), RuleOperator.PERMITTED_IF)
+
+
+class TestGrammar:
+    def test_parse_when_implies(self):
+        rule = parse_rule("when billing.charge implies audit.log")
+        assert rule.operator is RuleOperator.IMPLIES
+        assert str(rule.trigger) == "billing.charge"
+        assert str(rule.action) == "audit.log"
+
+    def test_parse_implies_before_and_later(self):
+        before = parse_rule("when a.x impliesBefore b.y")
+        later = parse_rule("when a.x impliesLater b.y")
+        assert before.operator is RuleOperator.IMPLIES_BEFORE
+        assert later.operator is RuleOperator.IMPLIES_LATER
+
+    def test_parse_permit(self):
+        rule = parse_rule("permit admin.shutdown if is_admin",
+                          guards={"is_admin": lambda inv: True})
+        assert rule.operator is RuleOperator.PERMITTED_IF
+
+    def test_parse_wait(self):
+        rule = parse_rule("wait queue.pop until not_empty",
+                          guards={"not_empty": lambda inv: True})
+        assert rule.operator is RuleOperator.WAIT_UNTIL
+
+    def test_unknown_guard_rejected(self):
+        with pytest.raises(RuleError, match="unknown guard"):
+            parse_rule("permit a.b if ghost")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(RuleError):
+            parse_rule("whenever pigs.fly")
+
+    def test_multi_line_script(self):
+        rules = parse_rules(
+            """
+            # comment line
+            when billing.charge implies audit.log
+
+            when billing.refund implies audit.log  # trailing comment
+            """
+        )
+        assert len(rules) == 2
+        assert rules[0].name != rules[1].name
+
+
+class TestCycleCheck:
+    def rule(self, trigger, action, name=""):
+        return Rule(name or f"{trigger}->{action}",
+                    CallPattern.parse(trigger), RuleOperator.IMPLIES,
+                    action=CallAction.parse(action))
+
+    def test_acyclic_chain_accepted(self):
+        rules = [
+            self.rule("a.x", "b.y"),
+            self.rule("b.y", "c.z"),
+        ]
+        check_acyclic(rules)
+        assert is_acyclic(rules)
+
+    def test_direct_cycle_rejected(self):
+        rules = [
+            self.rule("a.x", "b.y"),
+            self.rule("b.y", "a.x"),
+        ]
+        with pytest.raises(RuleCycleError):
+            check_acyclic(rules)
+
+    def test_self_cycle_rejected(self):
+        assert not is_acyclic([self.rule("a.x", "a.x")])
+
+    def test_long_cycle_rejected(self):
+        rules = [
+            self.rule("a.x", "b.y"),
+            self.rule("b.y", "c.z"),
+            self.rule("c.z", "a.x"),
+        ]
+        assert not is_acyclic(rules)
+
+    def test_wildcard_trigger_cycles_detected(self):
+        rules = [
+            Rule("w", CallPattern.parse("*.log"), RuleOperator.IMPLIES,
+                 action=CallAction.parse("b.notify")),
+            self.rule("b.notify", "audit.log"),
+        ]
+        assert not is_acyclic(rules)
+
+    def test_guard_rules_never_cycle(self):
+        rules = [
+            Rule("g", CallPattern.parse("a.x"), RuleOperator.PERMITTED_IF,
+                 guard=lambda inv: True),
+        ]
+        assert is_acyclic(rules)
+
+
+class TestEngine:
+    def make_world(self):
+        registry = Registry()
+        counter = make_counter("audit")
+        echo = make_echo("billing")
+        registry.register(counter)
+        registry.register(echo)
+        engine = RuleEngine(registry)
+        return registry, engine, counter, echo
+
+    def call(self, component, operation, *args):
+        return component.provided_port("svc").invoke(Invocation(operation, args))
+
+    def test_implies_runs_action_after(self):
+        _registry, engine, counter, echo = self.make_world()
+        engine.add_rule(Rule(
+            "audit-echo", CallPattern.parse("billing.echo"),
+            RuleOperator.IMPLIES,
+            action=CallAction("audit", "increment", lambda inv: (1,)),
+        ))
+        assert self.call(echo, "echo", "x") == "billing:x"
+        assert counter.state["total"] == 1
+
+    def test_implies_before_runs_first(self):
+        _registry, engine, counter, echo = self.make_world()
+        order = []
+        counter.provided_port("svc").observers.append(
+            lambda phase, inv, payload: order.append("audit")
+            if phase == "before" else None
+        )
+        echo.provided_port("svc").observers.append(
+            lambda phase, inv, payload: order.append("billing-done")
+            if phase == "after" else None
+        )
+        engine.add_rule(Rule(
+            "pre-audit", CallPattern.parse("billing.echo"),
+            RuleOperator.IMPLIES_BEFORE,
+            action=CallAction("audit", "increment"),
+        ))
+        self.call(echo, "echo", "x")
+        assert order.index("audit") < order.index("billing-done")
+
+    def test_implies_later_defers(self):
+        _registry, engine, counter, echo = self.make_world()
+        engine.add_rule(Rule(
+            "later", CallPattern.parse("billing.echo"),
+            RuleOperator.IMPLIES_LATER,
+            action=CallAction("audit", "increment"),
+        ))
+        self.call(echo, "echo", "x")
+        assert counter.state["total"] == 0
+        assert engine.run_deferred() == 1
+        assert counter.state["total"] == 1
+        assert engine.run_deferred() == 0
+
+    def test_permitted_if_blocks(self):
+        _registry, engine, _counter, echo = self.make_world()
+        engine.add_rule(Rule(
+            "guard", CallPattern.parse("billing.echo"),
+            RuleOperator.PERMITTED_IF,
+            guard=lambda inv: inv.args[0] != "forbidden",
+        ))
+        assert self.call(echo, "echo", "fine") == "billing:fine"
+        with pytest.raises(RuleError, match="not permitted"):
+            self.call(echo, "echo", "forbidden")
+
+    def test_wait_until_buffers_and_releases(self):
+        _registry, engine, _counter, echo = self.make_world()
+        gate = {"open": False}
+        engine.add_rule(Rule(
+            "hold", CallPattern.parse("billing.echo"),
+            RuleOperator.WAIT_UNTIL,
+            guard=lambda inv: gate["open"],
+        ))
+        assert self.call(echo, "echo", "x") is None
+        assert engine.waiting_count == 1
+        assert echo.state["seen"] == []
+        gate["open"] = True
+        assert engine.poke_waiting() == 1
+        assert echo.state["seen"] == ["x"]
+        assert engine.waiting_count == 0
+
+    def test_cyclic_rule_set_rejected_on_add(self):
+        _registry, engine, _counter, echo = self.make_world()
+        engine.add_rule(Rule(
+            "r1", CallPattern.parse("billing.echo"), RuleOperator.IMPLIES,
+            action=CallAction("audit", "increment"),
+        ))
+        with pytest.raises(RuleCycleError):
+            engine.add_rule(Rule(
+                "r2", CallPattern.parse("audit.increment"),
+                RuleOperator.IMPLIES,
+                action=CallAction("billing", "echo", lambda inv: ("loop",)),
+            ))
+        assert len(engine.rules) == 1  # rejected rule not kept
+
+    def test_batch_add_is_atomic(self):
+        _registry, engine, _counter, _echo = self.make_world()
+        good = Rule("g", CallPattern.parse("billing.echo"),
+                    RuleOperator.IMPLIES, action=CallAction("audit", "increment"))
+        bad = Rule("b", CallPattern.parse("audit.increment"),
+                   RuleOperator.IMPLIES,
+                   action=CallAction("billing", "echo", lambda inv: ("x",)))
+        with pytest.raises(RuleCycleError):
+            engine.add_rules([good, bad])
+        assert engine.rules == []
+
+    def test_remove_rule(self):
+        _registry, engine, counter, echo = self.make_world()
+        engine.add_rule(Rule(
+            "audit-echo", CallPattern.parse("billing.echo"),
+            RuleOperator.IMPLIES, action=CallAction("audit", "increment"),
+        ))
+        engine.remove_rule("audit-echo")
+        self.call(echo, "echo", "x")
+        assert counter.state["total"] == 0
+        with pytest.raises(RuleError):
+            engine.remove_rule("audit-echo")
+
+    def test_duplicate_rule_name_rejected(self):
+        _registry, engine, _counter, _echo = self.make_world()
+        rule = Rule("dup", CallPattern.parse("billing.echo"),
+                    RuleOperator.IMPLIES, action=CallAction("audit", "increment"))
+        engine.add_rule(rule)
+        with pytest.raises(RuleError):
+            engine.add_rule(Rule(
+                "dup", CallPattern.parse("billing.echo"),
+                RuleOperator.IMPLIES, action=CallAction("audit", "increment"),
+            ))
+
+    def test_action_args_builder_sees_trigger(self):
+        _registry, engine, counter, echo = self.make_world()
+        engine.add_rule(Rule(
+            "sized", CallPattern.parse("billing.echo"),
+            RuleOperator.IMPLIES,
+            action=CallAction("audit", "increment",
+                              lambda inv: (len(inv.args[0]),)),
+        ))
+        self.call(echo, "echo", "four")
+        assert counter.state["total"] == 4
+
+    def test_action_on_unknown_operation_raises(self):
+        _registry, engine, _counter, echo = self.make_world()
+        engine.add_rule(Rule(
+            "broken", CallPattern.parse("billing.echo"),
+            RuleOperator.IMPLIES, action=CallAction("audit", "vanish"),
+        ))
+        with pytest.raises(RuleError, match="no operation"):
+            self.call(echo, "echo", "x")
+
+    def test_govern_late_component(self):
+        registry, engine, counter, _echo = self.make_world()
+        engine.add_rule(Rule(
+            "late", CallPattern.parse("late.echo"), RuleOperator.IMPLIES,
+            action=CallAction("audit", "increment"),
+        ))
+        late = make_echo("late")
+        registry.register(late)
+        engine.govern("late")
+        self.call(late, "echo", "x")
+        assert counter.state["total"] == 1

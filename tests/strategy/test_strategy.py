@@ -1,0 +1,141 @@
+"""Unit tests for the strategy infrastructure."""
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.strategy import Strategy, StrategySelector, StrategySlot
+
+
+def hq(frame):
+    return f"hq({frame})"
+
+
+def lq(frame):
+    return f"lq({frame})"
+
+
+def make_slot():
+    return StrategySlot("codec", [
+        Strategy("high-quality", hq, traits={"quality": 1.0, "bandwidth": 8.0}),
+        Strategy("low-quality", lq, traits={"quality": 0.4, "bandwidth": 1.0}),
+    ], initial="high-quality")
+
+
+class TestSlot:
+    def test_initial_selection(self):
+        slot = make_slot()
+        assert slot.current_name == "high-quality"
+        assert slot("f1") == "hq(f1)"
+
+    def test_first_registered_is_default_initial(self):
+        slot = StrategySlot("s", [Strategy("a", hq), Strategy("b", lq)])
+        assert slot.current_name == "a"
+
+    def test_empty_slot_has_no_current(self):
+        slot = StrategySlot("s")
+        with pytest.raises(StrategyError):
+            slot.current
+
+    def test_use_switches(self):
+        slot = make_slot()
+        slot.use("low-quality", reason="congestion")
+        assert slot("f") == "lq(f)"
+        assert slot.switch_count == 1
+        assert slot.history[-1] == ("low-quality", "congestion")
+
+    def test_use_unknown_rejected(self):
+        with pytest.raises(StrategyError, match="choices"):
+            make_slot().use("medium")
+
+    def test_register_duplicate_rejected(self):
+        slot = make_slot()
+        with pytest.raises(StrategyError):
+            slot.register(Strategy("high-quality", hq))
+
+    def test_unregister(self):
+        slot = make_slot()
+        slot.unregister("low-quality")
+        assert slot.names() == ["high-quality"]
+
+    def test_unregister_active_rejected(self):
+        slot = make_slot()
+        with pytest.raises(StrategyError):
+            slot.unregister("high-quality")
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(StrategyError):
+            make_slot().unregister("ghost")
+
+    def test_traits_accessible(self):
+        slot = make_slot()
+        assert slot.current.traits["bandwidth"] == 8.0
+
+
+class TestSelector:
+    def make_selector(self):
+        slot = make_slot()
+        selector = StrategySelector(slot, default="high-quality")
+        selector.add_rule(
+            lambda ctx: ctx.get("bandwidth", 10) < 2.0,
+            "low-quality",
+            priority=10,
+            label="congested",
+        )
+        return slot, selector
+
+    def test_rule_fires_on_low_bandwidth(self):
+        slot, selector = self.make_selector()
+        switched = selector.select({"bandwidth": 1.0})
+        assert switched == "low-quality"
+        assert slot.current_name == "low-quality"
+
+    def test_default_restores(self):
+        slot, selector = self.make_selector()
+        selector.select({"bandwidth": 1.0})
+        switched = selector.select({"bandwidth": 9.0})
+        assert switched == "high-quality"
+
+    def test_no_switch_returns_none(self):
+        slot, selector = self.make_selector()
+        assert selector.select({"bandwidth": 9.0}) is None
+        assert slot.switch_count == 0
+
+    def test_priority_orders_rules(self):
+        slot = make_slot()
+        selector = StrategySelector(slot)
+        selector.add_rule(lambda ctx: True, "low-quality", priority=1)
+        selector.add_rule(lambda ctx: True, "high-quality", priority=5)
+        selector.select({})
+        assert slot.current_name == "high-quality"
+
+    def test_rule_for_unknown_strategy_rejected(self):
+        slot, selector = self.make_selector()
+        with pytest.raises(StrategyError):
+            selector.add_rule(lambda ctx: True, "ghost")
+
+    def test_no_default_no_match_keeps_current(self):
+        slot = make_slot()
+        selector = StrategySelector(slot)
+        assert selector.select({"bandwidth": 1.0}) is None
+        assert slot.current_name == "high-quality"
+
+    def test_slot_usable_as_component_implementation(self):
+        from repro.kernel import Component, Interface, Invocation, Operation
+
+        slot = make_slot()
+
+        class Codec:
+            def __init__(self, encode):
+                self.encode = encode
+
+        component = Component("codec")
+        component.provide(
+            "svc",
+            Interface("Codec", "1.0", [Operation("encode", ("frame",))]),
+            implementation=Codec(slot),
+        )
+        component.activate()
+        port = component.provided_port("svc")
+        assert port.invoke(Invocation("encode", ("f",))) == "hq(f)"
+        slot.use("low-quality")
+        assert port.invoke(Invocation("encode", ("f",))) == "lq(f)"

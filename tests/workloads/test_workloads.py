@@ -1,0 +1,231 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.events import Simulator
+from repro.netsim import star
+from repro.qos import MetricRegistry
+from repro.workloads import (
+    ClosedLoopGenerator,
+    LinkQualityDriver,
+    NodeLoadDriver,
+    OpenLoopGenerator,
+    TelecomWorkload,
+    TelecomWorkloadConfig,
+    binding_transport,
+    clamped,
+    composite,
+    constant,
+    random_walk,
+    sinusoidal,
+    square_wave,
+    step,
+)
+
+from tests.helpers import CounterComponent, counter_interface
+
+
+class TestProfiles:
+    def test_constant(self):
+        assert constant(0.5)(123.0) == 0.5
+
+    def test_sinusoidal_bounds_and_period(self):
+        profile = sinusoidal(base=0.5, amplitude=0.3, period=10.0)
+        values = [profile(t / 10) for t in range(200)]
+        assert max(values) <= 0.8 + 1e-9
+        assert min(values) >= 0.2 - 1e-9
+        assert profile(0.0) == pytest.approx(profile(10.0))
+
+    def test_step(self):
+        profile = step(0.1, 0.9, at=5.0)
+        assert profile(4.9) == 0.1
+        assert profile(5.0) == 0.9
+
+    def test_square_wave(self):
+        profile = square_wave(low=0.0, high=1.0, period=2.0, duty=0.5)
+        assert profile(0.5) == 1.0
+        assert profile(1.5) == 0.0
+
+    def test_random_walk_deterministic_and_bounded(self):
+        p1 = random_walk(0.5, 0.1, 0.0, 1.0, seed=4)
+        p2 = random_walk(0.5, 0.1, 0.0, 1.0, seed=4)
+        values = [p1(float(t)) for t in range(100)]
+        assert values == [p2(float(t)) for t in range(100)]
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_composite_and_clamped(self):
+        profile = clamped(composite(constant(0.8), constant(0.4)), 0.0, 1.0)
+        assert profile(0.0) == 1.0
+
+
+class TestDrivers:
+    def test_node_load_driver_applies_profile(self):
+        sim = Simulator()
+        net = star(sim, leaves=1)
+        node = net.node("leaf0")
+        driver = NodeLoadDriver(sim, node, step(0.1, 0.7, at=2.0), period=1.0)
+        sim.run(until=1.5)
+        assert node.background_load == pytest.approx(0.1)
+        sim.run(until=3.5)
+        assert node.background_load == pytest.approx(0.7)
+        driver.stop()
+        assert len(driver.samples) >= 3
+
+    def test_link_quality_driver(self):
+        sim = Simulator()
+        net = star(sim, leaves=1)
+        link = net.link_between("hub", "leaf0")
+        driver = LinkQualityDriver(
+            sim, link,
+            bandwidth=step(1e6, 1e3, at=1.0),
+            loss=constant(0.05),
+            period=0.5,
+        )
+        sim.run(until=2.0)
+        assert link.bandwidth == pytest.approx(1e3)
+        assert link.loss == pytest.approx(0.05)
+        driver.stop()
+
+
+def make_local_service():
+    """A client-side async transport over a local binding."""
+    from repro.kernel import Component, bind
+
+    client = Component("client")
+    client.require("peer", counter_interface())
+    client.activate()
+    server = CounterComponent("server")
+    server.provide("svc", counter_interface())
+    server.activate()
+    bind(client.required_port("peer"), server.provided_port("svc"))
+    return client, server
+
+
+class TestTrafficGenerators:
+    def test_open_loop_rate(self):
+        sim = Simulator()
+        client, server = make_local_service()
+        generator = OpenLoopGenerator(
+            sim, binding_transport(client.required_port("peer")),
+            "increment", make_args=lambda i: (1,), rate=100.0,
+        )
+        generator.start(duration=1.0)
+        sim.run()
+        assert generator.stats.issued == pytest.approx(100, abs=2)
+        assert generator.stats.succeeded == generator.stats.issued
+        assert server.state["total"] == generator.stats.issued
+
+    def test_open_loop_poisson_deterministic(self):
+        counts = []
+        for _ in range(2):
+            sim = Simulator()
+            client, _server = make_local_service()
+            generator = OpenLoopGenerator(
+                sim, binding_transport(client.required_port("peer")),
+                "increment", make_args=lambda i: (1,), rate=50.0,
+                poisson=True, seed=3,
+            )
+            generator.start(duration=2.0)
+            sim.run()
+            counts.append(generator.stats.issued)
+        assert counts[0] == counts[1] > 0
+
+    def test_open_loop_records_metrics(self):
+        sim = Simulator()
+        client, _server = make_local_service()
+        registry = MetricRegistry()
+        generator = OpenLoopGenerator(
+            sim, binding_transport(client.required_port("peer")),
+            "total", rate=10.0, registry=registry,
+        )
+        generator.start(duration=1.0)
+        sim.run()
+        assert registry.series("latency").count == generator.stats.succeeded
+
+    def test_closed_loop_keeps_concurrency(self):
+        sim = Simulator()
+        client, server = make_local_service()
+        generator = ClosedLoopGenerator(
+            sim, binding_transport(client.required_port("peer")),
+            "increment", make_args=lambda i: (1,),
+            concurrency=3, think_time=0.1,
+        )
+        generator.start()
+        sim.run(until=1.05)
+        generator.stop()
+        sim.run(until=2.0)
+        # 3 streams, one request each per 0.1s think time over ~1s.
+        assert 27 <= generator.stats.succeeded <= 33
+
+    def test_failed_transport_counted(self):
+        sim = Simulator()
+        client, server = make_local_service()
+        server.passivate()  # sync local call will raise LifecycleError
+
+        generator = OpenLoopGenerator(
+            sim, binding_transport(client.required_port("peer")),
+            "total", rate=10.0,
+        )
+        generator.start(duration=0.5)
+        sim.run()
+        assert generator.stats.failed == generator.stats.issued > 0
+        assert generator.stats.success_ratio == 0.0
+
+
+class TestTelecomWorkload:
+    def frame_sink(self):
+        delivered = []
+
+        def send_frame(session, on_delivered):
+            delivered.append(session.session_id)
+            on_delivered()
+
+        return send_frame, delivered
+
+    def test_sessions_arrive_and_stream(self):
+        sim = Simulator()
+        send_frame, delivered = self.frame_sink()
+        workload = TelecomWorkload(
+            sim, ["leaf0", "leaf1"], send_frame,
+            TelecomWorkloadConfig(arrival_rate=2.0, mean_duration=2.0,
+                                  frame_rate=10.0, seed=1),
+        )
+        workload.start(duration=10.0)
+        sim.run(until=20.0)
+        summary = workload.summary()
+        assert summary["sessions"] > 5
+        assert summary["frames_sent"] > 50
+        assert summary["delivery_ratio"] == 1.0
+        assert delivered
+
+    def test_mobility_generates_handovers(self):
+        sim = Simulator()
+        send_frame, _delivered = self.frame_sink()
+        workload = TelecomWorkload(
+            sim, ["a", "b", "c"], send_frame,
+            TelecomWorkloadConfig(arrival_rate=1.0, mean_duration=5.0,
+                                  frame_rate=5.0, mobility_rate=1.0, seed=2),
+        )
+        workload.start(duration=20.0)
+        sim.run(until=40.0)
+        assert workload.summary()["handovers"] > 0
+        assert all(s.access_node in ("a", "b", "c") for s in workload.sessions)
+
+    def test_deterministic_per_seed(self):
+        summaries = []
+        for _ in range(2):
+            sim = Simulator()
+            send_frame, _d = self.frame_sink()
+            workload = TelecomWorkload(
+                sim, ["a"], send_frame,
+                TelecomWorkloadConfig(arrival_rate=1.5, seed=9),
+            )
+            workload.start(duration=10.0)
+            sim.run(until=30.0)
+            summaries.append(workload.summary())
+        assert summaries[0] == summaries[1]
+
+    def test_needs_access_nodes(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TelecomWorkload(sim, [], lambda s, cb: None)
