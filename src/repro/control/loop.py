@@ -22,9 +22,13 @@ class Controller(Protocol):
     def update(self, measurement: float, now: float) -> float: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class LoopSample:
-    """One sampling instant of a control loop."""
+    """One sampling instant of a control loop.
+
+    Slotted: control loops append one of these per sampling event, so the
+    per-sample footprint matters at scale.
+    """
 
     time: float
     measurement: float
@@ -61,10 +65,11 @@ class ControlLoop:
 
     def step(self) -> LoopSample:
         """One sampling instant: read, compute, actuate, record."""
+        now = self.sim.now
         measurement = self.sensor()
-        output = self.controller.update(measurement, self.sim.now)
+        output = self.controller.update(measurement, now)
         self.actuator(output)
-        sample = LoopSample(self.sim.now, measurement, output)
+        sample = LoopSample(now, measurement, output)
         self.trace.append(sample)
         return sample
 

@@ -5,6 +5,19 @@ essential for reproducible benchmarks: events with equal timestamps are
 ordered by (priority, insertion sequence), so two runs with the same seed
 interleave identically.
 
+Performance notes (the whole platform runs on this hot path):
+
+* Heap entries are plain ``(time, priority, seq, event)`` tuples.  ``seq``
+  is unique, so tuple comparison never falls through to the event object
+  and no rich-comparison dispatch happens during heap sifts.
+* :class:`Event` is a ``__slots__`` record — no per-instance dict.
+* A live-event counter makes :attr:`Simulator.pending_events` O(1).
+* Cancellation stays lazy (O(1)), but cancelled garbage no longer
+  accumulates forever: when it outnumbers live events the queue is
+  compacted in place (see :meth:`Simulator.compact`).
+* :meth:`Simulator.schedule_many` bulk-inserts a batch of events with a
+  single heapify instead of per-event pushes.
+
 Typical use::
 
     sim = Simulator()
@@ -15,34 +28,61 @@ Typical use::
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import ClockError
 
 #: Default priority for events; lower numbers fire first at equal times.
 DEFAULT_PRIORITY = 0
 
+#: Compaction trigger: the queue is rebuilt once more than this many
+#: cancelled entries are queued *and* they outnumber the live ones.
+COMPACT_MIN_GARBAGE = 64
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, priority, seq)`` which gives a total,
+    Events are ordered by ``(time, priority, seq)`` which gives a total,
     deterministic order.  ``seq`` is an insertion counter assigned by the
-    simulator.
+    simulator.  The ordering key lives in the heap entry tuple, not on
+    the event itself, so events never need rich comparison.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        sim: "Simulator | None" = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing; cheap (lazy deletion)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Event(time={self.time}, priority={self.priority}, "
+            f"seq={self.seq}, cancelled={self.cancelled})"
+        )
 
 
 class Simulator:
@@ -53,11 +93,14 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._now = 0.0
         self._seq = 0
         self._running = False
         self._executed = 0
+        self._live = 0  # queued, non-cancelled events
+        self._garbage = 0  # queued, cancelled events awaiting compaction/pop
+        self._compactions = 0
 
     # -- clock ------------------------------------------------------------
 
@@ -73,8 +116,23 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued, non-cancelled events — O(1) counter."""
+        return self._live
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Queued cancelled entries not yet reclaimed (telemetry)."""
+        return self._garbage
+
+    @property
+    def queue_size(self) -> int:
+        """Physical heap size, live + cancelled garbage (telemetry)."""
+        return len(self._queue)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the queue has been compacted (telemetry)."""
+        return self._compactions
 
     # -- scheduling -------------------------------------------------------
 
@@ -102,9 +160,11 @@ class Simulator:
             raise ClockError(
                 f"cannot schedule at t={time}, clock is already at t={self._now}"
             )
-        event = Event(time, priority, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args, self)
+        self._live += 1
+        heapq.heappush(self._queue, (time, priority, seq, event))
         return event
 
     def call_soon(
@@ -116,15 +176,96 @@ class Simulator:
         """Schedule ``callback`` at the current time (after pending same-time events)."""
         return self.at(self._now, callback, *args, priority=priority)
 
+    def schedule_many(
+        self,
+        items: Iterable[Sequence],
+        *,
+        absolute: bool = False,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> list[Event]:
+        """Bulk-insert a batch of events with a single heapify.
+
+        Each item is ``(delay, callback)``, ``(delay, callback, args)`` or
+        ``(delay, callback, args, priority)``; with ``absolute=True`` the
+        first element is an absolute simulated time instead of a delay.
+        Sequence numbers are assigned in iteration order, so the batch
+        interleaves exactly as the equivalent sequence of
+        :meth:`schedule` / :meth:`at` calls would.
+
+        Returns the created events, in input order.
+        """
+        now = self._now
+        seq = self._seq
+        events: list[Event] = []
+        entries: list[tuple[float, int, int, Event]] = []
+        for item in items:
+            when = item[0] if absolute else now + item[0]
+            callback = item[1]
+            args = tuple(item[2]) if len(item) > 2 else ()
+            prio = item[3] if len(item) > 3 else priority
+            if when < now:
+                raise ClockError(
+                    f"cannot schedule at t={when}, clock is already at t={now}"
+                )
+            event = Event(when, prio, seq, callback, args, self)
+            entries.append((when, prio, seq, event))
+            events.append(event)
+            seq += 1
+        self._seq = seq
+        if not entries:
+            return events
+        queue = self._queue
+        if len(entries) * 8 >= len(queue):
+            # Batch is large relative to the heap: one O(n+m) heapify
+            # beats m O(log n) sift-ups.
+            queue.extend(entries)
+            heapq.heapify(queue)
+        else:
+            push = heapq.heappush
+            for entry in entries:
+                push(queue, entry)
+        self._live += len(entries)
+        return events
+
+    # -- cancellation bookkeeping ----------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._garbage += 1
+        if self._garbage > COMPACT_MIN_GARBAGE and self._garbage > self._live:
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop cancelled entries from the heap; returns how many were removed.
+
+        Runs automatically once cancelled garbage outnumbers live events
+        (so `PeriodicTimer.stop()` churn cannot leak memory), but can be
+        called explicitly after a large cancellation wave.
+        """
+        queue = self._queue
+        before = len(queue)
+        queue[:] = [entry for entry in queue if not entry[3].cancelled]
+        heapq.heapify(queue)
+        self._garbage = 0
+        removed = before - len(queue)
+        if removed:
+            self._compactions += 1
+        return removed
+
     # -- execution --------------------------------------------------------
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            event = entry[3]
             if event.cancelled:
+                self._garbage -= 1
                 continue
-            self._now = event.time
+            self._live -= 1
+            event._sim = None
+            self._now = entry[0]
             self._executed += 1
             event.callback(*event.args)
             return True
@@ -145,22 +286,27 @@ class Simulator:
             raise ClockError("simulator is already running (re-entrant run())")
         self._running = True
         executed = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and executed >= max_events:
                     break
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and head.time > until:
+                head_time = queue[0][0]
+                if until is not None and head_time > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
-                self._now = head.time
+                entry = pop(queue)
+                event = entry[3]
+                if event.cancelled:
+                    self._garbage -= 1
+                    continue
+                self._live -= 1
+                event._sim = None
+                self._now = entry[0]
                 self._executed += 1
                 executed += 1
-                head.callback(*head.args)
+                event.callback(*event.args)
             else:
                 if until is not None and until > self._now:
                     self._now = until
@@ -170,7 +316,12 @@ class Simulator:
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
+        for entry in self._queue:
+            entry[3]._sim = None
         self._queue.clear()
         self._now = 0.0
         self._seq = 0
         self._executed = 0
+        self._live = 0
+        self._garbage = 0
+        self._compactions = 0

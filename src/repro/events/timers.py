@@ -69,6 +69,7 @@ class PeriodicTimer:
         self.rng = rng
         self.tick_count = 0
         self._stopped = False
+        self._in_tick = False
         self._event: Event | None = None
         self._schedule_next()
 
@@ -86,7 +87,11 @@ class PeriodicTimer:
         if self._stopped:
             return
         self.tick_count += 1
-        self.callback(*self.args)
+        self._in_tick = True
+        try:
+            self.callback(*self.args)
+        finally:
+            self._in_tick = False
         self._schedule_next()
 
     def stop(self) -> None:
@@ -95,11 +100,34 @@ class PeriodicTimer:
         if self._event is not None:
             self._event.cancel()
 
-    def set_period(self, period: float) -> None:
-        """Change the period; takes effect from the next scheduling."""
+    def set_period(self, period: float, *, reschedule_pending: bool = True) -> None:
+        """Change the period.
+
+        By default the already-scheduled next tick is *rescheduled* onto
+        the new period: a tick pending at ``last + old_period`` moves to
+        ``last + new_period`` (clamped to the current time if that is
+        already past; any jitter offset drawn for the pending tick is
+        preserved).  Pass ``reschedule_pending=False`` for the legacy
+        behaviour where the in-flight tick still fires on the old period
+        and the new period only applies from the following tick.
+        """
         if period <= 0:
             raise ClockError(f"periodic timer period must be positive, got {period}")
+        old_period = self.period
         self.period = period
+        if not reschedule_pending or self._stopped or self._in_tick:
+            # Inside the callback the next tick is not scheduled yet, so
+            # the new period naturally applies to it — nothing to move.
+            return
+        event = self._event
+        if event is None or event.cancelled:
+            return
+        target = event.time - old_period + period
+        now = self.sim.now
+        if target < now:
+            target = now
+        event.cancel()
+        self._event = self.sim.at(target, self._tick)
 
     @property
     def running(self) -> bool:

@@ -57,14 +57,18 @@ class FailureInjector:
         Returns the number of crashes scheduled.
         """
         names = candidates if candidates is not None else list(self.network.nodes)
-        count = 0
+        # Draw the whole schedule first, then bulk-insert: one heapify
+        # instead of per-crash pushes.  The (time, seq) order of the
+        # batch is identical to the per-call ``sim.at`` sequence.
+        items: list[tuple[float, object, tuple]] = []
         t = self.rng.expovariate(rate) if rate > 0 else horizon + 1
         while t < horizon:
             victim = self.rng.choice(names)
-            self.crash_node(victim, at=t, recover_after=recover_after)
-            count += 1
+            items.append((t, self._crash, (victim,)))
+            items.append((t + recover_after, self._recover, (victim,)))
             t += self.rng.expovariate(rate)
-        return count
+        self.network.sim.schedule_many(items, absolute=True)
+        return len(items) // 2
 
     def random_link_flaps(
         self,
@@ -76,14 +80,15 @@ class FailureInjector:
         keys = list(self.network.links)
         if not keys:
             return 0
-        count = 0
+        items: list[tuple[float, object, tuple]] = []
         t = self.rng.expovariate(rate) if rate > 0 else horizon + 1
         while t < horizon:
             a, b = self.rng.choice(keys)
-            self.flap_link(a, b, at=t, down_for=down_for)
-            count += 1
+            items.append((t, self._link_fail, (a, b)))
+            items.append((t + down_for, self._link_restore, (a, b)))
             t += self.rng.expovariate(rate)
-        return count
+        self.network.sim.schedule_many(items, absolute=True)
+        return len(items) // 2
 
     # -- internals ---------------------------------------------------------
 

@@ -72,6 +72,11 @@ class Network:
         self.stats = NetworkStats()
         self._graph_dirty = True
         self._graph = nx.Graph()
+        # Shortest-path cache, invalidated with the graph: message
+        # delivery is a per-event caller, so repeated sends between the
+        # same pair must not pay Dijkstra every time.  ``None`` caches a
+        # negative result (no route) until the topology changes.
+        self._route_cache: dict[tuple[str, str], list[str] | None] = {}
         self.in_flight = 0
         # Per-direction transmitter occupancy: concurrent messages on the
         # same link direction serialize behind each other (full-duplex
@@ -141,24 +146,34 @@ class Network:
                 graph.add_edge(link.a, link.b, weight=link.latency)
         self._graph = graph
         self._graph_dirty = False
+        self._route_cache.clear()
 
     def route(self, source: str, destination: str) -> list[str]:
         """Shortest-latency node path, inclusive of both ends.
 
+        Paths are cached until the topology or link states change.
         Raises :class:`NetworkError` when no route exists.
         """
         if self._graph_dirty:
             self._rebuild_graph()
         if source == destination:
             return [source]
-        try:
-            return nx.shortest_path(
-                self._graph, source, destination, weight="weight"
-            )
-        except (nx.NetworkXNoPath, nx.NodeNotFound):
+        key = (source, destination)
+        cache = self._route_cache
+        path = cache.get(key, False)
+        if path is False:
+            try:
+                path = nx.shortest_path(
+                    self._graph, source, destination, weight="weight"
+                )
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                path = None
+            cache[key] = path
+        if path is None:
             raise NetworkError(
                 f"no route from {source!r} to {destination!r}"
-            ) from None
+            )
+        return path
 
     # -- delivery -----------------------------------------------------------
 
@@ -197,15 +212,17 @@ class Network:
             self.in_flight -= 1
             self._drop(message, "loss")
             return
+        size = message.size
         link.transferred_messages += 1
-        link.transferred_bytes += message.size
+        link.transferred_bytes += size
         # Serialize behind earlier traffic in this direction, then pay
         # transmission + propagation.
         transmitter = (link.key, here)
         now = self.sim.now
-        start = max(now, self._transmitter_free_at.get(transmitter, 0.0))
-        transmission = message.size / link.bandwidth
-        self._transmitter_free_at[transmitter] = start + transmission
+        free_at = self._transmitter_free_at
+        start = max(now, free_at.get(transmitter, 0.0))
+        transmission = size / link.bandwidth
+        free_at[transmitter] = start + transmission
         delay = (start - now) + transmission + link.latency
         self.sim.schedule(delay, self._forward, message, path, hop_index + 1)
 
@@ -232,6 +249,8 @@ class Network:
         self._notify(f"drop:{reason}", message)
 
     def _notify(self, event: str, message: Message) -> None:
+        if not self.taps:
+            return
         for tap in self.taps:
             tap(event, message)
 

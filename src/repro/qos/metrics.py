@@ -4,12 +4,22 @@ Sliding-window time series for the QoS parameters the paper's
 quality-aware middleware monitors: latency, throughput, loss, load,
 jitter.  Windows are time-based (simulated seconds), so statistics track
 "periodical measurements on the evolving infrastructure".
+
+The statistics are *incremental*: every monitor tick reads them, so none
+of them may rescan the window.
+
+* ``mean`` / ``stddev`` — running sum and sum-of-squares, O(1).
+* ``minimum`` / ``maximum`` — monotonic deques (sliding-window extrema),
+  O(1) amortised.
+* ``percentile`` — a bisect-maintained sorted view of the window, so a
+  query is an index lookup instead of re-sorting the whole window.
 """
 
 from __future__ import annotations
 
-import bisect
 import math
+from bisect import bisect_left, insort
+from collections import deque
 from typing import Iterable
 
 from repro.errors import QosError
@@ -18,38 +28,92 @@ from repro.errors import QosError
 class MetricSeries:
     """A sliding window of (timestamp, value) samples."""
 
+    __slots__ = (
+        "name",
+        "window",
+        "total_samples",
+        "_times",
+        "_values",
+        "_sorted",
+        "_sum",
+        "_sumsq",
+        "_minq",
+        "_maxq",
+    )
+
     def __init__(self, name: str, window: float = 10.0) -> None:
         if window <= 0:
             raise QosError(f"metric window must be positive, got {window}")
         self.name = name
         self.window = window
-        self._times: list[float] = []
-        self._values: list[float] = []
+        self._times: deque[float] = deque()
+        self._values: deque[float] = deque()
+        self._sorted: list[float] = []  # window values, ascending
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._minq: deque[tuple[float, float]] = deque()  # values ascending
+        self._maxq: deque[tuple[float, float]] = deque()  # values descending
         self.total_samples = 0
 
     def record(self, value: float, now: float) -> None:
         """Add a sample at simulated time ``now`` and expire old ones."""
-        if self._times and now < self._times[-1]:
+        times = self._times
+        if times and now < times[-1]:
             raise QosError(
                 f"metric {self.name!r}: samples must arrive in time order "
-                f"({now} < {self._times[-1]})"
+                f"({now} < {times[-1]})"
             )
-        self._times.append(now)
-        self._values.append(float(value))
+        value = float(value)
+        times.append(now)
+        self._values.append(value)
         self.total_samples += 1
+        self._sum += value
+        self._sumsq += value * value
+        insort(self._sorted, value)
+        minq = self._minq
+        while minq and minq[-1][1] >= value:
+            minq.pop()
+        minq.append((now, value))
+        maxq = self._maxq
+        while maxq and maxq[-1][1] <= value:
+            maxq.pop()
+        maxq.append((now, value))
         self._expire(now)
 
     def reset(self) -> None:
         """Drop all samples (e.g. after a repair invalidates the window)."""
         self._times.clear()
         self._values.clear()
+        self._sorted.clear()
+        self._minq.clear()
+        self._maxq.clear()
+        self._sum = 0.0
+        self._sumsq = 0.0
 
     def _expire(self, now: float) -> None:
         cutoff = now - self.window
-        keep_from = bisect.bisect_right(self._times, cutoff)
-        if keep_from:
-            del self._times[:keep_from]
-            del self._values[:keep_from]
+        times = self._times
+        if not times or times[0] > cutoff:
+            return
+        values = self._values
+        ordered = self._sorted
+        while times and times[0] <= cutoff:
+            times.popleft()
+            old = values.popleft()
+            self._sum -= old
+            self._sumsq -= old * old
+            del ordered[bisect_left(ordered, old)]
+        if not values:
+            # Resynchronise the running sums so float residue from the
+            # subtract-on-expire updates cannot outlive the window.
+            self._sum = 0.0
+            self._sumsq = 0.0
+        minq = self._minq
+        while minq and minq[0][0] <= cutoff:
+            minq.popleft()
+        maxq = self._maxq
+        while maxq and maxq[0][0] <= cutoff:
+            maxq.popleft()
 
     # -- statistics --------------------------------------------------------
 
@@ -64,35 +128,35 @@ class MetricSeries:
     def mean(self) -> float:
         if not self._values:
             return 0.0
-        return sum(self._values) / len(self._values)
+        return self._sum / len(self._values)
 
     def minimum(self) -> float:
-        return min(self._values) if self._values else 0.0
+        return self._minq[0][1] if self._minq else 0.0
 
     def maximum(self) -> float:
-        return max(self._values) if self._values else 0.0
+        return self._maxq[0][1] if self._maxq else 0.0
 
     def last(self) -> float:
         return self._values[-1] if self._values else 0.0
 
     def stddev(self) -> float:
-        if len(self._values) < 2:
+        n = len(self._values)
+        if n < 2:
             return 0.0
-        mu = self.mean()
-        return math.sqrt(
-            sum((v - mu) ** 2 for v in self._values) / (len(self._values) - 1)
-        )
+        variance = (self._sumsq - self._sum * self._sum / n) / (n - 1)
+        return math.sqrt(variance) if variance > 0.0 else 0.0
 
     def percentile(self, q: float) -> float:
         """q-th percentile (q in [0, 100]) by linear interpolation."""
         if not 0 <= q <= 100:
             raise QosError(f"percentile must be in [0, 100], got {q}")
-        if not self._values:
+        ordered = self._sorted
+        n = len(ordered)
+        if n == 0:
             return 0.0
-        ordered = sorted(self._values)
-        if len(ordered) == 1:
+        if n == 1:
             return ordered[0]
-        rank = (q / 100) * (len(ordered) - 1)
+        rank = (q / 100) * (n - 1)
         low = int(math.floor(rank))
         high = int(math.ceil(rank))
         if low == high or ordered[low] == ordered[high]:
@@ -133,7 +197,11 @@ class MetricRegistry:
         return sorted(self._series)
 
     def snapshot(self, now: float) -> dict[str, dict[str, float]]:
-        """Statistics of every series — the observation record RAML reads."""
+        """Statistics of every series — the observation record RAML reads.
+
+        Every statistic here is incremental (O(1) per series), so the
+        snapshot costs O(#series) regardless of window population.
+        """
         return {
             name: {
                 "mean": series.mean(),

@@ -64,23 +64,49 @@ class OpenLoopGenerator:
         self.metric = metric
         self.stats = TrafficStats()
         self._running = False
+        self._chained = True
 
     def _interval(self) -> float:
         if self.poisson:
             return self.rng.expovariate(self.rate)
         return 1.0 / self.rate
 
-    def start(self, duration: float | None = None) -> "OpenLoopGenerator":
+    def start(self, duration: float | None = None,
+              preschedule: bool = False) -> "OpenLoopGenerator":
+        """Begin issuing requests.
+
+        With ``preschedule=True`` (requires ``duration``) every arrival
+        instant is drawn up front and bulk-inserted with
+        ``Simulator.schedule_many`` — one heapify instead of a
+        schedule-per-arrival chain.  Arrival times and the RNG draw
+        sequence are identical to the chained mode; only the event
+        insertion order differs (all arrivals first), so use it for
+        throughput drivers, not for interleaving-sensitive replays.
+        """
         self._running = True
         stop_at = None if duration is None else self.sim.now + duration
-        self._schedule_next(stop_at)
+        if preschedule:
+            if stop_at is None:
+                raise ValueError("preschedule requires a duration")
+            self._chained = False
+            items = []
+            t = self.sim.now
+            while True:
+                t += self._interval()
+                if t > stop_at:
+                    break
+                items.append((t, self._fire, (stop_at,)))
+            self.sim.schedule_many(items, absolute=True)
+        else:
+            self._chained = True
+            self._schedule_next(stop_at)
         return self
 
     def stop(self) -> None:
         self._running = False
 
     def _schedule_next(self, stop_at: float | None) -> None:
-        if not self._running:
+        if not self._running or not self._chained:
             return
         interval = self._interval()
         if stop_at is not None and self.sim.now + interval > stop_at:

@@ -132,6 +132,108 @@ def test_executed_and_pending_counters():
     assert sim.pending_events == 0
 
 
+def test_pending_count_across_cancel_and_compact_cycles():
+    """Regression: the O(1) live counter must agree with a naive scan
+    across schedule / cancel / compact / run cycles."""
+    from repro.events.simulator import COMPACT_MIN_GARBAGE
+
+    sim = Simulator()
+    events = []
+    for round_number in range(4):
+        events.extend(
+            sim.schedule(float(round_number) + 1.0, lambda: None)
+            for _ in range(COMPACT_MIN_GARBAGE)
+        )
+        # Cancel every other event, twice for some (double-cancel must
+        # not double-count).
+        for event in events[::2]:
+            event.cancel()
+            event.cancel()
+        live = sum(1 for e in events if not e.cancelled)
+        assert sim.pending_events == live
+        sim.compact()
+        assert sim.pending_events == live
+        assert sim.queue_size == live
+    sim.run(until=2.5)
+    remaining = [e for e in events if not e.cancelled and e.time > 2.5]
+    assert sim.pending_events == len(remaining)
+    # Cancelling an event that already fired must not corrupt the counter.
+    fired = [e for e in events if not e.cancelled and e.time <= 2.5]
+    fired[0].cancel()
+    assert sim.pending_events == len(remaining)
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_automatic_compaction_bounds_queue_garbage():
+    from repro.events.simulator import COMPACT_MIN_GARBAGE
+
+    sim = Simulator()
+    for _ in range(20 * COMPACT_MIN_GARBAGE):
+        sim.schedule(1.0, lambda: None).cancel()
+    assert sim.pending_events == 0
+    assert sim.queue_size <= COMPACT_MIN_GARBAGE + 1
+    assert sim.compactions > 0
+
+
+def test_schedule_many_matches_individual_schedules():
+    fired_a, fired_b = [], []
+    sim_a = Simulator()
+    for index in range(50):
+        sim_a.schedule(float(index % 7), fired_a.append, index)
+    sim_b = Simulator()
+    sim_b.schedule_many(
+        [(float(index % 7), fired_b.append, (index,)) for index in range(50)]
+    )
+    sim_a.run()
+    sim_b.run()
+    assert fired_a == fired_b
+
+
+def test_schedule_many_small_batch_on_large_heap():
+    sim = Simulator()
+    fired = []
+    for index in range(200):
+        sim.schedule(10.0 + index, fired.append, f"big{index}")
+    sim.schedule_many([(0.5, fired.append, ("x",)), (0.25, fired.append, ("y",))])
+    sim.run(until=1.0)
+    assert fired == ["y", "x"]
+
+
+def test_schedule_many_absolute_and_priority():
+    sim = Simulator()
+    fired = []
+    sim.schedule_many(
+        [
+            (2.0, fired.append, ("late",)),
+            (1.0, fired.append, ("low", ), 5),
+            (1.0, fired.append, ("high",), -5),
+        ],
+        absolute=True,
+    )
+    sim.run()
+    assert fired == ["high", "low", "late"]
+
+
+def test_schedule_many_rejects_past_times():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ClockError):
+        sim.schedule_many([(0.5, lambda: None)], absolute=True)
+
+
+def test_schedule_many_events_are_cancellable():
+    sim = Simulator()
+    fired = []
+    events = sim.schedule_many([(1.0, fired.append, (i,)) for i in range(4)])
+    events[1].cancel()
+    events[2].cancel()
+    assert sim.pending_events == 2
+    sim.run()
+    assert fired == [0, 3]
+
+
 def test_reset_clears_queue_and_clock():
     sim = Simulator()
     sim.schedule(1.0, lambda: None)
@@ -140,6 +242,16 @@ def test_reset_clears_queue_and_clock():
     assert sim.now == 0.0
     assert sim.pending_events == 0
     assert sim.executed_events == 0
+
+
+def test_cancel_after_reset_does_not_corrupt_counters():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.reset()
+    event.cancel()
+    assert sim.pending_events == 0
+    sim.schedule(1.0, lambda: None)
+    assert sim.pending_events == 1
 
 
 def test_reentrant_run_rejected():

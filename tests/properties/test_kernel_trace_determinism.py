@@ -1,0 +1,98 @@
+"""Kernel-level determinism: same seed ⇒ byte-identical event traces.
+
+The whole benchmark suite rests on the event kernel interleaving
+identically across runs.  These properties drive the kernel through
+randomised programs — one-shot schedules, ``call_soon`` ties, priority
+ties, cancellations, bulk inserts and jittered periodic timers — and
+require the recorded traces of two independent runs to match byte for
+byte (not merely compare equal).
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.events import PeriodicTimer, Simulator
+
+
+def _random_program_trace(seed: int) -> bytes:
+    """Run a randomised scheduling program and serialise its event trace."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    trace: list[tuple[float, str]] = []
+
+    def note(label: str) -> None:
+        trace.append((sim.now, label))
+
+    cancellable = []
+    # A pile of one-shots, many sharing timestamps and priorities so tie
+    # order is exercised.
+    for index in range(rng.randint(20, 60)):
+        delay = rng.choice([0.0, 0.5, 1.0, rng.uniform(0.0, 5.0)])
+        priority = rng.choice([-1, 0, 0, 1])
+        event = sim.schedule(delay, note, f"one-shot:{index}", priority=priority)
+        if rng.random() < 0.4:
+            cancellable.append(event)
+    # A bulk batch through the heapify fast path.
+    sim.schedule_many(
+        [
+            (rng.uniform(0.0, 5.0), note, (f"bulk:{index}",))
+            for index in range(rng.randint(5, 30))
+        ]
+    )
+    # Jittered periodic timers (their rng draws are part of the program).
+    timers = [
+        PeriodicTimer(
+            sim,
+            rng.uniform(0.3, 1.5),
+            note,
+            f"tick:{index}",
+            jitter=0.1,
+            rng=random.Random(seed * 31 + index),
+        )
+        for index in range(rng.randint(1, 3))
+    ]
+    # Cancel a random subset before and during the run.
+    for event in cancellable[::2]:
+        event.cancel()
+    if cancellable[1::2]:
+        victims = cancellable[1::2]
+        sim.schedule(1.0, lambda: [event.cancel() for event in victims])
+    # Same-time ties via call_soon chains scheduled mid-run.
+    sim.schedule(2.0, lambda: [sim.call_soon(note, f"soon:{i}") for i in range(3)])
+    stop_at = rng.uniform(3.0, 8.0)
+    sim.at(stop_at, lambda: [timer.stop() for timer in timers])
+    sim.run(until=stop_at + 1.0)
+    return repr(trace).encode()
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_event_trace_byte_identical_per_seed(seed):
+    assert _random_program_trace(seed) == _random_program_trace(seed)
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=20, deadline=None)
+def test_counters_and_clock_identical_per_seed(seed):
+    def run():
+        rng = random.Random(seed)
+        sim = Simulator()
+        events = [
+            sim.schedule(rng.uniform(0.0, 10.0), lambda: None)
+            for _ in range(rng.randint(50, 200))
+        ]
+        for event in events:
+            if rng.random() < 0.5:
+                event.cancel()
+        sim.run(until=5.0)
+        return (
+            sim.now,
+            sim.executed_events,
+            sim.pending_events,
+            sim.queue_size,
+            sim.compactions,
+        )
+
+    assert run() == run()

@@ -1,0 +1,121 @@
+"""Incremental statistics agree with naive window recomputation.
+
+`MetricSeries` keeps running sums, monotonic min/max deques and a
+bisect-maintained sorted view so every statistic is O(1)-ish per query.
+These properties drive random record/expire sequences (time steps chosen
+so samples expire mid-stream) and check each statistic against a from-
+scratch recomputation over the surviving window.
+"""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.qos import MetricSeries
+
+
+def _naive_window(samples, window):
+    """The (time, value) pairs a fresh recomputation would retain."""
+    if not samples:
+        return []
+    cutoff = samples[-1][0] - window
+    return [(t, v) for t, v in samples if t > cutoff]
+
+
+def _naive_percentile(values, q):
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+steps = st.lists(
+    st.tuples(
+        st.floats(0.0, 3.0, allow_nan=False),  # time advance
+        st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),  # value
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(steps, st.floats(0.5, 20.0))
+@settings(max_examples=150, deadline=None)
+def test_incremental_statistics_match_naive(step_list, window):
+    series = MetricSeries("m", window=window)
+    samples = []
+    now = 0.0
+    for advance, value in step_list:
+        now += advance
+        series.record(value, now)
+        samples.append((now, value))
+
+        live = _naive_window(samples, window)
+        values = [v for _, v in live]
+        assert series.count == len(values)
+        assert series.values() == tuple(values)
+        assert series.mean() == pytest.approx(
+            sum(values) / len(values), rel=1e-9, abs=1e-7
+        )
+        assert series.minimum() == min(values)
+        assert series.maximum() == max(values)
+        assert series.last() == values[-1]
+        if len(values) >= 2:
+            mu = sum(values) / len(values)
+            naive_std = math.sqrt(
+                sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+            )
+            # Running sum-of-squares loses ~sqrt(n·ulp(Σv²)) of absolute
+            # precision when large values cluster tightly (worst case
+            # ~0.02 at |v|≈1e4), which is far below any QoS threshold.
+            assert series.stddev() == pytest.approx(naive_std, rel=1e-5, abs=0.05)
+        else:
+            assert series.stddev() == 0.0
+        for q in (0, 25, 50, 95, 99, 100):
+            assert series.percentile(q) == pytest.approx(
+                _naive_percentile(values, q), rel=1e-9, abs=1e-9
+            )
+
+
+@given(steps, st.floats(0.5, 20.0))
+@settings(max_examples=50, deadline=None)
+def test_reset_restores_pristine_state(step_list, window):
+    series = MetricSeries("m", window=window)
+    now = 0.0
+    for advance, value in step_list:
+        now += advance
+        series.record(value, now)
+    series.reset()
+    assert series.empty
+    assert series.mean() == 0.0
+    assert series.stddev() == 0.0
+    assert series.minimum() == 0.0
+    assert series.maximum() == 0.0
+    assert series.percentile(95) == 0.0
+    # The series accepts fresh samples (even earlier ones) after a reset.
+    series.record(7.0, 0.0)
+    assert series.mean() == 7.0
+    assert series.minimum() == series.maximum() == 7.0
+
+
+def test_expired_duplicate_values_leave_sorted_view_consistent():
+    series = MetricSeries("m", window=1.0)
+    series.record(5.0, 0.0)
+    series.record(5.0, 0.5)
+    series.record(5.0, 1.2)  # expires the t=0.0 sample only
+    assert series.count == 2
+    assert series.percentile(50) == 5.0
+    series.record(1.0, 3.0)  # expires everything else
+    assert series.count == 1
+    assert series.percentile(50) == 1.0
+    assert series.minimum() == 1.0 and series.maximum() == 1.0
