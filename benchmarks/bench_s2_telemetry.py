@@ -1,0 +1,266 @@
+"""S2-T — what does observing the platform cost?
+
+The telemetry layer's contract is "free when off, cheap when on":
+
+* **kernel churn** — the S0 timeout-churn workload under four modes:
+  ``off`` (telemetry never installed), ``disabled`` (tracer installed
+  but not recording — the production default), ``aggregate`` (kernel
+  hooks aggregating per-site stats) and ``events`` (full kernel timeline
+  into the trace).  Measures events/sec per mode; the disabled mode must
+  ride the same fast path as off.
+* **netsim storm** — a 2-hop message storm with lineage off vs on;
+  measures messages/sec and verifies the span ledger (one flow span plus
+  two hop segments per delivered message).
+
+Determinism is asserted across modes (instrumentation must not perturb
+event interleaving) and across repeated enabled runs (identical Chrome
+trace checksums).
+
+Results land in ``BENCH_telemetry.json``.  Run standalone::
+
+    python benchmarks/bench_s2_telemetry.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src"), str(_ROOT / "benchmarks")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro import Simulator, telemetry
+from repro.events import PeriodicTimer
+from repro.netsim.message import Message, reset_message_ids
+from repro.netsim.topology import star
+
+from bench_s0_kernel import ChurnDriver
+from conftest import fmt, print_table
+
+DEFAULT_OUT = _ROOT / "BENCH_telemetry.json"
+
+#: mode → (install telemetry?, enabled?, kernel detail)
+MODES = {
+    "off": None,
+    "disabled": (False, None),
+    "aggregate": (True, "aggregate"),
+    "events": (True, "events"),
+}
+
+
+# ---------------------------------------------------------------------------
+# Workload 1: kernel churn per telemetry mode.
+# ---------------------------------------------------------------------------
+
+
+def run_churn_mode(sessions: int, mode: str, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` churn run under one telemetry mode.
+
+    Best-of (rather than mean) with a gc.collect() before each timed run:
+    all modes execute in one process, so later runs otherwise pay for the
+    garbage earlier ones accumulated.
+    """
+    best: dict | None = None
+    for _ in range(repeats):
+        sim = Simulator()
+        tracer = None
+        if MODES[mode] is not None:
+            enabled, detail = MODES[mode]
+            tracer = telemetry.install(sim, enabled=enabled,
+                                       kernel_detail=detail)
+        driver = ChurnDriver(sim, sessions)
+        scheduled = driver.load()
+        PeriodicTimer(sim, 1.0, driver.poll, name="poller")
+        gc.collect()
+        start = time.perf_counter()
+        sim.run(until=driver.horizon + 10.0)
+        elapsed = time.perf_counter() - start
+        assert driver.completed == sessions and driver.timed_out == 0
+        result = {
+            "mode": mode,
+            "scheduled_events": scheduled,
+            "elapsed_s": elapsed,
+            "events_per_sec": scheduled / elapsed,
+            "checksum": driver.checksum,
+        }
+        if tracer is not None and tracer.kernel is not None:
+            result["observed_events"] = tracer.kernel.events_seen
+            result["sites"] = len(tracer.kernel.sites)
+        if best is None or result["events_per_sec"] > best["events_per_sec"]:
+            best = result
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Workload 2: 2-hop message storm, lineage off vs on.
+# ---------------------------------------------------------------------------
+
+
+def run_storm_mode(messages: int, traced: bool) -> dict:
+    reset_message_ids()  # message ids appear in traces; runs must match
+    gc.collect()
+    sim = Simulator()
+    tracer = telemetry.install(sim, kernel_detail=None) if traced else None
+    net = star(sim, leaves=4)
+    delivered = []
+    for i in range(4):
+        net.node(f"leaf{i}").bind_endpoint(
+            "svc", lambda node, message: delivered.append(message.msg_id)
+        )
+    # leaf→leaf traffic: every message crosses two links through the hub.
+    items = []
+    for i in range(messages):
+        t = 0.0001 * i
+        source, dest = f"leaf{i % 4}", f"leaf{(i + 1) % 4}"
+        items.append((t, net.send,
+                      (Message(source, dest, "svc", size=256),)))
+    sim.schedule_many(items, absolute=True)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert len(delivered) == messages
+    result = {
+        "messages": messages,
+        "elapsed_s": elapsed,
+        "messages_per_sec": messages / elapsed,
+    }
+    if tracer is not None:
+        flows = [s for s in tracer.spans if s.category == "net.msg"]
+        hops = [s for s in tracer.spans if s.category == "net.hop"]
+        assert len(flows) == messages, (len(flows), messages)
+        assert len(hops) == 2 * messages, (len(hops), messages)
+        result["flow_spans"] = len(flows)
+        result["hop_spans"] = len(hops)
+        result["checksum"] = telemetry.trace_checksum(tracer)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Harness.
+# ---------------------------------------------------------------------------
+
+
+def run_suite(smoke: bool) -> dict:
+    sessions = 20_000 if smoke else 150_000
+    messages = 4_000 if smoke else 40_000
+
+    churn = {mode: run_churn_mode(sessions, mode) for mode in MODES}
+    # Telemetry must observe, never perturb: identical interleavings.
+    baseline_checksum = churn["off"]["checksum"]
+    for mode, result in churn.items():
+        assert result["checksum"] == baseline_checksum, (
+            f"telemetry mode {mode!r} changed the event interleaving"
+        )
+
+    storm_off = run_storm_mode(messages, traced=False)
+    storm_on = run_storm_mode(messages, traced=True)
+    storm_repeat = run_storm_mode(messages, traced=True)
+    assert storm_on["checksum"] == storm_repeat["checksum"], (
+        "lineage trace is not deterministic across identical runs"
+    )
+
+    off_eps = churn["off"]["events_per_sec"]
+    overhead = {
+        mode: (off_eps / churn[mode]["events_per_sec"] - 1.0) * 100.0
+        for mode in MODES if mode != "off"
+    }
+    storm_overhead = (storm_off["messages_per_sec"]
+                      / storm_on["messages_per_sec"] - 1.0) * 100.0
+
+    print_table(
+        "S2-T kernel churn under telemetry modes",
+        ["mode", "events", "events/sec", "overhead"],
+        [[mode,
+          result["scheduled_events"],
+          f"{result['events_per_sec']:,.0f}",
+          "baseline" if mode == "off" else fmt(overhead[mode], 1) + "%"]
+         for mode, result in churn.items()],
+    )
+    print_table(
+        "S2-T netsim 2-hop message storm (lineage)",
+        ["lineage", "messages", "messages/sec", "overhead"],
+        [
+            ["off", storm_off["messages"],
+             f"{storm_off['messages_per_sec']:,.0f}", "baseline"],
+            ["on", storm_on["messages"],
+             f"{storm_on['messages_per_sec']:,.0f}",
+             fmt(storm_overhead, 1) + "%"],
+        ],
+    )
+
+    return {
+        "bench": "s2_telemetry",
+        "mode": "smoke" if smoke else "full",
+        "unix_time": time.time(),
+        "python": sys.version.split()[0],
+        "kernel": {
+            "scheduled_events": churn["off"]["scheduled_events"],
+            "events_per_sec": {mode: result["events_per_sec"]
+                               for mode, result in churn.items()},
+            "overhead_pct": overhead,
+            "trace_checksum": baseline_checksum,
+        },
+        "netsim": {
+            "messages": messages,
+            "messages_per_sec_off": storm_off["messages_per_sec"],
+            "messages_per_sec_on": storm_on["messages_per_sec"],
+            "overhead_pct": storm_overhead,
+            "flow_spans": storm_on["flow_spans"],
+            "hop_spans": storm_on["hop_spans"],
+            "chrome_checksum": storm_on["checksum"],
+        },
+    }
+
+
+def write_results(results: dict, out: Path = DEFAULT_OUT) -> None:
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {out}")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (smoke-sized; lenient floors so shared-runner noise
+# cannot flake them — the stricter numbers are reported, not asserted).
+# ---------------------------------------------------------------------------
+
+_CACHED_RESULTS: dict | None = None
+
+
+def _results() -> dict:
+    global _CACHED_RESULTS
+    if _CACHED_RESULTS is None:
+        _CACHED_RESULTS = run_suite(smoke=True)
+        write_results(_CACHED_RESULTS)
+    return _CACHED_RESULTS
+
+
+def test_s2_disabled_telemetry_is_free():
+    results = _results()
+    # A tracer that is installed-but-disabled must ride the same fast
+    # path as never-installed (both skip hooks entirely); 10% headroom
+    # absorbs scheduler noise on shared CI runners.
+    assert results["kernel"]["overhead_pct"]["disabled"] < 10.0
+
+
+def test_s2_enabled_lineage_complete_and_deterministic():
+    results = _results()
+    # run_suite asserted checksum stability; re-check the span ledger.
+    netsim = results["netsim"]
+    assert netsim["flow_spans"] == netsim["messages"]
+    assert netsim["hop_spans"] == 2 * netsim["messages"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the JSON results")
+    cli = parser.parse_args()
+    suite = run_suite(smoke=cli.smoke)
+    write_results(suite, cli.out)

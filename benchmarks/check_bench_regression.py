@@ -1,0 +1,95 @@
+"""CI gate: fail the build when a benchmark regresses below its floor.
+
+Reads the JSON artifacts the bench suites write and enforces the
+committed performance claims:
+
+* ``BENCH_kernel.json`` — the S0 kernel/QoS speedups over the seed
+  implementations must stay above their floors (the same floors
+  ``bench_s0_kernel.py`` asserts in its pytest entries).
+* ``BENCH_telemetry.json`` (optional) — telemetry that is installed but
+  disabled must stay near-free on the kernel hot path.
+
+Exit status 0 = all floors held; 1 = regression (or missing/garbled
+required artifact).  Run::
+
+    python benchmarks/check_bench_regression.py [--kernel PATH]
+        [--telemetry PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+#: (artifact, dotted-path, floor, direction) — one row per claim.
+#: direction "min" means value must be >= floor; "max" means <= floor.
+FLOORS = [
+    ("kernel", "events.speedup", 1.5, "min",
+     "event-churn speedup over seed kernel"),
+    ("kernel", "qos.speedup", 2.5, "min",
+     "QoS statistics speedup over seed implementation"),
+    ("telemetry", "kernel.overhead_pct.disabled", 10.0, "max",
+     "kernel overhead with telemetry installed but disabled (%)"),
+]
+
+
+def lookup(data: dict, dotted: str):
+    value = data
+    for key in dotted.split("."):
+        value = value[key]
+    return value
+
+
+def check(kernel_path: Path, telemetry_path: Path) -> int:
+    artifacts = {}
+    if not kernel_path.exists():
+        print(f"FAIL  required artifact missing: {kernel_path}")
+        return 1
+    artifacts["kernel"] = json.loads(kernel_path.read_text())
+    if telemetry_path.exists():
+        artifacts["telemetry"] = json.loads(telemetry_path.read_text())
+    else:
+        print(f"note  {telemetry_path} not found; telemetry floors skipped")
+
+    failures = 0
+    for artifact, dotted, floor, direction, claim in FLOORS:
+        data = artifacts.get(artifact)
+        if data is None:
+            continue
+        try:
+            value = lookup(data, dotted)
+        except KeyError:
+            print(f"FAIL  {artifact}:{dotted} missing — {claim}")
+            failures += 1
+            continue
+        ok = value >= floor if direction == "min" else value <= floor
+        bound = ">=" if direction == "min" else "<="
+        status = "ok  " if ok else "FAIL"
+        print(f"{status}  {artifact}:{dotted} = {value:.3f} "
+              f"(floor {bound} {floor}) — {claim}")
+        if not ok:
+            failures += 1
+
+    if failures:
+        print(f"\n{failures} benchmark floor(s) violated")
+        return 1
+    print("\nall benchmark floors held")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernel", type=Path,
+                        default=_ROOT / "BENCH_kernel.json")
+    parser.add_argument("--telemetry", type=Path,
+                        default=_ROOT / "BENCH_telemetry.json")
+    cli = parser.parse_args(argv)
+    return check(cli.kernel, cli.telemetry)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

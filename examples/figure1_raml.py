@@ -17,7 +17,7 @@ arrow:
 Run:  python examples/figure1_raml.py
 """
 
-from repro import Simulator, star
+from repro import Simulator, star, telemetry
 from repro.core import Raml, Response, custom
 from repro.kernel import Assembly, Component, Interface, Operation
 from repro.connectors import RpcConnector
@@ -44,6 +44,7 @@ class ServingComponent(Component):
 
 def main() -> None:
     sim = Simulator()
+    tracer = telemetry.install(sim)
     assembly = Assembly(star(sim, leaves=3), name="figure1")
 
     serving_a = ServingComponent("serving-a")
@@ -64,11 +65,10 @@ def main() -> None:
     assembly.connect("client", "media", target=connector.endpoint("client"))
 
     # ---- the meta level -------------------------------------------------
+    telemetry.instrument_assembly(tracer, assembly)
     raml = Raml(assembly, period=0.25, metric_window=1.0).instrument()
-    trace: list[str] = []
-
-    def log(line: str) -> None:
-        trace.append(f"[{sim.now:6.2f}] {line}")
+    narrator = telemetry.Narrator(sim, fmt="[{t:6.2f}] {line}", echo=False)
+    log = narrator.say
 
     # Introspection stream: connector errors feed a RAML metric.
     def stream(event) -> None:
@@ -133,7 +133,7 @@ def main() -> None:
 
     # ---- report ------------------------------------------------------------
     print("figure-1 event trace:")
-    for line in trace:
+    for line in narrator.lines:
         print(" ", line)
     print(f"\nframes ok={served['ok']} failed={served['failed']}")
     print(f"serving-a rendered {serving_a.state['rendered']}, "
@@ -143,6 +143,10 @@ def main() -> None:
     print(f"meta-level: {health['adaptations']} adaptations, "
           f"{health['reconfigurations']} intercessions, "
           f"healthy={health['healthy']}")
+    audit = tracer.audit.kinds()
+    print("decision audit:",
+          ", ".join(f"{kind}={count}"
+                    for kind, count in sorted(audit.items())))
     assert serving_b.state["rendered"] > 0, "intercession must have fired"
 
 

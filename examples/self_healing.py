@@ -10,7 +10,7 @@ constraints and migrates the replica placement back to redundancy.
 Run:  python examples/self_healing.py
 """
 
-from repro import Simulator, parse_adl, star
+from repro import Simulator, parse_adl, star, telemetry
 from repro.adl import build_architecture
 from repro.core import Raml, Response, all_nodes_up, structural_consistency
 from repro.events import PeriodicTimer
@@ -66,6 +66,7 @@ class StoreImpl:
 
 def main() -> None:
     sim = Simulator()
+    telemetry.install(sim)
     network = star(sim, leaves=4)
     document = parse_adl(ARCHITECTURE)
     assembly = build_architecture(
@@ -79,13 +80,13 @@ def main() -> None:
     connector = assembly.connectors["failover"]
 
     raml = Raml(assembly, period=0.5).instrument()
-    trace = []
+    narrator = telemetry.Narrator(sim, fmt="[{t:5.2f}] {line}", echo=False)
 
     def heal(raml_, violations):
         # Move every component off dead nodes onto the least-loaded
         # live host, restoring redundancy.
         for violation in violations:
-            trace.append(f"[{sim.now:5.2f}] VIOLATION {violation}")
+            narrator.say(f"VIOLATION {violation}")
         for component in list(assembly.registry):
             node = network.nodes.get(component.node_name or "")
             if node is not None and not node.up:
@@ -95,7 +96,7 @@ def main() -> None:
                     and not assembly.registry.on_node(n.name)
                 )
                 raml_.intercessor.migrate(component.name, target.name)
-                trace.append(f"[{sim.now:5.2f}] HEAL migrated "
+                narrator.say(f"HEAL migrated "
                              f"{component.name} to {target.name}")
         connector.reset()  # forget failure suspicions after repair
 
@@ -125,7 +126,7 @@ def main() -> None:
     raml.stop()
 
     print("self-healing trace:")
-    for line in trace:
+    for line in narrator.lines:
         print(" ", line)
     print(f"\nrequests ok={results['ok']} failed={results['failed']}")
     print("placements now:", {

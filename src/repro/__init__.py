@@ -59,6 +59,7 @@ from repro.reconfig import (
     RewireBinding,
 )
 from repro.strategy import Strategy, StrategySelector, StrategySlot
+from repro import telemetry
 
 __version__ = "1.0.0"
 
@@ -111,4 +112,5 @@ __all__ = [
     "parse_adl",
     "ring",
     "star",
+    "telemetry",
 ]

@@ -3,12 +3,13 @@
 Runs the paper's Figure-1 loop end to end (fault → introspection →
 adaptation → intercession → recovery) on a three-node simulated network
 and prints the meta-level timeline.  No arguments, no configuration —
-the shortest path to seeing the platform work.
+the shortest path to seeing the platform work.  The run is fully traced
+by :mod:`repro.telemetry`; a profile summary follows the timeline.
 """
 
 from __future__ import annotations
 
-from repro import Simulator, star
+from repro import Simulator, star, telemetry
 from repro.connectors import RpcConnector
 from repro.core import Raml, Response, custom
 from repro.events import PeriodicTimer
@@ -30,6 +31,7 @@ def main() -> int:
             return frame
 
     sim = Simulator()
+    tracer = telemetry.install(sim)
     assembly = Assembly(star(sim, leaves=3), name="demo")
     primary = Serving("primary")
     primary.provide("svc", media)
@@ -47,10 +49,10 @@ def main() -> int:
     assembly.deploy(client, "leaf2")
     assembly.connect("client", "media", target=connector.endpoint("client"))
 
+    telemetry.instrument_assembly(tracer, assembly)
     raml = Raml(assembly, period=0.25, metric_window=1.0).instrument()
 
-    def narrate(line: str) -> None:
-        print(f"  t={sim.now:5.2f}  {line}")
+    narrate = telemetry.Narrator(sim).say
 
     raml.hub.subscribe(
         lambda event: raml.record_metric("errors", 1.0)
@@ -101,6 +103,8 @@ def main() -> int:
     narrate(f"meta-level: {health['reconfigurations']} intercession(s), "
             f"{len(raml.hub.events)} events observed, "
             f"healthy={health['healthy']}")
+    print()
+    print(telemetry.render_summary(tracer, top=5, wall=False))
     print("\nNext: examples/quickstart.py, examples/figure1_raml.py, "
           "and `pytest benchmarks/ --benchmark-only -s`.")
     return 0 if health["healthy"] else 1

@@ -80,8 +80,13 @@ class AdaptationManager:
         """Run one evaluation sweep; returns the names of fired policies."""
         observed = dict(context) if context is not None else self.context()
         fired = []
+        tracer = self.sim.tracer
         for policy in self.policies:
             if policy.ready(observed, self.sim.now):
+                if tracer is not None:
+                    tracer.record_audit("adaptation.fire", policy=policy.name,
+                                        priority=policy.priority,
+                                        context=dict(observed))
                 policy.fire(observed, self.sim.now)
                 fired.append(policy.name)
                 self.log.append(

@@ -71,6 +71,13 @@ class ControlLoop:
         self.actuator(output)
         sample = LoopSample(now, measurement, output)
         self.trace.append(sample)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.record_audit(
+                "control.actuate", loop=self.name,
+                measurement=measurement, output=output,
+                setpoint=getattr(self.controller, "setpoint", None),
+            )
         return sample
 
     # -- analysis helpers (used by benches and tests) -----------------------

@@ -36,14 +36,28 @@ class Intercessor:
         self.assembly = assembly
         self.transactions: list[TransactionReport] = []
 
+    def _audit(self, action: str, mechanism: str, **fields: Any) -> None:
+        tracer = self.assembly.sim.tracer
+        if tracer is not None:
+            tracer.record_audit("raml.intercession", action=action,
+                                mechanism=mechanism, **fields)
+
     # -- heavyweight (reconfiguration) ----------------------------------------
 
     def _run(self, name: str, *changes: Any) -> TransactionReport:
         txn = ReconfigurationTransaction(self.assembly, name=name)
         for change in changes:
             txn.add(change)
-        report = txn.execute()
+        try:
+            report = txn.execute()
+        except Exception:
+            self._audit(name, "reconfiguration",
+                        outcome=txn.report.state.value,
+                        error=txn.report.error)
+            raise
         self.transactions.append(report)
+        self._audit(name, "reconfiguration", outcome=report.state.value,
+                    changes=list(report.applied_changes))
         return report
 
     def replace_component(self, old_name: str, new_component: Component,
@@ -100,11 +114,15 @@ class Intercessor:
                            interceptor: Any) -> None:
         port = self.assembly.component(component_name).provided_port(port_name)
         port.add_interceptor(interceptor)
+        self._audit(f"attach-interceptor:{component_name}.{port_name}",
+                    "adaptation", outcome="applied")
 
     def remove_interceptor(self, component_name: str, port_name: str,
                            interceptor: Any) -> None:
         port = self.assembly.component(component_name).provided_port(port_name)
         port.remove_interceptor(interceptor)
+        self._audit(f"remove-interceptor:{component_name}.{port_name}",
+                    "adaptation", outcome="applied")
 
     def swap_connector_attachment(self, connector_name: str, role: str,
                                   old_target: Any, new_target: Any) -> None:
@@ -113,3 +131,7 @@ class Intercessor:
         except KeyError:
             raise RamlError(f"no connector named {connector_name!r}") from None
         connector.replace_attachment(role, old_target, new_target)
+        self._audit(f"swap-attachment:{connector_name}.{role}", "adaptation",
+                    outcome="applied",
+                    old=getattr(old_target, "qualified_name", repr(old_target)),
+                    new=getattr(new_target, "qualified_name", repr(new_target)))

@@ -118,17 +118,31 @@ class IntrospectionHub:
 
     # -- queries -----------------------------------------------------------------
 
+    def _audit_query(self, query: str, **fields: Any) -> None:
+        """Every introspection query is a meta-level decision input —
+        record it in the decision audit when telemetry is on."""
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.record_audit("raml.introspect", query=query, **fields)
+
     def recent(self, count: int = 100) -> list[ObservationEvent]:
+        self._audit_query("recent", count=count,
+                          returned=min(count, len(self.events)))
         return list(self.events)[-count:]
 
     def count(self, kind: str) -> int:
-        return self.counts.get(kind, 0)
+        result = self.counts.get(kind, 0)
+        self._audit_query("count", kind=kind, result=result)
+        return result
 
     def error_ratio(self) -> float:
         calls = self.counts.get("call", 0)
         errors = self.counts.get("error", 0)
         total = calls + errors
-        return errors / total if total else 0.0
+        ratio = errors / total if total else 0.0
+        self._audit_query("error_ratio", calls=calls, errors=errors,
+                          result=ratio)
+        return ratio
 
 
 class TraceConformance:

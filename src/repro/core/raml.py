@@ -19,6 +19,7 @@ actions."
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -147,42 +148,69 @@ class Raml:
 
     def sweep(self) -> SweepRecord:
         """One observe → check → decide → act iteration."""
-        record = SweepRecord(self.now)
+        tracer = self.assembly.sim.tracer
+        span = tracer.span("raml", "sweep") if tracer is not None \
+            else nullcontext()
+        with span:
+            record = SweepRecord(self.now)
 
-        # Check.  A crashing constraint must not take the meta-level
-        # down with it: the failure is itself reported as a violation.
-        for constraint in self.constraints:
-            try:
-                violations = constraint.evaluate(self)
-            except Exception as exc:  # noqa: BLE001 - surfaced as violation
-                violations = [f"constraint check crashed: {exc!r}"]
-            if violations:
-                record.violations[constraint.name] = violations
+            # Check.  A crashing constraint must not take the meta-level
+            # down with it: the failure is itself reported as a violation.
+            for constraint in self.constraints:
+                try:
+                    violations = constraint.evaluate(self)
+                except Exception as exc:  # noqa: BLE001 - surfaced as violation
+                    violations = [f"constraint check crashed: {exc!r}"]
+                if violations:
+                    record.violations[constraint.name] = violations
 
-        # Decide + act.
-        for constraint in self.constraints:
-            name = constraint.name
-            violations = record.violations.get(name)
-            if not violations or constraint.severity == "warn":
-                self._violation_streaks[name] = 0
-                continue
-            self._violation_streaks[name] += 1
-            response = self.responses.get(name)
-            if response is None:
-                continue
-            if response.adapt is not None:
-                response.adapt(self, violations)
-                record.adapted.append(name)
-            should_escalate = (
-                response.reconfigure is not None
-                and self._violation_streaks[name] >= response.escalate_after
-            )
-            if should_escalate:
-                response.reconfigure(self, violations)
-                record.reconfigured.append(name)
-                self._violation_streaks[name] = 0
+            # Decide + act.
+            for constraint in self.constraints:
+                name = constraint.name
+                violations = record.violations.get(name)
+                if not violations or constraint.severity == "warn":
+                    self._violation_streaks[name] = 0
+                    continue
+                self._violation_streaks[name] += 1
+                response = self.responses.get(name)
+                if response is None:
+                    continue
+                if response.adapt is not None:
+                    if tracer is not None:
+                        tracer.record_audit(
+                            "raml.decision", constraint=name, action="adapt",
+                            streak=self._violation_streaks[name],
+                            escalate_after=response.escalate_after,
+                            violations=list(violations),
+                        )
+                    response.adapt(self, violations)
+                    record.adapted.append(name)
+                should_escalate = (
+                    response.reconfigure is not None
+                    and self._violation_streaks[name] >= response.escalate_after
+                )
+                if should_escalate:
+                    if tracer is not None:
+                        tracer.record_audit(
+                            "raml.decision", constraint=name,
+                            action="reconfigure",
+                            streak=self._violation_streaks[name],
+                            escalate_after=response.escalate_after,
+                            violations=list(violations),
+                        )
+                    response.reconfigure(self, violations)
+                    record.reconfigured.append(name)
+                    self._violation_streaks[name] = 0
 
-        self.history.append(record)
+            self.history.append(record)
+            if tracer is not None:
+                tracer.record_audit(
+                    "raml.sweep", sweep=len(self.history),
+                    violations={name: list(v)
+                                for name, v in record.violations.items()},
+                    adapted=list(record.adapted),
+                    reconfigured=list(record.reconfigured),
+                )
         return record
 
     def start(self) -> "Raml":

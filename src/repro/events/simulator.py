@@ -17,6 +17,11 @@ Performance notes (the whole platform runs on this hot path):
   compacted in place (see :meth:`Simulator.compact`).
 * :meth:`Simulator.schedule_many` bulk-inserts a batch of events with a
   single heapify instead of per-event pushes.
+* Instrumentation is opt-in: :meth:`Simulator.set_hooks` installs a
+  callback object observing schedule/fire/cancel (see
+  :mod:`repro.telemetry`).  With no hooks installed the only cost is one
+  ``is not None`` branch per operation, so the disabled path stays on the
+  fast-path budget.
 
 Typical use::
 
@@ -28,6 +33,7 @@ Typical use::
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import ClockError
@@ -76,6 +82,9 @@ class Event:
         sim = self._sim
         if sim is not None:
             self._sim = None
+            hooks = sim._hooks
+            if hooks is not None:
+                hooks.event_cancelled(self)
             sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -101,6 +110,11 @@ class Simulator:
         self._live = 0  # queued, non-cancelled events
         self._garbage = 0  # queued, cancelled events awaiting compaction/pop
         self._compactions = 0
+        #: Instrumentation callbacks (see :meth:`set_hooks`); None = free.
+        self._hooks: Any = None
+        #: The session tracer, if telemetry is installed (duck-typed so the
+        #: kernel never imports repro.telemetry).  Subsystems read this.
+        self.tracer: Any = None
 
     # -- clock ------------------------------------------------------------
 
@@ -134,6 +148,23 @@ class Simulator:
         """How many times the queue has been compacted (telemetry)."""
         return self._compactions
 
+    # -- instrumentation ---------------------------------------------------
+
+    def set_hooks(self, hooks: Any) -> None:
+        """Install (or with ``None`` remove) kernel instrumentation.
+
+        ``hooks`` must expose ``event_scheduled(event)``,
+        ``event_begin(event)``, ``event_end(event, wall_seconds)``,
+        ``event_cancelled(event)`` and ``timer_tick(timer)``.  Only one
+        hook object can be installed; :mod:`repro.telemetry` multiplexes
+        if more consumers are needed.
+        """
+        self._hooks = hooks
+
+    @property
+    def hooks(self) -> Any:
+        return self._hooks
+
     # -- scheduling -------------------------------------------------------
 
     def schedule(
@@ -165,6 +196,8 @@ class Simulator:
         event = Event(time, priority, seq, callback, args, self)
         self._live += 1
         heapq.heappush(self._queue, (time, priority, seq, event))
+        if self._hooks is not None:
+            self._hooks.event_scheduled(event)
         return event
 
     def call_soon(
@@ -225,6 +258,10 @@ class Simulator:
             for entry in entries:
                 push(queue, entry)
         self._live += len(entries)
+        hooks = self._hooks
+        if hooks is not None:
+            for event in events:
+                hooks.event_scheduled(event)
         return events
 
     # -- cancellation bookkeeping ----------------------------------------
@@ -267,7 +304,16 @@ class Simulator:
             event._sim = None
             self._now = entry[0]
             self._executed += 1
-            event.callback(*event.args)
+            hooks = self._hooks
+            if hooks is None:
+                event.callback(*event.args)
+            else:
+                hooks.event_begin(event)
+                start = perf_counter()
+                try:
+                    event.callback(*event.args)
+                finally:
+                    hooks.event_end(event, perf_counter() - start)
             return True
         return False
 
@@ -306,7 +352,16 @@ class Simulator:
                 self._now = entry[0]
                 self._executed += 1
                 executed += 1
-                event.callback(*event.args)
+                hooks = self._hooks
+                if hooks is None:
+                    event.callback(*event.args)
+                else:
+                    hooks.event_begin(event)
+                    start = perf_counter()
+                    try:
+                        event.callback(*event.args)
+                    finally:
+                        hooks.event_end(event, perf_counter() - start)
             else:
                 if until is not None and until > self._now:
                     self._now = until

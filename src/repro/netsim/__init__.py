@@ -10,7 +10,7 @@ real deployment would produce.
 
 from repro.netsim.failure import FailureEvent, FailureInjector
 from repro.netsim.link import Link
-from repro.netsim.message import Message
+from repro.netsim.message import Message, reset_message_ids
 from repro.netsim.network import Network, NetworkStats
 from repro.netsim.node import EndpointHandler, Node, least_loaded
 from repro.netsim.topology import datacenter, full_mesh, hosts, line, ring, star
@@ -29,6 +29,7 @@ __all__ = [
     "hosts",
     "least_loaded",
     "line",
+    "reset_message_ids",
     "ring",
     "star",
 ]

@@ -14,6 +14,18 @@ from typing import Any
 _message_ids = itertools.count(1)
 
 
+def reset_message_ids(start: int = 1) -> None:
+    """Restart the global message-id counter.
+
+    Message ids are process-global, so two otherwise identical runs in
+    one process would number their messages differently — and telemetry
+    traces embed ids, breaking trace-checksum reproducibility.  Call this
+    before each run that must be byte-for-byte comparable.
+    """
+    global _message_ids
+    _message_ids = itertools.count(start)
+
+
 @dataclass
 class Message:
     """A message in flight between two nodes.
@@ -28,6 +40,8 @@ class Message:
         headers: free-form metadata for the upper layers.
         msg_id: globally unique id, assigned at construction.
         sent_at: simulated time the message entered the network.
+        trace_span: telemetry flow span carried across hops/retries while
+            the message is in flight (None unless tracing is enabled).
     """
 
     source: str
@@ -38,6 +52,7 @@ class Message:
     headers: dict[str, Any] = field(default_factory=dict)
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     sent_at: float = 0.0
+    trace_span: Any = field(default=None, repr=False, compare=False)
 
     def reply_to(self, payload: Any = None, size: int = 256) -> "Message":
         """Build a response message with source/destination swapped."""

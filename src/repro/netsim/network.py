@@ -119,6 +119,20 @@ class Network:
         self._graph_dirty = True
         return link
 
+    def remove_link(self, a: str, b: str) -> Link:
+        """Remove the a-b link from the topology.
+
+        Unlike a failure (:meth:`Link.fail`), the link is gone for good;
+        routes through it are recomputed on the next lookup.
+        """
+        key = (a, b) if a <= b else (b, a)
+        try:
+            link = self.links.pop(key)
+        except KeyError:
+            raise LinkDownError(f"no link between {a!r} and {b!r}") from None
+        self._graph_dirty = True
+        return link
+
     def node(self, name: str) -> Node:
         try:
             return self.nodes[name]
@@ -181,6 +195,15 @@ class Network:
         """Inject a message; it is delivered (or dropped) asynchronously."""
         message.sent_at = self.sim.now
         self.stats.sent += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            # Message lineage root: hops attach as children, so an
+            # end-to-end latency decomposes into per-link segments.
+            message.trace_span = tracer.begin_flow(
+                "net.msg",
+                f"{message.source}->{message.destination}/{message.endpoint}",
+                msg_id=message.msg_id, size=message.size,
+            )
         self._notify("send", message)
         source = self.nodes.get(message.source)
         if source is None or not source.up:
@@ -224,6 +247,20 @@ class Network:
         transmission = size / link.bandwidth
         free_at[transmitter] = start + transmission
         delay = (start - now) + transmission + link.latency
+        span = message.trace_span
+        if span is not None:
+            # The hop's in-flight window is fully known here: queueing
+            # behind earlier traffic, then transmission, then propagation.
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "net.hop", f"{here}->{there}", now, now + delay,
+                    parent_id=span.span_id,
+                    msg_id=message.msg_id,
+                    queued=round(start - now, 9),
+                    transmission=round(transmission, 9),
+                    propagation=link.latency,
+                )
         self.sim.schedule(delay, self._forward, message, path, hop_index + 1)
 
     def _arrive(self, message: Message) -> None:
@@ -242,10 +279,27 @@ class Network:
             # Node crashed between the liveness check and delivery.
             self.stats.delivered -= 1
             self._drop(message, "node_down")
+            return
+        span = message.trace_span
+        if span is not None:
+            message.trace_span = None
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.end_flow(
+                    span, outcome="delivered",
+                    latency=round(self.sim.now - message.sent_at, 9),
+                )
 
     def _drop(self, message: Message, reason: str) -> None:
         counter = f"dropped_{reason}"
         setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        span = message.trace_span
+        if span is not None:
+            message.trace_span = None
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.end_flow(span, outcome=f"drop:{reason}")
+                tracer.count(f"net.{counter}")
         self._notify(f"drop:{reason}", message)
 
     def _notify(self, event: str, message: Message) -> None:

@@ -80,14 +80,29 @@ class QosMonitor:
             was_compliant = self._compliant[contract.name]
             if was_compliant and not report.compliant:
                 self.stats.violations += 1
+                self._annotate("violation", report)
                 self._notify("violation", report)
             elif not was_compliant and report.compliant:
                 self.stats.restorations += 1
+                self._annotate("restored", report)
                 self._notify("restored", report)
             else:
                 self._notify("checked", report)
             self._compliant[contract.name] = report.compliant
         return reports
+
+    def _annotate(self, transition: str, report: ComplianceReport) -> None:
+        """Compliance transitions become trace annotations + audit records."""
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        violated = [status.obligation.describe()
+                    for status in report.violations]
+        tracer.instant("qos", f"{transition}:{report.contract}",
+                       violations=violated)
+        tracer.count(f"qos.{transition}s")
+        tracer.record_audit("qos.violation", contract=report.contract,
+                            transition=transition, violations=violated)
 
     def _notify(self, event: str, report: ComplianceReport) -> None:
         for listener in list(self.listeners):

@@ -71,6 +71,26 @@ class ReconfigurationTransaction:
         self.changes.append(change)
         return self
 
+    # -- telemetry ---------------------------------------------------------
+
+    def _audit_phase(self, phase: str, **fields) -> None:
+        """Record one transaction phase in the RAML decision audit."""
+        tracer = self.assembly.sim.tracer
+        if tracer is not None:
+            tracer.record_audit("reconfig.phase", txn=self.name, phase=phase,
+                                **fields)
+
+    def _emit_span(self) -> None:
+        """One span covering the whole transaction window."""
+        tracer = self.assembly.sim.tracer
+        if tracer is not None:
+            report = self.report
+            tracer.emit("reconfig", self.name,
+                        report.started_at, report.finished_at,
+                        state=report.state.value,
+                        blocked=report.blocked_duration,
+                        buffered=report.buffered_calls)
+
     # -- region computation ----------------------------------------------------
 
     def region(self) -> QuiescenceRegion:
@@ -125,11 +145,15 @@ class ReconfigurationTransaction:
             region.release(now=sim.now)
             self.report.state = TransactionState.FAILED
             self.report.error = "region not idle"
+            self._audit_phase("quiescence", outcome="failed",
+                              error="region not idle")
             raise QuiescenceError(
                 f"transaction {self.name!r}: affected components are mid-call; "
                 "use execute_async under live traffic"
             )
         region.passivate(now=sim.now)
+        self._audit_phase("quiescence", outcome="reached",
+                          components=[c.name for c in region.components])
 
         applied: list[Change] = []
         try:
@@ -138,6 +162,7 @@ class ReconfigurationTransaction:
                 change.apply(self.assembly)
                 applied.append(change)
                 self.report.applied_changes.append(change.description)
+                self._audit_phase("change", change=change.description)
             consistency = check_assembly(self.assembly)
             if not consistency:
                 raise ConsistencyError(
@@ -154,6 +179,9 @@ class ReconfigurationTransaction:
             self.report.error = str(exc)
             self.report.finished_at = sim.now
             self.report.blocked_duration = region.report.blocked_duration
+            self._audit_phase("rollback", error=str(exc),
+                              reverted=[c.description for c in applied])
+            self._emit_span()
             raise
 
         # Commit: finalise replacements and release immediately.  The
@@ -162,6 +190,7 @@ class ReconfigurationTransaction:
         for change in applied:
             if isinstance(change, ReplaceComponent):
                 change.commit(self.assembly)
+                self._audit_phase("state_transfer", change=change.description)
         self._finish(region)
         return self.report
 
@@ -172,6 +201,11 @@ class ReconfigurationTransaction:
         self.report.buffered_calls = region.report.buffered_calls
         self.report.state = TransactionState.COMMITTED
         self.report.finished_at = sim.now
+        self._audit_phase("commit",
+                          blocked=self.report.blocked_duration,
+                          buffered=self.report.buffered_calls,
+                          changes=list(self.report.applied_changes))
+        self._emit_span()
 
     # -- asynchronous execution --------------------------------------------------
 
@@ -197,6 +231,8 @@ class ReconfigurationTransaction:
         region = self.region()
 
         def when_quiescent() -> None:
+            self._audit_phase("quiescence", outcome="reached",
+                              components=[c.name for c in region.components])
             applied: list[Change] = []
             try:
                 for change in self.changes:
@@ -204,6 +240,7 @@ class ReconfigurationTransaction:
                     change.apply(self.assembly)
                     applied.append(change)
                     self.report.applied_changes.append(change.description)
+                    self._audit_phase("change", change=change.description)
                 consistency = check_assembly(self.assembly)
                 if not consistency:
                     raise ConsistencyError(
@@ -216,12 +253,17 @@ class ReconfigurationTransaction:
                 self.report.state = TransactionState.ROLLED_BACK
                 self.report.error = str(exc)
                 self.report.finished_at = sim.now
+                self._audit_phase("rollback", error=str(exc),
+                                  reverted=[c.description for c in applied])
+                self._emit_span()
                 if on_done is not None:
                     on_done(self.report)
                 return
             for change in applied:
                 if isinstance(change, ReplaceComponent):
                     change.commit(self.assembly)
+                    self._audit_phase("state_transfer",
+                                      change=change.description)
 
             def finish() -> None:
                 self._finish(region)

@@ -1,0 +1,69 @@
+"""Telemetry — sim-time-aware tracing, metrics and RAML decision audit.
+
+The platform's cross-cutting observability layer: the meta-level can only
+adapt what it can observe, and this package makes the platform itself
+observable.
+
+* :class:`Tracer` — spans/instants/counters on the **simulated** clock
+  with wall-clock attribution on the side; free when disabled.
+* :class:`KernelInstrumentation` — schedule/fire/cancel/tick hooks on the
+  event kernel, attributing every event to its scheduling site.
+* Message lineage — :class:`repro.netsim.Network` emits per-hop link
+  segments under an end-to-end flow span for every traced message.
+* :class:`AuditLog` — why the RAML did what it did: introspection
+  queries, intercession actions, policy firings, reconfiguration
+  transaction phases, control-loop actuations.
+* Exporters — JSONL, Chrome ``trace_event`` (Perfetto-loadable), and the
+  terminal summary/narrator.
+
+Quick start::
+
+    from repro import telemetry
+
+    tracer = telemetry.install(sim)            # before sim.run(...)
+    ...
+    print(telemetry.render_summary(tracer))
+    telemetry.write_chrome_trace(tracer, "run.trace.json")
+"""
+
+from repro.telemetry.audit import AuditLog, AuditRecord
+from repro.telemetry.export import (
+    chrome_trace,
+    chrome_trace_json,
+    jsonl_records,
+    trace_checksum,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.hooks import EXTERNAL, KernelInstrumentation, site_name
+from repro.telemetry.instrument import (
+    install,
+    instrument_assembly,
+    instrument_connector,
+    uninstall,
+)
+from repro.telemetry.summary import Narrator, render_summary
+from repro.telemetry.tracer import Instant, Span, Tracer
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "EXTERNAL",
+    "Instant",
+    "KernelInstrumentation",
+    "Narrator",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "install",
+    "instrument_assembly",
+    "instrument_connector",
+    "jsonl_records",
+    "render_summary",
+    "site_name",
+    "trace_checksum",
+    "uninstall",
+    "write_chrome_trace",
+    "write_jsonl",
+]

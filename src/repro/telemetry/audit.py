@@ -1,0 +1,79 @@
+"""The RAML decision audit log.
+
+The paper's meta-level "observes the system … and undertakes adaptation
+or reconfiguration actions"; the audit log is the *why* behind every such
+action: introspection queries, intercession calls, adaptation-policy
+firings, reconfiguration transaction phases and control-loop actuations,
+each with the inputs that drove the decision.
+
+Records are plain data (time, kind, JSON-serializable fields) so they
+export losslessly to JSONL and Chrome traces and diff cleanly between
+runs.
+
+Well-known kinds (see the wiring sites):
+
+================== ====================================================
+``raml.sweep``       one observe→check→decide→act iteration and outcome
+``raml.decision``    a single adapt/reconfigure arbitration for one
+                     constraint (with streak + escalation threshold)
+``raml.introspect``  an introspection query against the hub
+``raml.intercession`` an intercession action (heavy or lightweight)
+``reconfig.phase``   a transaction phase: quiescence → change →
+                     state_transfer → commit / rollback
+``adaptation.fire``  an adaptation policy firing with its context
+``control.actuate``  a control-loop actuation with its inputs
+``qos.violation``    a QoS contract compliance transition
+================== ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class AuditRecord:
+    """One decision record: when, what kind, and the driving inputs."""
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str, fields: dict[str, Any]) -> None:
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"time": self.time, "kind": self.kind, **self.fields}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AuditRecord(t={self.time}, {self.kind}, {self.fields})"
+
+
+class AuditLog:
+    """Append-only decision log with by-kind queries."""
+
+    def __init__(self) -> None:
+        self.records: list[AuditRecord] = []
+
+    def record(self, time: float, kind: str,
+               fields: dict[str, Any]) -> AuditRecord:
+        entry = AuditRecord(time, kind, fields)
+        self.records.append(entry)
+        return entry
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self.records)
+
+    def of_kind(self, kind: str) -> list[AuditRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def kinds(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts

@@ -1,0 +1,178 @@
+"""Trace exporters: JSONL, Chrome ``trace_event`` JSON, checksums.
+
+The Chrome format loads directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``: simulated seconds map to microseconds, each
+span category gets its own named track, audit records and instants render
+as point markers.
+
+Determinism contract: exports contain **only** simulated-time data —
+wall-clock attribution stays in the in-memory tracer and the terminal
+summary — so two same-seed runs export byte-identical traces.  Pass
+``include_wall=True`` to :func:`write_jsonl` to trade that away for
+profiling data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.telemetry.tracer import Tracer
+
+#: Simulated seconds → trace microseconds.
+_US = 1_000_000.0
+
+
+def _ts(time: float) -> float:
+    # Round so float noise from equal sim instants cannot differ between
+    # serializations of the same run.
+    return round(time * _US, 3)
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def jsonl_records(tracer: Tracer, include_wall: bool = False
+                  ) -> Iterator[dict[str, Any]]:
+    """Every recorded datum as one flat dict per line, in record order."""
+    for span in tracer.spans:
+        record = {
+            "type": "span",
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "cat": span.category,
+            "name": span.name,
+            "start": span.start,
+            "end": span.end,
+            "args": span.args,
+        }
+        if include_wall:
+            record["wall"] = span.wall
+        yield record
+    for instant in tracer.instants:
+        yield {
+            "type": "instant",
+            "cat": instant.category,
+            "name": instant.name,
+            "time": instant.time,
+            "args": instant.args,
+        }
+    for record in tracer.audit:
+        yield {"type": "audit", **record.as_dict()}
+    for name in sorted(tracer.counters):
+        yield {"type": "counter", "name": name, "value": tracer.counters[name]}
+
+
+def write_jsonl(tracer: Tracer, path: str | Path,
+                include_wall: bool = False) -> Path:
+    path = Path(path)
+    with path.open("w") as sink:
+        for record in jsonl_records(tracer, include_wall=include_wall):
+            sink.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace(tracer: Tracer) -> dict[str, Any]:
+    """Build a Chrome ``trace_event`` document (JSON Object Format).
+
+    Layout: one process ("repro"), one thread per span/instant category
+    (named tracks), audit records as instants on a dedicated ``audit``
+    track, counter totals as a single counter sample at the end of the
+    run.
+    """
+    events: list[dict[str, Any]] = []
+    tids: dict[str, int] = {}
+
+    def tid_for(category: str) -> int:
+        tid = tids.get(category)
+        if tid is None:
+            tid = tids[category] = len(tids) + 1
+            events.append({
+                "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+                "args": {"name": category},
+            })
+        return tid
+
+    events.append({
+        "ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+        "args": {"name": "repro"},
+    })
+
+    end_of_run = 0.0
+    for span in tracer.spans:
+        end_of_run = max(end_of_run, span.end)
+        events.append({
+            "ph": "X",
+            "pid": 1,
+            "tid": tid_for(span.category),
+            "cat": span.category,
+            "name": span.name,
+            "ts": _ts(span.start),
+            "dur": _ts(span.end) - _ts(span.start),
+            "args": {"id": span.span_id, "parent": span.parent_id,
+                     **span.args},
+        })
+    for instant in tracer.instants:
+        end_of_run = max(end_of_run, instant.time)
+        events.append({
+            "ph": "i",
+            "s": "t",
+            "pid": 1,
+            "tid": tid_for(instant.category),
+            "cat": instant.category,
+            "name": instant.name,
+            "ts": _ts(instant.time),
+            "args": instant.args,
+        })
+    for record in tracer.audit:
+        end_of_run = max(end_of_run, record.time)
+        events.append({
+            "ph": "i",
+            "s": "p",
+            "pid": 1,
+            "tid": tid_for("audit"),
+            "cat": "audit." + record.kind,
+            "name": record.kind,
+            "ts": _ts(record.time),
+            "args": record.fields,
+        })
+    if tracer.counters:
+        events.append({
+            "ph": "C",
+            "pid": 1,
+            "tid": tid_for("counters"),
+            "name": "counters",
+            "ts": _ts(end_of_run),
+            "args": {name: tracer.counters[name]
+                     for name in sorted(tracer.counters)},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.telemetry", "clock": "simulated"},
+    }
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    """Canonical serialization (sorted keys) of the Chrome trace."""
+    return json.dumps(chrome_trace(tracer), sort_keys=True)
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(chrome_trace_json(tracer) + "\n")
+    return path
+
+
+def trace_checksum(tracer: Tracer) -> str:
+    """SHA-256 of the canonical Chrome trace — the determinism witness."""
+    return hashlib.sha256(chrome_trace_json(tracer).encode()).hexdigest()

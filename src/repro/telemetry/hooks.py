@@ -1,0 +1,134 @@
+"""Kernel instrumentation: where do the events (and the time) go?
+
+Implements the hook protocol of :meth:`repro.events.Simulator.set_hooks`:
+``event_scheduled`` / ``event_begin`` / ``event_end`` / ``event_cancelled``
+plus ``timer_tick`` from :class:`~repro.events.PeriodicTimer`.
+
+Two levels of detail:
+
+* ``"aggregate"`` (default) — per-callsite counters only: fire count,
+  wall-clock self time, cancellations, plus a *scheduling edge* profile
+  (which site scheduled which site, so every event is attributable to
+  its scheduling site without storing per-event records).
+* ``"events"`` — additionally records one instant per fired event and
+  per timer tick into the tracer (with the scheduling site as an
+  argument), which a Chrome trace renders as the full kernel timeline.
+  Use for bounded scenario runs, not million-event benches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.telemetry.tracer import Tracer
+
+#: Attribution label for events scheduled outside any event callback
+#: (test drivers, main scripts, setup code).
+EXTERNAL = "<external>"
+
+
+def site_name(callback: Any) -> str:
+    """Human-readable attribution label for an event callback.
+
+    Bound methods of an object with a ``name``-carrying telemetry label
+    (e.g. :class:`~repro.events.PeriodicTimer`) use that label, so two
+    monitors ticking through the same ``_tick`` method stay distinct.
+    """
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        label = getattr(owner, "name", None)
+        if isinstance(label, str) and type(owner).__name__ == "PeriodicTimer":
+            return label
+    return getattr(callback, "__qualname__", None) or type(callback).__name__
+
+
+class SiteStats:
+    """Aggregate per-callsite kernel statistics."""
+
+    __slots__ = ("fired", "wall", "scheduled", "cancelled")
+
+    def __init__(self) -> None:
+        self.fired = 0
+        self.wall = 0.0
+        self.scheduled = 0
+        self.cancelled = 0
+
+
+class KernelInstrumentation:
+    """The hook object wired into the simulator by ``install``."""
+
+    def __init__(self, tracer: Tracer, detail: str = "aggregate") -> None:
+        if detail not in ("aggregate", "events"):
+            raise ValueError(f"unknown kernel detail {detail!r}")
+        self.tracer = tracer
+        self.detail = detail
+        self.sites: dict[str, SiteStats] = {}
+        #: (scheduling site → callback site) → count.
+        self.edges: Counter[tuple[str, str]] = Counter()
+        self.timer_ticks: Counter[str] = Counter()
+        self.events_seen = 0
+        self._current = EXTERNAL
+        #: events-mode only: seq → scheduling site, popped on fire/cancel.
+        self._scheduled_by: dict[int, str] = {}
+
+    def clear(self) -> None:
+        self.sites.clear()
+        self.edges.clear()
+        self.timer_ticks.clear()
+        self.events_seen = 0
+        self._current = EXTERNAL
+        self._scheduled_by.clear()
+
+    def _site(self, name: str) -> SiteStats:
+        stats = self.sites.get(name)
+        if stats is None:
+            stats = self.sites[name] = SiteStats()
+        return stats
+
+    # -- hook protocol ----------------------------------------------------
+
+    def event_scheduled(self, event: Any) -> None:
+        target = site_name(event.callback)
+        self._site(target).scheduled += 1
+        self.edges[(self._current, target)] += 1
+        if self.detail == "events":
+            self._scheduled_by[event.seq] = self._current
+
+    def event_begin(self, event: Any) -> None:
+        self._current = site_name(event.callback)
+
+    def event_end(self, event: Any, wall: float) -> None:
+        stats = self._site(self._current)
+        stats.fired += 1
+        stats.wall += wall
+        self.events_seen += 1
+        if self.detail == "events":
+            self.tracer.instant(
+                "kernel", self._current,
+                seq=event.seq,
+                by=self._scheduled_by.pop(event.seq, EXTERNAL),
+            )
+        self._current = EXTERNAL
+
+    def event_cancelled(self, event: Any) -> None:
+        self._site(site_name(event.callback)).cancelled += 1
+        if self.detail == "events":
+            self._scheduled_by.pop(event.seq, None)
+
+    def timer_tick(self, timer: Any) -> None:
+        self.timer_ticks[timer.name] += 1
+
+    # -- queries ----------------------------------------------------------
+
+    def hot_sites(self, top: int = 10) -> list[tuple[str, SiteStats]]:
+        """Call sites ranked by wall-clock self time."""
+        ranked = sorted(self.sites.items(),
+                        key=lambda item: (-item[1].wall, item[0]))
+        return ranked[:top]
+
+    def scheduling_profile(self) -> list[tuple[str, str, int]]:
+        """(scheduler site, callback site, count), most frequent first."""
+        return [(src, dst, count) for (src, dst), count in
+                sorted(self.edges.items(),
+                       key=lambda item: (-item[1], item[0]))]

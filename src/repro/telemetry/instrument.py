@@ -1,0 +1,93 @@
+"""Installation and assembly instrumentation.
+
+:func:`install` is the one-call entry point: create a tracer, attach it
+to the simulator (``sim.tracer``) and wire the kernel hooks.  Every
+subsystem that takes a simulator — the network, RAML, the reconfiguration
+engine, control loops, QoS monitors — discovers the tracer through that
+attribute, so installing telemetry *after* building a system still
+captures everything from that point on.
+
+Connectors, ports and bindings do not hold a simulator; they are traced
+through their existing observer pipelines via
+:func:`instrument_assembly` — zero overhead for untraced assemblies.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, TYPE_CHECKING
+
+from repro.telemetry.hooks import KernelInstrumentation
+from repro.telemetry.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.simulator import Simulator
+
+
+def install(sim: "Simulator", enabled: bool = True,
+            kernel_detail: str | None = "aggregate") -> Tracer:
+    """Create and attach a tracer to ``sim``.
+
+    Args:
+        enabled: start recording immediately; a disabled tracer costs one
+            boolean check per call site and installs no kernel hooks.
+        kernel_detail: ``"aggregate"`` (per-site counters),
+            ``"events"`` (full kernel timeline in the trace) or ``None``
+            (no kernel hooks at all).
+    """
+    tracer = Tracer(sim, enabled=enabled)
+    if kernel_detail is not None:
+        tracer.kernel = KernelInstrumentation(tracer, detail=kernel_detail)
+        if enabled:
+            sim.set_hooks(tracer.kernel)
+    sim.tracer = tracer
+    return tracer
+
+
+def uninstall(sim: "Simulator") -> None:
+    """Detach telemetry; the simulator returns to the free path."""
+    sim.set_hooks(None)
+    sim.tracer = None
+
+
+def instrument_connector(tracer: Tracer, connector: Any) -> None:
+    """Emit one span per connector invocation via its observer pipeline.
+
+    Connector calls nest synchronously (the glue may call through other
+    connectors), so an explicit stack pairs before/after phases.  Retries
+    inside the glue surface through ``invocation.meta['attempts']``.
+    """
+    stack: list[tuple[float, float]] = []
+
+    def observer(phase: str, role: str, invocation: Any, payload: Any) -> None:
+        if not tracer.enabled:
+            stack.clear()
+            return
+        if phase == "before":
+            stack.append((tracer.sim.now, perf_counter()))
+            return
+        if not stack:
+            return
+        start, wall0 = stack.pop()
+        args: dict[str, Any] = {"role": role, "op": invocation.operation,
+                                "outcome": "ok" if phase == "after" else "error"}
+        attempts = invocation.meta.get("attempts")
+        if attempts:
+            args["attempts"] = attempts
+        if phase == "error":
+            args["error"] = repr(payload)
+            tracer.count(f"connector.{connector.name}.errors")
+        tracer.emit("connector", f"{connector.name}.{invocation.operation}",
+                    start, tracer.sim.now, **args)
+        tracer.spans[-1].wall = perf_counter() - wall0
+
+    connector.observers.append(observer)
+
+
+def instrument_assembly(tracer: Tracer, assembly: Any) -> Tracer:
+    """Trace every connector currently in an assembly (idempotent by
+    virtue of re-instrumenting only new connectors is *not* attempted —
+    call once after wiring)."""
+    for connector in assembly.connectors.values():
+        instrument_connector(tracer, connector)
+    return tracer

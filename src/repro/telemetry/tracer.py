@@ -1,0 +1,236 @@
+"""The span/trace core.
+
+A :class:`Tracer` records what the platform does on the **simulated**
+clock — spans (intervals of simulated time), instants (point events),
+counters and :class:`~repro.telemetry.audit.AuditRecord` entries — with
+optional **wall-clock attribution** (how much host CPU each span burned)
+kept strictly out of the deterministic export payload.
+
+Design constraints, in order:
+
+1. *Disabled must be free.*  Every recording method early-returns on
+   ``self.enabled``; :meth:`Tracer.span` returns one shared no-op context
+   manager, so a disabled call allocates nothing.
+2. *Deterministic.*  Span ids are a per-tracer counter, timestamps are
+   simulated time, and wall-clock measurements never enter the exported
+   trace — two same-seed runs serialize byte-identically.
+3. *Synchronous spans nest, asynchronous spans flow.*  ``with
+   tracer.span(...)`` uses an explicit stack (callbacks within one
+   simulator event nest synchronously); message lineage uses
+   :meth:`begin_flow` / :meth:`end_flow` because a message outlives the
+   event that sent it.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, TYPE_CHECKING
+
+from repro.telemetry.audit import AuditLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.simulator import Simulator
+
+
+class Span:
+    """One interval of simulated time attributed to a subsystem.
+
+    ``wall`` is host seconds spent inside the span (0.0 for flow spans
+    whose work happens across many events); it feeds the terminal summary
+    but is excluded from deterministic exports.
+    """
+
+    __slots__ = ("span_id", "parent_id", "category", "name",
+                 "start", "end", "args", "wall")
+
+    def __init__(self, span_id: int, parent_id: int, category: str,
+                 name: str, start: float, args: dict[str, Any]) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.category = category
+        self.name = name
+        self.start = start
+        self.end = start
+        self.args = args
+        self.wall = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span(#{self.span_id} {self.category}/{self.name} "
+                f"[{self.start}, {self.end}])")
+
+
+class Instant:
+    """A point annotation on the simulated timeline."""
+
+    __slots__ = ("time", "category", "name", "args")
+
+    def __init__(self, time: float, category: str, name: str,
+                 args: dict[str, Any]) -> None:
+        self.time = time
+        self.category = category
+        self.name = name
+        self.args = args
+
+
+class _NoopSpanContext:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpanContext()
+
+
+class _SpanContext:
+    """Context manager opening a stacked span with wall attribution."""
+
+    __slots__ = ("_tracer", "_category", "_name", "_args", "_span", "_wall0")
+
+    def __init__(self, tracer: "Tracer", category: str, name: str,
+                 args: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._category = category
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._category, self._name, self._args)
+        self._wall0 = perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        span = self._span
+        span.wall = perf_counter() - self._wall0
+        if exc_type is not None:
+            span.args["error"] = repr(exc)
+        self._tracer._close(span)
+        return False
+
+
+class Tracer:
+    """Collects spans/instants/counters/audit records for one simulator.
+
+    Install via :func:`repro.telemetry.install`, which also attaches the
+    tracer to ``sim.tracer`` so every subsystem can find it with one
+    attribute read.
+    """
+
+    def __init__(self, sim: "Simulator", enabled: bool = True) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.counters: dict[str, float] = {}
+        self.audit = AuditLog()
+        #: Kernel instrumentation, when installed (set by ``install``).
+        self.kernel: Any = None
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> None:
+        """Resume recording (and re-attach kernel hooks, if any)."""
+        self.enabled = True
+        if self.kernel is not None:
+            self.sim.set_hooks(self.kernel)
+
+    def disable(self) -> None:
+        """Stop recording; kernel hooks detach so the hot loop pays only
+        the ``is not None`` branch again."""
+        self.enabled = False
+        if self.sim._hooks is self.kernel and self.kernel is not None:
+            self.sim.set_hooks(None)
+
+    def clear(self) -> None:
+        """Drop everything recorded so far (ids restart too, so a cleared
+        tracer reproduces the same trace for the same workload)."""
+        self.spans.clear()
+        self.instants.clear()
+        self.counters.clear()
+        self.audit.clear()
+        self._stack.clear()
+        self._next_id = 1
+        if self.kernel is not None:
+            self.kernel.clear()
+
+    # -- synchronous spans -------------------------------------------------
+
+    def span(self, category: str, name: str, **args: Any):
+        """Open a nested span: ``with tracer.span("raml", "sweep"): ...``"""
+        if not self.enabled:
+            return NOOP_SPAN
+        return _SpanContext(self, category, name, args)
+
+    def _open(self, category: str, name: str, args: dict[str, Any]) -> Span:
+        parent = self._stack[-1].span_id if self._stack else 0
+        span = Span(self._next_id, parent, category, name, self.sim.now, args)
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self.sim.now
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        self.spans.append(span)
+
+    # -- asynchronous (flow) spans ----------------------------------------
+
+    def begin_flow(self, category: str, name: str, **args: Any) -> Span | None:
+        """Open a span that outlives the current event (e.g. a message in
+        flight).  Returns None when disabled — callers carry the handle."""
+        if not self.enabled:
+            return None
+        span = Span(self._next_id, 0, category, name, self.sim.now, args)
+        self._next_id += 1
+        return span
+
+    def end_flow(self, span: Span, **args: Any) -> None:
+        """Finish a flow span at the current simulated time."""
+        if args:
+            span.args.update(args)
+        span.end = self.sim.now
+        self.spans.append(span)
+
+    def emit(self, category: str, name: str, start: float, end: float,
+             parent_id: int = 0, **args: Any) -> None:
+        """Record a complete span with explicit simulated times (used for
+        per-hop link segments whose window is known when scheduled)."""
+        if not self.enabled:
+            return
+        span = Span(self._next_id, parent_id, category, name, start, args)
+        self._next_id += 1
+        span.end = end
+        self.spans.append(span)
+
+    # -- point data --------------------------------------------------------
+
+    def instant(self, category: str, name: str, **args: Any) -> None:
+        if not self.enabled:
+            return
+        self.instants.append(Instant(self.sim.now, category, name, args))
+
+    def count(self, name: str, inc: float = 1.0) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0.0) + inc
+
+    def record_audit(self, kind: str, /, **fields: Any):
+        # ``kind`` is positional-only so records may carry a field that is
+        # itself named "kind" (e.g. introspection count queries).
+        """Append a RAML decision-audit record (see
+        :class:`~repro.telemetry.audit.AuditLog`)."""
+        if not self.enabled:
+            return None
+        return self.audit.record(self.sim.now, kind, fields)

@@ -1,0 +1,128 @@
+"""Route-cache behaviour: reuse, invalidation, no stale routes.
+
+Covers the shortest-path cache introduced with the kernel fast-path work:
+repeated sends between the same pair must not recompute Dijkstra, while
+any topology or link-state change must invalidate every cached path —
+including cached negative (no-route) results.
+"""
+
+import pytest
+
+from repro.errors import LinkDownError, NetworkError
+from repro.events import Simulator
+from repro.netsim import Message, Network
+
+
+def triangle():
+    """a-b direct (slow) plus a-c-b detour (fast)."""
+    net = Network(Simulator())
+    for name in ("a", "b", "c"):
+        net.add_node(name)
+    net.add_link("a", "b", latency=0.010)
+    net.add_link("a", "c", latency=0.001)
+    net.add_link("c", "b", latency=0.001)
+    return net
+
+
+class TestCaching:
+    def test_repeated_lookups_hit_the_cache(self):
+        net = triangle()
+        first = net.route("a", "b")
+        assert first == ["a", "c", "b"]  # detour is cheaper
+        assert net._route_cache[("a", "b")] == first
+        # Mutate the cached list object: a cache hit returns it as-is,
+        # proving no recomputation happened.
+        net._route_cache[("a", "b")].append("sentinel")
+        assert net.route("a", "b")[-1] == "sentinel"
+
+    def test_no_route_result_is_negatively_cached(self):
+        net = Network(Simulator())
+        net.add_node("a")
+        net.add_node("b")
+        with pytest.raises(NetworkError):
+            net.route("a", "b")
+        assert net._route_cache[("a", "b")] is None
+        with pytest.raises(NetworkError):
+            net.route("a", "b")
+
+    def test_self_route_needs_no_cache(self):
+        net = triangle()
+        assert net.route("a", "a") == ["a"]
+        assert ("a", "a") not in net._route_cache
+
+
+class TestInvalidation:
+    def test_add_link_recomputes_shorter_route(self):
+        net = Network(Simulator())
+        for name in ("a", "b", "c"):
+            net.add_node(name)
+        net.add_link("a", "c", latency=0.001)
+        net.add_link("c", "b", latency=0.001)
+        assert net.route("a", "b") == ["a", "c", "b"]
+        # A new cheap direct link must win immediately — no stale detour.
+        net.add_link("a", "b", latency=0.0001)
+        assert net.route("a", "b") == ["a", "b"]
+
+    def test_remove_link_recomputes_around_the_gap(self):
+        net = triangle()
+        assert net.route("a", "b") == ["a", "c", "b"]
+        net.remove_link("a", "c")
+        assert net.route("a", "b") == ["a", "b"]
+
+    def test_remove_link_clears_negative_cache_symmetry(self):
+        # Removing the only route leaves a negative entry; restoring the
+        # topology must clear it again.
+        net = Network(Simulator())
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "b")
+        assert net.route("a", "b") == ["a", "b"]
+        net.remove_link("a", "b")
+        with pytest.raises(NetworkError):
+            net.route("a", "b")
+        net.add_link("a", "b")
+        assert net.route("a", "b") == ["a", "b"]
+
+    def test_remove_unknown_link_rejected(self):
+        net = triangle()
+        with pytest.raises(LinkDownError):
+            net.remove_link("a", "missing")
+
+    def test_remove_link_is_direction_agnostic(self):
+        net = triangle()
+        removed = net.remove_link("c", "a")  # added as (a, c)
+        assert removed.key == ("a", "c")
+        with pytest.raises(LinkDownError):
+            net.link_between("a", "c")
+
+    def test_link_failure_with_invalidate_reroutes(self):
+        net = triangle()
+        assert net.route("a", "b") == ["a", "c", "b"]
+        net.link_between("a", "c").fail()
+        net.invalidate_routes()
+        assert net.route("a", "b") == ["a", "b"]
+        net.link_between("a", "c").restore()
+        net.invalidate_routes()
+        assert net.route("a", "b") == ["a", "c", "b"]
+
+
+class TestDeliveryAfterTopologyChange:
+    def test_messages_follow_the_updated_route(self):
+        net = triangle()
+        sim = net.sim
+        inbox = []
+        net.node("b").bind_endpoint(
+            "svc", lambda node, message: inbox.append(message.msg_id))
+        net.send(Message("a", "b", "svc"))
+        sim.run()
+        assert len(inbox) == 1
+        detour = net.link_between("a", "c")
+        assert detour.transferred_messages == 1
+
+        net.remove_link("a", "c")
+        net.send(Message("a", "b", "svc"))
+        sim.run()
+        assert len(inbox) == 2
+        # No stale route: the second message used the direct link.
+        direct = net.link_between("a", "b")
+        assert direct.transferred_messages == 1

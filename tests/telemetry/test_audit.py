@@ -1,0 +1,179 @@
+"""Decision-audit wiring across subsystems.
+
+Each meta-level mechanism — reconfiguration transactions, control loops,
+adaptation policies, QoS monitors, introspection queries — must leave an
+audit trail when (and only when) a tracer is installed.
+"""
+
+from repro.adaptation import AdaptationManager, AdaptationPolicy
+from repro.control import ControlLoop, PidController
+from repro.core import IntrospectionHub
+from repro.events import Simulator
+from repro.kernel import Assembly
+from repro.netsim import star
+from repro.qos import MetricRegistry, QosContract, QosMonitor
+from repro.reconfig import (
+    AddComponent,
+    ReconfigurationTransaction,
+    RemoveBinding,
+)
+from repro.telemetry import install
+
+from tests.helpers import CounterComponent, counter_interface
+
+
+def kinds(tracer):
+    return tracer.audit.kinds()
+
+
+class TestControlLoop:
+    def test_actuations_audited_with_inputs(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        plant = {"value": 0.0}
+        loop = ControlLoop(
+            sim,
+            PidController(kp=0.5, setpoint=10.0),
+            sensor=lambda: plant["value"],
+            actuator=lambda output: plant.__setitem__(
+                "value", plant["value"] + 0.5 * output),
+            period=1.0,
+            name="cpu-loop",
+        ).start()
+        sim.run(until=3.5)
+        loop.stop()
+        records = tracer.audit.of_kind("control.actuate")
+        assert len(records) == 3
+        first = records[0]
+        assert first.fields["loop"] == "cpu-loop"
+        assert first.fields["setpoint"] == 10.0
+        assert first.fields["measurement"] == 0.0
+        assert first.fields["output"] == 5.0  # kp * error
+
+
+class TestAdaptation:
+    def test_policy_firings_audited_with_context(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        manager = AdaptationManager(sim)
+        manager.add_probe("load", lambda: 0.9)
+        manager.add_policy(AdaptationPolicy(
+            "shed-load",
+            condition=lambda ctx: ctx["load"] > 0.8,
+            actions=[lambda ctx: None],
+            priority=5,
+        ))
+        assert manager.evaluate() == ["shed-load"]
+        (record,) = tracer.audit.of_kind("adaptation.fire")
+        assert record.fields["policy"] == "shed-load"
+        assert record.fields["priority"] == 5
+        assert record.fields["context"] == {"load": 0.9}
+
+
+class TestQosMonitor:
+    def make_monitor(self, sim):
+        registry = MetricRegistry(window=1.0)
+        monitor = QosMonitor(sim, registry, period=1.0)
+        monitor.add_contract(QosContract("sla").require_max("latency", 0.1))
+        return registry, monitor
+
+    def test_violation_and_restoration_audited(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        registry, monitor = self.make_monitor(sim)
+        registry.record("latency", 0.5, now=0.0)
+        monitor.check_now()           # violation
+        # The bad sample ages out of the 1s window before the next check.
+        registry.record("latency", 0.01, now=5.0)
+        sim._now = 5.0
+        monitor.check_now()           # restored
+        audit = kinds(tracer)
+        assert audit["qos.violation"] == 2
+        violation, restored = tracer.audit.of_kind("qos.violation")
+        assert violation.fields["transition"] == "violation"
+        assert violation.fields["contract"] == "sla"
+        assert violation.fields["violations"]  # obligation descriptions
+        assert restored.fields["transition"] == "restored"
+        assert tracer.counters == {"qos.violations": 1.0,
+                                   "qos.restoreds": 1.0}
+
+    def test_compliant_checks_leave_no_audit(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        registry, monitor = self.make_monitor(sim)
+        registry.record("latency", 0.01, now=0.0)
+        monitor.check_now()
+        assert len(tracer.audit) == 0
+
+
+class TestReconfiguration:
+    def wired_assembly(self, sim):
+        assembly = Assembly(star(sim, leaves=3))
+        server = CounterComponent("server")
+        server.provide("svc", counter_interface())
+        assembly.deploy(server, "leaf0")
+        return assembly
+
+    def test_transaction_phases_audited_and_span_emitted(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        assembly = self.wired_assembly(sim)
+        extra = CounterComponent("extra")
+        extra.provide("svc", counter_interface())
+        txn = ReconfigurationTransaction(assembly, name="grow").add(
+            AddComponent(extra, "leaf1"))
+        report = txn.execute()
+        assert report.state.value == "committed"
+        phases = [r.fields["phase"]
+                  for r in tracer.audit.of_kind("reconfig.phase")]
+        assert phases == ["quiescence", "change", "commit"]
+        quiescence = tracer.audit.of_kind("reconfig.phase")[0]
+        assert quiescence.fields["outcome"] == "reached"
+        assert all(r.fields["txn"] == "grow"
+                   for r in tracer.audit.of_kind("reconfig.phase"))
+        (span,) = [s for s in tracer.spans if s.category == "reconfig"]
+        assert span.name == "grow"
+
+    def test_failed_transaction_audits_rollback(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        assembly = self.wired_assembly(sim)
+        client = CounterComponent("client")
+        client.provide("svc", counter_interface())
+        client.require("peer", counter_interface())
+        assembly.deploy(client, "leaf1")
+        assembly.connect("client", "peer", target_component="server")
+        # Removing the only binding of a required port fails consistency
+        # validation at apply time, forcing a rollback.
+        txn = ReconfigurationTransaction(assembly, name="break").add(
+            RemoveBinding("client", "peer"))
+        try:
+            txn.execute()
+        except Exception:
+            pass
+        phases = [r.fields["phase"]
+                  for r in tracer.audit.of_kind("reconfig.phase")]
+        assert "rollback" in phases
+        rollback = next(r for r in tracer.audit.of_kind("reconfig.phase")
+                        if r.fields["phase"] == "rollback")
+        assert rollback.fields["error"]
+
+
+class TestIntrospection:
+    def test_queries_audited_with_results(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        hub = IntrospectionHub(sim)
+        hub.recent()
+        hub.count("error")
+        hub.error_ratio()
+        records = tracer.audit.of_kind("raml.introspect")
+        assert [r.fields["query"] for r in records] == [
+            "recent", "count", "error_ratio"]
+        assert records[1].fields["kind"] == "error"
+        assert records[1].fields["result"] == 0
+
+    def test_queries_silent_without_tracer(self):
+        hub = IntrospectionHub(Simulator())
+        assert hub.recent() == []
+        assert hub.count("error") == 0

@@ -1,0 +1,155 @@
+"""Message lineage: flow spans across hops, drops, latency decomposition."""
+
+import pytest
+
+from repro.events import Simulator
+from repro.netsim import Message, Network, star
+from repro.telemetry import install
+
+
+def collect(net, name):
+    inbox = []
+    net.node(name).bind_endpoint(
+        "svc", lambda node, message: inbox.append(message))
+    return inbox
+
+
+def star_net(sim):
+    return star(sim, leaves=3)
+
+
+class TestDeliveredLineage:
+    def test_two_hop_message_has_flow_and_hop_segments(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        net = star_net(sim)
+        inbox = collect(net, "leaf2")
+        net.send(Message("leaf0", "leaf2", "svc", size=512))
+        sim.run()
+        assert len(inbox) == 1
+
+        (flow,) = [s for s in tracer.spans if s.category == "net.msg"]
+        hops = [s for s in tracer.spans if s.category == "net.hop"]
+        assert flow.name == "leaf0->leaf2/svc"
+        assert flow.args["outcome"] == "delivered"
+        assert [h.name for h in hops] == ["leaf0->hub", "hub->leaf2"]
+        # Lineage: every hop is a child of the end-to-end flow span.
+        assert all(h.parent_id == flow.span_id for h in hops)
+        assert all(h.args["msg_id"] == flow.args["msg_id"] for h in hops)
+
+    def test_latency_decomposes_into_hop_segments(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        net = star_net(sim)
+        collect(net, "leaf1")
+        net.send(Message("leaf0", "leaf1", "svc", size=1024))
+        sim.run()
+        (flow,) = [s for s in tracer.spans if s.category == "net.msg"]
+        hops = [s for s in tracer.spans if s.category == "net.hop"]
+        # Hops are contiguous: forwarding happens at each hop's arrival.
+        assert sum(h.duration for h in hops) == pytest.approx(flow.duration)
+        assert flow.args["latency"] == pytest.approx(flow.duration)
+        for hop in hops:
+            parts = (hop.args["queued"] + hop.args["transmission"]
+                     + hop.args["propagation"])
+            assert parts == pytest.approx(hop.duration)
+
+    def test_queueing_behind_earlier_traffic_is_attributed(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        net = star_net(sim)
+        collect(net, "leaf1")
+        # Two large messages in the same instant share one transmitter:
+        # the second queues behind the first on leaf0->hub.
+        net.send(Message("leaf0", "leaf1", "svc", size=100_000))
+        net.send(Message("leaf0", "leaf1", "svc", size=100_000))
+        sim.run()
+        first, second = [s for s in tracer.spans
+                         if s.category == "net.hop"
+                         and s.name == "leaf0->hub"]
+        assert first.args["queued"] == 0.0
+        assert second.args["queued"] == pytest.approx(
+            first.args["transmission"])
+
+    def test_no_tracing_means_no_span_objects(self):
+        sim = Simulator()
+        net = star_net(sim)
+        collect(net, "leaf1")
+        message = Message("leaf0", "leaf1", "svc")
+        net.send(message)
+        sim.run()
+        assert message.trace_span is None
+
+
+class TestDroppedLineage:
+    def drop_outcomes(self, tracer):
+        return {s.args["outcome"] for s in tracer.spans
+                if s.category == "net.msg"}
+
+    def test_link_down_drop_closes_flow(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        net = star_net(sim)
+        net.link_between("hub", "leaf1").fail()
+        net.invalidate_routes()
+        net.send(Message("leaf0", "leaf1", "svc"))
+        sim.run()
+        assert self.drop_outcomes(tracer) == {"drop:no_route"}
+        assert tracer.counters["net.dropped_no_route"] == 1.0
+
+    def test_mid_flight_link_failure_traced_as_link_down(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        net = star_net(sim)
+        net.send(Message("leaf0", "leaf1", "svc"))
+        # Fail the second link while the message rides the first hop;
+        # the precomputed path is still followed, so the forward fails.
+        sim.schedule(0.0005, net.link_between("hub", "leaf1").fail)
+        sim.run()
+        assert self.drop_outcomes(tracer) == {"drop:link_down"}
+        hops = [s.name for s in tracer.spans if s.category == "net.hop"]
+        assert hops == ["leaf0->hub"]  # second hop never started
+
+    def test_crashed_destination_traced_as_node_down(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        net = star_net(sim)
+        net.send(Message("leaf0", "leaf1", "svc"))
+        # Crash the destination while the message is in flight: the route
+        # stays valid, so the drop happens at arrival.
+        sim.schedule(0.0005, net.node("leaf1").crash)
+        sim.run()
+        assert self.drop_outcomes(tracer) == {"drop:node_down"}
+
+    def test_unreachable_destination_traced_as_no_route(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        net = star_net(sim)
+        net.node("leaf1").crash()
+        net.invalidate_routes()
+        net.send(Message("leaf0", "leaf1", "svc"))
+        sim.run()
+        assert self.drop_outcomes(tracer) == {"drop:no_route"}
+
+    def test_lossy_link_drop(self):
+        sim = Simulator()
+        tracer = install(sim, kernel_detail=None)
+        net = Network(sim, seed=7)
+        net.add_node("a")
+        net.add_node("b")
+        net.add_link("a", "b", loss=1.0)
+        net.node("b").bind_endpoint("svc", lambda node, message: None)
+        net.send(Message("a", "b", "svc"))
+        sim.run()
+        assert self.drop_outcomes(tracer) == {"drop:loss"}
+        assert tracer.counters["net.dropped_loss"] == 1.0
+
+    def test_disabled_tracer_leaves_delivery_untouched(self):
+        sim = Simulator()
+        tracer = install(sim, enabled=False, kernel_detail=None)
+        net = star_net(sim)
+        inbox = collect(net, "leaf1")
+        net.send(Message("leaf0", "leaf1", "svc"))
+        sim.run()
+        assert len(inbox) == 1
+        assert tracer.spans == []

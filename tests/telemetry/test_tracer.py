@@ -1,0 +1,192 @@
+"""Tracer core: spans, flows, counters, audit, the disabled fast path."""
+
+import json
+
+import pytest
+
+from repro.events import Simulator
+from repro.telemetry import (
+    Tracer,
+    chrome_trace,
+    chrome_trace_json,
+    jsonl_records,
+    trace_checksum,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.tracer import NOOP_SPAN
+
+
+def make_tracer(enabled=True):
+    return Tracer(Simulator(), enabled=enabled)
+
+
+class TestSpans:
+    def test_span_records_simulated_interval(self):
+        tracer = make_tracer()
+        sim = tracer.sim
+        with tracer.span("raml", "sweep", index=3):
+            sim.run(until=0.5)
+        (span,) = tracer.spans
+        assert (span.category, span.name) == ("raml", "sweep")
+        assert span.start == 0.0 and span.end == 0.5
+        assert span.duration == 0.5
+        assert span.args == {"index": 3}
+        assert span.parent_id == 0
+
+    def test_nested_spans_link_to_parent(self):
+        tracer = make_tracer()
+        with tracer.span("outer", "a") as outer:
+            with tracer.span("inner", "b") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        # Inner closed first, so it is appended first.
+        assert [s.name for s in tracer.spans] == ["b", "a"]
+
+    def test_span_ids_are_sequential(self):
+        tracer = make_tracer()
+        with tracer.span("c", "one"):
+            pass
+        with tracer.span("c", "two"):
+            pass
+        assert [s.span_id for s in tracer.spans] == [1, 2]
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("c", "boom"):
+                raise ValueError("nope")
+        (span,) = tracer.spans
+        assert "ValueError" in span.args["error"]
+
+    def test_wall_attribution_positive(self):
+        tracer = make_tracer()
+        with tracer.span("c", "busy"):
+            sum(range(1000))
+        assert tracer.spans[0].wall > 0.0
+
+
+class TestFlows:
+    def test_flow_span_outlives_events(self):
+        tracer = make_tracer()
+        sim = tracer.sim
+        span = tracer.begin_flow("net.msg", "a->b", msg_id=7)
+        sim.run(until=1.25)
+        tracer.end_flow(span, outcome="delivered")
+        (recorded,) = tracer.spans
+        assert recorded is span
+        assert recorded.duration == 1.25
+        assert recorded.args == {"msg_id": 7, "outcome": "delivered"}
+
+    def test_emit_uses_explicit_window_and_parent(self):
+        tracer = make_tracer()
+        parent = tracer.begin_flow("net.msg", "a->b")
+        tracer.emit("net.hop", "a->hub", 0.1, 0.3, parent_id=parent.span_id)
+        hop = tracer.spans[0]
+        assert (hop.start, hop.end) == (0.1, 0.3)
+        assert hop.parent_id == parent.span_id
+
+
+class TestPointData:
+    def test_instants_and_counters(self):
+        tracer = make_tracer()
+        tracer.sim.run(until=2.0)
+        tracer.instant("qos", "violation:sla", contract="sla")
+        tracer.count("qos.violations")
+        tracer.count("qos.violations")
+        tracer.count("bytes", 512.0)
+        (instant,) = tracer.instants
+        assert instant.time == 2.0
+        assert tracer.counters == {"qos.violations": 2.0, "bytes": 512.0}
+
+    def test_audit_records(self):
+        tracer = make_tracer()
+        tracer.record_audit("raml.decision", constraint="cpu", action="adapt")
+        (record,) = list(tracer.audit)
+        assert record.kind == "raml.decision"
+        assert record.fields["action"] == "adapt"
+        assert tracer.audit.kinds() == {"raml.decision": 1}
+        assert len(tracer.audit.of_kind("raml.decision")) == 1
+
+
+class TestDisabledPath:
+    def test_disabled_records_nothing(self):
+        tracer = make_tracer(enabled=False)
+        with tracer.span("c", "n"):
+            pass
+        assert tracer.begin_flow("c", "n") is None
+        tracer.emit("c", "n", 0.0, 1.0)
+        tracer.instant("c", "n")
+        tracer.count("n")
+        assert tracer.record_audit("k") is None
+        assert not tracer.spans and not tracer.instants
+        assert not tracer.counters and len(tracer.audit) == 0
+
+    def test_disabled_span_is_the_shared_noop_singleton(self):
+        tracer = make_tracer(enabled=False)
+        assert tracer.span("c", "a") is NOOP_SPAN
+        assert tracer.span("c", "b") is NOOP_SPAN  # no allocation per call
+
+    def test_clear_restarts_ids(self):
+        tracer = make_tracer()
+        with tracer.span("c", "n"):
+            pass
+        tracer.clear()
+        with tracer.span("c", "n"):
+            pass
+        assert tracer.spans[0].span_id == 1
+
+
+class TestExports:
+    def populated(self):
+        tracer = make_tracer()
+        sim = tracer.sim
+        with tracer.span("raml", "sweep"):
+            sim.run(until=0.5)
+        tracer.instant("qos", "violation:sla")
+        tracer.count("qos.violations")
+        tracer.record_audit("raml.decision", constraint="cpu")
+        return tracer
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = self.populated()
+        path = write_jsonl(tracer, tmp_path / "trace.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["type"] for r in records] == [
+            "span", "instant", "audit", "counter"]
+        assert records[0]["cat"] == "raml"
+        assert "wall" not in records[0]  # deterministic by default
+
+    def test_jsonl_include_wall_opt_in(self):
+        tracer = self.populated()
+        span_record = next(iter(jsonl_records(tracer, include_wall=True)))
+        assert "wall" in span_record
+
+    def test_chrome_trace_structure(self, tmp_path):
+        tracer = self.populated()
+        doc = chrome_trace(tracer)
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i", "C"}
+        # Every track got a thread_name metadata record.
+        named = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert named == {"raml", "qos", "audit", "counters"}
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["ts"] == 0.0 and span["dur"] == 500_000.0
+        audit = next(e for e in events if e["ph"] == "i"
+                     and e["cat"].startswith("audit."))
+        assert audit["s"] == "p"
+        # The written file is valid JSON.
+        path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        assert json.loads(path.read_text())["otherData"]["clock"] == "simulated"
+
+    def test_checksum_is_stable_for_identical_content(self):
+        first, second = self.populated(), self.populated()
+        assert trace_checksum(first) == trace_checksum(second)
+        second.count("extra")
+        assert trace_checksum(first) != trace_checksum(second)
+
+    def test_chrome_json_is_canonical(self):
+        tracer = self.populated()
+        assert chrome_trace_json(tracer) == chrome_trace_json(tracer)
