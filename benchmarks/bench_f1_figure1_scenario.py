@@ -15,7 +15,7 @@ above 50% during the fault window thanks to retries.
 
 import pytest
 
-from repro import Simulator, star
+from repro import Simulator, star, telemetry
 from repro.connectors import RpcConnector
 from repro.core import Raml, Response, custom
 from repro.events import PeriodicTimer
@@ -43,8 +43,20 @@ class Serving(Component):
         return frame
 
 
-def run_figure1() -> dict:
+def run_figure1(sampling=None, kernel_detail=None, capacity=None) -> dict:
+    """Drive the Figure-1 loop; optionally under telemetry.
+
+    ``sampling`` (a :class:`repro.telemetry.SamplingPolicy`) and/or
+    ``kernel_detail`` install the tracer before the run — this is how
+    the CI trace-artifact exporter reuses the scenario — and the tracer
+    comes back in the result under ``"tracer"``.
+    """
     sim = Simulator()
+    tracer = None
+    if sampling is not None or kernel_detail is not None:
+        tracer = telemetry.install(
+            sim, kernel_detail=kernel_detail, sampling=sampling,
+            capacity=capacity or telemetry.DEFAULT_CAPACITY)
     assembly = Assembly(star(sim, leaves=3))
     serving_a = Serving("serving-a")
     serving_a.provide("svc", media_interface())
@@ -59,6 +71,8 @@ def run_figure1() -> dict:
     client.require("media", media_interface())
     assembly.deploy(client, "leaf2")
     assembly.connect("client", "media", target=connector.endpoint("client"))
+    if tracer is not None:
+        telemetry.instrument_assembly(tracer, assembly)
 
     raml = Raml(assembly, period=SWEEP, metric_window=1.0).instrument()
     timeline: dict[str, float] = {}
@@ -121,6 +135,7 @@ def run_figure1() -> dict:
         "rendered_by_standby": serving_b.state["rendered"],
         "events_observed": len(raml.hub.events),
         "health": raml.health(),
+        "tracer": tracer,
     }
 
 

@@ -1,22 +1,29 @@
 """S2-T — what does observing the platform cost?
 
-The telemetry layer's contract is "free when off, cheap when on":
+The telemetry layer's contract is "free when off, production-grade when
+sampled, cheap when fully on":
 
-* **kernel churn** — the S0 timeout-churn workload under four modes:
+* **kernel churn** — the S0 timeout-churn workload under seven modes:
   ``off`` (telemetry never installed), ``disabled`` (tracer installed
-  but not recording — the production default), ``aggregate`` (kernel
-  hooks aggregating per-site stats) and ``events`` (full kernel timeline
-  into the trace).  Measures events/sec per mode; the disabled mode must
-  ride the same fast path as off.
-* **netsim storm** — a 2-hop message storm with lineage off vs on;
-  measures messages/sec and verifies the span ledger (one flow span plus
-  two hop segments per delivered message).
+  but not recording — the production default), ``sampled_0.1pct`` /
+  ``sampled_1pct`` / ``sampled_10pct`` (head-based probabilistic
+  sampling with aggregate kernel hooks — the production *enabled*
+  modes), ``aggregate`` (full-rate per-site stats) and ``events`` (full
+  kernel timeline into the trace).  Measures events/sec per mode plus
+  span-ring occupancy/drops for the sampled modes.
+* **netsim storm** — a 2-hop message storm with lineage off, fully on,
+  and sampled at 1%; measures messages/sec, verifies the span ledger
+  (full mode: one flow span plus two hop segments per delivered
+  message; sampled mode: two hops per *sampled* flow — traces are kept
+  or dropped whole) and records peak span-buffer memory.
 
 Determinism is asserted across modes (instrumentation must not perturb
-event interleaving) and across repeated enabled runs (identical Chrome
-trace checksums).
+event interleaving) and across repeated enabled runs: full-rate and
+sampled storms are each run twice and must produce byte-identical
+Chrome trace checksums — sampling decisions come from a seeded stream.
 
-Results land in ``BENCH_telemetry.json``.  Run standalone::
+Results land in ``BENCH_telemetry.json`` (the document
+``repro.telemetry.dashboard`` folds PR-over-PR).  Run standalone::
 
     python benchmarks/bench_s2_telemetry.py [--smoke] [--out PATH]
 """
@@ -39,18 +46,25 @@ from repro import Simulator, telemetry
 from repro.events import PeriodicTimer
 from repro.netsim.message import Message, reset_message_ids
 from repro.netsim.topology import star
+from repro.telemetry import SamplingPolicy
 
 from bench_s0_kernel import ChurnDriver
 from conftest import fmt, print_table
 
 DEFAULT_OUT = _ROOT / "BENCH_telemetry.json"
 
-#: mode → (install telemetry?, enabled?, kernel detail)
+#: Seed for every sampled mode: decisions must replay run over run.
+SAMPLING_SEED = 0
+
+#: mode → (enabled?, kernel detail, sampling rate or None for full).
 MODES = {
     "off": None,
-    "disabled": (False, None),
-    "aggregate": (True, "aggregate"),
-    "events": (True, "events"),
+    "disabled": (False, None, None),
+    "sampled_0.1pct": (True, "aggregate", 0.001),
+    "sampled_1pct": (True, "aggregate", 0.01),
+    "sampled_10pct": (True, "aggregate", 0.1),
+    "aggregate": (True, "aggregate", None),
+    "events": (True, "events", None),
 }
 
 
@@ -59,54 +73,79 @@ MODES = {
 # ---------------------------------------------------------------------------
 
 
-def run_churn_mode(sessions: int, mode: str, repeats: int = 3) -> dict:
-    """Best-of-``repeats`` churn run under one telemetry mode.
+def run_churn_once(sessions: int, mode: str) -> dict:
+    """One churn run under one telemetry mode."""
+    sim = Simulator()
+    tracer = None
+    if MODES[mode] is not None:
+        enabled, detail, rate = MODES[mode]
+        sampling = (None if rate is None else
+                    SamplingPolicy(rate=rate, seed=SAMPLING_SEED))
+        tracer = telemetry.install(sim, enabled=enabled,
+                                   kernel_detail=detail,
+                                   sampling=sampling)
+    driver = ChurnDriver(sim, sessions)
+    scheduled = driver.load()
+    PeriodicTimer(sim, 1.0, driver.poll, name="poller")
+    gc.collect()
+    start = time.perf_counter()
+    sim.run(until=driver.horizon + 10.0)
+    elapsed = time.perf_counter() - start
+    assert driver.completed == sessions and driver.timed_out == 0
+    result = {
+        "mode": mode,
+        "scheduled_events": scheduled,
+        "elapsed_s": elapsed,
+        "events_per_sec": scheduled / elapsed,
+        "checksum": driver.checksum,
+    }
+    if tracer is not None and tracer.kernel is not None:
+        result["observed_events"] = tracer.kernel.events_seen
+        result["sites"] = len(tracer.kernel.sites)
+        result["drops"] = tracer.drops
+        result["span_buffer_bytes"] = tracer.ring.nbytes
+    return result
 
-    Best-of (rather than mean) with a gc.collect() before each timed run:
-    all modes execute in one process, so later runs otherwise pay for the
-    garbage earlier ones accumulated.
+
+def run_churn(sessions: int, repeats: int = 3) -> dict[str, dict]:
+    """Best-of-``repeats`` per mode, with the repeats *interleaved*
+    round-robin across modes: host-speed drift over the suite (frequency
+    scaling, noisy neighbours) then biases every mode equally instead of
+    whichever mode happened to run last.  gc.collect() before each timed
+    run keeps earlier modes' garbage off later modes' bill.
     """
-    best: dict | None = None
+    best: dict[str, dict] = {}
     for _ in range(repeats):
-        sim = Simulator()
-        tracer = None
-        if MODES[mode] is not None:
-            enabled, detail = MODES[mode]
-            tracer = telemetry.install(sim, enabled=enabled,
-                                       kernel_detail=detail)
-        driver = ChurnDriver(sim, sessions)
-        scheduled = driver.load()
-        PeriodicTimer(sim, 1.0, driver.poll, name="poller")
-        gc.collect()
-        start = time.perf_counter()
-        sim.run(until=driver.horizon + 10.0)
-        elapsed = time.perf_counter() - start
-        assert driver.completed == sessions and driver.timed_out == 0
-        result = {
-            "mode": mode,
-            "scheduled_events": scheduled,
-            "elapsed_s": elapsed,
-            "events_per_sec": scheduled / elapsed,
-            "checksum": driver.checksum,
-        }
-        if tracer is not None and tracer.kernel is not None:
-            result["observed_events"] = tracer.kernel.events_seen
-            result["sites"] = len(tracer.kernel.sites)
-        if best is None or result["events_per_sec"] > best["events_per_sec"]:
-            best = result
+        for mode in MODES:
+            result = run_churn_once(sessions, mode)
+            if (mode not in best
+                    or result["events_per_sec"]
+                    > best[mode]["events_per_sec"]):
+                best[mode] = result
     return best
 
 
 # ---------------------------------------------------------------------------
-# Workload 2: 2-hop message storm, lineage off vs on.
+# Workload 2: 2-hop message storm — lineage off, fully on, sampled.
 # ---------------------------------------------------------------------------
 
 
-def run_storm_mode(messages: int, traced: bool) -> dict:
+def run_storm_mode(messages: int, traced: bool,
+                   rate: float | None = None) -> dict:
     reset_message_ids()  # message ids appear in traces; runs must match
     gc.collect()
     sim = Simulator()
-    tracer = telemetry.install(sim, kernel_detail=None) if traced else None
+    tracer = None
+    if traced:
+        # Full-rate lineage keeps 3 spans per message (flow + 2 hops):
+        # size the ring to hold the whole run so the ledger assertion
+        # below stays meaningful.  Sampled runs fit the default ring.
+        sampling = (None if rate is None else
+                    SamplingPolicy(rate=rate, seed=SAMPLING_SEED))
+        capacity = (telemetry.DEFAULT_CAPACITY if rate is not None
+                    else max(telemetry.DEFAULT_CAPACITY, 4 * messages))
+        tracer = telemetry.install(sim, kernel_detail=None,
+                                   sampling=sampling, capacity=capacity)
     net = star(sim, leaves=4)
     delivered = []
     for i in range(4):
@@ -131,12 +170,26 @@ def run_storm_mode(messages: int, traced: bool) -> dict:
         "messages_per_sec": messages / elapsed,
     }
     if tracer is not None:
-        flows = [s for s in tracer.spans if s.category == "net.msg"]
-        hops = [s for s in tracer.spans if s.category == "net.hop"]
-        assert len(flows) == messages, (len(flows), messages)
-        assert len(hops) == 2 * messages, (len(hops), messages)
-        result["flow_spans"] = len(flows)
-        result["hop_spans"] = len(hops)
+        flows = hops = 0
+        for span in tracer.ring:
+            if span.category == "net.msg":
+                flows += 1
+            elif span.category == "net.hop":
+                hops += 1
+        if rate is None:
+            assert tracer.drops == 0, (tracer.drops, "full-rate ring wrapped")
+            assert flows == messages, (flows, messages)
+            assert hops == 2 * messages, (hops, messages)
+        else:
+            # Head sampling keeps or drops traces whole: every sampled
+            # flow still carries both of its hop segments.
+            assert hops == 2 * flows, (hops, flows)
+            assert 0 < flows < messages, (flows, messages)
+        result["flow_spans"] = flows
+        result["hop_spans"] = hops
+        result["drops"] = tracer.drops
+        result["span_buffer_bytes"] = tracer.ring.nbytes
+        result["categories"] = telemetry.category_stats(tracer)
         result["checksum"] = telemetry.trace_checksum(tracer)
     return result
 
@@ -149,8 +202,11 @@ def run_storm_mode(messages: int, traced: bool) -> dict:
 def run_suite(smoke: bool) -> dict:
     sessions = 20_000 if smoke else 150_000
     messages = 4_000 if smoke else 40_000
+    sampled_rate = 0.01
 
-    churn = {mode: run_churn_mode(sessions, mode) for mode in MODES}
+    # Full runs take more rounds: the <5% disabled gate needs the best-of
+    # to actually reach the drift-free floor.
+    churn = run_churn(sessions, repeats=3 if smoke else 5)
     # Telemetry must observe, never perturb: identical interleavings.
     baseline_checksum = churn["off"]["checksum"]
     for mode, result in churn.items():
@@ -158,12 +214,34 @@ def run_suite(smoke: bool) -> dict:
             f"telemetry mode {mode!r} changed the event interleaving"
         )
 
-    storm_off = run_storm_mode(messages, traced=False)
-    storm_on = run_storm_mode(messages, traced=True)
-    storm_repeat = run_storm_mode(messages, traced=True)
-    assert storm_on["checksum"] == storm_repeat["checksum"], (
-        "lineage trace is not deterministic across identical runs"
-    )
+    # Storms: best-of-2 per lineage mode, rounds interleaved (same drift
+    # argument as the churn); the repeat doubles as the determinism
+    # witness — both full and sampled traces must checksum identically
+    # across the rounds.
+    storm_off = storm_on = storm_sampled = None
+    for _ in range(2):
+        round_off = run_storm_mode(messages, traced=False)
+        if (storm_off is None or round_off["messages_per_sec"]
+                > storm_off["messages_per_sec"]):
+            storm_off = round_off
+        round_on = run_storm_mode(messages, traced=True)
+        if storm_on is not None:
+            assert round_on["checksum"] == storm_on["checksum"], (
+                "lineage trace is not deterministic across identical runs"
+            )
+        if (storm_on is None or round_on["messages_per_sec"]
+                > storm_on["messages_per_sec"]):
+            storm_on = round_on
+        round_sampled = run_storm_mode(messages, traced=True,
+                                       rate=sampled_rate)
+        if storm_sampled is not None:
+            assert round_sampled["checksum"] == storm_sampled["checksum"], (
+                "sampled lineage trace is not deterministic across "
+                "same-seed runs"
+            )
+        if (storm_sampled is None or round_sampled["messages_per_sec"]
+                > storm_sampled["messages_per_sec"]):
+            storm_sampled = round_sampled
 
     off_eps = churn["off"]["events_per_sec"]
     overhead = {
@@ -172,25 +250,33 @@ def run_suite(smoke: bool) -> dict:
     }
     storm_overhead = (storm_off["messages_per_sec"]
                       / storm_on["messages_per_sec"] - 1.0) * 100.0
+    storm_overhead_sampled = (storm_off["messages_per_sec"]
+                              / storm_sampled["messages_per_sec"]
+                              - 1.0) * 100.0
 
     print_table(
         "S2-T kernel churn under telemetry modes",
-        ["mode", "events", "events/sec", "overhead"],
+        ["mode", "events", "events/sec", "overhead", "observed"],
         [[mode,
           result["scheduled_events"],
           f"{result['events_per_sec']:,.0f}",
-          "baseline" if mode == "off" else fmt(overhead[mode], 1) + "%"]
+          "baseline" if mode == "off" else fmt(overhead[mode], 1) + "%",
+          result.get("observed_events", "-")]
          for mode, result in churn.items()],
     )
     print_table(
         "S2-T netsim 2-hop message storm (lineage)",
-        ["lineage", "messages", "messages/sec", "overhead"],
+        ["lineage", "messages", "messages/sec", "overhead", "flows kept"],
         [
             ["off", storm_off["messages"],
-             f"{storm_off['messages_per_sec']:,.0f}", "baseline"],
-            ["on", storm_on["messages"],
+             f"{storm_off['messages_per_sec']:,.0f}", "baseline", "-"],
+            ["full", storm_on["messages"],
              f"{storm_on['messages_per_sec']:,.0f}",
-             fmt(storm_overhead, 1) + "%"],
+             fmt(storm_overhead, 1) + "%", storm_on["flow_spans"]],
+            [f"sampled {sampled_rate:.0%}", storm_sampled["messages"],
+             f"{storm_sampled['messages_per_sec']:,.0f}",
+             fmt(storm_overhead_sampled, 1) + "%",
+             storm_sampled["flow_spans"]],
         ],
     )
 
@@ -199,22 +285,36 @@ def run_suite(smoke: bool) -> dict:
         "mode": "smoke" if smoke else "full",
         "unix_time": time.time(),
         "python": sys.version.split()[0],
+        "sampling": {"rate": sampled_rate, "seed": SAMPLING_SEED},
         "kernel": {
             "scheduled_events": churn["off"]["scheduled_events"],
             "events_per_sec": {mode: result["events_per_sec"]
                                for mode, result in churn.items()},
             "overhead_pct": overhead,
+            "observed_events": {
+                mode: result["observed_events"]
+                for mode, result in churn.items()
+                if "observed_events" in result},
             "trace_checksum": baseline_checksum,
         },
         "netsim": {
             "messages": messages,
             "messages_per_sec_off": storm_off["messages_per_sec"],
             "messages_per_sec_on": storm_on["messages_per_sec"],
+            "messages_per_sec_sampled": storm_sampled["messages_per_sec"],
             "overhead_pct": storm_overhead,
+            "overhead_pct_sampled": storm_overhead_sampled,
             "flow_spans": storm_on["flow_spans"],
             "hop_spans": storm_on["hop_spans"],
+            "sampled_flow_spans": storm_sampled["flow_spans"],
+            "sampled_hop_spans": storm_sampled["hop_spans"],
             "chrome_checksum": storm_on["checksum"],
+            "sampled_chrome_checksum": storm_sampled["checksum"],
         },
+        "categories": storm_sampled["categories"],
+        "drops": storm_sampled["drops"],
+        "span_buffer_bytes": max(storm_on["span_buffer_bytes"],
+                                 storm_sampled["span_buffer_bytes"]),
     }
 
 
@@ -225,7 +325,8 @@ def write_results(results: dict, out: Path = DEFAULT_OUT) -> None:
 
 # ---------------------------------------------------------------------------
 # pytest entry points (smoke-sized; lenient floors so shared-runner noise
-# cannot flake them — the stricter numbers are reported, not asserted).
+# cannot flake them — the stricter numbers are gated on the full run by
+# check_bench_regression.py, not asserted here).
 # ---------------------------------------------------------------------------
 
 _CACHED_RESULTS: dict | None = None
@@ -247,12 +348,25 @@ def test_s2_disabled_telemetry_is_free():
     assert results["kernel"]["overhead_pct"]["disabled"] < 10.0
 
 
+def test_s2_sampled_telemetry_is_production_grade():
+    results = _results()
+    # The acceptance bar is <10% at 1% sampling on a quiet machine; the
+    # pytest floor is looser so shared-runner noise cannot flake tier-1.
+    assert results["kernel"]["overhead_pct"]["sampled_1pct"] < 25.0
+    assert results["netsim"]["overhead_pct_sampled"] < 25.0
+    # Sampled runs must never wrap the default ring on this workload.
+    assert results["drops"] == 0
+
+
 def test_s2_enabled_lineage_complete_and_deterministic():
     results = _results()
     # run_suite asserted checksum stability; re-check the span ledger.
     netsim = results["netsim"]
     assert netsim["flow_spans"] == netsim["messages"]
     assert netsim["hop_spans"] == 2 * netsim["messages"]
+    # Sampled lineage keeps traces whole: two hops per surviving flow.
+    assert netsim["sampled_hop_spans"] == 2 * netsim["sampled_flow_spans"]
+    assert 0 < netsim["sampled_flow_spans"] < netsim["messages"]
 
 
 if __name__ == "__main__":

@@ -22,6 +22,11 @@ Performance notes (the whole platform runs on this hot path):
   :mod:`repro.telemetry`).  With no hooks installed the only cost is one
   ``is not None`` branch per operation, so the disabled path stays on the
   fast-path budget.
+* Instrumentation is *sampled* inline: hooks carry an integer ``skip``
+  gap the scheduling fast path counts down — an unsampled event pays one
+  decrement at schedule time and one ``traced`` flag check at fire time,
+  never a hook call or a ``perf_counter`` read.  A gap of zero (the
+  telemetry default) traces every event.
 
 Typical use::
 
@@ -55,7 +60,8 @@ class Event:
     the event itself, so events never need rich comparison.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_sim")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "traced", "_sim")
 
     def __init__(
         self,
@@ -72,6 +78,10 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # Sampled instrumentation: set by the scheduling fast path when
+        # this event won the sampling draw; untraced events skip every
+        # hook call and timing read on the fire path.
+        self.traced = False
         self._sim = sim
 
     def cancel(self) -> None:
@@ -82,9 +92,10 @@ class Event:
         sim = self._sim
         if sim is not None:
             self._sim = None
-            hooks = sim._hooks
-            if hooks is not None:
-                hooks.event_cancelled(self)
+            if self.traced:
+                hooks = sim._hooks
+                if hooks is not None:
+                    hooks.event_cancelled(self)
             sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -155,7 +166,14 @@ class Simulator:
 
         ``hooks`` must expose ``event_scheduled(event)``,
         ``event_begin(event)``, ``event_end(event, wall_seconds)``,
-        ``event_cancelled(event)`` and ``timer_tick(timer)``.  Only one
+        ``event_cancelled(event)``, ``timer_tick(timer)`` and an integer
+        ``skip`` attribute: the number of upcoming schedules the loop
+        drops *inline* (one decrement each, no call) before the next
+        sampled event.  ``event_scheduled`` fires only for sampled
+        events — it marks them via ``event.traced`` having been set by
+        the loop — and should replenish ``skip`` with the next gap
+        (keep it 0 to trace everything).  ``event_begin`` / ``event_end``
+        / ``event_cancelled`` fire only for traced events.  Only one
         hook object can be installed; :mod:`repro.telemetry` multiplexes
         if more consumers are needed.
         """
@@ -196,8 +214,16 @@ class Simulator:
         event = Event(time, priority, seq, callback, args, self)
         self._live += 1
         heapq.heappush(self._queue, (time, priority, seq, event))
-        if self._hooks is not None:
-            self._hooks.event_scheduled(event)
+        hooks = self._hooks
+        if hooks is not None:
+            # Sampled instrumentation: count down the gap inline so an
+            # unsampled schedule costs one decrement, not a call.
+            gap = hooks.skip
+            if gap:
+                hooks.skip = gap - 1
+            else:
+                event.traced = True
+                hooks.event_scheduled(event)
         return event
 
     def call_soon(
@@ -261,7 +287,12 @@ class Simulator:
         hooks = self._hooks
         if hooks is not None:
             for event in events:
-                hooks.event_scheduled(event)
+                gap = hooks.skip
+                if gap:
+                    hooks.skip = gap - 1
+                else:
+                    event.traced = True
+                    hooks.event_scheduled(event)
         return events
 
     # -- cancellation bookkeeping ----------------------------------------
@@ -305,7 +336,7 @@ class Simulator:
             self._now = entry[0]
             self._executed += 1
             hooks = self._hooks
-            if hooks is None:
+            if hooks is None or not event.traced:
                 event.callback(*event.args)
             else:
                 hooks.event_begin(event)
@@ -353,7 +384,7 @@ class Simulator:
                 self._executed += 1
                 executed += 1
                 hooks = self._hooks
-                if hooks is None:
+                if hooks is None or not event.traced:
                     event.callback(*event.args)
                 else:
                     hooks.event_begin(event)

@@ -196,9 +196,12 @@ class Network:
         message.sent_at = self.sim.now
         self.stats.sent += 1
         tracer = self.sim.tracer
-        if tracer is not None and tracer.enabled:
+        if tracer is not None and tracer.enabled \
+                and tracer.sample("net.msg"):
             # Message lineage root: hops attach as children, so an
-            # end-to-end latency decomposes into per-link segments.
+            # end-to-end latency decomposes into per-link segments.  The
+            # head decision comes first so an unsampled message never
+            # pays for the name or the args dict.
             message.trace_span = tracer.begin_flow(
                 "net.msg",
                 f"{message.source}->{message.destination}/{message.endpoint}",

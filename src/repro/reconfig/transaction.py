@@ -83,7 +83,9 @@ class ReconfigurationTransaction:
     def _emit_span(self) -> None:
         """One span covering the whole transaction window."""
         tracer = self.assembly.sim.tracer
-        if tracer is not None:
+        # "reconfig" sits in the default always-on sampling set, so this
+        # records at any probabilistic rate unless explicitly opted out.
+        if tracer is not None and tracer.sample("reconfig"):
             report = self.report
             tracer.emit("reconfig", self.name,
                         report.started_at, report.finished_at,

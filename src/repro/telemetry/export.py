@@ -7,9 +7,19 @@ as point markers.
 
 Determinism contract: exports contain **only** simulated-time data —
 wall-clock attribution stays in the in-memory tracer and the terminal
-summary — so two same-seed runs export byte-identical traces.  Pass
-``include_wall=True`` to :func:`write_jsonl` to trade that away for
+summary — so two same-seed runs export byte-identical traces.  Sampling
+preserves this: decisions come from a seeded stream, so the *sampled*
+span set (and the export bytes) are identical across same-seed runs.
+Pass ``include_wall=True`` to :func:`write_jsonl` to trade that away for
 profiling data.
+
+Spans are materialized lazily: the exporters iterate the tracer's
+:class:`~repro.telemetry.ring.SpanRing` directly, so span objects exist
+only while being serialized.  When the ring wrapped (spans were dropped
+oldest-first) or a probabilistic sampling rate is active, exports carry
+a ``meta`` record / ``otherData.sampling`` block stating the rate, seed,
+drop count and ring capacity — a trace that isn't the whole story says
+so in-band.
 """
 
 from __future__ import annotations
@@ -36,10 +46,30 @@ def _ts(time: float) -> float:
 # ---------------------------------------------------------------------------
 
 
+def _sampling_meta(tracer: Tracer) -> dict[str, Any] | None:
+    """Sampling/drop provenance, or None when the trace is complete
+    (rate 1.0, nothing dropped) — keeping full traces byte-identical
+    with their PR 2 serialization."""
+    policy = tracer.sampling
+    dropped = tracer.ring.dropped
+    if policy.rate >= 1.0 and not dropped:
+        return None
+    return {
+        "sampling_rate": policy.rate,
+        "sampling_seed": policy.seed,
+        "always": sorted(policy.always),
+        "dropped_spans": dropped,
+        "ring_capacity": tracer.ring.capacity,
+    }
+
+
 def jsonl_records(tracer: Tracer, include_wall: bool = False
                   ) -> Iterator[dict[str, Any]]:
     """Every recorded datum as one flat dict per line, in record order."""
-    for span in tracer.spans:
+    meta = _sampling_meta(tracer)
+    if meta is not None:
+        yield {"type": "meta", **meta}
+    for span in tracer.ring:
         record = {
             "type": "span",
             "id": span.span_id,
@@ -108,7 +138,7 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
     })
 
     end_of_run = 0.0
-    for span in tracer.spans:
+    for span in tracer.ring:
         end_of_run = max(end_of_run, span.end)
         events.append({
             "ph": "X",
@@ -155,10 +185,15 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
             "args": {name: tracer.counters[name]
                      for name in sorted(tracer.counters)},
         })
+    other: dict[str, Any] = {"exporter": "repro.telemetry",
+                             "clock": "simulated"}
+    meta = _sampling_meta(tracer)
+    if meta is not None:
+        other["sampling"] = meta
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"exporter": "repro.telemetry", "clock": "simulated"},
+        "otherData": other,
     }
 
 

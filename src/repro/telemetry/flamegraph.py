@@ -1,0 +1,178 @@
+"""Folded-stack (flamegraph) export: where the time goes, stacked.
+
+Produces the classic ``frame;frame;frame weight`` folded format consumed
+by Brendan Gregg's ``flamegraph.pl`` and by speedscope
+(https://www.speedscope.app — *Import* accepts folded stacks directly),
+from the two profiles the platform already collects:
+
+* **Span chains** (:func:`span_folded`) — finished spans from the
+  tracer's ring, stacked by their ``parent_id`` chains.  Weights are
+  integer microseconds of *self* time: simulated by default (byte-stable
+  across same-seed runs), wall-clock on request for host-CPU hunting.
+* **Kernel scheduling edges** (:func:`kernel_folded`) — per-site self
+  time from :class:`~repro.telemetry.hooks.KernelInstrumentation`,
+  stacked along each site's *dominant scheduling chain*: who most often
+  scheduled it, who most often scheduled *that*, back to ``<external>``.
+  The edge profile is aggregate (it never stored per-event stacks), so
+  this is a dominant-path approximation — cycles (a timer rescheduling
+  itself) are cut at first repeat.  Weights are wall microseconds by
+  default, or deterministic fired-event counts with ``weight="events"``.
+
+Workflow::
+
+    lines = folded_stacks(tracer)            # spans + kernel, one file
+    write_folded("run.folded", lines)
+    # flamegraph.pl run.folded > run.svg     (or import into speedscope)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.telemetry.hooks import EXTERNAL, KernelInstrumentation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.tracer import Tracer
+
+#: Parent chains and scheduling chains are cut at this depth (defensive:
+#: real traces are shallow; a corrupt parent link must not loop forever).
+MAX_DEPTH = 64
+
+
+def _frame(text: str) -> str:
+    """Sanitize one frame label for the folded format (no ';' or space)."""
+    return text.replace(";", ",").replace(" ", "_")
+
+
+def _render(folded: dict[tuple[str, ...], int]) -> list[str]:
+    """Deterministic output: one line per unique stack, sorted."""
+    return [f"{';'.join(stack)} {weight}"
+            for stack, weight in sorted(folded.items()) if weight > 0]
+
+
+# ---------------------------------------------------------------------------
+# Span parent chains
+# ---------------------------------------------------------------------------
+
+
+def span_folded(tracer: "Tracer", weight: str = "sim") -> list[str]:
+    """Fold the tracer's finished spans into stacks via parent chains.
+
+    Args:
+        weight: ``"sim"`` — self simulated time (duration minus child
+            durations, clamped at zero), deterministic; ``"wall"`` —
+            host CPU attributed to the span, for profiling only.
+
+    Spans whose parent was dropped from the ring (or never sampled)
+    become stack roots — the surviving evidence still renders.
+    """
+    if weight not in ("sim", "wall"):
+        raise ValueError(f"unknown span weight {weight!r}")
+    spans = tracer.ring.materialize()
+    by_id = {span.span_id: span for span in spans}
+    child_time: dict[int, float] = {}
+    if weight == "sim":
+        for span in spans:
+            if span.parent_id and span.parent_id in by_id:
+                child_time[span.parent_id] = (
+                    child_time.get(span.parent_id, 0.0) + span.duration)
+    folded: dict[tuple[str, ...], int] = {}
+    for span in spans:
+        if weight == "wall":
+            self_time = span.wall
+        else:
+            self_time = span.duration - child_time.get(span.span_id, 0.0)
+        weight_us = int(round(self_time * 1_000_000))
+        if weight_us <= 0:
+            continue
+        frames = []
+        current = span
+        for _ in range(MAX_DEPTH):
+            frames.append(_frame(f"{current.category}/{current.name}"))
+            parent = by_id.get(current.parent_id) if current.parent_id else None
+            if parent is None:
+                break
+            current = parent
+        frames.reverse()
+        stack = tuple(frames)
+        folded[stack] = folded.get(stack, 0) + weight_us
+    return _render(folded)
+
+
+# ---------------------------------------------------------------------------
+# Kernel scheduling-edge profile
+# ---------------------------------------------------------------------------
+
+
+def kernel_folded(kernel: KernelInstrumentation,
+                  weight: str = "wall") -> list[str]:
+    """Fold per-site kernel self time along dominant scheduling chains.
+
+    For each call site, walk the scheduling-edge profile backwards — the
+    predecessor with the highest edge count, ties broken lexically —
+    until ``<external>`` or a cycle, and emit the site's weight at the
+    bottom of that chain.
+
+    Args:
+        weight: ``"wall"`` — per-site wall-clock self time in µs (the
+            profiling default); ``"events"`` — fired-event counts,
+            byte-stable across same-seed runs.
+    """
+    if weight not in ("wall", "events"):
+        raise ValueError(f"unknown kernel weight {weight!r}")
+    predecessors: dict[str, list[tuple[str, int]]] = {}
+    for (src, dst), count in kernel.edges.items():
+        predecessors.setdefault(dst, []).append((src, count))
+    folded: dict[tuple[str, ...], int] = {}
+    for name, stats in kernel.sites.items():
+        if weight == "wall":
+            weight_units = int(round(stats.wall * 1_000_000))
+        else:
+            weight_units = stats.fired
+        if weight_units <= 0:
+            continue
+        chain = [name]
+        seen = {name}
+        current = name
+        for _ in range(MAX_DEPTH):
+            candidates = predecessors.get(current)
+            if not candidates:
+                break
+            src = min(candidates, key=lambda item: (-item[1], item[0]))[0]
+            if src == EXTERNAL:
+                chain.append(EXTERNAL)
+                break
+            if src in seen:
+                break  # scheduling cycle (e.g. a self-rescheduling timer)
+            chain.append(src)
+            seen.add(src)
+            current = src
+        chain.reverse()
+        stack = tuple(_frame(f"kernel/{frame}") for frame in chain)
+        folded[stack] = folded.get(stack, 0) + weight_units
+    return _render(folded)
+
+
+# ---------------------------------------------------------------------------
+# Combined export
+# ---------------------------------------------------------------------------
+
+
+def folded_stacks(tracer: "Tracer", span_weight: str = "sim",
+                  kernel_weight: str = "wall",
+                  include_kernel: bool = True) -> list[str]:
+    """Span stacks plus (when kernel hooks are installed) kernel stacks,
+    ready for one folded file — the flamegraph shows both worlds side by
+    side since their roots differ."""
+    lines = span_folded(tracer, weight=span_weight)
+    if include_kernel and tracer.kernel is not None:
+        lines.extend(kernel_folded(tracer.kernel, weight=kernel_weight))
+    return lines
+
+
+def write_folded(path: str | Path, lines: list[str]) -> Path:
+    """Write folded-stack lines to ``path`` (one stack per line)."""
+    path = Path(path)
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path

@@ -2,18 +2,35 @@
 
 Implements the hook protocol of :meth:`repro.events.Simulator.set_hooks`:
 ``event_scheduled`` / ``event_begin`` / ``event_end`` / ``event_cancelled``
-plus ``timer_tick`` from :class:`~repro.events.PeriodicTimer`.
+plus ``timer_tick`` from :class:`~repro.events.PeriodicTimer`, and the
+hot-path sampling contract:
+
+* hooks expose an integer :attr:`skip` the event loop counts down
+  *inline* — each unsampled schedule pays one decrement, no call;
+* when ``skip`` reaches zero the loop marks ``event.traced = True`` and
+  calls :meth:`event_scheduled`, which replenishes ``skip`` with the
+  next geometric gap from its :class:`~repro.telemetry.sampling.Sampler`;
+* ``event_begin`` / ``event_end`` / ``event_cancelled`` then fire only
+  for traced events, so at a 1% rate 99% of events ride within a few
+  percent of the uninstrumented path.
+
+Without a sampler (rate 1.0), ``skip`` stays 0 and every event is
+traced — PR 2 behaviour.  Note that at rates < 1 the *scheduling edge*
+profile is a sampled subset: events scheduled from inside an unsampled
+callback attribute to ``EXTERNAL``, because their true scheduler was
+never observed.
 
 Two levels of detail:
 
 * ``"aggregate"`` (default) — per-callsite counters only: fire count,
   wall-clock self time, cancellations, plus a *scheduling edge* profile
-  (which site scheduled which site, so every event is attributable to
-  its scheduling site without storing per-event records).
-* ``"events"`` — additionally records one instant per fired event and
-  per timer tick into the tracer (with the scheduling site as an
+  (which site scheduled which site, so every traced event is
+  attributable to its scheduling site without storing per-event records).
+* ``"events"`` — additionally records one instant per traced fired event
+  and per timer tick into the tracer (with the scheduling site as an
   argument), which a Chrome trace renders as the full kernel timeline.
-  Use for bounded scenario runs, not million-event benches.
+  Use for bounded scenario runs (or sampled production runs), not
+  full-rate million-event benches.
 """
 
 from __future__ import annotations
@@ -21,10 +38,12 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any
 
+from repro.telemetry.sampling import Sampler
 from repro.telemetry.tracer import Tracer
 
-#: Attribution label for events scheduled outside any event callback
-#: (test drivers, main scripts, setup code).
+#: Attribution label for events scheduled outside any traced event
+#: callback (test drivers, main scripts, setup code — and, at sampling
+#: rates below 1.0, callbacks whose own event went unsampled).
 EXTERNAL = "<external>"
 
 
@@ -56,18 +75,33 @@ class SiteStats:
 
 
 class KernelInstrumentation:
-    """The hook object wired into the simulator by ``install``."""
+    """The hook object wired into the simulator by ``install``.
 
-    def __init__(self, tracer: Tracer, detail: str = "aggregate") -> None:
+    ``sampler`` draws the geometric gaps between traced events; ``None``
+    traces everything (the rate-1.0 fast path never consults it).
+    """
+
+    __slots__ = ("tracer", "detail", "sites", "edges", "timer_ticks",
+                 "events_seen", "skip", "_sampler", "_current",
+                 "_scheduled_by")
+
+    def __init__(self, tracer: Tracer, detail: str = "aggregate",
+                 sampler: Sampler | None = None) -> None:
         if detail not in ("aggregate", "events"):
             raise ValueError(f"unknown kernel detail {detail!r}")
         self.tracer = tracer
         self.detail = detail
+        self._sampler = sampler
         self.sites: dict[str, SiteStats] = {}
-        #: (scheduling site → callback site) → count.
+        #: (scheduling site → callback site) → count, traced events only.
         self.edges: Counter[tuple[str, str]] = Counter()
         self.timer_ticks: Counter[str] = Counter()
+        #: Traced (sampled) events fired so far.
         self.events_seen = 0
+        #: Scheduled events the loop auto-drops before the next traced
+        #: one — read and decremented inline by ``Simulator.at`` /
+        #: ``schedule_many`` so unsampled schedules never call in here.
+        self.skip = sampler.gap() if sampler is not None else 0
         self._current = EXTERNAL
         #: events-mode only: seq → scheduling site, popped on fire/cancel.
         self._scheduled_by: dict[int, str] = {}
@@ -79,6 +113,12 @@ class KernelInstrumentation:
         self.events_seen = 0
         self._current = EXTERNAL
         self._scheduled_by.clear()
+        sampler = self._sampler
+        if sampler is not None:
+            sampler.reset()
+            self.skip = sampler.gap()
+        else:
+            self.skip = 0
 
     def _site(self, name: str) -> SiteStats:
         stats = self.sites.get(name)
@@ -86,9 +126,12 @@ class KernelInstrumentation:
             stats = self.sites[name] = SiteStats()
         return stats
 
-    # -- hook protocol ----------------------------------------------------
+    # -- hook protocol (traced events only) --------------------------------
 
     def event_scheduled(self, event: Any) -> None:
+        sampler = self._sampler
+        if sampler is not None:
+            self.skip = sampler.gap()
         target = site_name(event.callback)
         self._site(target).scheduled += 1
         self.edges[(self._current, target)] += 1

@@ -18,6 +18,8 @@ from time import perf_counter
 from typing import Any, TYPE_CHECKING
 
 from repro.telemetry.hooks import KernelInstrumentation
+from repro.telemetry.ring import DEFAULT_CAPACITY
+from repro.telemetry.sampling import Sampler, SamplingPolicy
 from repro.telemetry.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -25,7 +27,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def install(sim: "Simulator", enabled: bool = True,
-            kernel_detail: str | None = "aggregate") -> Tracer:
+            kernel_detail: str | None = "aggregate",
+            sampling: SamplingPolicy | None = None,
+            capacity: int = DEFAULT_CAPACITY) -> Tracer:
     """Create and attach a tracer to ``sim``.
 
     Args:
@@ -34,10 +38,24 @@ def install(sim: "Simulator", enabled: bool = True,
         kernel_detail: ``"aggregate"`` (per-site counters),
             ``"events"`` (full kernel timeline in the trace) or ``None``
             (no kernel hooks at all).
+        sampling: head-based sampling policy; default records every trace
+            root and kernel event.  ``SamplingPolicy(rate=0.01)`` is the
+            production-overhead configuration: one trace root (and one
+            kernel event) in a hundred, ``always`` categories exempt.
+        capacity: span-ring slots (see
+            :class:`~repro.telemetry.ring.SpanRing`); the ring drops
+            oldest-first once full and counts the drops.
     """
-    tracer = Tracer(sim, enabled=enabled)
+    tracer = Tracer(sim, enabled=enabled, sampling=sampling,
+                    capacity=capacity)
     if kernel_detail is not None:
-        tracer.kernel = KernelInstrumentation(tracer, detail=kernel_detail)
+        policy = tracer.sampling
+        # The kernel draws from its own stream so enabling/disabling span
+        # consumers never shifts which events get sampled (and vice versa).
+        sampler = (Sampler(policy.rate, policy.seed, stream=2)
+                   if policy.rate < 1.0 else None)
+        tracer.kernel = KernelInstrumentation(tracer, detail=kernel_detail,
+                                              sampler=sampler)
         if enabled:
             sim.set_hooks(tracer.kernel)
     sim.tracer = tracer
@@ -54,21 +72,29 @@ def instrument_connector(tracer: Tracer, connector: Any) -> None:
     """Emit one span per connector invocation via its observer pipeline.
 
     Connector calls nest synchronously (the glue may call through other
-    connectors), so an explicit stack pairs before/after phases.  Retries
-    inside the glue surface through ``invocation.meta['attempts']``.
+    connectors), so an explicit stack pairs before/after phases.  The
+    head sampling decision is made in the *before* phase — an unsampled
+    invocation pushes a ``None`` marker and assembles no span arguments.
+    Retries inside the glue surface through ``invocation.meta['attempts']``.
     """
-    stack: list[tuple[float, float]] = []
+    stack: list[tuple[float, float] | None] = []
 
     def observer(phase: str, role: str, invocation: Any, payload: Any) -> None:
         if not tracer.enabled:
             stack.clear()
             return
         if phase == "before":
-            stack.append((tracer.sim.now, perf_counter()))
+            stack.append((tracer.sim.now, perf_counter())
+                         if tracer.sample("connector") else None)
             return
         if not stack:
             return
-        start, wall0 = stack.pop()
+        entry = stack.pop()
+        if entry is None:
+            if phase == "error":
+                tracer.count(f"connector.{connector.name}.errors")
+            return
+        start, wall0 = entry
         args: dict[str, Any] = {"role": role, "op": invocation.operation,
                                 "outcome": "ok" if phase == "after" else "error"}
         attempts = invocation.meta.get("attempts")
@@ -78,8 +104,7 @@ def instrument_connector(tracer: Tracer, connector: Any) -> None:
             args["error"] = repr(payload)
             tracer.count(f"connector.{connector.name}.errors")
         tracer.emit("connector", f"{connector.name}.{invocation.operation}",
-                    start, tracer.sim.now, **args)
-        tracer.spans[-1].wall = perf_counter() - wall0
+                    start, tracer.sim.now, wall=perf_counter() - wall0, **args)
 
     connector.observers.append(observer)
 

@@ -1,0 +1,135 @@
+"""Preallocated fixed-slot span storage with lazy materialization.
+
+PR 2 appended one :class:`~repro.telemetry.tracer.Span` object (plus its
+args dict) to an unbounded list per recorded span — fine for bounded
+scenario runs, hostile to production: unbounded memory and two
+allocations on every hot-path record.  The ring replaces that with
+*fixed-slot* storage:
+
+* **Preallocated.**  Eight parallel lists of length ``capacity`` are
+  allocated once; recording a span is eight indexed stores into existing
+  slots — no container allocation, no resize, no GC pressure.
+* **Bounded, oldest-first.**  When the ring is full, the next record
+  overwrites the oldest slot and increments :attr:`dropped`.  Recent
+  history survives; the drop counter tells you the window was exceeded
+  (size the ring up, or sample down).
+* **Lazy materialization.**  :class:`Span` objects exist only while a
+  span is *open* (on the tracer's stack or riding a message) and again
+  at *export* time: iterating the ring rebuilds lightweight spans
+  oldest-first.  The steady-state record path never constructs one.
+
+``capacity`` defaults to :data:`DEFAULT_CAPACITY` slots; at eight slots
+per span the resident cost is a few MB and — unlike PR 2 — independent
+of run length.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.tracer import Span
+
+#: Default number of span slots (~64k spans; a few MB resident).
+DEFAULT_CAPACITY = 65_536
+
+
+class SpanRing:
+    """Fixed-capacity span store: eight parallel preallocated columns."""
+
+    __slots__ = ("capacity", "dropped", "_next", "_count",
+                 "_ids", "_parents", "_cats", "_names",
+                 "_starts", "_ends", "_args", "_walls")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: Spans overwritten because the ring was full (oldest-first).
+        self.dropped = 0
+        self._next = 0  # slot the next append writes
+        self._count = 0  # live slots (<= capacity)
+        self._ids = [0] * capacity
+        self._parents = [0] * capacity
+        self._cats: list[str | None] = [None] * capacity
+        self._names: list[str | None] = [None] * capacity
+        self._starts = [0.0] * capacity
+        self._ends = [0.0] * capacity
+        #: args dicts by reference, or None for arg-less spans — the hot
+        #: paths pass None so no empty dict is ever allocated.
+        self._args: list[dict[str, Any] | None] = [None] * capacity
+        self._walls = [0.0] * capacity
+
+    # -- recording (the hot path) -----------------------------------------
+
+    def append(self, span_id: int, parent_id: int, category: str, name: str,
+               start: float, end: float, args: dict[str, Any] | None,
+               wall: float) -> None:
+        """Write one finished span into the next slot (overwrite-oldest)."""
+        i = self._next
+        if self._count == self.capacity:
+            self.dropped += 1
+        else:
+            self._count += 1
+        self._ids[i] = span_id
+        self._parents[i] = parent_id
+        self._cats[i] = category
+        self._names[i] = name
+        self._starts[i] = start
+        self._ends[i] = end
+        self._args[i] = args
+        self._walls[i] = wall
+        i += 1
+        self._next = i if i < self.capacity else 0
+
+    # -- reading (materialization) ----------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> "Iterator[Span]":
+        """Yield surviving spans oldest-first as materialized objects."""
+        from repro.telemetry.tracer import Span  # local: avoids cycle
+
+        capacity = self.capacity
+        start = (self._next - self._count) % capacity
+        for k in range(self._count):
+            i = start + k
+            if i >= capacity:
+                i -= capacity
+            args = self._args[i]
+            span = Span(self._ids[i], self._parents[i],
+                        self._cats[i], self._names[i],
+                        self._starts[i], {} if args is None else args)
+            span.end = self._ends[i]
+            span.wall = self._walls[i]
+            yield span
+
+    def materialize(self) -> "list[Span]":
+        """All surviving spans, oldest-first, as a fresh list."""
+        return list(self)
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self) -> None:
+        """Forget every span (slots stay allocated; references released)."""
+        capacity = self.capacity
+        self._cats[:] = [None] * capacity
+        self._names[:] = [None] * capacity
+        self._args[:] = [None] * capacity
+        self._next = 0
+        self._count = 0
+        self.dropped = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Resident container bytes of the eight preallocated columns
+        (the fixed cost the ring pins regardless of run length)."""
+        return sum(sys.getsizeof(column) for column in (
+            self._ids, self._parents, self._cats, self._names,
+            self._starts, self._ends, self._args, self._walls))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SpanRing({len(self)}/{self.capacity} slots, "
+                f"dropped={self.dropped})")

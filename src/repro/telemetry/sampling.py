@@ -1,0 +1,125 @@
+"""Head-based trace sampling: keep telemetry on under production load.
+
+PR 2's tracer recorded everything, which cost 60–150% on the kernel hot
+path when enabled.  This module makes *enabled* telemetry affordable by
+deciding, **once, at the start of each trace root**, whether the whole
+trace (the root span plus every child it will ever have) is recorded:
+
+* :class:`SamplingPolicy` — the configuration: a probabilistic ``rate``
+  in [0, 1], a set of ``always`` categories that bypass the coin flip
+  (decision audit, reconfiguration, RAML spans are too valuable and too
+  rare to sample away), and a ``seed`` making the sampled subset a pure
+  function of the workload.
+* :class:`Sampler` — the decision stream: a 64-bit LCG stepped once per
+  decision.  Two same-seed runs over the same workload draw identical
+  sequences, so the sampled span set — and therefore the exported trace
+  bytes — are identical (the determinism contract extends to sampling).
+* :meth:`Sampler.gap` — geometric gap draws for the kernel hot path:
+  instead of flipping a coin per scheduled event, the instrumentation
+  draws "how many events to *skip* until the next sampled one" and the
+  event loop pays a single integer decrement per unsampled event (see
+  ``Simulator.at`` and :class:`~repro.telemetry.hooks.KernelInstrumentation`).
+
+Head-based means children inherit the root's fate: a sampled message
+flow records all its hop segments; an unsampled one records nothing —
+traces stay internally complete, never partially torn.
+"""
+
+from __future__ import annotations
+
+from math import log, log1p
+from typing import Iterable
+
+#: 64-bit LCG constants (Knuth's MMIX) — full-period, fast to step.
+_MULT = 6364136223846793005
+_INC = 1442695040888963407
+_MASK = (1 << 64) - 1
+#: Decisions compare the top 53 bits (a float mantissa's worth).
+_TOP = 1 << 53
+
+#: Splitmix-style stream separators so the span sampler and the kernel
+#: sampler draw independent deterministic sequences from one seed.
+_STREAM_SALT = 0x9E3779B97F4A7C15
+
+#: A gap longer than any realistic run — "never sample" for rate 0.
+NEVER = 1 << 62
+
+#: Categories recorded regardless of the probabilistic rate by default:
+#: meta-level decisions are rare, causally precious, and the whole point
+#: of the platform — sampling them away would blind the audit trail.
+ALWAYS_ON_CATEGORIES = frozenset(
+    {"raml", "reconfig", "audit", "adaptation", "control"})
+
+
+class SamplingPolicy:
+    """What fraction of trace roots to record, and which never to drop.
+
+    ``rate=1.0`` (the default) reproduces PR 2's record-everything
+    behaviour bit-for-bit; production installs pick ``rate=0.01`` and
+    keep the ``always`` categories for the decision audit.
+    """
+
+    __slots__ = ("rate", "always", "seed")
+
+    def __init__(self, rate: float = 1.0,
+                 always: Iterable[str] = ALWAYS_ON_CATEGORIES,
+                 seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+        self.always = frozenset(always)
+        self.seed = int(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SamplingPolicy(rate={self.rate}, "
+                f"always={sorted(self.always)}, seed={self.seed})")
+
+
+class Sampler:
+    """A deterministic stream of keep/drop decisions.
+
+    One instance per consumer (span roots, kernel events) with distinct
+    ``stream`` ids, so enabling one consumer never shifts another's
+    decisions.
+    """
+
+    __slots__ = ("rate", "seed", "stream", "_state", "_threshold")
+
+    def __init__(self, rate: float, seed: int = 0, stream: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.stream = int(stream)
+        self._threshold = int(self.rate * _TOP)
+        self._state = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind to the first decision (used by ``Tracer.clear`` so a
+        cleared tracer reproduces the same sampled trace)."""
+        self._state = ((self.seed + 1) * _STREAM_SALT
+                       + (self.stream + 1) * 0xBF58476D1CE4E5B9) & _MASK
+
+    def sample(self) -> bool:
+        """One keep/drop decision; steps the stream exactly once."""
+        state = (self._state * _MULT + _INC) & _MASK
+        self._state = state
+        return (state >> 11) < self._threshold
+
+    def gap(self) -> int:
+        """How many decisions to auto-drop before the next kept one.
+
+        A geometric draw equivalent to repeated :meth:`sample` calls but
+        paid once per *kept* event: the event loop counts this integer
+        down and only calls back into instrumentation when it hits zero.
+        """
+        rate = self.rate
+        if rate >= 1.0:
+            return 0
+        if rate <= 0.0:
+            return NEVER
+        state = (self._state * _MULT + _INC) & _MASK
+        self._state = state
+        uniform = ((state >> 11) + 1) / _TOP  # in (0, 1]
+        return int(log(uniform) / log1p(-rate))

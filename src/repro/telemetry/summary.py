@@ -43,8 +43,16 @@ def render_summary(tracer: Tracer, top: int = 10, wall: bool = True) -> str:
     """
     sections: list[str] = []
 
+    policy = tracer.sampling
+    if policy.rate < 1.0 or tracer.ring.dropped:
+        sections.append(
+            f"sampling: rate={policy.rate:g} seed={policy.seed} | "
+            f"span buffer: {len(tracer.ring)}/{tracer.ring.capacity} slots, "
+            f"{tracer.ring.dropped} dropped oldest-first")
+        sections.append("")
+
     by_category: dict[str, tuple[int, float, float]] = {}
-    for span in tracer.spans:
+    for span in tracer.ring:
         count, sim_time, wall_s = by_category.get(span.category, (0, 0.0, 0.0))
         by_category[span.category] = (
             count + 1, sim_time + span.duration, wall_s + span.wall

@@ -1,0 +1,150 @@
+"""Folded-stack export: span parent chains + kernel scheduling chains."""
+
+import pytest
+
+from repro.events import Simulator
+from repro.telemetry import (
+    EXTERNAL,
+    Tracer,
+    folded_stacks,
+    install,
+    kernel_folded,
+    span_folded,
+    write_folded,
+)
+
+
+def make_tracer():
+    return Tracer(Simulator())
+
+
+class TestSpanFolded:
+    def test_parent_chain_and_self_time(self):
+        tracer = make_tracer()
+        sim = tracer.sim
+        with tracer.span("app", "outer"):
+            sim.run(until=0.2)
+            with tracer.span("app", "inner"):
+                sim.run(until=0.5)
+            sim.run(until=0.6)
+        lines = span_folded(tracer)
+        assert sorted(lines) == [
+            "app/outer 300000",             # 0.6 total - 0.3 child
+            "app/outer;app/inner 300000",   # inner self time
+        ]
+
+    def test_orphan_parent_becomes_root(self):
+        tracer = make_tracer()
+        tracer.emit("net.hop", "hop", 0.0, 0.1, parent_id=999)
+        assert span_folded(tracer) == ["net.hop/hop 100000"]
+
+    def test_frames_are_sanitized(self):
+        tracer = make_tracer()
+        tracer.emit("net.msg", "a;b c", 0.0, 0.1)
+        assert span_folded(tracer) == ["net.msg/a,b_c 100000"]
+
+    def test_sibling_stacks_merge_weights(self):
+        tracer = make_tracer()
+        tracer.emit("work", "job", 0.0, 0.1)
+        tracer.emit("work", "job", 0.5, 0.6)
+        assert span_folded(tracer) == ["work/job 200000"]
+
+    def test_wall_weight_mode(self):
+        tracer = make_tracer()
+        with tracer.span("c", "busy"):
+            sum(range(50_000))
+        (line,) = span_folded(tracer, weight="wall")
+        frame, weight = line.rsplit(" ", 1)
+        assert frame == "c/busy" and int(weight) > 0
+
+    def test_unknown_weight_rejected(self):
+        with pytest.raises(ValueError):
+            span_folded(make_tracer(), weight="cpu")
+
+    def test_empty_tracer_empty_output(self):
+        assert span_folded(make_tracer()) == []
+
+
+class TestKernelFolded:
+    def test_dominant_scheduling_chain(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def leaf():
+            pass
+
+        def parent():
+            sim.schedule(1.0, leaf)
+
+        sim.schedule(1.0, parent)
+        sim.run()
+        lines = kernel_folded(tracer.kernel, weight="events")
+        # Both events fired once; leaf's dominant predecessor is parent,
+        # parent's is <external>.
+        assert len(lines) == 2
+        chains = {tuple(line.rsplit(" ", 1)[0].split(";")) for line in lines}
+        leaf_chain = next(c for c in chains if c[-1].endswith(".leaf"))
+        assert leaf_chain[0] == f"kernel/{EXTERNAL}"
+        assert len(leaf_chain) == 3
+
+    def test_self_rescheduling_cycle_is_cut(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def tick():
+            if sim.now < 3.0:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        lines = kernel_folded(tracer.kernel, weight="events")
+        assert len(lines) == 1  # the cycle collapses to one chain
+        assert lines[0].endswith(" 3")
+
+    def test_unknown_weight_rejected(self):
+        sim = Simulator()
+        tracer = install(sim)
+        with pytest.raises(ValueError):
+            kernel_folded(tracer.kernel, weight="sim")
+
+
+class TestCombined:
+    def test_folded_stacks_merges_both_profiles(self, tmp_path):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def work():
+            pass
+
+        with tracer.span("app", "run"):
+            sim.schedule(1.0, work)
+            sim.run()
+        lines = folded_stacks(tracer, kernel_weight="events")
+        assert any(line.startswith("app/run") for line in lines)
+        assert any(line.startswith("kernel/") for line in lines)
+        path = write_folded(tmp_path / "run.folded", lines)
+        assert path.read_text().splitlines() == lines
+
+    def test_without_kernel_hooks_spans_only(self):
+        tracer = make_tracer()
+        tracer.emit("app", "solo", 0.0, 1.0)
+        assert folded_stacks(tracer) == ["app/solo 1000000"]
+
+    def test_write_empty(self, tmp_path):
+        path = write_folded(tmp_path / "empty.folded", [])
+        assert path.read_text() == ""
+
+    def test_deterministic_across_same_seed_runs(self):
+        def run():
+            sim = Simulator()
+            tracer = install(sim)
+
+            def work():
+                pass
+
+            with tracer.span("app", "run"):
+                sim.schedule_many((1.0 + i, work) for i in range(20))
+                sim.run()
+            return folded_stacks(tracer, kernel_weight="events")
+
+        assert run() == run()

@@ -1,0 +1,114 @@
+"""SpanRing: fixed slots, oldest-first overwrite, lazy materialization."""
+
+from repro.events import Simulator
+from repro.telemetry import SpanRing, Tracer, chrome_trace, jsonl_records
+from repro.telemetry.ring import DEFAULT_CAPACITY
+
+
+def fill(ring, n, offset=0):
+    for i in range(offset, offset + n):
+        ring.append(i + 1, 0, "work", f"s{i}", float(i), float(i) + 0.5,
+                    None, 0.0)
+
+
+class TestRingBasics:
+    def test_default_capacity(self):
+        assert SpanRing().capacity == DEFAULT_CAPACITY
+
+    def test_append_and_materialize_in_order(self):
+        ring = SpanRing(capacity=8)
+        fill(ring, 3)
+        spans = ring.materialize()
+        assert [s.name for s in spans] == ["s0", "s1", "s2"]
+        assert [s.span_id for s in spans] == [1, 2, 3]
+        assert spans[0].args == {}  # None slot materializes as empty dict
+        assert ring.dropped == 0 and len(ring) == 3
+
+    def test_args_dict_round_trips(self):
+        ring = SpanRing(capacity=4)
+        ring.append(1, 0, "c", "n", 0.0, 1.0, {"k": "v"}, 0.25)
+        (span,) = ring.materialize()
+        assert span.args == {"k": "v"}
+        assert span.wall == 0.25
+
+    def test_clear_resets_everything(self):
+        ring = SpanRing(capacity=4)
+        fill(ring, 6)
+        ring.clear()
+        assert len(ring) == 0 and ring.dropped == 0
+        assert ring.materialize() == []
+        fill(ring, 2)
+        assert [s.name for s in ring] == ["s0", "s1"]
+
+    def test_nbytes_reports_slot_storage(self):
+        assert SpanRing(capacity=1024).nbytes > 0
+
+
+class TestWraparound:
+    def test_oldest_dropped_first(self):
+        ring = SpanRing(capacity=4)
+        fill(ring, 7)
+        assert ring.dropped == 3
+        assert len(ring) == 4
+        # s0..s2 were overwritten; the newest four survive in order.
+        assert [s.name for s in ring] == ["s3", "s4", "s5", "s6"]
+
+    def test_exact_capacity_drops_nothing(self):
+        ring = SpanRing(capacity=4)
+        fill(ring, 4)
+        assert ring.dropped == 0
+        assert [s.name for s in ring] == ["s0", "s1", "s2", "s3"]
+
+    def test_multiple_full_wraps(self):
+        ring = SpanRing(capacity=3)
+        fill(ring, 10)
+        assert ring.dropped == 7
+        assert [s.name for s in ring] == ["s7", "s8", "s9"]
+
+    def test_tracer_exposes_drop_counter(self):
+        tracer = Tracer(Simulator(), capacity=4)
+        for i in range(9):
+            with tracer.span("work", f"s{i}"):
+                pass
+        assert tracer.drops == 5
+        assert len(tracer.spans) == 4
+
+    def test_exports_surface_drops_in_meta(self):
+        tracer = Tracer(Simulator(), capacity=2)
+        for i in range(5):
+            with tracer.span("work", f"s{i}"):
+                pass
+        records = list(jsonl_records(tracer))
+        assert records[0]["type"] == "meta"
+        assert records[0]["dropped_spans"] == 3
+        assert records[0]["ring_capacity"] == 2
+        doc = chrome_trace(tracer)
+        assert doc["otherData"]["sampling"]["dropped_spans"] == 3
+
+
+class TestExportEdgeCases:
+    def test_export_on_empty_buffer(self):
+        tracer = Tracer(Simulator())
+        assert list(jsonl_records(tracer)) == []
+        doc = chrome_trace(tracer)
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert names == ["process_name"]  # metadata only, no spans
+
+    def test_export_after_clear_is_empty(self):
+        tracer = Tracer(Simulator(), capacity=2)
+        for i in range(5):
+            with tracer.span("work", f"s{i}"):
+                pass
+        tracer.clear()
+        assert list(jsonl_records(tracer)) == []
+
+    def test_fully_dropped_buffer_still_reports_meta(self):
+        # Every surviving slot overwritten many times over: the spans that
+        # remain export fine and the meta record tells the whole story.
+        tracer = Tracer(Simulator(), capacity=1)
+        for i in range(100):
+            with tracer.span("work", f"s{i}"):
+                pass
+        records = list(jsonl_records(tracer))
+        assert records[0]["dropped_spans"] == 99
+        assert [r["name"] for r in records if r["type"] == "span"] == ["s99"]
