@@ -22,8 +22,11 @@ event interleaving) and across repeated enabled runs: full-rate and
 sampled storms are each run twice and must produce byte-identical
 Chrome trace checksums — sampling decisions come from a seeded stream.
 
-Results land in ``BENCH_telemetry.json`` (the document
-``repro.telemetry.dashboard`` folds PR-over-PR).  Run standalone::
+Full runs land in ``BENCH_telemetry.json`` (the document
+``repro.telemetry.dashboard`` folds PR-over-PR and
+``check_bench_regression.py`` gates); ``--smoke`` runs default to the
+gitignored ``BENCH_telemetry.smoke.json`` so short noisy runs never
+replace the canonical artifact.  Run standalone::
 
     python benchmarks/bench_s2_telemetry.py [--smoke] [--out PATH]
 """
@@ -52,6 +55,7 @@ from bench_s0_kernel import ChurnDriver
 from conftest import fmt, print_table
 
 DEFAULT_OUT = _ROOT / "BENCH_telemetry.json"
+SMOKE_OUT = _ROOT / "BENCH_telemetry.smoke.json"
 
 #: Seed for every sampled mode: decisions must replay run over run.
 SAMPLING_SEED = 0
@@ -336,7 +340,9 @@ def _results() -> dict:
     global _CACHED_RESULTS
     if _CACHED_RESULTS is None:
         _CACHED_RESULTS = run_suite(smoke=True)
-        write_results(_CACHED_RESULTS)
+        # Never the canonical path: pytest runs are smoke-sized and must
+        # not clobber the gated full-mode artifact.
+        write_results(_CACHED_RESULTS, SMOKE_OUT)
     return _CACHED_RESULTS
 
 
@@ -373,8 +379,11 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small sizes for CI smoke runs")
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+    parser.add_argument("--out", type=Path, default=None,
                         help="where to write the JSON results")
     cli = parser.parse_args()
     suite = run_suite(smoke=cli.smoke)
-    write_results(suite, cli.out)
+    # Smoke runs land next to — never on top of — the canonical full-mode
+    # artifact, which is what check_bench_regression.py gates on.
+    out = cli.out or (SMOKE_OUT if cli.smoke else DEFAULT_OUT)
+    write_results(suite, out)
