@@ -61,9 +61,9 @@ def run_swap(with_quiescence: bool) -> dict:
     replacement = fresh("server-v2")
 
     if with_quiescence:
-        sim.at(0.5, lambda: ReconfigurationTransaction(assembly).add(
+        sim.at(lambda: ReconfigurationTransaction(assembly).add(
             ReplaceComponent("server", replacement)
-        ).execute_async())
+        ).execute_async(), when=0.5)
     else:
         # Naive swap: passivate, transfer state over a window, only then
         # redirect — without blocking the channel.
@@ -82,9 +82,9 @@ def run_swap(with_quiescence: bool) -> dict:
                 binding.redirect(replacement.provided_port("svc"))
                 server.stop()
 
-            sim.schedule(window, finish)
+            sim.schedule(finish, delay=window)
 
-        sim.at(0.5, naive)
+        sim.at(naive, when=0.5)
 
     sim.run(until=2.0)
     return {
@@ -140,9 +140,9 @@ def run_escalation(threshold: int) -> dict:
     raml.start()
     # Three one-sweep transient blips, then one persistent fault.
     for at in (1.0, 2.0, 3.0):
-        sim.at(at, lambda: blip.__setitem__("bad", True))
-        sim.at(at + 0.3, lambda: blip.__setitem__("bad", False))
-    sim.at(4.0, lambda: blip.__setitem__("bad", True))
+        sim.at(lambda: blip.__setitem__("bad", True), when=at)
+        sim.at(lambda: blip.__setitem__("bad", False), when=at + 0.3)
+    sim.at(lambda: blip.__setitem__("bad", True), when=4.0)
     sim.run(until=6.0)
     raml.stop()
     persistent_caught = any(t >= 4.0 for t in reconfigurations)

@@ -71,9 +71,9 @@ def run(style: str) -> dict:
                                                     "counter")
         if style == "manual":
             # Staff notice and repair after one second.
-            sim.schedule(1.0, plain_proxy.rebind, "leaf2")
+            sim.schedule(plain_proxy.rebind, "leaf2", delay=1.0)
 
-    sim.at(MIGRATE_AT, migrate)
+    sim.at(migrate, when=MIGRATE_AT)
     sim.run(until=DURATION)
     traffic.stop()
     sim.run(until=DURATION + 1.0)

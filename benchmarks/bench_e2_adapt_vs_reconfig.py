@@ -96,7 +96,7 @@ def run_scenario(reaction: str) -> dict:
                                   make_args=lambda i: (f"f{i}",), rate=500.0)
     generator.start(duration=2.0)
 
-    sim.at(BANDWIDTH_DROP_AT, lambda: bandwidth.__setitem__("value", 2.0))
+    sim.at(lambda: bandwidth.__setitem__("value", 2.0), when=BANDWIDTH_DROP_AT)
 
     blocked_time = {"value": 0.0}
     if reaction == "adaptation":
@@ -122,7 +122,7 @@ def run_scenario(reaction: str) -> dict:
                 "value", report.blocked_duration))
 
         # A monitor notices the saturation on its next 5ms check.
-        sim.at(BANDWIDTH_DROP_AT + 0.005, swap)
+        sim.at(swap, when=BANDWIDTH_DROP_AT + 0.005)
 
     sim.run(until=3.0)
 

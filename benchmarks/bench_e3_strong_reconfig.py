@@ -65,16 +65,16 @@ def run_swap(swap_at: float) -> dict:
         client.required_port("ledger").call_async(
             "append", seq, on_result=acks.append
         )
-        sim.schedule(1.0 / RATE, tick)
+        sim.schedule(tick, delay=1.0 / RATE)
 
     sim.call_soon(tick)
 
     replacement = Ledger("ledger-v2")
     replacement.provide("svc", ledger_interface())
     reports = []
-    sim.at(swap_at, lambda: ReconfigurationTransaction(assembly).add(
+    sim.at(lambda: ReconfigurationTransaction(assembly).add(
         ReplaceComponent("ledger", replacement)
-    ).execute_async(on_done=reports.append))
+    ).execute_async(on_done=reports.append), when=swap_at)
     sim.run()
 
     entries = replacement.state["entries"]

@@ -73,8 +73,8 @@ def run_scenario(rebalance: bool) -> dict:
     generator = ClosedLoopGenerator(sim, transport, "execute",
                                     make_args=lambda i: (i,), concurrency=8)
 
-    sim.at(5.0, lambda: [network.node(h).set_background_load(0.85)
-                         for h in hot_hosts])
+    sim.at(lambda: [network.node(h).set_background_load(0.85)
+                         for h in hot_hosts], when=5.0)
 
     raml = Raml(assembly, period=1.0).instrument()
     if rebalance:
@@ -179,7 +179,7 @@ def test_e4_affinity_moves_service_closer_to_demand(benchmark):
                         "svc", worker.provided_port("svc"))
                     proxy.rebind(move.target)
 
-            sim.at(2.0, relocate)
+            sim.at(relocate, when=2.0)
 
         sim.run(until=6.0)
         generator.stop()

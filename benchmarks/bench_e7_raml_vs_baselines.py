@@ -82,7 +82,7 @@ def run(mechanism: str) -> dict:
         bystander_buffered["max"] = max(bystander_buffered["max"],
                                         beta_binding.pending_count)
         if sim.now < DURATION:
-            sim.schedule(0.0005, watch_beta)
+            sim.schedule(watch_beta, delay=0.0005)
 
     sim.call_soon(watch_beta)
 
@@ -94,9 +94,9 @@ def run(mechanism: str) -> dict:
             outcome["blocked_channels"] = 1
             outcome["change_latency"] = report.duration
 
-        sim.at(CHANGE_AT, lambda: ReconfigurationTransaction(assembly).add(
+        sim.at(lambda: ReconfigurationTransaction(assembly).add(
             ReplaceComponent("alpha-server", replacement)
-        ).execute_async(on_done=done))
+        ).execute_async(on_done=done), when=CHANGE_AT)
     elif mechanism == "polylith":
         reconfigurator = PolylithReconfigurator(assembly)
 
@@ -104,9 +104,8 @@ def run(mechanism: str) -> dict:
             outcome["blocked_channels"] = report.blocked_channels
             outcome["change_latency"] = report.blocked_duration
 
-        sim.at(CHANGE_AT,
-               lambda: reconfigurator.replace_module(
-                   "alpha-server", replacement, on_done=done))
+        sim.at(lambda: reconfigurator.replace_module(
+                   "alpha-server", replacement, on_done=done), when=CHANGE_AT)
     elif mechanism == "durra":
         durra = DurraManager(assembly)
 
@@ -126,7 +125,7 @@ def run(mechanism: str) -> dict:
             outcome["blocked_channels"] = 0
             outcome["change_latency"] = sim.now - before
 
-        sim.at(CHANGE_AT, trigger)
+        sim.at(trigger, when=CHANGE_AT)
 
     sim.run(until=DURATION + 1.0)
 

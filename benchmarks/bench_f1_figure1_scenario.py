@@ -123,7 +123,7 @@ def run_figure1(sampling=None, kernel_detail=None, capacity=None) -> dict:
             window["failed"] += 1
 
     traffic = PeriodicTimer(sim, 0.05, call)
-    sim.at(FAULT_AT, lambda: serving_a.state.__setitem__("degraded", True))
+    sim.at(lambda: serving_a.state.__setitem__("degraded", True), when=FAULT_AT)
     sim.run(until=6.0)
     traffic.stop()
     raml.stop()

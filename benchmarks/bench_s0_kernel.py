@@ -89,11 +89,18 @@ class LegacySimulator:
     def pending_events(self) -> int:
         return sum(1 for event in self._queue if not event.cancelled)
 
-    def schedule(self, delay, callback, *args, priority=0):
-        return self.at(self._now + delay, callback, *args, priority=priority)
+    def schedule(self, *args, delay=None, priority=0):
+        # Seed shape (delay, callback, *args); also accepts the canonical
+        # (callback, *args, delay=...) so shared drivers (PeriodicTimer)
+        # can run against this stand-in after the PR-8 API unification.
+        if delay is None:
+            delay, args = args[0], args[1:]
+        return self.at(self._now + delay, *args, priority=priority)
 
-    def at(self, time_, callback, *args, priority=0):
-        event = LegacyEvent(time_, priority, self._seq, callback, args)
+    def at(self, *args, when=None, priority=0):
+        if when is None:
+            when, args = args[0], args[1:]
+        event = LegacyEvent(when, priority, self._seq, args[0], args[1:])
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -182,6 +189,10 @@ class ChurnDriver:
         self.checksum = 17
         self.completed = 0
         self.timed_out = 0
+        # The seed stand-in only speaks the pre-unification positional
+        # shape; the real kernel is driven through the canonical one so
+        # the measured fast path never pays the deprecation shim.
+        self._seed_shape = isinstance(sim, LegacySimulator)
 
     def _mix(self, *parts: float) -> None:
         state = self.checksum
@@ -205,8 +216,12 @@ class ChurnDriver:
         return 3 * len(items)  # arrival + completion + (cancelled) timeout
 
     def _arrive(self, duration: float) -> None:
-        timeout = self.sim.schedule(duration * 5.0, self._timeout)
-        self.sim.schedule(duration, self._complete, timeout)
+        if self._seed_shape:
+            timeout = self.sim.schedule(duration * 5.0, self._timeout)
+            self.sim.schedule(duration, self._complete, timeout)
+        else:
+            timeout = self.sim.schedule(self._timeout, delay=duration * 5.0)
+            self.sim.schedule(self._complete, timeout, delay=duration)
 
     def _complete(self, timeout) -> None:
         timeout.cancel()

@@ -11,12 +11,19 @@ committed performance claims:
   telemetry at 1% must stay production-grade (<10% on both the kernel
   churn and the netsim lineage storm), and the sampled run must not
   have wrapped the default span ring (zero drops).
+* ``BENCH_parallel.json`` (optional) — the sharded run must be the same
+  simulation: merged trace checksums identical across the process
+  backend, the single-shard baseline, repeated same-seed runs and a
+  killed-and-replayed worker.  The >= 2.5x events/sec speedup floor is
+  enforced only when the artifact was produced on a host with >= 4
+  cores — a starved runner cannot demonstrate parallelism, but it can
+  still demonstrate determinism.
 
 Exit status 0 = all floors held; 1 = regression (or missing/garbled
 required artifact).  Run::
 
     python benchmarks/check_bench_regression.py [--kernel PATH]
-        [--telemetry PATH]
+        [--telemetry PATH] [--parallel PATH]
 """
 
 from __future__ import annotations
@@ -45,7 +52,19 @@ FLOORS = [
      "netsim lineage overhead in mode 'sampled 1%' (%)"),
     ("telemetry", "drops", 0, "max",
      "span-ring drops in mode 'sampled_1pct' at default capacity"),
+    ("parallel", "determinism.backends_match", 1, "min",
+     "merged trace checksum: process backend == single-shard baseline"),
+    ("parallel", "determinism.repeat_match", 1, "min",
+     "merged trace checksum byte-stable across same-seed parallel runs"),
+    ("parallel", "determinism.restart_match", 1, "min",
+     "merged trace checksum preserved across a killed-worker replay"),
+    ("parallel", "restart.restarts", 1, "min",
+     "the chaos run actually killed and revived a worker"),
 ]
+
+#: Enforced only when the parallel artifact reports enough cores.
+PARALLEL_SPEEDUP_FLOOR = 2.5
+PARALLEL_MIN_CORES = 4
 
 
 def lookup(data: dict, dotted: str):
@@ -55,7 +74,8 @@ def lookup(data: dict, dotted: str):
     return value
 
 
-def check(kernel_path: Path, telemetry_path: Path) -> int:
+def check(kernel_path: Path, telemetry_path: Path,
+          parallel_path: Path) -> int:
     artifacts = {}
     if not kernel_path.exists():
         print(f"FAIL  required artifact missing: {kernel_path}")
@@ -65,9 +85,28 @@ def check(kernel_path: Path, telemetry_path: Path) -> int:
         artifacts["telemetry"] = json.loads(telemetry_path.read_text())
     else:
         print(f"note  {telemetry_path} not found; telemetry floors skipped")
+    if parallel_path.exists():
+        artifacts["parallel"] = json.loads(parallel_path.read_text())
+    else:
+        print(f"note  {parallel_path} not found; parallel floors skipped")
+
+    floors = list(FLOORS)
+    parallel = artifacts.get("parallel")
+    if parallel is not None:
+        cores = parallel.get("cores") or 0
+        if cores >= PARALLEL_MIN_CORES:
+            floors.append(
+                ("parallel", "speedup", PARALLEL_SPEEDUP_FLOOR, "min",
+                 f"parallel events/sec over single-shard baseline "
+                 f"({cores} cores)"))
+        else:
+            print(f"note  parallel artifact from a {cores}-core host; "
+                  f"speedup floor ({PARALLEL_SPEEDUP_FLOOR}x) needs "
+                  f">= {PARALLEL_MIN_CORES} cores and is skipped — "
+                  f"determinism floors still apply")
 
     failures = 0
-    for artifact, dotted, floor, direction, claim in FLOORS:
+    for artifact, dotted, floor, direction, claim in floors:
         data = artifacts.get(artifact)
         if data is None:
             continue
@@ -98,8 +137,10 @@ def main(argv: list[str] | None = None) -> int:
                         default=_ROOT / "BENCH_kernel.json")
     parser.add_argument("--telemetry", type=Path,
                         default=_ROOT / "BENCH_telemetry.json")
+    parser.add_argument("--parallel", type=Path,
+                        default=_ROOT / "BENCH_parallel.json")
     cli = parser.parse_args(argv)
-    return check(cli.kernel, cli.telemetry)
+    return check(cli.kernel, cli.telemetry, cli.parallel)
 
 
 if __name__ == "__main__":

@@ -126,7 +126,7 @@ def main() -> None:
         serving_a.state["degraded"] = True
         log("FAULT       serving-a starts failing every render")
 
-    sim.at(2.0, degrade)
+    sim.at(degrade, when=2.0)
     sim.run(until=6.0)
     traffic.stop()
     raml.stop()

@@ -147,7 +147,7 @@ def main() -> None:
     port.invoke(Invocation("payout", ("acct1",)))
     print(f"payouts before window: {len(billing.state['payouts'])} "
           f"(waiting={engine.waiting_count})")
-    sim.at(2.0, lambda: window.__setitem__("open", True))
+    sim.at(lambda: window.__setitem__("open", True), when=2.0)
     sim.run(until=3.0)
     engine.stop()
     print(f"payouts after window:  {len(billing.state['payouts'])} "

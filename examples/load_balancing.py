@@ -91,7 +91,7 @@ def run_scenario(rebalance: bool) -> dict:
         for name in hot_hosts:
             network.node(name).set_background_load(0.85)
 
-    sim.at(5.0, scorch)
+    sim.at(scorch, when=5.0)
 
     raml = Raml(assembly, period=1.0).instrument()
     if rebalance:

@@ -102,7 +102,7 @@ def main() -> None:
             f"{report.buffered_calls} calls buffered"
         ))
 
-    sim.at(1.0, hot_swap)
+    sim.at(hot_swap, when=1.0)
     sim.run(until=2.0)
     traffic.stop()
     raml.stop()

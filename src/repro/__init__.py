@@ -49,7 +49,16 @@ from repro.kernel import (
     bind,
 )
 from repro.lts import Lts, check_compatibility
-from repro.netsim import Network, datacenter, full_mesh, line, ring, star
+from repro.netsim import (
+    Network,
+    Partition,
+    datacenter,
+    full_mesh,
+    line,
+    ring,
+    star,
+)
+from repro.parallel import ParallelSimulation
 from repro.qos import MetricRegistry, QosContract, QosMonitor
 from repro.reconfig import (
     MigrateComponent,
@@ -87,6 +96,8 @@ __all__ = [
     "MigrationPlanner",
     "Network",
     "Operation",
+    "ParallelSimulation",
+    "Partition",
     "PidController",
     "PipelineConnector",
     "QosContract",

@@ -92,8 +92,8 @@ def main() -> int:
 
     print("repro demo — the paper's Figure 1, live:")
     narrate("traffic flowing through connector 'front' to 'primary'")
-    sim.at(2.0, lambda: (primary.state.__setitem__("degraded", True),
-                         narrate("FAULT: 'primary' starts failing")))
+    sim.at(lambda: (primary.state.__setitem__("degraded", True),
+                         narrate("FAULT: 'primary' starts failing")), when=2.0)
     sim.run(until=5.0)
     traffic.stop()
     raml.stop()

@@ -92,14 +92,14 @@ class PolylithReconfigurator:
                     if on_done is not None:
                         on_done(report)
 
-                sim.schedule(self.window_cost(changes), finish)
+                sim.schedule(finish, delay=self.window_cost(changes))
                 return
             if sim.now >= deadline:
                 region.release(now=sim.now)
                 raise ReconfigurationError(
                     "polylith: global reconfiguration point not reached"
                 )
-            sim.schedule(poll_interval, poll)
+            sim.schedule(poll, delay=poll_interval)
 
         sim.call_soon(poll)
 

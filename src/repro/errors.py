@@ -47,6 +47,20 @@ class CapacityError(NetworkError):
     """A node or link has exhausted its configured capacity."""
 
 
+class ParallelError(SimulationError):
+    """Errors raised by the sharded parallel-simulation coordinator."""
+
+
+class WorkerError(ParallelError):
+    """A region worker raised; carries the remote traceback text."""
+
+    def __init__(self, region: int, remote_traceback: str) -> None:
+        super().__init__(
+            f"region {region} worker failed:\n{remote_traceback}")
+        self.region = region
+        self.remote_traceback = remote_traceback
+
+
 # ---------------------------------------------------------------------------
 # Component model
 # ---------------------------------------------------------------------------

@@ -102,7 +102,7 @@ class Process:
 
     def _dispatch(self, command: Any) -> None:
         if isinstance(command, Delay):
-            self.sim.schedule(command.duration, self._resume, None)
+            self.sim.schedule(self._resume, None, delay=command.duration)
         elif isinstance(command, Wait):
             command.signal.subscribe(self._resume)
         elif command is None:

@@ -28,16 +28,25 @@ Performance notes (the whole platform runs on this hot path):
   never a hook call or a ``perf_counter`` read.  A gap of zero (the
   telemetry default) traces every event.
 
-Typical use::
+Scheduling surface (canonical shapes, all returning :class:`Event`)::
 
     sim = Simulator()
-    sim.schedule(1.5, lambda: print("fires at t=1.5"))
+    sim.schedule(callback, *args, delay=1.5)     # relative
+    sim.schedule(callback, *args, at=42.0)       # absolute
+    sim.at(callback, *args, when=42.0)           # absolute (sugar)
+    sim.call_soon(callback, *args)               # now, after same-time peers
+    sim.schedule_many([(1.5, callback), ...])    # bulk, one heapify
     sim.run()
+
+The pre-unification positional shapes ``schedule(delay, callback, ...)``
+and ``at(time, callback, ...)`` keep working behind a
+``DeprecationWarning`` (see the migration note in ``docs/API.md``).
 """
 
 from __future__ import annotations
 
 import heapq
+import warnings
 from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
@@ -185,26 +194,9 @@ class Simulator:
 
     # -- scheduling -------------------------------------------------------
 
-    def schedule(
-        self,
-        delay: float,
-        callback: Callable[..., Any],
-        *args: Any,
-        priority: int = DEFAULT_PRIORITY,
-    ) -> Event:
-        """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
-        if delay < 0:
-            raise ClockError(f"cannot schedule {delay} time units in the past")
-        return self.at(self._now + delay, callback, *args, priority=priority)
-
-    def at(
-        self,
-        time: float,
-        callback: Callable[..., Any],
-        *args: Any,
-        priority: int = DEFAULT_PRIORITY,
-    ) -> Event:
-        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+    def _schedule_at(self, time: float, callback: Callable[..., Any],
+                     args: tuple, priority: int) -> Event:
+        """Shared push path: validate the time, enqueue, run sampling."""
         if time < self._now:
             raise ClockError(
                 f"cannot schedule at t={time}, clock is already at t={self._now}"
@@ -226,14 +218,90 @@ class Simulator:
                 hooks.event_scheduled(event)
         return event
 
+    def schedule(
+        self,
+        callback: Callable[..., Any] | float,
+        *args: Any,
+        delay: float | None = None,
+        at: float | None = None,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback(*args)``; the unified scheduling front door.
+
+        Exactly one of the keyword times applies:
+
+        * ``delay=`` — relative: fire ``delay`` time units from now
+          (default ``0.0``, i.e. :meth:`call_soon` semantics);
+        * ``at=`` — absolute simulated time.
+
+        Returns the :class:`Event` handle (cancellable).  The legacy
+        positional shape ``schedule(delay, callback, *args)`` still
+        works behind a :class:`DeprecationWarning`.
+        """
+        if callable(callback):
+            if at is None:
+                if delay is None:
+                    return self._schedule_at(self._now, callback, args, priority)
+                if delay < 0:
+                    raise ClockError(
+                        f"cannot schedule {delay} time units in the past")
+                return self._schedule_at(self._now + delay, callback, args,
+                                         priority)
+            if delay is not None:
+                raise TypeError(
+                    "schedule() takes either delay= or at=, not both")
+            return self._schedule_at(at, callback, args, priority)
+        # Legacy shape: schedule(delay, callback, *args).
+        warnings.warn(
+            "Simulator.schedule(delay, callback, ...) is deprecated; "
+            "use schedule(callback, ..., delay=...) "
+            "(see docs/API.md, scheduling-API migration note)",
+            DeprecationWarning, stacklevel=2)
+        if delay is not None or at is not None or not args:
+            raise TypeError("schedule() first argument must be callable")
+        legacy_delay = callback
+        if legacy_delay < 0:
+            raise ClockError(
+                f"cannot schedule {legacy_delay} time units in the past")
+        return self._schedule_at(self._now + legacy_delay, args[0], args[1:],
+                                 priority)
+
+    def at(
+        self,
+        callback: Callable[..., Any] | float,
+        *args: Any,
+        when: float | None = None,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``.
+
+        Returns the :class:`Event` handle.  The legacy positional shape
+        ``at(time, callback, *args)`` still works behind a
+        :class:`DeprecationWarning`.
+        """
+        if callable(callback):
+            if when is None:
+                raise TypeError("at() requires the when= keyword")
+            return self._schedule_at(when, callback, args, priority)
+        # Legacy shape: at(time, callback, *args).
+        warnings.warn(
+            "Simulator.at(time, callback, ...) is deprecated; "
+            "use at(callback, ..., when=...) "
+            "(see docs/API.md, scheduling-API migration note)",
+            DeprecationWarning, stacklevel=2)
+        if when is not None or not args:
+            raise TypeError("at() first argument must be callable")
+        return self._schedule_at(callback, args[0], args[1:], priority)
+
     def call_soon(
         self,
         callback: Callable[..., Any],
         *args: Any,
         priority: int = DEFAULT_PRIORITY,
     ) -> Event:
-        """Schedule ``callback`` at the current time (after pending same-time events)."""
-        return self.at(self._now, callback, *args, priority=priority)
+        """Schedule ``callback`` at the current time (after pending same-time
+        events).  Returns the :class:`Event` handle."""
+        return self._schedule_at(self._now, callback, args, priority)
 
     def schedule_many(
         self,
@@ -348,13 +416,22 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+    def run(self, until: float | None = None, max_events: int | None = None,
+            inclusive: bool = True) -> float:
         """Run events in order.
 
         Args:
             until: stop once the clock would pass this time (the clock is
                 left at ``until`` if events remain beyond it).
             max_events: safety valve for runaway simulations.
+            inclusive: with the default True, events at exactly ``until``
+                still fire.  ``inclusive=False`` makes ``until`` an
+                *exclusive horizon*: only events strictly before it run
+                and the clock is left at ``until``.  This is the
+                conservative-lookahead contract :mod:`repro.parallel`
+                relies on — events at the horizon stay queued so
+                cross-region messages arriving exactly at the horizon
+                still interleave deterministically with them.
 
         Returns:
             The simulated time at which the run stopped.
@@ -363,6 +440,7 @@ class Simulator:
             raise ClockError("simulator is already running (re-entrant run())")
         self._running = True
         executed = 0
+        exclusive = not inclusive
         queue = self._queue
         pop = heapq.heappop
         try:
@@ -370,7 +448,9 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     break
                 head_time = queue[0][0]
-                if until is not None and head_time > until:
+                if until is not None and (
+                        head_time > until
+                        or (exclusive and head_time == until)):
                     self._now = until
                     break
                 entry = pop(queue)

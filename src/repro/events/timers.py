@@ -27,7 +27,7 @@ class Timer:
         self.callback = callback
         self.args = args
         self.fired = False
-        self._event: Event = sim.schedule(delay, self._fire)
+        self._event: Event = sim.schedule(self._fire, delay=delay)
 
     def _fire(self) -> None:
         self.fired = True
@@ -86,7 +86,7 @@ class PeriodicTimer:
     def _schedule_next(self) -> None:
         if self._stopped:
             return
-        self._event = self.sim.schedule(self._next_delay(), self._tick)
+        self._event = self.sim.schedule(self._tick, delay=self._next_delay())
 
     def _tick(self) -> None:
         if self._stopped:
@@ -137,7 +137,7 @@ class PeriodicTimer:
         if target < now:
             target = now
         event.cancel()
-        self._event = self.sim.at(target, self._tick)
+        self._event = self.sim.at(self._tick, when=target)
 
     @property
     def running(self) -> bool:

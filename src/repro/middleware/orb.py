@@ -256,7 +256,7 @@ class Orb:
                 self.stats.requests_served += 1
                 self._reply(message, "response", result)
 
-            self.sim.schedule(delay, finish)
+            self.sim.schedule(finish, delay=delay)
 
         self._run_chain(self.server_interceptors, context, dispatch)
 

@@ -13,9 +13,11 @@ from repro.netsim.link import Link
 from repro.netsim.message import Message, reset_message_ids
 from repro.netsim.network import Network, NetworkStats
 from repro.netsim.node import EndpointHandler, Node, least_loaded
+from repro.netsim.partition import Boundary, Partition, RegionNetwork
 from repro.netsim.topology import datacenter, full_mesh, hosts, line, ring, star
 
 __all__ = [
+    "Boundary",
     "EndpointHandler",
     "FailureEvent",
     "FailureInjector",
@@ -24,6 +26,8 @@ __all__ = [
     "Network",
     "NetworkStats",
     "Node",
+    "Partition",
+    "RegionNetwork",
     "datacenter",
     "full_mesh",
     "hosts",

@@ -34,14 +34,14 @@ class FailureInjector:
 
     def crash_node(self, name: str, at: float, recover_after: float | None = None) -> None:
         """Crash ``name`` at time ``at``; optionally recover later."""
-        self.network.sim.at(at, self._crash, name)
+        self.network.sim.at(self._crash, name, when=at)
         if recover_after is not None:
-            self.network.sim.at(at + recover_after, self._recover, name)
+            self.network.sim.at(self._recover, name, when=at + recover_after)
 
     def flap_link(self, a: str, b: str, at: float, down_for: float) -> None:
         """Take the a-b link down at ``at`` and restore it ``down_for`` later."""
-        self.network.sim.at(at, self._link_fail, a, b)
-        self.network.sim.at(at + down_for, self._link_restore, a, b)
+        self.network.sim.at(self._link_fail, a, b, when=at)
+        self.network.sim.at(self._link_restore, a, b, when=at + down_for)
 
     # -- random schedules ------------------------------------------------------
 

@@ -264,7 +264,7 @@ class Network:
                     transmission=round(transmission, 9),
                     propagation=link.latency,
                 )
-        self.sim.schedule(delay, self._forward, message, path, hop_index + 1)
+        self.sim.schedule(self._forward, message, path, hop_index + 1, delay=delay)
 
     def _arrive(self, message: Message) -> None:
         self.in_flight -= 1

@@ -1,0 +1,48 @@
+"""Sharded parallel simulation with conservative lookahead.
+
+The scalability story for the simulation substrate: partition the
+topology into regions (:class:`~repro.netsim.Partition`), give each
+region its own event queue in its own worker process, and synchronize
+conservatively — the minimum cross-region link latency is the safe
+horizon, so regions exchange boundary messages only at barrier rounds
+and never see an event out of order.
+
+The same per-region code runs under two backends (``"process"`` workers
+over pipes, or the ``"inline"`` single-shard baseline), per-region
+telemetry merges deterministically by (sim-time, region-id, seq), and a
+killed worker is revived by replaying its command history — all three
+paths produce byte-identical merged trace checksums for the same seed.
+
+Quick start::
+
+    from repro.netsim import Partition
+    from repro.parallel import ParallelSimulation
+
+    partition = Partition(4)
+    ...  # assign nodes, add boundaries
+    psim = ParallelSimulation(partition, build_region, seed=7,
+                              telemetry={"sample_rate": 0.1})
+    result = psim.run(until=10.0, backend="process")
+    result.events_per_sec, result.checksum, result.stat("delivered")
+"""
+
+from repro.parallel.coordinator import (
+    ParallelResult,
+    ParallelSimulation,
+)
+from repro.parallel.runtime import (
+    MSG_ID_STRIDE,
+    RegionRuntime,
+    worker_main,
+)
+from repro.parallel.scenario import build_star_region, star_ring_partition
+
+__all__ = [
+    "MSG_ID_STRIDE",
+    "ParallelResult",
+    "ParallelSimulation",
+    "RegionRuntime",
+    "build_star_region",
+    "star_ring_partition",
+    "worker_main",
+]

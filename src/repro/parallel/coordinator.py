@@ -1,0 +1,392 @@
+"""The conservative-lookahead coordinator.
+
+:class:`ParallelSimulation` runs a partitioned topology as a set of
+region shards synchronized in **barrier rounds**: with lookahead ``L``
+(the minimum boundary-link latency, see
+:class:`~repro.netsim.partition.Partition`), every boundary tuple
+egressed during window ``[kL, (k+1)L)`` arrives no earlier than
+``(k+1)L`` — so each region may simulate a whole window without hearing
+from the others, and the coordinator only exchanges outboxes between
+windows.  Windows run horizon-**exclusive**
+(``Simulator.run(until=h, inclusive=False)``): an event exactly at the
+horizon fires next round, after same-instant remote tuples have been
+injected, which is what makes the interleaving — and the merged trace —
+deterministic.
+
+Two backends execute the identical :class:`~repro.parallel.runtime.
+RegionRuntime` code:
+
+* ``"inline"`` — every region stepped sequentially in this process; the
+  single-shard baseline for both determinism checks and speedup
+  measurements.
+* ``"process"`` — one OS process per region, plain tuples over pipes.
+
+Supervision: the coordinator records every command it has sent to each
+region.  When a worker process dies (pipe breaks), a fresh process is
+spawned and the history **replayed** — regions are deterministic, so the
+revived worker reaches the exact state (simulator clock, network,
+telemetry, sampling streams) of the lost one, and the run's merged trace
+checksum is unchanged.  :meth:`ParallelSimulation.kill_worker` exists so
+tests and chaos drills can prove that.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable
+
+from repro.errors import ParallelError, WorkerError
+from repro.netsim.partition import Partition
+from repro.parallel.runtime import RegionBuilder, RegionRuntime, worker_main
+from repro.telemetry.merge import merge_records, merged_checksum
+
+#: Injection merge order: (arrival sim-time, origin region, origin seq).
+_INJECT_KEY = lambda record: (record[4], record[1], record[5])  # noqa: E731
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class _InlineWorker:
+    """Channel adapter running a :class:`RegionRuntime` in-process.
+
+    Commands execute synchronously on ``send``; ``recv`` pops the reply —
+    the coordinator drives both backends through the same two calls.
+    """
+
+    def __init__(self, region: int, partition: Partition,
+                 build_region: RegionBuilder, seed: int,
+                 telemetry: dict[str, Any] | None) -> None:
+        self.region = region
+        self._replies: deque = deque()
+        self._runtime = None
+        self._build_error: str | None = None
+        try:
+            self._runtime = RegionRuntime(region, partition, build_region,
+                                          seed=seed, telemetry=telemetry)
+        except Exception:  # surfaces as a reply, like a worker process
+            self._build_error = traceback.format_exc()
+
+    def send(self, command: tuple) -> None:
+        if self._build_error is not None:
+            self._replies.append(("error", self.region, self._build_error))
+            return
+        try:
+            op = command[0]
+            if op == "round":
+                _, index, horizon, inclusive, injections = command
+                outbox, counters = self._runtime.run_round(
+                    index, horizon, inclusive, injections)
+                self._replies.append(("done", index, outbox, counters))
+            elif op == "collect":
+                self._replies.append(("report", self._runtime.collect()))
+            elif op == "stop":
+                self._replies.append(("bye", self.region))
+            else:
+                self._replies.append(
+                    ("error", self.region, f"unknown command {op!r}"))
+        except Exception:
+            self._replies.append(
+                ("error", self.region, traceback.format_exc()))
+
+    def recv(self) -> tuple:
+        return self._replies.popleft()
+
+    def kill(self) -> None:
+        raise ParallelError("inline backend has no worker process to kill")
+
+    def respawn(self) -> None:
+        raise ParallelError("inline workers cannot die")
+
+    def close(self) -> None:
+        self._replies.clear()
+
+
+class _ProcessWorker:
+    """One region worker process plus its pipe endpoint."""
+
+    def __init__(self, ctx: Any, region: int, partition: Partition,
+                 build_region: RegionBuilder, seed: int,
+                 telemetry: dict[str, Any] | None) -> None:
+        self.region = region
+        self._ctx = ctx
+        self._args = (region, partition, build_region, seed, telemetry)
+        self.process: Any = None
+        self.conn: Any = None
+        self._start()
+
+    def _start(self) -> None:
+        parent, child = self._ctx.Pipe()
+        self.process = self._ctx.Process(
+            target=worker_main, args=(child, *self._args),
+            daemon=True, name=f"repro-region-{self.region}")
+        self.process.start()
+        child.close()
+        self.conn = parent
+
+    def send(self, command: tuple) -> None:
+        self.conn.send(command)
+
+    def recv(self) -> tuple:
+        return self.conn.recv()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (chaos hook); the next pipe use fails and
+        triggers supervision."""
+        self.process.kill()
+        self.process.join()
+
+    def respawn(self) -> None:
+        self.conn.close()
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+        self.process.join()
+        self._start()
+
+    def close(self) -> None:
+        self.conn.close()
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join()
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of one partitioned run."""
+
+    backend: str
+    until: float
+    horizon: float
+    rounds: int
+    executed: int
+    wall_seconds: float
+    restarts: int
+    #: Boundary tuples whose arrival time fell beyond ``until`` — still
+    #: in flight at the end of the run, exactly as a single simulator
+    #: would leave undelivered messages queued past its horizon.
+    leftovers: int
+    regions: dict[int, dict[str, Any]] = field(repr=False)
+    #: Merged per-region telemetry records in (time, region, seq) order.
+    records: list[dict[str, Any]] = field(repr=False)
+    #: Determinism witness of the merged trace (None without telemetry).
+    checksum: str | None = None
+
+    @property
+    def events_per_sec(self) -> float:
+        return (self.executed / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0)
+
+    def stat(self, name: str) -> float:
+        """Sum one per-region stats counter across regions."""
+        return sum(report["stats"][name] for report in self.regions.values())
+
+
+class ParallelSimulation:
+    """Coordinator for a sharded, conservatively-synchronized run.
+
+    Args:
+        partition: region assignment + boundaries (validated on run).
+        build_region: per-region shard builder, called once in each
+            worker as ``build_region(region, sim, partition, seed)``.
+            With the process backend it must be importable/picklable
+            under the ``spawn`` start method (any callable works under
+            ``fork``).
+        seed: forwarded to every builder — one seed, one reproducible
+            partitioned run.
+        telemetry: keyword arguments for
+            :func:`repro.telemetry.configure`, applied identically in
+            every region (e.g. ``{"sample_rate": 0.1, "seed": 7}``);
+            ``None`` runs without telemetry.
+    """
+
+    def __init__(self, partition: Partition, build_region: RegionBuilder,
+                 *, seed: int = 0,
+                 telemetry: dict[str, Any] | None = None) -> None:
+        partition.validate()
+        self.partition = partition
+        self.build_region = build_region
+        self.seed = seed
+        self.telemetry = telemetry
+        self.backend: str | None = None
+        self.restarts = 0
+        self._workers: dict[int, Any] = {}
+        self._history: dict[int, list[tuple]] = {}
+
+    # -- chaos hook --------------------------------------------------------
+
+    def kill_worker(self, region: int) -> None:
+        """SIGKILL one region's worker process mid-run.  Supervision
+        revives it by deterministic replay on the next exchange."""
+        try:
+            worker = self._workers[region]
+        except KeyError:
+            raise ParallelError(f"no worker for region {region}") from None
+        worker.kill()
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self, until: float, *, backend: str = "process",
+            horizon: float | None = None,
+            after_round: Callable[["ParallelSimulation", int, float], None]
+            | None = None) -> ParallelResult:
+        """Simulate ``[0, until]`` in conservative barrier rounds.
+
+        Args:
+            backend: ``"process"`` (one worker per region) or
+                ``"inline"`` (sequential single-shard baseline).
+            horizon: round window; defaults to the partition's lookahead
+                and must not exceed it (that would break conservatism).
+            after_round: called as ``after_round(self, round_index,
+                time)`` between barriers — the chaos/progress hook.
+        """
+        if until <= 0:
+            raise ParallelError(f"until must be > 0, got {until}")
+        if backend not in ("process", "inline"):
+            raise ParallelError(f"unknown backend {backend!r}")
+        self.partition.validate()
+        lookahead = (self.partition.lookahead
+                     if self.partition.boundaries else float("inf"))
+        window = lookahead if horizon is None else horizon
+        if window <= 0 or window > lookahead:
+            raise ParallelError(
+                f"horizon must be in (0, lookahead={lookahead}], "
+                f"got {window}")
+        self.backend = backend
+        regions = range(self.partition.regions)
+        self.restarts = 0
+        self._history = {region: [] for region in regions}
+        self._spawn_all(backend)
+        try:
+            wall0 = perf_counter()
+            inject: dict[int, list[tuple]] = {r: [] for r in regions}
+            now, rounds = 0.0, 0
+            while now < until:
+                # Multiplicative, not accumulative: repeated float adds
+                # of the window would drift and add a spurious round.
+                boundary = min((rounds + 1) * window, until)
+                inclusive = boundary >= until
+                commands = {
+                    region: ("round", rounds, boundary, inclusive,
+                             inject[region])
+                    for region in regions
+                }
+                replies = self._roundtrip(commands)
+                for region in regions:
+                    self._history[region].append(commands[region])
+                inject = {r: [] for r in regions}
+                for region in regions:
+                    for record in replies[region][2]:
+                        inject[record[2]].append(record)
+                for queue in inject.values():
+                    queue.sort(key=_INJECT_KEY)
+                now = boundary
+                rounds += 1
+                if after_round is not None:
+                    after_round(self, rounds - 1, now)
+            leftovers = sum(len(queue) for queue in inject.values())
+            reports = {
+                region: reply[1]
+                for region, reply in self._roundtrip(
+                    {region: ("collect",) for region in regions}).items()
+            }
+            wall = perf_counter() - wall0
+        finally:
+            self._stop_all()
+        records = merge_records(
+            {region: reports[region]["records"] for region in regions})
+        checksum = (merged_checksum(records)
+                    if self.telemetry is not None else None)
+        return ParallelResult(
+            backend=backend,
+            until=until,
+            horizon=window,
+            rounds=rounds,
+            executed=sum(reports[r]["executed"] for r in regions),
+            wall_seconds=wall,
+            restarts=self.restarts,
+            leftovers=leftovers,
+            regions=reports,
+            records=records,
+            checksum=checksum,
+        )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _spawn_all(self, backend: str) -> None:
+        regions = range(self.partition.regions)
+        if backend == "inline":
+            self._workers = {
+                region: _InlineWorker(region, self.partition,
+                                      self.build_region, self.seed,
+                                      self.telemetry)
+                for region in regions
+            }
+            return
+        ctx = _mp_context()
+        self._workers = {
+            region: _ProcessWorker(ctx, region, self.partition,
+                                   self.build_region, self.seed,
+                                   self.telemetry)
+            for region in regions
+        }
+
+    def _roundtrip(self, commands: dict[int, tuple]) -> dict[int, tuple]:
+        """Send every command, gather every reply, reviving dead workers.
+
+        All sends go out before any recv — with the process backend the
+        regions simulate their windows concurrently.
+        """
+        replies: dict[int, tuple] = {}
+        dead: list[int] = []
+        for region, command in commands.items():
+            try:
+                self._workers[region].send(command)
+            except OSError:
+                dead.append(region)
+        for region in commands:
+            if region in dead:
+                continue
+            try:
+                replies[region] = self._workers[region].recv()
+            except (EOFError, OSError):
+                dead.append(region)
+        for region in dead:
+            replies[region] = self._revive(region, commands[region])
+        for region, reply in replies.items():
+            if reply[0] == "error":
+                raise WorkerError(region, reply[2])
+        return replies
+
+    def _revive(self, region: int, command: tuple) -> tuple:
+        """Respawn a dead worker, replay its command history, then
+        re-issue the in-flight command.  Replay outputs are discarded —
+        the coordinator already acted on them — but errors surface."""
+        self.restarts += 1
+        worker = self._workers[region]
+        worker.respawn()
+        for past in self._history[region]:
+            worker.send(past)
+            reply = worker.recv()
+            if reply[0] == "error":
+                raise WorkerError(region, reply[2])
+        worker.send(command)
+        return worker.recv()
+
+    def _stop_all(self) -> None:
+        for worker in self._workers.values():
+            try:
+                worker.send(("stop",))
+                worker.recv()
+            except (EOFError, OSError):
+                pass
+            finally:
+                worker.close()
+        self._workers = {}

@@ -1,0 +1,164 @@
+"""The per-region runtime and the worker-process entry point.
+
+:class:`RegionRuntime` is the unit of sharded execution: one region's
+:class:`~repro.events.Simulator`, its :class:`~repro.netsim.RegionNetwork`
+shard and (optionally) its own tracer.  The coordinator drives it in
+**rounds** — conservative-lookahead windows it may simulate without
+hearing from other regions — through exactly one method,
+:meth:`RegionRuntime.run_round`, so the inline and process backends
+execute identical code and produce identical traces.
+
+:func:`worker_main` wraps a runtime in a pipe protocol of plain tuples:
+
+========================================== ==================================
+coordinator → worker                        worker → coordinator
+========================================== ==================================
+``("round", k, horizon, incl, injections)`` ``("done", k, outbox, counters)``
+``("collect",)``                            ``("report", report_dict)``
+``("stop",)``                               ``("bye", region)``
+========================================== ==================================
+
+Any exception crosses back as ``("error", region, traceback_text)``.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Callable
+
+from repro.events import Simulator
+from repro.netsim import message as message_mod
+from repro.netsim.message import reset_message_ids
+from repro.netsim.partition import Partition, RegionNetwork
+from repro.telemetry.instrument import configure as _configure_telemetry
+from repro.telemetry.merge import region_records
+
+#: Message-id namespace stride: region ``r`` numbers its messages from
+#: ``r * stride + 1``, so merged telemetry never shows colliding ids.
+MSG_ID_STRIDE = 10_000_000
+
+#: Builds one region's shard: ``build_region(region, sim, partition,
+#: seed) -> RegionNetwork`` — create the RegionNetwork, add the region's
+#: nodes/links, bind endpoints and schedule the region's workload.
+RegionBuilder = Callable[[int, Simulator, Partition, int], RegionNetwork]
+
+
+def _msg_cursor() -> int:
+    """Consume and return the next global message id (the only way to
+    read the counter's position)."""
+    return next(message_mod._message_ids)
+
+
+class RegionRuntime:
+    """One region's simulator + network shard + tracer.
+
+    The global message-id counter is the one piece of process state
+    regions would otherwise share; the runtime checkpoints its own id
+    cursor around every round, so interleaving many runtimes in one
+    process (the inline backend) numbers messages exactly as isolated
+    worker processes do — a precondition for backend-identical merged
+    trace checksums.
+    """
+
+    def __init__(self, region: int, partition: Partition,
+                 build_region: RegionBuilder, seed: int = 0,
+                 telemetry: dict[str, Any] | None = None) -> None:
+        self.region = region
+        self.partition = partition
+        reset_message_ids(region * MSG_ID_STRIDE + 1)
+        self.sim = Simulator()
+        self.tracer = (_configure_telemetry(self.sim, **telemetry)
+                       if telemetry is not None else None)
+        self.net = build_region(region, self.sim, partition, seed)
+        if not isinstance(self.net, RegionNetwork):
+            raise TypeError(
+                f"build_region must return a RegionNetwork, "
+                f"got {type(self.net).__name__}")
+        self.rounds = 0
+        self._msg_next = _msg_cursor()
+
+    def run_round(self, index: int, horizon: float, inclusive: bool,
+                  injections: list[tuple]) -> tuple[list[tuple], dict]:
+        """Simulate one conservative window and drain the outbox.
+
+        ``injections`` are boundary tuples from other regions, already in
+        deterministic merge order; they are scheduled at their arrival
+        times (all >= now, guaranteed by the lookahead) with one bulk
+        insert so their event sequence numbers follow that order.  The
+        window then runs to ``horizon`` — exclusive between rounds so an
+        event exactly at the horizon fires in the *next* round, after any
+        remote tuple arriving at the same instant has been injected.
+        """
+        net, sim = self.net, self.sim
+        reset_message_ids(self._msg_next)
+        if injections:
+            ingress = net.ingress
+            sim.schedule_many(
+                ((record[4], ingress, (record,)) for record in injections),
+                absolute=True)
+        sim.run(until=horizon, inclusive=inclusive)
+        self._msg_next = _msg_cursor()
+        outbox, net.outbox = net.outbox, []
+        self.rounds += 1
+        counters = {
+            "executed": sim.executed_events,
+            "now": sim.now,
+            "outbound": len(outbox),
+            "in_flight": net.in_flight,
+        }
+        return outbox, counters
+
+    def collect(self) -> dict[str, Any]:
+        """Final per-region report: counters, stats and (when telemetry
+        is configured) the region's export-ready trace records."""
+        net = self.net
+        stats = dict(net.stats.snapshot())
+        stats["forwarded_out"] = net.forwarded_out
+        stats["ingressed"] = net.ingressed
+        stats["in_flight"] = net.in_flight
+        return {
+            "region": self.region,
+            "executed": self.sim.executed_events,
+            "now": self.sim.now,
+            "rounds": self.rounds,
+            "stats": stats,
+            "records": (region_records(self.tracer, self.region)
+                        if self.tracer is not None else []),
+        }
+
+
+def worker_main(conn: Any, region: int, partition: Partition,
+                build_region: RegionBuilder, seed: int,
+                telemetry: dict[str, Any] | None) -> None:
+    """Worker-process loop: build the runtime, serve pipe commands."""
+    try:
+        runtime = RegionRuntime(region, partition, build_region,
+                                seed=seed, telemetry=telemetry)
+    except Exception:
+        conn.send(("error", region, traceback.format_exc()))
+        conn.close()
+        return
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:  # coordinator went away
+            return
+        try:
+            op = command[0]
+            if op == "round":
+                _, index, horizon, inclusive, injections = command
+                outbox, counters = runtime.run_round(
+                    index, horizon, inclusive, injections)
+                conn.send(("done", index, outbox, counters))
+            elif op == "collect":
+                conn.send(("report", runtime.collect()))
+            elif op == "stop":
+                conn.send(("bye", region))
+                conn.close()
+                return
+            else:
+                conn.send(("error", region, f"unknown command {op!r}"))
+        except Exception:
+            conn.send(("error", region, traceback.format_exc()))
+            conn.close()
+            return

@@ -1,0 +1,107 @@
+"""Reference partitioned scenario: a ring of star regions.
+
+The shared workload for the parallel tests, the S3 benchmark and the
+examples: ``regions`` star topologies (one hub + ``leaves`` leaf nodes
+each), hubs joined in a ring of boundary links.  Each region schedules an
+open-loop message workload at build time from its own seeded rng — a
+fixed fraction of messages crosses region boundaries — so the whole run
+is a pure function of ``(partition shape, seed)`` regardless of backend.
+
+Everything here is module-level (picklable under the ``spawn`` start
+method); parameterize with :func:`functools.partial`, e.g.::
+
+    build = partial(build_star_region, leaves=8, messages=2000,
+                    until=10.0, cross_fraction=0.2)
+    psim = ParallelSimulation(star_ring_partition(4, leaves=8), build)
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.events import Simulator
+from repro.netsim.message import Message
+from repro.netsim.partition import Partition, RegionNetwork
+
+#: Endpoint every leaf exposes; deliveries are observed through
+#: ``NetworkStats.delivered`` rather than per-message callbacks.
+ENDPOINT = "svc"
+
+
+def hub_name(region: int) -> str:
+    return f"hub{region}"
+
+
+def leaf_name(region: int, index: int) -> str:
+    return f"n{region}_{index}"
+
+
+def star_ring_partition(regions: int = 4, leaves: int = 8,
+                        boundary_latency: float = 0.01,
+                        boundary_bandwidth: float = 1_000_000.0) -> Partition:
+    """Assign ``regions`` stars and join the hubs in a boundary ring."""
+    partition = Partition(regions)
+    for region in range(regions):
+        partition.assign(hub_name(region), region)
+        for index in range(leaves):
+            partition.assign(leaf_name(region, index), region)
+    if regions > 1:
+        for region in range(regions):
+            peer = (region + 1) % regions
+            if regions == 2 and region == 1:
+                break  # two regions need one boundary, not two
+            partition.add_boundary(hub_name(region), hub_name(peer),
+                                   latency=boundary_latency,
+                                   bandwidth=boundary_bandwidth)
+    return partition
+
+
+def _sink(node, message) -> None:
+    """Leaf endpoint handler: delivery itself is the observable."""
+
+
+def _send(net: RegionNetwork, source: str, destination: str,
+          size: int) -> None:
+    net.send(Message(source=source, destination=destination,
+                     endpoint=ENDPOINT, size=size))
+
+
+def build_star_region(region: int, sim: Simulator, partition: Partition,
+                      seed: int, *, leaves: int = 8, messages: int = 2000,
+                      until: float = 10.0, local_latency: float = 0.001,
+                      cross_fraction: float = 0.2,
+                      size: int = 256) -> RegionNetwork:
+    """Build one star region and preschedule its open-loop workload.
+
+    ``messages`` sends spread evenly over ``(0, until)``; each picks a
+    seeded-random source leaf and, with probability ``cross_fraction``, a
+    destination leaf in another region.  The rng is derived from
+    ``(seed, region)`` only, so the same call in a worker process, the
+    inline backend or a replayed restart schedules the identical
+    workload.
+    """
+    net = RegionNetwork(sim, partition, region, seed=(seed << 8) ^ region)
+    hub = hub_name(region)
+    net.add_node(hub)
+    names = []
+    for index in range(leaves):
+        name = leaf_name(region, index)
+        node = net.add_node(name)
+        node.bind_endpoint(ENDPOINT, _sink)
+        net.add_link(hub, name, latency=local_latency)
+        names.append(name)
+    rng = random.Random((seed << 16) ^ (region + 1))
+    others = [r for r in range(partition.regions) if r != region]
+    step = until / (messages + 1)
+    items = []
+    for index in range(messages):
+        when = (index + 1) * step
+        source = names[rng.randrange(leaves)]
+        if others and rng.random() < cross_fraction:
+            target = others[rng.randrange(len(others))]
+            destination = leaf_name(target, rng.randrange(leaves))
+        else:
+            destination = names[rng.randrange(leaves)]
+        items.append((when, _send, (net, source, destination, size)))
+    sim.schedule_many(items, absolute=True)
+    return net

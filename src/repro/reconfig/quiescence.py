@@ -125,6 +125,6 @@ def reach_quiescence(region: QuiescenceRegion, sim: Simulator,
             raise QuiescenceError(
                 f"quiescence not reached within {timeout} time units"
             )
-        sim.schedule(poll_interval, poll)
+        sim.schedule(poll, delay=poll_interval)
 
     sim.call_soon(poll)

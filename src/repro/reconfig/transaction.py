@@ -272,7 +272,7 @@ class ReconfigurationTransaction:
                 if on_done is not None:
                     on_done(self.report)
 
-            sim.schedule(self.window_cost(), finish)
+            sim.schedule(finish, delay=self.window_cost())
 
         reach_quiescence(region, sim, when_quiescent,
                          timeout=quiescence_timeout)

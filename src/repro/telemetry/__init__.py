@@ -24,12 +24,13 @@ observable — at production overhead.
   the terminal summary/narrator, and the PR-over-PR
   :class:`~repro.telemetry.dashboard.Dashboard`.
 
-Quick start::
+Quick start (one-call setup — tracer, sampler and span ring wired)::
 
     from repro import telemetry
 
-    tracer = telemetry.install(
-        sim, sampling=telemetry.SamplingPolicy(rate=0.01, seed=7))
+    tracer = telemetry.configure(
+        sim, sample_rate=0.01, seed=7,
+        categories={"net.msg": 0.001})   # per-category rate override
     ...
     print(telemetry.render_summary(tracer))
     telemetry.write_chrome_trace(tracer, "run.trace.json")
@@ -53,7 +54,15 @@ from repro.telemetry.flamegraph import (
     write_folded,
 )
 from repro.telemetry.hooks import EXTERNAL, KernelInstrumentation, site_name
+from repro.telemetry.merge import (
+    merge_records,
+    merged_checksum,
+    merged_trace_json,
+    region_records,
+    write_merged_jsonl,
+)
 from repro.telemetry.instrument import (
+    configure,
     install,
     instrument_assembly,
     instrument_connector,
@@ -82,12 +91,17 @@ __all__ = [
     "category_stats",
     "chrome_trace",
     "chrome_trace_json",
+    "configure",
     "folded_stacks",
     "install",
     "instrument_assembly",
     "instrument_connector",
     "jsonl_records",
     "kernel_folded",
+    "merge_records",
+    "merged_checksum",
+    "merged_trace_json",
+    "region_records",
     "render_summary",
     "site_name",
     "span_folded",
@@ -96,4 +110,5 @@ __all__ = [
     "write_chrome_trace",
     "write_folded",
     "write_jsonl",
+    "write_merged_jsonl",
 ]

@@ -39,6 +39,8 @@ DEFAULT_COLUMNS = [
     ("net smp %", "netsim.overhead_pct_sampled"),
     ("net full %", "netsim.overhead_pct"),
     ("drops", "drops"),
+    ("par ev/s", "parallel.events_per_sec"),
+    ("par x", "parallel.speedup"),
 ]
 
 #: A metric whose dotted path contains one of these moves in the *bad*
@@ -99,10 +101,11 @@ class Dashboard:
 
     @staticmethod
     def entry_from_bench(bench: dict, label: str) -> dict:
-        """Fold one ``BENCH_telemetry.json`` document into an entry."""
+        """Fold one bench document (``BENCH_telemetry.json`` or
+        ``BENCH_parallel.json``) into an entry."""
         kernel = bench.get("kernel", {})
         netsim = bench.get("netsim", {})
-        return {
+        entry = {
             "label": label,
             "unix_time": bench.get("unix_time"),
             "bench_mode": bench.get("mode"),
@@ -118,6 +121,19 @@ class Dashboard:
             "drops": bench.get("drops", 0),
             "span_buffer_bytes": bench.get("span_buffer_bytes", 0),
         }
+        parallel = bench.get("parallel")
+        if parallel:
+            entry["parallel"] = {
+                "events_per_sec": parallel.get("events_per_sec"),
+                "single_shard_events_per_sec":
+                    bench.get("single_shard", {}).get("events_per_sec"),
+                "speedup": bench.get("speedup"),
+                "cores": bench.get("cores"),
+                "restarts": bench.get("restart", {}).get("restarts"),
+                "deterministic":
+                    all(bench.get("determinism", {}).values()),
+            }
+        return entry
 
     def add(self, entry: dict) -> dict:
         self.entries.append(entry)

@@ -52,15 +52,22 @@ def _sampling_meta(tracer: Tracer) -> dict[str, Any] | None:
     with their PR 2 serialization."""
     policy = tracer.sampling
     dropped = tracer.ring.dropped
-    if policy.rate >= 1.0 and not dropped:
+    overrides = getattr(policy, "overrides", None)
+    if policy.rate >= 1.0 and not overrides and not dropped:
         return None
-    return {
+    meta = {
         "sampling_rate": policy.rate,
         "sampling_seed": policy.seed,
         "always": sorted(policy.always),
         "dropped_spans": dropped,
         "ring_capacity": tracer.ring.capacity,
     }
+    if overrides:
+        # Only when present, so override-free traces keep their exact
+        # pre-override serialization (checksum compatibility).
+        meta["overrides"] = {category: overrides[category]
+                             for category in sorted(overrides)}
+    return meta
 
 
 def jsonl_records(tracer: Tracer, include_wall: bool = False

@@ -15,11 +15,15 @@ through their existing observer pipelines via
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Any, TYPE_CHECKING
+from typing import Any, Iterable, TYPE_CHECKING
 
 from repro.telemetry.hooks import KernelInstrumentation
 from repro.telemetry.ring import DEFAULT_CAPACITY
-from repro.telemetry.sampling import Sampler, SamplingPolicy
+from repro.telemetry.sampling import (
+    ALWAYS_ON_CATEGORIES,
+    Sampler,
+    SamplingPolicy,
+)
 from repro.telemetry.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,6 +64,51 @@ def install(sim: "Simulator", enabled: bool = True,
             sim.set_hooks(tracer.kernel)
     sim.tracer = tracer
     return tracer
+
+
+def configure(sim: "Simulator", *,
+              enabled: bool = True,
+              sample_rate: float = 1.0,
+              ring_slots: int = DEFAULT_CAPACITY,
+              categories: dict[str, float] | None = None,
+              always: Iterable[str] = ALWAYS_ON_CATEGORIES,
+              seed: int = 0,
+              kernel_detail: str | None = "aggregate") -> Tracer:
+    """One-call telemetry setup: tracer + sampler + span ring, wired.
+
+    Replaces the constructor plumbing callers previously did by hand
+    (build a :class:`SamplingPolicy`, pick a ring capacity, thread both
+    through :func:`install`)::
+
+        tracer = telemetry.configure(
+            sim, sample_rate=0.01, ring_slots=1 << 17,
+            categories={"net.msg": 0.001, "connector": 0.1})
+
+    Args:
+        enabled: start recording immediately (disabled telemetry stays
+            on the free path until :meth:`Tracer.enable`).
+        sample_rate: global head-sampling rate for trace roots in
+            [0, 1]; ``1.0`` records everything.
+        ring_slots: span-ring capacity (overwrite-oldest once full).
+        categories: per-category sample-rate overrides, e.g. run a
+            chatty flow category at 0.1% while the rest samples at 1%.
+            ``always`` categories ignore both the global rate and any
+            override.
+        always: categories recorded unconditionally (defaults to the
+            meta-level decision categories).
+        seed: sampling-stream seed — same seed, same workload, same
+            sampled span set (the determinism contract).
+        kernel_detail: kernel-hook level passed to :func:`install`
+            (``"aggregate"``, ``"events"`` or ``None``).
+
+    Returns the attached :class:`Tracer` (also reachable as
+    ``sim.tracer``).  Calling ``configure`` again replaces the previous
+    installation; configure before running, not mid-run.
+    """
+    policy = SamplingPolicy(rate=sample_rate, always=always, seed=seed,
+                            overrides=categories)
+    return install(sim, enabled=enabled, kernel_detail=kernel_detail,
+                   sampling=policy, capacity=ring_slots)
 
 
 def uninstall(sim: "Simulator") -> None:

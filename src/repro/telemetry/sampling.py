@@ -57,22 +57,48 @@ class SamplingPolicy:
     ``rate=1.0`` (the default) reproduces PR 2's record-everything
     behaviour bit-for-bit; production installs pick ``rate=0.01`` and
     keep the ``always`` categories for the decision audit.
+
+    ``overrides`` maps span categories to their own rates, overriding the
+    global ``rate`` per category: a chatty lineage category can run at
+    0.1% while everything else samples at 1%::
+
+        SamplingPolicy(rate=0.01, overrides={"net.msg": 0.001})
+
+    Overrides are *stream-neutral*: every non-always root draws exactly
+    one decision from the sampler whether or not its category is
+    overridden, so adding an override never shifts which roots of other
+    categories get sampled.  An ``always`` category beats an override.
     """
 
-    __slots__ = ("rate", "always", "seed")
+    __slots__ = ("rate", "always", "seed", "overrides")
 
     def __init__(self, rate: float = 1.0,
                  always: Iterable[str] = ALWAYS_ON_CATEGORIES,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 overrides: dict[str, float] | None = None) -> None:
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
         self.rate = float(rate)
         self.always = frozenset(always)
         self.seed = int(seed)
+        self.overrides: dict[str, float] = {}
+        for category, category_rate in (overrides or {}).items():
+            if not 0.0 <= category_rate <= 1.0:
+                raise ValueError(
+                    f"sampling rate for {category!r} must be in [0, 1], "
+                    f"got {category_rate}")
+            self.overrides[category] = float(category_rate)
+
+    def rate_for(self, category: str) -> float:
+        """Effective head-sampling rate for one span category."""
+        if category in self.always:
+            return 1.0
+        return self.overrides.get(category, self.rate)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"SamplingPolicy(rate={self.rate}, "
-                f"always={sorted(self.always)}, seed={self.seed})")
+                f"always={sorted(self.always)}, seed={self.seed}, "
+                f"overrides={self.overrides})")
 
 
 class Sampler:
@@ -106,6 +132,17 @@ class Sampler:
         state = (self._state * _MULT + _INC) & _MASK
         self._state = state
         return (state >> 11) < self._threshold
+
+    def sample_at(self, rate: float) -> bool:
+        """One keep/drop decision at a per-call rate (category override).
+
+        Steps the stream exactly once, like :meth:`sample`, so mixing
+        overridden and default-rate decisions never shifts the stream —
+        the same root always sees the same draw.
+        """
+        state = (self._state * _MULT + _INC) & _MASK
+        self._state = state
+        return (state >> 11) < int(rate * _TOP)
 
     def gap(self) -> int:
         """How many decisions to auto-drop before the next kept one.

@@ -188,9 +188,12 @@ class Tracer:
         self._suppress = _SuppressContext(self)
         policy = self.sampling
         self._always = policy.always
+        self._overrides = dict(policy.overrides)
         #: True only when roots actually need a coin flip — the rate-1.0
-        #: default skips the sampler entirely (one attribute load).
-        self._sample_roots = policy.rate < 1.0
+        #: no-override default skips the sampler entirely (one attribute
+        #: load).
+        self._sample_roots = policy.rate < 1.0 or any(
+            rate < 1.0 for rate in self._overrides.values())
         self._sampler = Sampler(policy.rate, policy.seed, stream=1)
 
     # -- lifecycle ---------------------------------------------------------
@@ -259,7 +262,15 @@ class Tracer:
             return False
         if not self._sample_roots or category in self._always:
             return True
-        return self._sampler.sample()
+        return self._root_keep(category)
+
+    def _root_keep(self, category: str) -> bool:
+        """Draw the head decision for a non-always root (one stream step,
+        whether or not the category's rate is overridden)."""
+        override = self._overrides.get(category)
+        if override is None:
+            return self._sampler.sample()
+        return self._sampler.sample_at(override)
 
     # -- synchronous spans -------------------------------------------------
 
@@ -275,7 +286,7 @@ class Tracer:
         if self._suppressed or (
                 self._sample_roots and not self._stack
                 and category not in self._always
-                and not self._sampler.sample()):
+                and not self._root_keep(category)):
             return self._suppress
         return _SpanContext(self, category, name, args)
 

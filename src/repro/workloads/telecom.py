@@ -92,7 +92,7 @@ class TelecomWorkload:
         if self.sim.now + gap >= self._stop_at:
             self._running = False
             return
-        self.sim.schedule(gap, self._arrive)
+        self.sim.schedule(self._arrive, delay=gap)
 
     def _arrive(self) -> None:
         config = self.config
@@ -124,7 +124,7 @@ class TelecomWorkload:
             session.frames_delivered += 1
 
         self.send_frame(session, delivered)
-        self.sim.schedule(session.frame_interval, self._frame, session)
+        self.sim.schedule(self._frame, session, delay=session.frame_interval)
 
     def _schedule_handover(self, session: Session) -> None:
         gap = self.rng.expovariate(self.config.mobility_rate)
@@ -139,7 +139,7 @@ class TelecomWorkload:
             session.handovers += 1
             self._schedule_handover(session)
 
-        self.sim.schedule(gap, handover)
+        self.sim.schedule(handover, delay=gap)
 
     # -- reporting -----------------------------------------------------------
 

@@ -112,7 +112,7 @@ class OpenLoopGenerator:
         if stop_at is not None and self.sim.now + interval > stop_at:
             self._running = False
             return
-        self.sim.schedule(interval, self._fire, stop_at)
+        self.sim.schedule(self._fire, stop_at, delay=interval)
 
     def _fire(self, stop_at: float | None) -> None:
         if not self._running:
@@ -177,7 +177,7 @@ class ClosedLoopGenerator:
 
         def again() -> None:
             if self.think_time > 0:
-                self.sim.schedule(self.think_time, self._issue)
+                self.sim.schedule(self._issue, delay=self.think_time)
             else:
                 self.sim.call_soon(self._issue)
 

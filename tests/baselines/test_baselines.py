@@ -67,7 +67,7 @@ class TestPolylith:
         reconfigurator = PolylithReconfigurator(assembly)
         reconfigurator.replace_module("alpha-server",
                                       fresh_counter("alpha-server-v2"))
-        sim.at(0.0005, probe)  # mid-window
+        sim.at(probe, when=0.0005)  # mid-window
         sim.run()
         assert observed == [True]
         assert not beta_binding.is_blocked  # thawed afterwards
@@ -94,7 +94,7 @@ class TestPolylith:
         PolylithReconfigurator(assembly).replace_module(
             "alpha-server", fresh_counter("v2")
         )
-        sim.at(0.0005, beta_traffic)  # lands in the frozen window
+        sim.at(beta_traffic, when=0.0005)  # lands in the frozen window
         sim.run()
         assert results == [1]
 

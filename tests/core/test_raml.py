@@ -294,7 +294,7 @@ class TestIntercession:
             Response(reconfigure=failover, escalate_after=2),
         )
         raml.start()
-        sim.at(2.5, assembly.network.node("leaf1").crash)
+        sim.at(assembly.network.node("leaf1").crash, when=2.5)
         sim.run(until=10.0)
         raml.stop()
         # The binding now points at standby; traffic flows again.

@@ -45,7 +45,7 @@ def test_wait_resumes_with_fired_value():
         received.append(value)
 
     spawn(sim, consumer())
-    sim.at(3.0, signal.fire, "payload")
+    sim.at(signal.fire, "payload", when=3.0)
     sim.run()
     assert received == ["payload"]
 
@@ -61,7 +61,7 @@ def test_signal_resumes_all_waiters():
 
     for label in ("a", "b", "c"):
         spawn(sim, waiter(label))
-    sim.at(1.0, signal.fire)
+    sim.at(signal.fire, when=1.0)
     sim.run()
     assert sorted(hits) == ["a", "b", "c"]
 
@@ -77,7 +77,7 @@ def test_signal_only_resumes_current_waiters():
         hits.append("late")
 
     spawn(sim, late_waiter())
-    sim.at(1.0, signal.fire)
+    sim.at(signal.fire, when=1.0)
     sim.run()
     assert hits == []  # fired before the waiter subscribed
 

@@ -14,9 +14,9 @@ def test_clock_starts_at_zero():
 def test_events_fire_in_time_order():
     sim = Simulator()
     fired = []
-    sim.schedule(3.0, fired.append, "c")
-    sim.schedule(1.0, fired.append, "a")
-    sim.schedule(2.0, fired.append, "b")
+    sim.schedule(fired.append, "c", delay=3.0)
+    sim.schedule(fired.append, "a", delay=1.0)
+    sim.schedule(fired.append, "b", delay=2.0)
     sim.run()
     assert fired == ["a", "b", "c"]
 
@@ -25,7 +25,7 @@ def test_equal_time_events_fire_in_insertion_order():
     sim = Simulator()
     fired = []
     for label in "abcde":
-        sim.schedule(1.0, fired.append, label)
+        sim.schedule(fired.append, label, delay=1.0)
     sim.run()
     assert fired == list("abcde")
 
@@ -33,8 +33,8 @@ def test_equal_time_events_fire_in_insertion_order():
 def test_priority_breaks_ties_before_insertion_order():
     sim = Simulator()
     fired = []
-    sim.schedule(1.0, fired.append, "low", priority=5)
-    sim.schedule(1.0, fired.append, "high", priority=-5)
+    sim.schedule(fired.append, "low", priority=5, delay=1.0)
+    sim.schedule(fired.append, "high", priority=-5, delay=1.0)
     sim.run()
     assert fired == ["high", "low"]
 
@@ -42,7 +42,7 @@ def test_priority_breaks_ties_before_insertion_order():
 def test_clock_advances_to_event_time():
     sim = Simulator()
     seen = []
-    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.schedule(lambda: seen.append(sim.now), delay=2.5)
     sim.run()
     assert seen == [2.5]
     assert sim.now == 2.5
@@ -51,8 +51,8 @@ def test_clock_advances_to_event_time():
 def test_run_until_stops_before_later_events():
     sim = Simulator()
     fired = []
-    sim.schedule(1.0, fired.append, "early")
-    sim.schedule(10.0, fired.append, "late")
+    sim.schedule(fired.append, "early", delay=1.0)
+    sim.schedule(fired.append, "late", delay=10.0)
     sim.run(until=5.0)
     assert fired == ["early"]
     assert sim.now == 5.0
@@ -69,21 +69,21 @@ def test_run_until_advances_clock_even_with_no_events():
 def test_negative_delay_rejected():
     sim = Simulator()
     with pytest.raises(ClockError):
-        sim.schedule(-1.0, lambda: None)
+        sim.schedule(lambda: None, delay=-1.0)
 
 
 def test_scheduling_in_the_past_rejected():
     sim = Simulator()
-    sim.schedule(5.0, lambda: None)
+    sim.schedule(lambda: None, delay=5.0)
     sim.run()
     with pytest.raises(ClockError):
-        sim.at(1.0, lambda: None)
+        sim.at(lambda: None, when=1.0)
 
 
 def test_cancelled_event_does_not_fire():
     sim = Simulator()
     fired = []
-    event = sim.schedule(1.0, fired.append, "x")
+    event = sim.schedule(fired.append, "x", delay=1.0)
     event.cancel()
     sim.run()
     assert fired == []
@@ -96,9 +96,9 @@ def test_events_scheduled_during_run_are_executed():
     def chain(n):
         fired.append(n)
         if n < 3:
-            sim.schedule(1.0, chain, n + 1)
+            sim.schedule(chain, n + 1, delay=1.0)
 
-    sim.schedule(1.0, chain, 0)
+    sim.schedule(chain, 0, delay=1.0)
     sim.run()
     assert fired == [0, 1, 2, 3]
     assert sim.now == 4.0
@@ -107,7 +107,7 @@ def test_events_scheduled_during_run_are_executed():
 def test_call_soon_runs_at_current_time():
     sim = Simulator()
     times = []
-    sim.schedule(2.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+    sim.schedule(lambda: sim.call_soon(lambda: times.append(sim.now)), delay=2.0)
     sim.run()
     assert times == [2.0]
 
@@ -116,15 +116,15 @@ def test_max_events_limits_execution():
     sim = Simulator()
     fired = []
     for i in range(10):
-        sim.schedule(float(i + 1), fired.append, i)
+        sim.schedule(fired.append, i, delay=float(i + 1))
     sim.run(max_events=4)
     assert fired == [0, 1, 2, 3]
 
 
 def test_executed_and_pending_counters():
     sim = Simulator()
-    sim.schedule(1.0, lambda: None)
-    event = sim.schedule(2.0, lambda: None)
+    sim.schedule(lambda: None, delay=1.0)
+    event = sim.schedule(lambda: None, delay=2.0)
     event.cancel()
     assert sim.pending_events == 1
     sim.run()
@@ -141,7 +141,7 @@ def test_pending_count_across_cancel_and_compact_cycles():
     events = []
     for round_number in range(4):
         events.extend(
-            sim.schedule(float(round_number) + 1.0, lambda: None)
+            sim.schedule(lambda: None, delay=float(round_number) + 1.0)
             for _ in range(COMPACT_MIN_GARBAGE)
         )
         # Cancel every other event, twice for some (double-cancel must
@@ -170,7 +170,7 @@ def test_automatic_compaction_bounds_queue_garbage():
 
     sim = Simulator()
     for _ in range(20 * COMPACT_MIN_GARBAGE):
-        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(lambda: None, delay=1.0).cancel()
     assert sim.pending_events == 0
     assert sim.queue_size <= COMPACT_MIN_GARBAGE + 1
     assert sim.compactions > 0
@@ -180,7 +180,7 @@ def test_schedule_many_matches_individual_schedules():
     fired_a, fired_b = [], []
     sim_a = Simulator()
     for index in range(50):
-        sim_a.schedule(float(index % 7), fired_a.append, index)
+        sim_a.schedule(fired_a.append, index, delay=float(index % 7))
     sim_b = Simulator()
     sim_b.schedule_many(
         [(float(index % 7), fired_b.append, (index,)) for index in range(50)]
@@ -194,7 +194,7 @@ def test_schedule_many_small_batch_on_large_heap():
     sim = Simulator()
     fired = []
     for index in range(200):
-        sim.schedule(10.0 + index, fired.append, f"big{index}")
+        sim.schedule(fired.append, f"big{index}", delay=10.0 + index)
     sim.schedule_many([(0.5, fired.append, ("x",)), (0.25, fired.append, ("y",))])
     sim.run(until=1.0)
     assert fired == ["y", "x"]
@@ -217,7 +217,7 @@ def test_schedule_many_absolute_and_priority():
 
 def test_schedule_many_rejects_past_times():
     sim = Simulator()
-    sim.schedule(1.0, lambda: None)
+    sim.schedule(lambda: None, delay=1.0)
     sim.run()
     with pytest.raises(ClockError):
         sim.schedule_many([(0.5, lambda: None)], absolute=True)
@@ -236,7 +236,7 @@ def test_schedule_many_events_are_cancellable():
 
 def test_reset_clears_queue_and_clock():
     sim = Simulator()
-    sim.schedule(1.0, lambda: None)
+    sim.schedule(lambda: None, delay=1.0)
     sim.run()
     sim.reset()
     assert sim.now == 0.0
@@ -246,11 +246,11 @@ def test_reset_clears_queue_and_clock():
 
 def test_cancel_after_reset_does_not_corrupt_counters():
     sim = Simulator()
-    event = sim.schedule(1.0, lambda: None)
+    event = sim.schedule(lambda: None, delay=1.0)
     sim.reset()
     event.cancel()
     assert sim.pending_events == 0
-    sim.schedule(1.0, lambda: None)
+    sim.schedule(lambda: None, delay=1.0)
     assert sim.pending_events == 1
 
 
@@ -260,6 +260,6 @@ def test_reentrant_run_rejected():
     def nested():
         sim.run()
 
-    sim.schedule(1.0, nested)
+    sim.schedule(nested, delay=1.0)
     with pytest.raises(ClockError):
         sim.run()

@@ -93,9 +93,9 @@ class TestAdlToRunningSystem:
 
         replacement = fresh_counter("server-v2")
         done = []
-        sim.at(0.5, lambda: ReconfigurationTransaction(assembly).add(
+        sim.at(lambda: ReconfigurationTransaction(assembly).add(
             ReplaceComponent("server", replacement)
-        ).execute_async(on_done=done.append))
+        ).execute_async(on_done=done.append), when=0.5)
         sim.run()
         assert done[0].state is TransactionState.COMMITTED
         # Conservation: every issued call reached exactly one server —
@@ -148,7 +148,7 @@ class TestRamlQosClosedLoop:
         raml.add_constraint(custom("latency-sla", latency_bad),
                             Response(adapt=adapt, escalate_after=99))
         raml.start()
-        sim.at(1.0, lambda: congested.__setitem__("on", True))
+        sim.at(lambda: congested.__setitem__("on", True), when=1.0)
         sim.run(until=4.0)
         raml.stop()
         assert adaptations, "adaptation must fire"
@@ -185,7 +185,7 @@ class TestMiddlewareMigration:
             orbs["n2"].register("counter", server.provided_port("svc"))
             proxy.rebind("n2")
 
-        sim.at(0.5, migrate)
+        sim.at(migrate, when=0.5)
         sim.run(until=1.0)
         generator.stop()
         sim.run(until=2.0)
@@ -213,7 +213,7 @@ class TestRamlMigratesUnderLoadConstraint:
         raml.add_constraint(node_load_below(0.7),
                             Response(reconfigure=rebalance, escalate_after=2))
         raml.start()
-        sim.at(1.0, assembly.network.node("n0").set_background_load, 0.9)
+        sim.at(assembly.network.node("n0").set_background_load, 0.9, when=1.0)
         sim.run(until=5.0)
         raml.stop()
         assert worker.node_name != "n0"
@@ -243,7 +243,7 @@ class TestFailureDuringReconfiguration:
 
         # Node n2 dies before the transaction starts.
         injector.crash_node("n2", at=0.5)
-        sim.at(1.0, attempt)
+        sim.at(attempt, when=1.0)
         sim.run()
         assert results == ["failed"]
         assert assembly.component("server").node_name == "n0"
@@ -280,7 +280,7 @@ class TestConnectorSwapUnderTraffic:
             )
             txn.execute()
 
-        sim.at(0.5, swap)
+        sim.at(swap, when=0.5)
         sim.run()
         assert "front-v2" in assembly.connectors
         assert "front" not in assembly.connectors

@@ -95,7 +95,7 @@ class TestServiceStacking:
     def test_audit_log_is_time_ordered(self):
         node, container, component = deployed(["logging"])
         port = component.provided_port("svc")
-        node.sim.at(1.0, port.invoke, Invocation("total"))
+        node.sim.at(port.invoke, Invocation("total"), when=1.0)
         node.sim.run()
         times = [entry[0] for entry in container.audit_log]
         assert times == sorted(times)

@@ -100,8 +100,8 @@ class TestTimeoutsAndRetries:
         client_orb.call("leaf1", "counter", "increment", 1,
                         on_result=results.append, on_error=errors.append,
                         timeout=0.2, retries=2)
-        sim.at(0.3, net.link_between("hub", "leaf1").set_quality, 0.002,
-               1_000_000.0, 0.0)
+        sim.at(net.link_between("hub", "leaf1").set_quality, 0.002,
+               1_000_000.0, 0.0, when=0.3)
         sim.run()
         assert results == [1]
         assert errors == []

@@ -56,7 +56,7 @@ def test_transmitter_frees_up_over_time():
     net.node("b").bind_endpoint("svc", lambda n, m: arrivals.append(sim.now))
     net.send(Message("a", "b", "svc", size=500))
     # Second message sent after the first finished transmitting: no wait.
-    sim.at(2.0, lambda: net.send(Message("a", "b", "svc", size=500)))
+    sim.at(lambda: net.send(Message("a", "b", "svc", size=500)), when=2.0)
     sim.run()
     assert arrivals == [pytest.approx(0.5), pytest.approx(2.5)]
 

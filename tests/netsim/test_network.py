@@ -115,7 +115,7 @@ def test_node_crash_mid_flight_drops_message():
     sim, net = two_node_net(latency=1.0)
     net.node("b").bind_endpoint("svc", lambda node, msg: None)
     net.send(Message("a", "b", "svc", size=0))
-    sim.at(0.5, net.node("b").crash)
+    sim.at(net.node("b").crash, when=0.5)
     sim.run()
     assert net.stats.delivered == 0
     assert net.stats.dropped_node_down == 1

@@ -38,7 +38,7 @@ def test_in_flight_decrements_on_drop():
     net.node("n2").bind_endpoint("svc", lambda node, msg: None)
     net.send(Message("n0", "n2", "svc", size=0))
     # Second hop's link dies while the message is on the first hop.
-    sim.at(0.25, net.link_between("n1", "n2").fail)
+    sim.at(net.link_between("n1", "n2").fail, when=0.25)
     sim.run()
     assert net.in_flight == 0
     assert net.stats.dropped_link_down == 1

@@ -30,8 +30,8 @@ def test_lossy_network_runs_identically_per_seed(seed, size, loss):
         for index in range(40):
             src = nodes[index % size]
             dst = nodes[(index + 1) % size]
-            sim.at(index * 0.01, net.send,
-                   Message(src, dst, "svc", size=64))
+            sim.at(net.send,
+                   Message(src, dst, "svc", size=64), when=index * 0.01)
         sim.run()
         return trace, net.stats.snapshot()
 

@@ -31,7 +31,7 @@ def _random_program_trace(seed: int) -> bytes:
     for index in range(rng.randint(20, 60)):
         delay = rng.choice([0.0, 0.5, 1.0, rng.uniform(0.0, 5.0)])
         priority = rng.choice([-1, 0, 0, 1])
-        event = sim.schedule(delay, note, f"one-shot:{index}", priority=priority)
+        event = sim.schedule(note, f"one-shot:{index}", priority=priority, delay=delay)
         if rng.random() < 0.4:
             cancellable.append(event)
     # A bulk batch through the heapify fast path.
@@ -58,11 +58,11 @@ def _random_program_trace(seed: int) -> bytes:
         event.cancel()
     if cancellable[1::2]:
         victims = cancellable[1::2]
-        sim.schedule(1.0, lambda: [event.cancel() for event in victims])
+        sim.schedule(lambda: [event.cancel() for event in victims], delay=1.0)
     # Same-time ties via call_soon chains scheduled mid-run.
-    sim.schedule(2.0, lambda: [sim.call_soon(note, f"soon:{i}") for i in range(3)])
+    sim.schedule(lambda: [sim.call_soon(note, f"soon:{i}") for i in range(3)], delay=2.0)
     stop_at = rng.uniform(3.0, 8.0)
-    sim.at(stop_at, lambda: [timer.stop() for timer in timers])
+    sim.at(lambda: [timer.stop() for timer in timers], when=stop_at)
     sim.run(until=stop_at + 1.0)
     return repr(trace).encode()
 
@@ -80,7 +80,7 @@ def test_counters_and_clock_identical_per_seed(seed):
         rng = random.Random(seed)
         sim = Simulator()
         events = [
-            sim.schedule(rng.uniform(0.0, 10.0), lambda: None)
+            sim.schedule(lambda: None, delay=rng.uniform(0.0, 10.0))
             for _ in range(rng.randint(50, 200))
         ]
         for event in events:

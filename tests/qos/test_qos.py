@@ -161,10 +161,10 @@ class TestMonitor:
         monitor.subscribe(lambda event, report: events.append(event))
         monitor.start()
         # Good at t<1.5, bad between 1.5 and 3.5, good again after.
-        sim.at(0.5, registry.record, "latency", 0.05, 0.5)
-        sim.at(1.5, registry.record, "latency", 0.5, 1.5)
-        sim.at(2.5, registry.record, "latency", 0.5, 2.5)
-        sim.at(3.5, registry.record, "latency", 0.05, 3.5)
+        sim.at(registry.record, "latency", 0.05, 0.5, when=0.5)
+        sim.at(registry.record, "latency", 0.5, 1.5, when=1.5)
+        sim.at(registry.record, "latency", 0.5, 2.5, when=2.5)
+        sim.at(registry.record, "latency", 0.05, 3.5, when=3.5)
         sim.run(until=5.5)
         assert "violation" in events
         assert "restored" in events

@@ -399,9 +399,9 @@ class TestAsyncExecution:
         timer = PeriodicTimer(sim, 0.001, traffic)
         replacement = fresh_counter("server-v2")
         done = []
-        sim.at(0.0105, lambda: ReconfigurationTransaction(assembly).add(
+        sim.at(lambda: ReconfigurationTransaction(assembly).add(
             ReplaceComponent("server", replacement)
-        ).execute_async(on_done=done.append))
+        ).execute_async(on_done=done.append), when=0.0105)
         sim.run(until=0.1)
         timer.stop()
         sim.run()

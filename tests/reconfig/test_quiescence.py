@@ -92,7 +92,7 @@ class TestReachQuiescence:
         sim = Simulator()
         _c, server, _b, region = make_region()
         server._active_calls = 1
-        sim.at(0.05, lambda: setattr(server, "_active_calls", 0))
+        sim.at(lambda: setattr(server, "_active_calls", 0), when=0.05)
         ready = []
         reach_quiescence(region, sim, lambda: ready.append(sim.now),
                          poll_interval=0.01)

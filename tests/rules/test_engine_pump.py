@@ -29,7 +29,7 @@ def test_pump_runs_deferred_actions_later():
         action=CallAction("audit", "increment"),
     ))
     engine.start(sim, period=0.5)
-    sim.at(0.1, call, echo, "echo", "x")
+    sim.at(call, echo, "echo", "x", when=0.1)
     sim.run(until=0.3)
     assert counter.state["total"] == 0  # not yet pumped
     sim.run(until=0.6)
@@ -47,8 +47,8 @@ def test_pump_releases_waiting_when_guard_opens():
         guard=lambda inv: gate["open"],
     ))
     engine.start(sim, period=0.25)
-    sim.at(0.1, call, echo, "echo", "x")
-    sim.at(1.0, lambda: gate.__setitem__("open", True))
+    sim.at(call, echo, "echo", "x", when=0.1)
+    sim.at(lambda: gate.__setitem__("open", True), when=1.0)
     sim.run(until=0.9)
     assert echo.state["seen"] == []
     sim.run(until=1.5)
@@ -66,7 +66,7 @@ def test_stop_halts_pumping():
     ))
     engine.start(sim, period=0.5)
     engine.stop()
-    sim.at(0.1, call, echo, "echo", "x")
+    sim.at(call, echo, "echo", "x", when=0.1)
     sim.run(until=5.0)
     assert counter.state["total"] == 0
     assert len(engine.deferred) == 1
@@ -82,6 +82,6 @@ def test_start_is_idempotent():
     ))
     engine.start(sim, period=0.5)
     engine.start(sim, period=0.5)  # no double pump
-    sim.at(0.1, call, echo, "echo", "x")
+    sim.at(call, echo, "echo", "x", when=0.1)
     sim.run(until=1.1)
     assert counter.state["total"] == 1

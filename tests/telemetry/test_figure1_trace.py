@@ -117,7 +117,7 @@ def run_scenario():
 
     reporter = PeriodicTimer(sim, 0.5, report, name="status-reporter")
 
-    sim.at(2.0, lambda: serving_a.state.__setitem__("degraded", True))
+    sim.at(lambda: serving_a.state.__setitem__("degraded", True), when=2.0)
     sim.run(until=6.0)
     traffic.stop()
     reporter.stop()

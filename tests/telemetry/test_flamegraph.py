@@ -74,9 +74,9 @@ class TestKernelFolded:
             pass
 
         def parent():
-            sim.schedule(1.0, leaf)
+            sim.schedule(leaf, delay=1.0)
 
-        sim.schedule(1.0, parent)
+        sim.schedule(parent, delay=1.0)
         sim.run()
         lines = kernel_folded(tracer.kernel, weight="events")
         # Both events fired once; leaf's dominant predecessor is parent,
@@ -93,9 +93,9 @@ class TestKernelFolded:
 
         def tick():
             if sim.now < 3.0:
-                sim.schedule(1.0, tick)
+                sim.schedule(tick, delay=1.0)
 
-        sim.schedule(1.0, tick)
+        sim.schedule(tick, delay=1.0)
         sim.run()
         lines = kernel_folded(tracer.kernel, weight="events")
         assert len(lines) == 1  # the cycle collapses to one chain
@@ -117,7 +117,7 @@ class TestCombined:
             pass
 
         with tracer.span("app", "run"):
-            sim.schedule(1.0, work)
+            sim.schedule(work, delay=1.0)
             sim.run()
         lines = folded_stacks(tracer, kernel_weight="events")
         assert any(line.startswith("app/run") for line in lines)

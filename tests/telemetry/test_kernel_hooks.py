@@ -30,9 +30,9 @@ class TestAggregation:
     def test_fire_schedule_cancel_counted_per_site(self):
         sim = Simulator()
         tracer = install(sim)
-        sim.schedule(1.0, ping)
-        sim.schedule(2.0, ping)
-        doomed = sim.schedule(3.0, ping)
+        sim.schedule(ping, delay=1.0)
+        sim.schedule(ping, delay=2.0)
+        doomed = sim.schedule(ping, delay=3.0)
         doomed.cancel()
         sim.run()
         stats = tracer.kernel.sites["ping"]
@@ -47,9 +47,9 @@ class TestAggregation:
         tracer = install(sim)
 
         def parent():
-            sim.schedule(1.0, ping)
+            sim.schedule(ping, delay=1.0)
 
-        sim.schedule(1.0, parent)
+        sim.schedule(parent, delay=1.0)
         sim.run()
         # Qualnames of nested functions carry the test scope; compare on
         # the leaf name.
@@ -73,8 +73,8 @@ class TestAggregation:
         def busy():
             sum(range(20_000))
 
-        sim.schedule(1.0, busy)
-        sim.schedule(2.0, ping)
+        sim.schedule(busy, delay=1.0)
+        sim.schedule(ping, delay=2.0)
         sim.run()
         names = [name for name, _ in tracer.kernel.hot_sites()]
         assert names[0].endswith("busy")
@@ -90,9 +90,9 @@ class TestEventsDetail:
         tracer = install(sim, kernel_detail="events")
 
         def parent():
-            sim.schedule(1.0, ping)
+            sim.schedule(ping, delay=1.0)
 
-        sim.schedule(1.0, parent)
+        sim.schedule(parent, delay=1.0)
         sim.run()
         kernel = [i for i in tracer.instants if i.category == "kernel"]
         assert [i.name.rsplit(".", 1)[-1] for i in kernel] == ["parent", "ping"]
@@ -102,7 +102,7 @@ class TestEventsDetail:
     def test_cancelled_events_leave_no_pending_attribution(self):
         sim = Simulator()
         tracer = install(sim, kernel_detail="events")
-        sim.schedule(1.0, ping).cancel()
+        sim.schedule(ping, delay=1.0).cancel()
         sim.run()
         assert tracer.kernel._scheduled_by == {}
 
@@ -125,12 +125,12 @@ class TestLifecycle:
         tracer = install(sim)
         tracer.disable()
         assert sim.hooks is None
-        sim.schedule(1.0, ping)
+        sim.schedule(ping, delay=1.0)
         sim.run()
         assert tracer.kernel.events_seen == 0
         tracer.enable()
         assert sim.hooks is tracer.kernel
-        sim.schedule(1.0, ping)
+        sim.schedule(ping, delay=1.0)
         sim.run()
         assert tracer.kernel.events_seen == 1
 
@@ -149,7 +149,7 @@ class TestLifecycle:
             order = []
             sim.schedule_many(
                 (1.0, order.append, (i,)) for i in range(50))
-            sim.schedule(0.5, order.append, "early")
+            sim.schedule(order.append, "early", delay=0.5)
             sim.run()
             return order, sim.now
 

@@ -104,7 +104,7 @@ class TestDroppedLineage:
         net.send(Message("leaf0", "leaf1", "svc"))
         # Fail the second link while the message rides the first hop;
         # the precomputed path is still followed, so the forward fails.
-        sim.schedule(0.0005, net.link_between("hub", "leaf1").fail)
+        sim.schedule(net.link_between("hub", "leaf1").fail, delay=0.0005)
         sim.run()
         assert self.drop_outcomes(tracer) == {"drop:link_down"}
         hops = [s.name for s in tracer.spans if s.category == "net.hop"]
@@ -117,7 +117,7 @@ class TestDroppedLineage:
         net.send(Message("leaf0", "leaf1", "svc"))
         # Crash the destination while the message is in flight: the route
         # stays valid, so the drop happens at arrival.
-        sim.schedule(0.0005, net.node("leaf1").crash)
+        sim.schedule(net.node("leaf1").crash, delay=0.0005)
         sim.run()
         assert self.drop_outcomes(tracer) == {"drop:node_down"}
 

@@ -230,7 +230,7 @@ class TestKernelSampling:
     def test_cancelled_unsampled_event_is_silent(self):
         sim = Simulator()
         tracer = install(sim, sampling=SamplingPolicy(rate=0.0, seed=1))
-        handle = sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(lambda: None, delay=1.0)
         handle.cancel()
         sim.run()
         assert tracer.kernel.events_seen == 0
