@@ -8,6 +8,7 @@ failover.  All are "light-weight components which function as glue".
 from __future__ import annotations
 
 import random
+import time
 from typing import Any
 
 from repro.errors import ConnectorError
@@ -18,11 +19,23 @@ from repro.connectors.roles import Role, callee, caller
 
 
 class RpcConnector(Connector):
-    """One-to-one request/reply glue with optional retry-on-error."""
+    """One-to-one request/reply glue with optional retry-on-error.
+
+    Retries back off exponentially with **deterministic** seeded jitter:
+    the delay before retry *k* of call *n* is drawn from a stream seeded
+    by ``(seed, n, k)``, so two runs with the same seed produce
+    byte-identical retry schedules (recorded in
+    ``invocation.meta["backoff"]``) — determinism survives the
+    robustness knob.  The default ``backoff_base=0.0`` retries
+    immediately, matching the original behaviour.
+    """
 
     kind = "rpc"
 
-    def __init__(self, name: str, interface: Interface, retries: int = 0) -> None:
+    def __init__(self, name: str, interface: Interface, retries: int = 0,
+                 *, backoff_base: float = 0.0, backoff_factor: float = 2.0,
+                 backoff_max: float = 1.0, backoff_jitter: float = 0.1,
+                 seed: int = 0) -> None:
         super().__init__(
             name,
             [
@@ -31,15 +44,39 @@ class RpcConnector(Connector):
             ],
         )
         self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.backoff_jitter = backoff_jitter
+        self.seed = seed
+        self._calls = 0
+
+    def backoff(self, call: int, attempt: int) -> float:
+        """Delay before retry ``attempt`` (0-based) of call ``call``."""
+        if self.backoff_base <= 0.0:
+            return 0.0
+        delay = min(self.backoff_base * self.backoff_factor ** attempt,
+                    self.backoff_max)
+        if self.backoff_jitter > 0.0:
+            stream = random.Random((self.seed << 24) ^ (call << 8) ^ attempt)
+            delay *= 1.0 + self.backoff_jitter * stream.random()
+        return delay
 
     def route(self, source_role: Role, invocation: Invocation) -> Any:
         attachments = self.attachments["server"]
         if not attachments:
             raise ConnectorError(f"rpc connector {self.name!r} has no server")
         server = attachments[0].target
+        call = self._calls
+        self._calls += 1
         attempts = self.retries + 1
         last_error: Exception | None = None
         for attempt in range(attempts):
+            if attempt > 0:
+                delay = self.backoff(call, attempt - 1)
+                invocation.meta.setdefault("backoff", []).append(delay)
+                if delay > 0.0:
+                    time.sleep(delay)
             try:
                 return server.invoke(invocation)
             except Exception as exc:  # noqa: BLE001 - retried, then re-raised

@@ -1,0 +1,81 @@
+"""Durable sink for the RAML decision audit.
+
+The audit log is the *why* behind every meta-level action; until now it
+lived (and died) with the process.  :class:`DurableAuditSink` subscribes
+to a tracer's :class:`~repro.telemetry.audit.AuditLog` and streams each
+record into a :class:`~repro.durability.store.Store` log, so the
+decision history of a crashed run is replayable evidence, not a memory.
+
+Records persist in the audit's canonical shape (``time``, ``kind``, the
+driving fields) via the store's deterministic serialization — repeated
+same-seed runs produce byte-identical durable audit streams, which is
+what lets the crash matrix diff them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.durability.store import Store
+from repro.errors import DurabilityError, StoreError
+
+#: Default store log audit records append to.
+AUDIT_LOG = "raml-audit"
+
+
+class DurableAuditSink:
+    """Persists audit records as they are appended.
+
+    Args:
+        store: backend to append into.
+        log: store log name.
+        on_error: ``"raise"`` propagates a backend failure to the
+            decision site (durability is part of the contract);
+            ``"collect"`` counts the loss in :attr:`dropped` and keeps
+            the simulation running — degraded, but surfaced, never
+            silent.
+    """
+
+    def __init__(self, store: Store, log: str = AUDIT_LOG,
+                 on_error: str = "raise") -> None:
+        if on_error not in ("raise", "collect"):
+            raise DurabilityError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}")
+        self.store = store
+        self.log = log
+        self.on_error = on_error
+        self.persisted = 0
+        self.dropped = 0
+        self.errors: list[str] = []
+        self._attached_to: Any = None
+
+    def __call__(self, record: Any) -> None:
+        """Sink hook: persist one :class:`AuditRecord`."""
+        try:
+            self.store.append(self.log, record.as_dict())
+        except StoreError as exc:
+            self.dropped += 1
+            self.errors.append(str(exc))
+            if self.on_error == "raise":
+                raise
+            return
+        self.persisted += 1
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, tracer: Any) -> "DurableAuditSink":
+        """Subscribe to a tracer's audit log."""
+        tracer.audit.add_sink(self)
+        self._attached_to = tracer
+        return self
+
+    def detach(self) -> None:
+        if self._attached_to is not None:
+            self._attached_to.audit.remove_sink(self)
+            self._attached_to = None
+
+    # -- reading back ------------------------------------------------------
+
+    def load(self) -> list[dict[str, Any]]:
+        """The persisted audit stream, in append order."""
+        return [record for _seq, record in self.store.read(self.log)]

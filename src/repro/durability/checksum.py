@@ -1,0 +1,78 @@
+"""Deterministic configuration checksums.
+
+Crash recovery's acceptance rule is *no hybrids*: a recovered assembly
+must equal the pre-reconfiguration configuration or the
+post-reconfiguration configuration, bit for bit.  The witness is a
+sha256 over a canonical document covering everything a reconfiguration
+can touch — components (placement, lifecycle, state, ports), bindings,
+and connector attachments.  Two assemblies built by the same
+deterministic builder hash identically; any applied-but-uncommitted
+change shows up as a different digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.durability.store import canonical_json
+from repro.kernel.assembly import Assembly
+
+
+def _canon(value: Any) -> Any:
+    """Reduce arbitrary component state to a deterministic JSON shape."""
+    if isinstance(value, dict):
+        return {str(key): _canon(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canon(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(item) for item in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Arbitrary objects hash by type, not repr: reprs embed addresses.
+    return f"<{type(value).__name__}>"
+
+
+def _target_name(target: Any) -> str:
+    qualified = getattr(target, "qualified_name", None)
+    return qualified if qualified else f"<{type(target).__name__}>"
+
+
+def assembly_document(assembly: Assembly) -> dict[str, Any]:
+    """The canonical structure :func:`assembly_checksum` hashes."""
+    components = []
+    for component in sorted(assembly.registry, key=lambda c: c.name):
+        components.append({
+            "name": component.name,
+            "node": component.node_name,
+            "lifecycle": component.lifecycle.state.value,
+            "state": _canon(component.state),
+            "provided": sorted(component.provided),
+            "required": {
+                name: (_target_name(port.binding.target)
+                       if port.is_bound else None)
+                for name, port in sorted(component.required.items())
+            },
+        })
+    connectors = {}
+    for name, connector in sorted(assembly.connectors.items()):
+        connectors[name] = {
+            "kind": connector.kind,
+            "attachments": {
+                role: sorted(_target_name(a.target) for a in attachments)
+                for role, attachments in sorted(
+                    connector.attachments.items())
+            },
+        }
+    return {
+        "name": assembly.name,
+        "components": components,
+        "bindings": sorted(binding.describe() for binding in assembly.bindings),
+        "connectors": connectors,
+    }
+
+
+def assembly_checksum(assembly: Assembly) -> str:
+    """Hex sha256 of the assembly's canonical configuration document."""
+    payload = canonical_json(assembly_document(assembly))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,168 @@
+"""Crash recovery: replay the write-ahead log to a consistent state.
+
+The model: configurations are produced by a *deterministic builder* (the
+same code that built the pre-crash system — an ADL document, a scenario
+script, a test fixture).  After a crash the process restarts, rebuilds
+the pre-reconfiguration assembly, and hands it to :func:`recover`
+together with fresh change objects.  Recovery then makes the half-done
+transaction's outcome match its durable decision:
+
+* the log contains a ``commit`` marker → **roll forward**: the
+  transaction had durably decided to commit, so the changes are
+  re-executed, driving the fresh assembly to the post-reconfiguration
+  configuration;
+* the log stops before ``commit`` → **roll back**: the transaction never
+  durably committed, so the pre-reconfiguration assembly *is* the
+  recovered state (the half-applied in-memory mutations died with the
+  crashed process).
+
+Either way the recovered assembly must pass
+:func:`~repro.reconfig.consistency.check_assembly` and hash to exactly
+the pre- or post-reconfiguration checksum — never a hybrid.  Recovery
+appends a ``recovered`` record so a second restart is idempotent and the
+log itself narrates what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.durability.checksum import assembly_checksum
+from repro.durability.store import Store, canonical_json
+from repro.durability.wal import WAL_LOG, WalPhase, WriteAheadLog
+from repro.errors import RecoveryError
+from repro.kernel.assembly import Assembly
+from repro.reconfig.changes import Change
+from repro.reconfig.consistency import check_assembly
+from repro.reconfig.transaction import ReconfigurationTransaction
+
+#: Recovery outcomes.
+ROLL_FORWARD = "roll-forward"
+ROLL_BACK = "roll-back"
+CLEAN = "clean"
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery decided and verified — deterministic by design, so
+    repeated same-seed recoveries serialize byte-identically."""
+
+    txn: str | None
+    mode: str
+    checksum: str
+    phases_seen: list[str] = field(default_factory=list)
+    applied: list[str] = field(default_factory=list)
+    consistent: bool = True
+
+    def to_json(self) -> str:
+        return canonical_json({
+            "txn": self.txn,
+            "mode": self.mode,
+            "checksum": self.checksum,
+            "phases_seen": self.phases_seen,
+            "applied": self.applied,
+            "consistent": self.consistent,
+        })
+
+
+def decide(phases: Iterable[str]) -> str:
+    """The roll-forward/roll-back decision rule, isolated for reuse:
+    roll forward past the commit marker, roll back before it."""
+    return ROLL_FORWARD if WalPhase.COMMIT in phases else ROLL_BACK
+
+
+def recover(store: Store, assembly: Assembly,
+            changes: Iterable[Change], *, log: str = WAL_LOG,
+            txn: str | None = None,
+            verify_checksums: bool = True) -> RecoveryReport:
+    """Drive a freshly rebuilt pre-state assembly to the durable outcome.
+
+    Args:
+        store: the backend the crashed run journaled into.
+        assembly: the pre-reconfiguration assembly, rebuilt by the same
+            deterministic builder the crashed process used.
+        changes: *fresh* change objects matching the crashed
+            transaction's change list (same builder, same order; change
+            objects hold live references and are single-use, so the
+            crashed run's instances cannot be reused).
+        log: store log the WAL lives in.
+        txn: transaction to recover; defaults to the last one started.
+        verify_checksums: check the rebuilt assembly against the
+            journaled ``pre_checksum`` (and, on roll-forward past a
+            complete log, the ``post_checksum``); a mismatch means the
+            builder is not deterministic and recovery cannot be trusted.
+
+    Returns a :class:`RecoveryReport`; raises
+    :class:`~repro.errors.RecoveryError` when the log and the rebuilt
+    world disagree or the recovered state fails consistency.
+    """
+    wal = WriteAheadLog(store, log)
+    changes = list(changes)
+    target_txn = txn if txn is not None else wal.last_txn()
+    if target_txn is None:
+        checksum = assembly_checksum(assembly)
+        report = RecoveryReport(None, CLEAN, checksum)
+        report.consistent = bool(check_assembly(assembly))
+        return report
+
+    records = wal.records(target_txn)
+    if not records:
+        raise RecoveryError(f"no WAL records for transaction {target_txn!r}")
+    phases = [record["phase"] for record in records]
+    intent = next((r for r in records if r["phase"] == WalPhase.INTENT), None)
+    if intent is None:
+        raise RecoveryError(
+            f"transaction {target_txn!r} has no intent record; "
+            "the log is torn below the journaling contract")
+
+    pre_checksum = assembly_checksum(assembly)
+    if verify_checksums and intent.get("pre_checksum") not in (
+            None, pre_checksum):
+        raise RecoveryError(
+            f"rebuilt assembly does not match the journaled "
+            f"pre-reconfiguration state of {target_txn!r} "
+            f"(expected {intent['pre_checksum'][:12]}…, "
+            f"got {pre_checksum[:12]}…); the builder is not deterministic")
+
+    journaled = intent.get("changes", [])
+    descriptions = [change.description for change in changes]
+    if journaled and descriptions != journaled:
+        raise RecoveryError(
+            f"fresh change list does not match the journaled intent of "
+            f"{target_txn!r}: journaled {journaled!r}, got {descriptions!r}")
+
+    mode = decide(phases)
+    report = RecoveryReport(target_txn, mode, pre_checksum,
+                            phases_seen=phases)
+
+    if mode == ROLL_FORWARD:
+        replay = ReconfigurationTransaction(
+            assembly, name=f"{target_txn}.recovery")
+        for change in changes:
+            replay.add(change)
+        try:
+            replay.execute()
+        except Exception as exc:
+            raise RecoveryError(
+                f"roll-forward of {target_txn!r} failed to re-execute: "
+                f"{exc}") from exc
+        report.applied = list(replay.report.applied_changes)
+        report.checksum = assembly_checksum(assembly)
+        post = next((r for r in records
+                     if r["phase"] == WalPhase.POST_COMMIT), None)
+        if verify_checksums and post is not None and (
+                post.get("post_checksum") != report.checksum):
+            raise RecoveryError(
+                f"roll-forward of {target_txn!r} reached a state that "
+                f"differs from the journaled post-commit checksum")
+
+    consistency = check_assembly(assembly)
+    report.consistent = bool(consistency)
+    if not consistency:
+        raise RecoveryError(
+            f"recovered assembly for {target_txn!r} is inconsistent: "
+            + "; ".join(consistency.violations))
+
+    wal.recovered(target_txn, mode, report.checksum)
+    return report

@@ -1,0 +1,188 @@
+"""The write-ahead change log.
+
+Every phase transition of a journaled
+:class:`~repro.reconfig.transaction.ReconfigurationTransaction` is
+appended here *before* the corresponding in-memory mutation, so a crash
+at any instant leaves a log prefix from which
+:func:`repro.durability.recovery.recover` can reconstruct the system's
+durable decision:
+
+========================= ==================================================
+record (``phase``)        meaning
+========================= ==================================================
+``intent``                the transaction exists: name, change list and the
+                          pre-reconfiguration checksum
+``quiesce``               the affected region reached quiescence
+``apply``                 change *i* is about to mutate the assembly
+                          (one record per change, written ahead)
+``commit``                **the decision marker**: every change applied and
+                          the consistency check passed — from here recovery
+                          rolls *forward*
+``post-commit``           finalisation + release done; carries the
+                          post-reconfiguration checksum
+``rollback-begin``        a failure was caught; undo is starting
+``rollback``              undo completed cleanly
+``abort``                 the transaction failed before mutating anything
+``recovered``             appended by recovery itself: the mode it chose
+                          and the checksum it verified
+========================= ==================================================
+
+The decision rule is the classical one: a transaction whose log contains
+``commit`` is rolled forward on restart; one whose log stops anywhere
+before it is rolled back.  ``post-commit`` only tells recovery the
+finalisation also completed — it never changes the decision.
+
+Crash points for the fault-injection matrix hook in through
+:attr:`WriteAheadLog.crash_injector` (see
+:class:`repro.injectors.crash.CrashInjector`): each append announces its
+*point key* (``intent``, ``quiesce``, ``apply:0`` … ``apply:N-1``,
+``commit``, ``post-commit``, ``rollback-begin``, ``rollback``) before
+and after the record is made durable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import WalError
+from repro.durability.store import Store
+
+#: Default store log the WAL appends to.
+WAL_LOG = "reconfig-wal"
+
+#: Store log state-transfer snapshots append to (kept separate from the
+#: phase records: snapshots can be large and recovery's decision scan
+#: should stay cheap).
+SNAPSHOT_LOG = "state-snapshots"
+
+
+class WalPhase:
+    """Phase names, in journal order."""
+
+    INTENT = "intent"
+    QUIESCE = "quiesce"
+    APPLY = "apply"
+    COMMIT = "commit"
+    POST_COMMIT = "post-commit"
+    ROLLBACK_BEGIN = "rollback-begin"
+    ROLLBACK = "rollback"
+    ABORT = "abort"
+    RECOVERED = "recovered"
+
+    ALL = (INTENT, QUIESCE, APPLY, COMMIT, POST_COMMIT,
+           ROLLBACK_BEGIN, ROLLBACK, ABORT, RECOVERED)
+
+
+class WriteAheadLog:
+    """Journal of reconfiguration phase transitions over a :class:`Store`.
+
+    One ``WriteAheadLog`` may serve many transactions; records carry the
+    transaction id (``txn``) so recovery can isolate the last one.
+    """
+
+    def __init__(self, store: Store, log: str = WAL_LOG) -> None:
+        self.store = store
+        self.log = log
+        #: Optional chaos hook; see :mod:`repro.injectors.crash`.  The
+        #: injector's ``fire(point, when)`` runs immediately before and
+        #: after each append.
+        self.crash_injector: Any = None
+
+    # -- journaling --------------------------------------------------------
+
+    def journal(self, txn: str, phase: str, *, point: str | None = None,
+                **fields: Any) -> int:
+        """Append one phase record; returns its sequence number.
+
+        ``point`` is the crash-matrix key (defaults to the phase name;
+        apply records pass ``apply:<index>``).
+        """
+        if phase not in WalPhase.ALL:
+            raise WalError(f"unknown WAL phase {phase!r}")
+        key = point if point is not None else phase
+        record = {"txn": txn, "phase": phase, **fields}
+        if self.crash_injector is not None:
+            self.crash_injector.fire(key, "before")
+        seq = self.store.append(self.log, record)
+        if self.crash_injector is not None:
+            self.crash_injector.fire(key, "after")
+        return seq
+
+    def intent(self, txn: str, name: str, changes: list[str],
+               pre_checksum: str) -> int:
+        return self.journal(txn, WalPhase.INTENT, name=name,
+                            changes=changes, pre_checksum=pre_checksum)
+
+    def quiesce(self, txn: str, components: list[str]) -> int:
+        return self.journal(txn, WalPhase.QUIESCE, components=components)
+
+    def apply(self, txn: str, index: int, change: str,
+              payload: dict[str, Any] | None = None) -> int:
+        return self.journal(txn, WalPhase.APPLY, point=f"apply:{index}",
+                            index=index, change=change,
+                            payload=payload or {})
+
+    def commit(self, txn: str) -> int:
+        return self.journal(txn, WalPhase.COMMIT)
+
+    def post_commit(self, txn: str, post_checksum: str) -> int:
+        return self.journal(txn, WalPhase.POST_COMMIT,
+                            post_checksum=post_checksum)
+
+    def rollback_begin(self, txn: str, error: str) -> int:
+        return self.journal(txn, WalPhase.ROLLBACK_BEGIN, error=error)
+
+    def rollback(self, txn: str, reverted: list[str]) -> int:
+        return self.journal(txn, WalPhase.ROLLBACK, reverted=reverted)
+
+    def abort(self, txn: str, error: str) -> int:
+        return self.journal(txn, WalPhase.ABORT, error=error)
+
+    def recovered(self, txn: str, mode: str, checksum: str) -> int:
+        return self.journal(txn, WalPhase.RECOVERED, mode=mode,
+                            checksum=checksum)
+
+    def snapshot(self, txn: str, change: str,
+                 snapshot: dict[str, Any]) -> int:
+        """Persist a state-transfer snapshot (see :data:`SNAPSHOT_LOG`)."""
+        return self.store.append(
+            SNAPSHOT_LOG,
+            {"txn": txn, "change": change, "snapshot": snapshot})
+
+    def snapshots(self, txn: str | None = None) -> list[dict[str, Any]]:
+        entries = [record for _seq, record in self.store.read(SNAPSHOT_LOG)]
+        if txn is None:
+            return entries
+        return [record for record in entries if record.get("txn") == txn]
+
+    # -- reading back ------------------------------------------------------
+
+    def records(self, txn: str | None = None) -> list[dict[str, Any]]:
+        """All records in append order, optionally for one transaction."""
+        entries = [record for _seq, record in self.store.read(self.log)]
+        if txn is None:
+            return entries
+        return [record for record in entries if record.get("txn") == txn]
+
+    def transactions(self) -> list[str]:
+        """Transaction ids in order of first appearance."""
+        seen: list[str] = []
+        for record in self.records():
+            txn = record.get("txn")
+            if txn is not None and txn not in seen:
+                seen.append(txn)
+        return seen
+
+    def last_txn(self) -> str | None:
+        """The most recently started transaction (by ``intent`` record)."""
+        last = None
+        for record in self.records():
+            if record.get("phase") == WalPhase.INTENT:
+                last = record.get("txn")
+        return last
+
+    def phases(self, txn: str) -> list[str]:
+        return [record["phase"] for record in self.records(txn)]
+
+    def has_phase(self, txn: str, phase: str) -> bool:
+        return phase in self.phases(txn)

@@ -61,6 +61,16 @@ class WorkerError(ParallelError):
         self.remote_traceback = remote_traceback
 
 
+class WorkerTimeoutError(ParallelError):
+    """A live worker did not reply within the supervision reply timeout."""
+
+    def __init__(self, region: int, timeout: float) -> None:
+        super().__init__(
+            f"region {region} worker sent no reply within {timeout} s")
+        self.region = region
+        self.timeout = timeout
+
+
 # ---------------------------------------------------------------------------
 # Component model
 # ---------------------------------------------------------------------------
@@ -197,6 +207,22 @@ class MigrationError(ReconfigurationError):
 
 class RollbackError(ReconfigurationError):
     """A failed reconfiguration could not be rolled back cleanly."""
+
+
+class DurabilityError(ReproError):
+    """Errors raised by the durable-persistence subsystem."""
+
+
+class StoreError(DurabilityError):
+    """A persistence backend could not complete a read or write."""
+
+
+class WalError(DurabilityError):
+    """The write-ahead change log is malformed or was misused."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery could not drive the assembly to a consistent state."""
 
 
 class AdaptationError(ReproError):

@@ -1,9 +1,18 @@
 """Injectors (S10): behaviour inserted into communication channels.
 
 Scoped interception of bindings for re-routing, transformation,
-filtering and multicast, after Filman & Lee's "Redirecting by Injector".
+filtering and multicast, after Filman & Lee's "Redirecting by Injector"
+— plus failure injection for the durability layer (crash points keyed
+to write-ahead-log phases and backend write faults), which turns the
+strong-reconfiguration guarantee into a crash-tested property.
 """
 
+from repro.injectors.crash import (
+    CrashInjector,
+    FlakyStore,
+    SimulatedCrash,
+    record_point,
+)
 from repro.injectors.injector import (
     ChannelSelector,
     DropInjector,
@@ -19,13 +28,17 @@ from repro.injectors.injector import (
 
 __all__ = [
     "ChannelSelector",
+    "CrashInjector",
     "DropInjector",
+    "FlakyStore",
     "Injector",
     "InjectorManager",
     "MulticastInjector",
     "RerouteInjector",
+    "SimulatedCrash",
     "TransformInjector",
     "all_channels",
     "channels_from",
     "channels_to",
+    "record_point",
 ]

@@ -1,0 +1,148 @@
+"""Crash points and backend-fault injection for the durability layer.
+
+The paper's injectors insert behaviour into *communication channels*;
+these insert failure into the *persistence* path, turning the strong
+reconfiguration guarantee from a simulated property into a crash-tested
+one:
+
+* :class:`CrashInjector` — kills the run at a write-ahead-log point
+  (``intent``, ``quiesce``, ``apply:<i>``, ``commit``, ``post-commit``,
+  ``rollback-begin``, ``rollback``), either *before* the record is made
+  durable or *after*.  Two modes: ``"raise"`` throws
+  :class:`SimulatedCrash` (a ``BaseException``, so no rollback handler
+  can catch it — exactly like a process death, the transaction is
+  abandoned mid-flight) and ``"exit"`` calls ``os._exit`` for real
+  process-kill matrices over the sqlite backend.
+* :class:`FlakyStore` — a :class:`~repro.durability.store.Store` wrapper
+  that fails appends on demand (by phase key or by count), the
+  SNIPPETS §2–3 idiom: every durable write is a fault site and the
+  transaction must report failure cleanly rather than corrupt the
+  assembly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.errors import InjectorError, StoreError
+
+
+class SimulatedCrash(BaseException):
+    """A simulated process death.
+
+    Deliberately **not** an :class:`Exception`: rollback handlers catch
+    ``Exception``, and a crash must sail straight past them the way
+    SIGKILL would — leaving the write-ahead log as the only truth.
+    """
+
+
+def record_point(record: dict[str, Any]) -> str:
+    """The crash-matrix point key of a WAL record (``apply`` records are
+    keyed per index: ``apply:0``, ``apply:1``, …)."""
+    phase = str(record.get("phase", ""))
+    if phase == "apply":
+        return f"apply:{record.get('index')}"
+    return phase
+
+
+class CrashInjector:
+    """Fires exactly once when a WAL append reaches the armed point.
+
+    Args:
+        point: point key to crash at (see :mod:`repro.durability.wal`).
+        when: ``"before"`` — the record never becomes durable (the crash
+            precedes the append) — or ``"after"`` — the record is
+            durable, the in-memory step that follows it never runs.
+        mode: ``"raise"`` (in-process, both backends) or ``"exit"``
+            (``os._exit``; for subprocess matrices over sqlite).
+        exit_code: status for ``"exit"`` mode.
+    """
+
+    MODES = ("raise", "exit")
+    WHENS = ("before", "after")
+
+    def __init__(self, point: str, when: str = "after",
+                 mode: str = "raise", exit_code: int = 137) -> None:
+        if when not in self.WHENS:
+            raise InjectorError(f"when must be one of {self.WHENS}, "
+                                f"got {when!r}")
+        if mode not in self.MODES:
+            raise InjectorError(f"mode must be one of {self.MODES}, "
+                                f"got {mode!r}")
+        self.point = point
+        self.when = when
+        self.mode = mode
+        self.exit_code = exit_code
+        self.fired = False
+
+    def arm(self, wal: Any) -> "CrashInjector":
+        """Attach to a :class:`~repro.durability.wal.WriteAheadLog`."""
+        wal.crash_injector = self
+        return self
+
+    def fire(self, point: str, when: str) -> None:
+        """Called by the WAL around every append; crashes on the match."""
+        if self.fired or point != self.point or when != self.when:
+            return
+        self.fired = True
+        if self.mode == "exit":
+            os._exit(self.exit_code)
+        raise SimulatedCrash(f"simulated crash {self.when} {self.point!r}")
+
+
+class FlakyStore:
+    """Store wrapper that injects backend write failures.
+
+    Args:
+        inner: the real backend.
+        fail_point: fail the append whose record matches this crash-
+            matrix point key (``intent``, ``apply:1``, ``commit``, …).
+        fail_after: fail the Nth append overall (1-based); ``None``
+            disables count-based failure.
+        failures: how many times to fail before recovering (default
+            ``1``; ``-1`` fails forever).
+    """
+
+    def __init__(self, inner: Any, fail_point: str | None = None,
+                 fail_after: int | None = None, failures: int = 1) -> None:
+        if fail_point is None and fail_after is None:
+            raise InjectorError(
+                "FlakyStore needs fail_point or fail_after")
+        self.inner = inner
+        self.fail_point = fail_point
+        self.fail_after = fail_after
+        self.failures = failures
+        self.appends = 0
+        self.injected = 0
+
+    def _should_fail(self, record: dict[str, Any]) -> bool:
+        if self.failures == 0:
+            return False
+        if self.fail_point is not None and (
+                record_point(record) == self.fail_point):
+            return True
+        return self.fail_after is not None and self.appends == self.fail_after
+
+    def append(self, log: str, record: dict[str, Any]) -> int:
+        self.appends += 1
+        if self._should_fail(record):
+            self.injected += 1
+            if self.failures > 0:
+                self.failures -= 1
+            raise StoreError(
+                f"injected backend write failure at "
+                f"{record_point(record) or f'append #{self.appends}'}")
+        return self.inner.append(log, record)
+
+    def read(self, log: str, start: int = 1) -> list[tuple[int, dict]]:
+        return self.inner.read(log, start)
+
+    def logs(self) -> list[str]:
+        return self.inner.logs()
+
+    def truncate(self, log: str) -> int:
+        return self.inner.truncate(log)
+
+    def close(self) -> None:
+        self.inner.close()

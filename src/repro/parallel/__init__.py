@@ -29,6 +29,7 @@ Quick start::
 from repro.parallel.coordinator import (
     ParallelResult,
     ParallelSimulation,
+    SupervisionPolicy,
 )
 from repro.parallel.runtime import (
     MSG_ID_STRIDE,
@@ -42,6 +43,7 @@ __all__ = [
     "ParallelResult",
     "ParallelSimulation",
     "RegionRuntime",
+    "SupervisionPolicy",
     "build_star_region",
     "star_ring_partition",
     "worker_main",

@@ -22,24 +22,37 @@ RegionRuntime` code:
 * ``"process"`` — one OS process per region, plain tuples over pipes.
 
 Supervision: the coordinator records every command it has sent to each
-region.  When a worker process dies (pipe breaks), a fresh process is
+region.  When a worker process dies (pipe breaks, or a heartbeat check
+finds the process gone while a reply is pending), a fresh process is
 spawned and the history **replayed** — regions are deterministic, so the
 revived worker reaches the exact state (simulator clock, network,
 telemetry, sampling streams) of the lost one, and the run's merged trace
 checksum is unchanged.  :meth:`ParallelSimulation.kill_worker` exists so
 tests and chaos drills can prove that.
+
+Supervision is production-shaped via :class:`SupervisionPolicy`:
+liveness is heartbeat-based (poll the pipe, check ``is_alive``) instead
+of a blocking ``recv``; revival attempts are bounded with deterministic
+exponential backoff (seeded jitter, so chaos drills replay identically);
+a region whose worker keeps dying **degrades to the inline backend** —
+the region runs in-coordinator, slower but correct, and the event is
+surfaced in :attr:`ParallelResult.supervision`, never swallowed; and
+shutdown escalates join → terminate → kill so a wedged worker cannot
+hang the coordinator forever.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import random
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable
 
-from repro.errors import ParallelError, WorkerError
+from repro.errors import ParallelError, WorkerError, WorkerTimeoutError
 from repro.netsim.partition import Partition
 from repro.parallel.runtime import RegionBuilder, RegionRuntime, worker_main
 from repro.telemetry.merge import merge_records, merged_checksum
@@ -52,6 +65,62 @@ def _mp_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the coordinator supervises worker processes.
+
+    Liveness, revival and shutdown knobs — the defaults reproduce sane
+    production behaviour; tests tighten them to drive the failure paths
+    deterministically.
+
+    Args:
+        shutdown_timeout: seconds granted per escalation step on close
+            (join → terminate → kill).  Replaces the old hardcoded
+            ``join(timeout=5)``.
+        heartbeat_interval: pipe-poll period while a reply is pending;
+            each beat also checks the worker process is still alive, so
+            a SIGKILLed worker is detected without waiting for the pipe
+            to signal EOF.
+        reply_timeout: wall-clock seconds a *live* worker may stay
+            silent before it is declared wedged (terminate → kill →
+            revive).  ``None`` waits forever — a conservatively-correct
+            region may legitimately compute for a long time.
+        max_revivals: revival attempts per region per run before the
+            region degrades (or the run fails).
+        backoff_base: first revival delay, seconds.
+        backoff_factor: multiplier per successive attempt.
+        backoff_max: delay ceiling.
+        backoff_jitter: jitter fraction (0.1 → up to +10%); drawn from a
+            stream seeded by ``(seed, region, attempt)``, so same-seed
+            runs back off identically.
+        seed: jitter seed.
+        degrade_to_inline: after ``max_revivals`` failures, run the
+            region in-process via the inline backend (replayed to the
+            exact lost state) instead of failing the run.
+    """
+
+    shutdown_timeout: float = 5.0
+    heartbeat_interval: float = 0.2
+    reply_timeout: float | None = None
+    max_revivals: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    backoff_jitter: float = 0.1
+    seed: int = 0
+    degrade_to_inline: bool = True
+
+    def backoff(self, region: int, attempt: int) -> float:
+        """Deterministic delay before revival ``attempt`` (0-based)."""
+        delay = min(self.backoff_base * self.backoff_factor ** attempt,
+                    self.backoff_max)
+        if self.backoff_jitter > 0.0:
+            stream = random.Random((self.seed << 20) ^ (region << 10)
+                                   ^ attempt)
+            delay *= 1.0 + self.backoff_jitter * stream.random()
+        return delay
 
 
 class _InlineWorker:
@@ -105,8 +174,9 @@ class _InlineWorker:
     def respawn(self) -> None:
         raise ParallelError("inline workers cannot die")
 
-    def close(self) -> None:
+    def close(self) -> str:
         self._replies.clear()
+        return "clean"
 
 
 class _ProcessWorker:
@@ -114,10 +184,12 @@ class _ProcessWorker:
 
     def __init__(self, ctx: Any, region: int, partition: Partition,
                  build_region: RegionBuilder, seed: int,
-                 telemetry: dict[str, Any] | None) -> None:
+                 telemetry: dict[str, Any] | None,
+                 policy: SupervisionPolicy | None = None) -> None:
         self.region = region
         self._ctx = ctx
         self._args = (region, partition, build_region, seed, telemetry)
+        self.policy = policy if policy is not None else SupervisionPolicy()
         self.process: Any = None
         self.conn: Any = None
         self._start()
@@ -135,7 +207,30 @@ class _ProcessWorker:
         self.conn.send(command)
 
     def recv(self) -> tuple:
-        return self.conn.recv()
+        """Heartbeat-based receive.
+
+        Polls the pipe at ``heartbeat_interval``; between beats it
+        checks the worker process is still alive, so a killed worker
+        surfaces as ``EOFError`` (dead-worker protocol) within one beat
+        rather than whenever the OS tears the pipe down.  A *live* but
+        silent worker trips :class:`WorkerTimeoutError` once
+        ``reply_timeout`` (when set) elapses; the coordinator escalates
+        and revives it like a death.
+        """
+        policy = self.policy
+        deadline = (None if policy.reply_timeout is None
+                    else time.monotonic() + policy.reply_timeout)
+        while True:
+            if self.conn.poll(policy.heartbeat_interval):
+                return self.conn.recv()
+            if not self.process.is_alive():
+                # Drain a reply the worker managed to flush before dying.
+                if self.conn.poll(0):
+                    return self.conn.recv()
+                raise EOFError(f"region {self.region} worker died")
+            if deadline is not None and time.monotonic() >= deadline:
+                self.escalate()
+                raise WorkerTimeoutError(self.region, policy.reply_timeout)
 
     def kill(self) -> None:
         """SIGKILL the worker (chaos hook); the next pipe use fails and
@@ -143,19 +238,38 @@ class _ProcessWorker:
         self.process.kill()
         self.process.join()
 
+    def escalate(self) -> str:
+        """Force a wedged worker down: terminate, then kill."""
+        if not self.process.is_alive():
+            self.process.join()
+            return "dead"
+        self.process.terminate()
+        self.process.join(timeout=self.policy.shutdown_timeout)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+            return "killed"
+        return "terminated"
+
     def respawn(self) -> None:
         self.conn.close()
-        if self.process.is_alive():  # pragma: no cover - defensive
-            self.process.terminate()
-        self.process.join()
+        self.escalate()
         self._start()
 
-    def close(self) -> None:
+    def close(self) -> str:
+        """Shut down with join → terminate → kill escalation; returns
+        how far escalation had to go."""
         self.conn.close()
-        self.process.join(timeout=5)
-        if self.process.is_alive():  # pragma: no cover - defensive
-            self.process.terminate()
-            self.process.join()
+        self.process.join(timeout=self.policy.shutdown_timeout)
+        if not self.process.is_alive():
+            return "clean"
+        self.process.terminate()
+        self.process.join(timeout=self.policy.shutdown_timeout)
+        if not self.process.is_alive():
+            return "terminated"
+        self.process.kill()
+        self.process.join()
+        return "killed"
 
 
 @dataclass
@@ -178,6 +292,13 @@ class ParallelResult:
     records: list[dict[str, Any]] = field(repr=False)
     #: Determinism witness of the merged trace (None without telemetry).
     checksum: str | None = None
+    #: Revival attempts (successful or not), a superset of ``restarts``.
+    revival_attempts: int = 0
+    #: Regions that exhausted their revivals and now run inline.
+    degraded: tuple[int, ...] = ()
+    #: Supervision event stream: revivals, degradations, escalations —
+    #: surfaced for telemetry/dashboards, never swallowed.
+    supervision: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def events_per_sec(self) -> float:
@@ -205,18 +326,27 @@ class ParallelSimulation:
             :func:`repro.telemetry.configure`, applied identically in
             every region (e.g. ``{"sample_rate": 0.1, "seed": 7}``);
             ``None`` runs without telemetry.
+        supervision: worker liveness/revival/shutdown knobs; defaults to
+            :class:`SupervisionPolicy`'s production-shaped values.
     """
 
     def __init__(self, partition: Partition, build_region: RegionBuilder,
                  *, seed: int = 0,
-                 telemetry: dict[str, Any] | None = None) -> None:
+                 telemetry: dict[str, Any] | None = None,
+                 supervision: SupervisionPolicy | None = None) -> None:
         partition.validate()
         self.partition = partition
         self.build_region = build_region
         self.seed = seed
         self.telemetry = telemetry
+        self.supervision = (supervision if supervision is not None
+                            else SupervisionPolicy())
         self.backend: str | None = None
         self.restarts = 0
+        self.revival_attempts = 0
+        self.supervision_events: list[dict[str, Any]] = []
+        self._degraded: list[int] = []
+        self._revival_counts: dict[int, int] = {}
         self._workers: dict[int, Any] = {}
         self._history: dict[int, list[tuple]] = {}
 
@@ -262,6 +392,10 @@ class ParallelSimulation:
         self.backend = backend
         regions = range(self.partition.regions)
         self.restarts = 0
+        self.revival_attempts = 0
+        self.supervision_events = []
+        self._degraded = []
+        self._revival_counts = {region: 0 for region in regions}
         self._history = {region: [] for region in regions}
         self._spawn_all(backend)
         try:
@@ -316,6 +450,9 @@ class ParallelSimulation:
             regions=reports,
             records=records,
             checksum=checksum,
+            revival_attempts=self.revival_attempts,
+            degraded=tuple(self._degraded),
+            supervision=list(self.supervision_events),
         )
 
     # -- plumbing ----------------------------------------------------------
@@ -334,7 +471,8 @@ class ParallelSimulation:
         self._workers = {
             region: _ProcessWorker(ctx, region, self.partition,
                                    self.build_region, self.seed,
-                                   self.telemetry)
+                                   self.telemetry,
+                                   policy=self.supervision)
             for region in regions
         }
 
@@ -358,6 +496,10 @@ class ParallelSimulation:
                 replies[region] = self._workers[region].recv()
             except (EOFError, OSError):
                 dead.append(region)
+            except WorkerTimeoutError:
+                # recv already escalated the wedged process down; revive
+                # it exactly like a death.
+                dead.append(region)
         for region in dead:
             replies[region] = self._revive(region, commands[region])
         for region, reply in replies.items():
@@ -366,12 +508,64 @@ class ParallelSimulation:
         return replies
 
     def _revive(self, region: int, command: tuple) -> tuple:
-        """Respawn a dead worker, replay its command history, then
-        re-issue the in-flight command.  Replay outputs are discarded —
-        the coordinator already acted on them — but errors surface."""
-        self.restarts += 1
-        worker = self._workers[region]
-        worker.respawn()
+        """Bring a dead region back, then re-issue the in-flight command.
+
+        Revival is bounded: up to ``max_revivals`` respawn-and-replay
+        attempts per region per run, each preceded by a deterministic
+        exponential-backoff delay (seeded jitter — same-seed chaos
+        drills back off identically).  Replay outputs are discarded —
+        the coordinator already acted on them — but errors surface.
+        A region that exhausts its budget degrades to an in-process
+        inline worker (when the policy allows) replayed to the exact
+        lost state; otherwise the run fails.  Every attempt is recorded
+        in :attr:`supervision_events`.
+        """
+        policy = self.supervision
+        while self._revival_counts[region] < policy.max_revivals:
+            attempt = self._revival_counts[region]
+            self._revival_counts[region] += 1
+            self.revival_attempts += 1
+            delay = policy.backoff(region, attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+            worker = self._workers[region]
+            try:
+                worker.respawn()
+                reply = self._replay(region, worker, command)
+            except (EOFError, OSError) as exc:
+                self.supervision_events.append({
+                    "event": "revival-failed", "region": region,
+                    "attempt": attempt, "backoff": delay,
+                    "error": str(exc) or type(exc).__name__,
+                })
+                continue
+            self.restarts += 1
+            self.supervision_events.append({
+                "event": "revived", "region": region,
+                "attempt": attempt, "backoff": delay,
+            })
+            return reply
+        if not policy.degrade_to_inline:
+            raise ParallelError(
+                f"region {region} worker failed {policy.max_revivals} "
+                f"revival attempts and degradation is disabled")
+        old = self._workers[region]
+        try:
+            old.close()
+        except (EOFError, OSError):
+            pass
+        self._workers[region] = _InlineWorker(
+            region, self.partition, self.build_region, self.seed,
+            self.telemetry)
+        self._degraded.append(region)
+        self.supervision_events.append({
+            "event": "degraded", "region": region,
+            "attempts": self._revival_counts[region],
+        })
+        return self._replay(region, self._workers[region], command)
+
+    def _replay(self, region: int, worker: Any, command: tuple) -> tuple:
+        """Replay a region's command history, then the in-flight command."""
         for past in self._history[region]:
             worker.send(past)
             reply = worker.recv()
@@ -381,12 +575,17 @@ class ParallelSimulation:
         return worker.recv()
 
     def _stop_all(self) -> None:
-        for worker in self._workers.values():
+        for region, worker in self._workers.items():
             try:
                 worker.send(("stop",))
                 worker.recv()
-            except (EOFError, OSError):
+            except (EOFError, OSError, WorkerTimeoutError):
                 pass
             finally:
-                worker.close()
+                outcome = worker.close()
+                if outcome != "clean":
+                    self.supervision_events.append({
+                        "event": "shutdown-escalated", "region": region,
+                        "outcome": outcome,
+                    })
         self._workers = {}

@@ -62,6 +62,15 @@ class Change:
         """Components that must be quiescent while the change applies."""
         return []
 
+    def journal_payload(self, assembly: Assembly) -> dict[str, Any]:
+        """Extra fields for this change's write-ahead apply record.
+
+        Called just before :meth:`apply`, so implementations may capture
+        pre-mutation facts (source node, state schema) that recovery and
+        audits want durable.
+        """
+        return {}
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.description})"
 
@@ -308,6 +317,11 @@ class ReplaceComponent(Change):
         self.translator = translator
         self.transfer = transfer
         self.description = f"replace {old_name} with {new_component.name}"
+        #: Optional durable-snapshot hook: called with the translated
+        #: state snapshot before it is restored into the successor.  A
+        #: WAL-journaled transaction wires this to the store, so a crash
+        #: mid-transfer leaves the shipped state recoverable.
+        self.snapshot_journal: Any = None
         self._redirected: list[tuple[Binding, Invocable]] = []
         self._reattached: list[tuple[Any, str, Invocable, Invocable]] = []
         self._old: Component | None = None
@@ -364,6 +378,15 @@ class ReplaceComponent(Change):
             base += state_size(self._old) / 1_000_000.0
         return base
 
+    def journal_payload(self, assembly: Assembly) -> dict[str, Any]:
+        old = assembly.component(self.old_name)
+        return {
+            "old": self.old_name,
+            "new": self.new_component.name,
+            "transfer": self.transfer,
+            "state_keys": sorted(str(key) for key in old.state),
+        }
+
     def apply(self, assembly: Assembly) -> None:
         old = assembly.component(self.old_name)
         self._old = old
@@ -373,7 +396,8 @@ class ReplaceComponent(Change):
             # wholesale, then ``on_initialize`` (conventionally written
             # with ``setdefault``) fills any keys the predecessor's
             # schema never had.
-            transfer_state(old, self.new_component, self.translator)
+            transfer_state(old, self.new_component, self.translator,
+                           journal=self.snapshot_journal)
             if self.new_component.lifecycle.state is LifecycleState.CREATED:
                 self.new_component.initialize()
         assembly.deploy(self.new_component, node_name, self.descriptor)

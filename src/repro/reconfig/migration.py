@@ -73,6 +73,15 @@ class MigrateComponent(Change):
     def affected_components(self, assembly: Assembly) -> list[Component]:
         return [assembly.component(self.component_name)]
 
+    def journal_payload(self, assembly: Assembly) -> dict:
+        component = assembly.component(self.component_name)
+        return {
+            "component": self.component_name,
+            "source": component.node_name,
+            "target": self.target_node,
+            "state_bytes": state_size(component),
+        }
+
     def cost(self) -> float:
         # Transfer time is charged when applied (state captured then).
         return DEFAULT_CHANGE_COST + self._state_bytes / 1_000_000.0

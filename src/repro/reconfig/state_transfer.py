@@ -50,12 +50,16 @@ IDENTITY_TRANSLATOR = StateTranslator()
 
 def transfer_state(source: Component, target: Component,
                    translator: StateTranslator | None = None,
-                   verify: Callable[[dict[str, Any]], bool] | None = None
+                   verify: Callable[[dict[str, Any]], bool] | None = None,
+                   journal: Callable[[dict[str, Any]], Any] | None = None
                    ) -> dict[str, Any]:
     """Capture, translate and install state from source to target.
 
     Returns the snapshot installed in the target.  ``verify`` may inspect
-    the translated snapshot and veto the transfer.
+    the translated snapshot and veto the transfer.  ``journal`` observes
+    the verified snapshot *before* it is restored — the hook a
+    write-ahead-journaled transaction uses to make the shipped state
+    durable ahead of the mutation.
     """
     try:
         snapshot = source.capture_state()
@@ -68,6 +72,8 @@ def transfer_state(source: Component, target: Component,
         raise StateTransferError(
             f"translated state of {source.name!r} failed verification"
         )
+    if journal is not None:
+        journal(translated)
     try:
         target.restore_state(translated)
     except Exception as exc:  # noqa: BLE001 - wrapped with context

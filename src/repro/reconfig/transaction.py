@@ -13,24 +13,40 @@ with the guarantees the paper demands:
 
 The reconfiguration window occupies simulated time (the sum of change
 costs), so concurrent traffic observes a realistic freeze.
+
+With a :class:`~repro.durability.wal.WriteAheadLog` supplied, every
+phase transition is journaled *before* the corresponding in-memory
+mutation — intent (with the pre-reconfiguration checksum), quiescence,
+one write-ahead record per change, the commit decision marker, and the
+post-commit checksum — so a crash anywhere inside the window is
+recoverable by :func:`repro.durability.recovery.recover`.  WAL appends
+on the forward path are load-bearing: a backend failure before the
+commit marker aborts/rolls back the transaction (not durably journaled
+means not done).  Appends on the failure path are best-effort: a broken
+store must never stop an in-memory rollback, so those errors are
+collected in ``report.wal_errors`` instead of raised.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable, TYPE_CHECKING
 
 from repro.errors import (
     ConsistencyError,
     QuiescenceError,
     ReconfigurationError,
     RollbackError,
+    StoreError,
 )
 from repro.kernel.assembly import Assembly
 from repro.reconfig.changes import Change, ReplaceComponent
 from repro.reconfig.consistency import check_assembly
 from repro.reconfig.quiescence import QuiescenceRegion, reach_quiescence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durability.wal import WriteAheadLog
 
 
 class TransactionState(enum.Enum):
@@ -52,6 +68,9 @@ class TransactionReport:
     buffered_calls: int = 0
     applied_changes: list[str] = field(default_factory=list)
     error: str = ""
+    #: Best-effort WAL appends that failed (failure-path journaling
+    #: never masks the in-memory outcome; it is surfaced here instead).
+    wal_errors: list[str] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -59,17 +78,81 @@ class TransactionReport:
 
 
 class ReconfigurationTransaction:
-    """Builder + executor for one atomic reconfiguration."""
+    """Builder + executor for one atomic reconfiguration.
 
-    def __init__(self, assembly: Assembly, name: str = "reconfig") -> None:
+    Args:
+        assembly: the configuration the transaction mutates.
+        name: also the write-ahead-log transaction id, so journaled
+            transactions should use unique names per log.
+        wal: optional :class:`~repro.durability.wal.WriteAheadLog`;
+            when supplied, every phase is journaled ahead of its
+            in-memory mutation (see the module docstring).
+    """
+
+    def __init__(self, assembly: Assembly, name: str = "reconfig",
+                 wal: "WriteAheadLog | None" = None) -> None:
         self.assembly = assembly
         self.name = name
+        self.wal = wal
         self.changes: list[Change] = []
         self.report = TransactionReport(name)
 
     def add(self, change: Change) -> "ReconfigurationTransaction":
         self.changes.append(change)
         return self
+
+    # -- write-ahead journaling --------------------------------------------
+
+    def _journal_intent(self) -> None:
+        """Durable intent + pre-checksum; a failure here fails the
+        transaction before anything was touched."""
+        if self.wal is None:
+            return
+        from repro.durability.checksum import assembly_checksum
+
+        self.wal.intent(self.name, self.name,
+                        [change.description for change in self.changes],
+                        assembly_checksum(self.assembly))
+
+    def _journal_apply(self, index: int, change: Change) -> None:
+        """Write-ahead record for one change, journaled pre-mutation."""
+        if self.wal is None:
+            return
+        if isinstance(change, ReplaceComponent) and change.transfer and (
+                change.snapshot_journal is None):
+            wal, txn, description = self.wal, self.name, change.description
+
+            def journal_snapshot(snapshot: dict[str, Any]) -> None:
+                wal.snapshot(txn, description, snapshot)
+
+            change.snapshot_journal = journal_snapshot
+        self.wal.apply(self.name, index, change.description,
+                       change.journal_payload(self.assembly))
+
+    def _journal_safe(self, write: Callable[[], Any]) -> None:
+        """Failure-path journaling: a broken store must never stop an
+        in-memory rollback, so only collect the error."""
+        if self.wal is None:
+            return
+        try:
+            write()
+        except StoreError as exc:
+            self.report.wal_errors.append(str(exc))
+
+    def _journal_failure(self, applied: list[Change], error: str) -> None:
+        """Journal the failure outcome: ``abort`` when nothing was
+        applied, ``rollback-begin`` otherwise (the matching ``rollback``
+        record is appended after the undo succeeds)."""
+        if applied:
+            self._journal_safe(
+                lambda: self.wal.rollback_begin(self.name, error))
+        else:
+            self._journal_safe(lambda: self.wal.abort(self.name, error))
+
+    def _journal_rolled_back(self, applied: list[Change]) -> None:
+        if applied:
+            self._journal_safe(lambda: self.wal.rollback(
+                self.name, [change.description for change in applied]))
 
     # -- telemetry ---------------------------------------------------------
 
@@ -141,6 +224,14 @@ class ReconfigurationTransaction:
                 self.report.finished_at = sim.now
                 raise
 
+        try:
+            self._journal_intent()
+        except StoreError as exc:
+            self.report.state = TransactionState.FAILED
+            self.report.error = str(exc)
+            self.report.finished_at = sim.now
+            raise
+
         region = self.region()
         region.block(now=sim.now)
         if not region.is_drained():
@@ -159,8 +250,12 @@ class ReconfigurationTransaction:
 
         applied: list[Change] = []
         try:
-            for change in self.changes:
+            if self.wal is not None:
+                self.wal.quiesce(self.name,
+                                 [c.name for c in region.components])
+            for index, change in enumerate(self.changes):
                 change.validate(self.assembly)
+                self._journal_apply(index, change)
                 change.apply(self.assembly)
                 applied.append(change)
                 self.report.applied_changes.append(change.description)
@@ -171,8 +266,16 @@ class ReconfigurationTransaction:
                     "post-change consistency violations: "
                     + "; ".join(consistency.violations)
                 )
+            # The durable commit decision: journaled only after every
+            # change applied and the consistency check passed.  A store
+            # failure here lands in the except path — not durably
+            # committed means rolled back.
+            if self.wal is not None:
+                self.wal.commit(self.name)
         except Exception as exc:
+            self._journal_failure(applied, str(exc))
             self._rollback(applied)
+            self._journal_rolled_back(applied)
             region.release(now=sim.now)
             self.report.state = (
                 TransactionState.FAILED if not applied
@@ -203,6 +306,13 @@ class ReconfigurationTransaction:
         self.report.buffered_calls = region.report.buffered_calls
         self.report.state = TransactionState.COMMITTED
         self.report.finished_at = sim.now
+        if self.wal is not None:
+            # Informational marker: the commit decision is already
+            # durable, so a store failure here must not un-commit.
+            from repro.durability.checksum import assembly_checksum
+
+            self._journal_safe(lambda: self.wal.post_commit(
+                self.name, assembly_checksum(self.assembly)))
         self._audit_phase("commit",
                           blocked=self.report.blocked_duration,
                           buffered=self.report.buffered_calls,
@@ -230,6 +340,14 @@ class ReconfigurationTransaction:
         if self.changes:
             self.changes[0].validate(self.assembly)
 
+        try:
+            self._journal_intent()
+        except StoreError as exc:
+            self.report.state = TransactionState.FAILED
+            self.report.error = str(exc)
+            self.report.finished_at = sim.now
+            raise
+
         region = self.region()
 
         def when_quiescent() -> None:
@@ -237,8 +355,12 @@ class ReconfigurationTransaction:
                               components=[c.name for c in region.components])
             applied: list[Change] = []
             try:
-                for change in self.changes:
+                if self.wal is not None:
+                    self.wal.quiesce(self.name,
+                                     [c.name for c in region.components])
+                for index, change in enumerate(self.changes):
                     change.validate(self.assembly)
+                    self._journal_apply(index, change)
                     change.apply(self.assembly)
                     applied.append(change)
                     self.report.applied_changes.append(change.description)
@@ -249,8 +371,12 @@ class ReconfigurationTransaction:
                         "post-change consistency violations: "
                         + "; ".join(consistency.violations)
                     )
+                if self.wal is not None:
+                    self.wal.commit(self.name)
             except Exception as exc:  # noqa: BLE001 - rolled back below
+                self._journal_failure(applied, str(exc))
                 self._rollback(applied)
+                self._journal_rolled_back(applied)
                 region.release(now=sim.now)
                 self.report.state = TransactionState.ROLLED_BACK
                 self.report.error = str(exc)

@@ -49,15 +49,32 @@ class AuditRecord:
 
 
 class AuditLog:
-    """Append-only decision log with by-kind queries."""
+    """Append-only decision log with by-kind queries.
+
+    Sinks registered via :meth:`add_sink` observe every record as it is
+    appended — the hook durable persistence (see
+    :class:`repro.durability.DurableAuditSink`) attaches through, so the
+    decision history survives the process that made the decisions.
+    """
 
     def __init__(self) -> None:
         self.records: list[AuditRecord] = []
+        self._sinks: list[Any] = []
+
+    def add_sink(self, sink: Any) -> None:
+        """Register a callable invoked with each appended record."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
 
     def record(self, time: float, kind: str,
                fields: dict[str, Any]) -> AuditRecord:
         entry = AuditRecord(time, kind, fields)
         self.records.append(entry)
+        for sink in self._sinks:
+            sink(entry)
         return entry
 
     def clear(self) -> None:

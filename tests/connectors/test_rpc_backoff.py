@@ -1,0 +1,80 @@
+"""Deterministic exponential backoff in the RPC retry connector."""
+
+import pytest
+
+from repro.connectors import RpcConnector
+from repro.kernel import Invocation
+
+from tests.helpers import echo_interface, make_flaky
+
+
+def call(connector, operation, *args):
+    invocation = Invocation(operation, args)
+    result = connector.endpoint("client").invoke(invocation)
+    return result, invocation
+
+
+def backoff_rpc(seed=0, retries=3, **overrides):
+    kwargs = dict(backoff_base=0.0001, backoff_factor=2.0,
+                  backoff_max=0.001, backoff_jitter=0.1, seed=seed)
+    kwargs.update(overrides)
+    rpc = RpcConnector("rpc", echo_interface(), retries=retries, **kwargs)
+    rpc.attach("server", make_flaky("flaky", failures=2).provided_port("svc"))
+    return rpc
+
+
+class TestDefaultBehaviour:
+    def test_zero_base_retries_immediately(self):
+        rpc = RpcConnector("rpc", echo_interface(), retries=2)
+        rpc.attach("server",
+                   make_flaky("flaky", failures=2).provided_port("svc"))
+        result, invocation = call(rpc, "echo", "x")
+        assert result == "flaky:x"
+        assert invocation.meta["attempts"] == 2
+        assert invocation.meta["backoff"] == [0.0, 0.0]
+
+    def test_exhausted_retries_reraise_with_schedule(self):
+        rpc = RpcConnector("rpc", echo_interface(), retries=1,
+                           backoff_base=0.0001, backoff_max=0.001)
+        rpc.attach("server",
+                   make_flaky("dead", failures=9).provided_port("svc"))
+        invocation = Invocation("echo", ("x",))
+        with pytest.raises(RuntimeError):
+            rpc.endpoint("client").invoke(invocation)
+        assert invocation.meta["attempts"] == 2
+        assert len(invocation.meta["backoff"]) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        _result, first = call(backoff_rpc(seed=4), "echo", "x")
+        _result, second = call(backoff_rpc(seed=4), "echo", "x")
+        assert first.meta["backoff"] == second.meta["backoff"]
+        assert len(first.meta["backoff"]) == 2
+
+    def test_different_seed_different_schedule(self):
+        _result, first = call(backoff_rpc(seed=4), "echo", "x")
+        _result, second = call(backoff_rpc(seed=5), "echo", "x")
+        assert first.meta["backoff"] != second.meta["backoff"]
+
+    def test_successive_calls_draw_independent_streams(self):
+        rpc = RpcConnector("rpc", echo_interface(),
+                           backoff_base=1.0, backoff_factor=1.0,
+                           backoff_max=10.0, backoff_jitter=0.5, seed=1)
+        assert rpc.backoff(0, 0) != rpc.backoff(1, 0)
+
+
+class TestShape:
+    def test_exponential_growth_capped(self):
+        rpc = RpcConnector("rpc", echo_interface(), retries=3,
+                           backoff_base=0.0001, backoff_factor=2.0,
+                           backoff_max=0.0002, backoff_jitter=0.0)
+        assert [rpc.backoff(0, a) for a in range(3)] \
+            == [0.0001, 0.0002, 0.0002]
+
+    def test_jitter_bounded(self):
+        rpc = RpcConnector("rpc", echo_interface(), retries=1,
+                           backoff_base=1.0, backoff_factor=1.0,
+                           backoff_max=10.0, backoff_jitter=0.25, seed=8)
+        delay = rpc.backoff(0, 0)
+        assert 1.0 <= delay <= 1.25

@@ -1,0 +1,52 @@
+"""Deterministic configuration checksums."""
+
+from repro.durability import assembly_checksum, assembly_document
+
+from tests.durability.helpers import build_assembly, build_changes
+from repro.reconfig import ReconfigurationTransaction
+
+
+class TestChecksum:
+    def test_same_builder_same_checksum(self):
+        assert assembly_checksum(build_assembly()) \
+            == assembly_checksum(build_assembly())
+
+    def test_checksum_is_hex_sha256(self):
+        checksum = assembly_checksum(build_assembly())
+        assert len(checksum) == 64
+        int(checksum, 16)
+
+    def test_reconfiguration_changes_the_checksum(self):
+        assembly = build_assembly()
+        before = assembly_checksum(assembly)
+        txn = ReconfigurationTransaction(assembly)
+        for change in build_changes(assembly):
+            txn.add(change)
+        txn.execute()
+        assert assembly_checksum(assembly) != before
+
+    def test_state_mutation_changes_the_checksum(self):
+        assembly = build_assembly()
+        before = assembly_checksum(assembly)
+        assembly.component("server").state["total"] = 99
+        assert assembly_checksum(assembly) != before
+
+
+class TestDocument:
+    def test_components_sorted_by_name(self):
+        document = assembly_document(build_assembly())
+        names = [entry["name"] for entry in document["components"]]
+        assert names == sorted(names)
+        assert names == ["client", "server"]
+
+    def test_document_captures_placement_and_state(self):
+        document = assembly_document(build_assembly())
+        server = next(entry for entry in document["components"]
+                      if entry["name"] == "server")
+        assert server["node"] == "leaf1"
+        assert server["state"]["total"] == 7
+
+    def test_document_captures_bindings(self):
+        document = assembly_document(build_assembly())
+        assert document["bindings"]
+        assert any("client" in line for line in document["bindings"])

@@ -1,0 +1,102 @@
+"""Real process-kill recovery over the sqlite backend.
+
+The in-process matrix simulates crashes with a ``BaseException``; this
+one runs the journaled transaction in a child process that ``os._exit``s
+at the armed point, then recovers in *this* process from nothing but the
+sqlite file — the full restart story.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.durability import (
+    ROLL_BACK,
+    ROLL_FORWARD,
+    SqliteStore,
+    recover,
+)
+
+from tests.durability.helpers import (
+    build_assembly,
+    build_changes,
+    post_checksum,
+    pre_checksum,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CRASH_SCRIPT = """
+import sys
+from repro.durability import SqliteStore, WriteAheadLog
+from repro.injectors import CrashInjector
+from repro.reconfig import ReconfigurationTransaction
+from tests.durability.helpers import build_assembly, build_changes
+
+path, point, when = sys.argv[1], sys.argv[2], sys.argv[3]
+store = SqliteStore(path)
+wal = WriteAheadLog(store)
+CrashInjector(point, when=when, mode="exit").arm(wal)
+assembly = build_assembly()
+txn = ReconfigurationTransaction(assembly, name="txn-kill", wal=wal)
+for change in build_changes(assembly):
+    txn.add(change)
+txn.execute()
+"""
+
+
+def crash_child(db_path, point, when):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)])
+    return subprocess.run(
+        [sys.executable, "-c", CRASH_SCRIPT, str(db_path), point, when],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=60)
+
+
+@pytest.mark.parametrize("point,when,mode", [
+    ("apply:1", "after", ROLL_BACK),
+    ("commit", "before", ROLL_BACK),
+    ("commit", "after", ROLL_FORWARD),
+    ("post-commit", "before", ROLL_FORWARD),
+])
+def test_killed_process_recovers_from_the_sqlite_file(
+        tmp_path, point, when, mode):
+    db_path = tmp_path / "wal.db"
+    proc = crash_child(db_path, point, when)
+    assert proc.returncode == 137, proc.stderr
+
+    store = SqliteStore(str(db_path))
+    fresh = build_assembly()
+    report = recover(store, fresh, build_changes(fresh))
+    assert report.mode == mode
+    assert report.consistent
+    expected = post_checksum() if mode == ROLL_FORWARD else pre_checksum()
+    assert report.checksum == expected
+    store.close()
+
+
+def test_uncrashed_child_commits_and_restart_is_clean(tmp_path):
+    db_path = tmp_path / "wal.db"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)])
+    script = CRASH_SCRIPT.replace(
+        'CrashInjector(point, when=when, mode="exit").arm(wal)', "pass")
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(db_path), "-", "-"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0, proc.stderr
+
+    store = SqliteStore(str(db_path))
+    fresh = build_assembly()
+    report = recover(store, fresh, build_changes(fresh))
+    # The commit marker is durable, so restart rolls the rebuilt
+    # pre-state forward to the committed configuration.
+    assert report.mode == ROLL_FORWARD
+    assert report.checksum == post_checksum()
+    store.close()

@@ -1,0 +1,140 @@
+"""The Store protocol: both backends behind one contract."""
+
+import pytest
+
+from repro.durability import (
+    MemoryStore,
+    SqliteStore,
+    Store,
+    canonical_json,
+    copy_log,
+    iter_records,
+    open_store,
+)
+from repro.errors import StoreError
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend = MemoryStore()
+    else:
+        backend = SqliteStore(str(tmp_path / "wal.db"))
+    yield backend
+    backend.close()
+
+
+class TestContract:
+    def test_append_returns_monotonic_seqs_per_log(self, store):
+        assert store.append("a", {"n": 1}) == 1
+        assert store.append("a", {"n": 2}) == 2
+        assert store.append("b", {"n": 1}) == 1
+
+    def test_read_returns_seq_record_pairs_in_order(self, store):
+        store.append("log", {"n": 1})
+        store.append("log", {"n": 2})
+        assert store.read("log") == [(1, {"n": 1}), (2, {"n": 2})]
+
+    def test_read_from_start_offset(self, store):
+        for n in range(5):
+            store.append("log", {"n": n})
+        assert [seq for seq, _ in store.read("log", start=4)] == [4, 5]
+
+    def test_read_unknown_log_is_empty(self, store):
+        assert store.read("nothing") == []
+
+    def test_logs_lists_known_logs(self, store):
+        store.append("b", {})
+        store.append("a", {})
+        assert store.logs() == ["a", "b"]
+
+    def test_truncate_drops_one_log(self, store):
+        store.append("keep", {"n": 1})
+        store.append("drop", {"n": 1})
+        store.append("drop", {"n": 2})
+        assert store.truncate("drop") == 2
+        assert store.read("drop") == []
+        assert store.read("keep") == [(1, {"n": 1})]
+
+    def test_closed_store_refuses_appends(self, store):
+        store.close()
+        with pytest.raises(StoreError):
+            store.append("log", {})
+
+    def test_satisfies_protocol(self, store):
+        assert isinstance(store, Store)
+
+    def test_unserializable_record_raises_store_error(self, store):
+        circular = {}
+        circular["self"] = circular
+        with pytest.raises(StoreError):
+            store.append("log", circular)
+
+
+class TestSqlitePersistence:
+    def test_records_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.db")
+        first = SqliteStore(path)
+        first.append("log", {"n": 1})
+        first.append("log", {"n": 2})
+        first.close()
+
+        second = SqliteStore(path)
+        assert second.read("log") == [(1, {"n": 1}), (2, {"n": 2})]
+        assert second.append("log", {"n": 3}) == 3
+        second.close()
+
+
+class TestCanonicalJson:
+    def test_keys_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_sets_and_tuples_serialize_deterministically(self):
+        one = canonical_json({"s": {3, 1, 2}, "t": (1, 2)})
+        two = canonical_json({"t": (1, 2), "s": {2, 3, 1}})
+        assert one == two
+
+    def test_unserializable_value_raises(self):
+        circular = {}
+        circular["self"] = circular
+        with pytest.raises(StoreError):
+            canonical_json(circular)
+
+
+class TestOpenStore:
+    def test_memory_url(self):
+        assert isinstance(open_store("memory://"), MemoryStore)
+
+    def test_sqlite_url(self, tmp_path):
+        store = open_store(f"sqlite:///{tmp_path / 'x.db'}")
+        assert isinstance(store, SqliteStore)
+        store.close()
+
+    def test_bare_path_is_sqlite(self, tmp_path):
+        store = open_store(str(tmp_path / "y.db"))
+        assert isinstance(store, SqliteStore)
+        store.close()
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(StoreError):
+            open_store("redis://nope")
+
+
+class TestUtilities:
+    def test_copy_log_between_backends(self, tmp_path):
+        source = MemoryStore()
+        for n in range(3):
+            source.append("log", {"n": n})
+        target = SqliteStore(str(tmp_path / "copy.db"))
+        assert copy_log(source, target, "log") == 3
+        assert target.read("log") == source.read("log")
+        target.close()
+
+    def test_iter_records_flattens_logs(self):
+        store = MemoryStore()
+        store.append("a", {"n": 1})
+        store.append("b", {"n": 2})
+        assert list(iter_records(store, ["a", "b"])) == [
+            ("a", 1, {"n": 1}),
+            ("b", 1, {"n": 2}),
+        ]

@@ -1,0 +1,95 @@
+"""WriteAheadLog journaling and read-back."""
+
+import pytest
+
+from repro.durability import (
+    SNAPSHOT_LOG,
+    WAL_LOG,
+    MemoryStore,
+    WalPhase,
+    WriteAheadLog,
+)
+from repro.errors import WalError
+
+
+@pytest.fixture
+def wal():
+    return WriteAheadLog(MemoryStore())
+
+
+class TestJournaling:
+    def test_unknown_phase_rejected(self, wal):
+        with pytest.raises(WalError):
+            wal.journal("t1", "vibe-check")
+
+    def test_records_carry_txn_and_phase(self, wal):
+        wal.intent("t1", "t1", ["add x"], "abc")
+        wal.quiesce("t1", ["x"])
+        records = wal.records("t1")
+        assert [r["phase"] for r in records] == ["intent", "quiesce"]
+        assert all(r["txn"] == "t1" for r in records)
+
+    def test_intent_carries_changes_and_pre_checksum(self, wal):
+        wal.intent("t1", "t1", ["add x", "replace y"], "cafe")
+        record = wal.records("t1")[0]
+        assert record["changes"] == ["add x", "replace y"]
+        assert record["pre_checksum"] == "cafe"
+
+    def test_apply_records_are_indexed(self, wal):
+        wal.apply("t1", 0, "add x", {"k": 1})
+        wal.apply("t1", 1, "replace y")
+        records = wal.records("t1")
+        assert records[0]["index"] == 0
+        assert records[0]["payload"] == {"k": 1}
+        assert records[1]["index"] == 1
+        assert records[1]["payload"] == {}
+
+    def test_default_log_name(self, wal):
+        wal.commit("t1")
+        assert wal.store.logs() == [WAL_LOG]
+
+
+class TestReadback:
+    def test_records_filtered_by_txn(self, wal):
+        wal.intent("t1", "t1", [], "a")
+        wal.intent("t2", "t2", [], "b")
+        wal.commit("t2")
+        assert len(wal.records()) == 3
+        assert [r["phase"] for r in wal.records("t2")] \
+            == ["intent", "commit"]
+
+    def test_transactions_in_first_appearance_order(self, wal):
+        wal.intent("t1", "t1", [], "a")
+        wal.intent("t2", "t2", [], "b")
+        wal.commit("t1")
+        assert wal.transactions() == ["t1", "t2"]
+
+    def test_last_txn_is_latest_intent(self, wal):
+        assert wal.last_txn() is None
+        wal.intent("t1", "t1", [], "a")
+        wal.intent("t2", "t2", [], "b")
+        assert wal.last_txn() == "t2"
+
+    def test_phases_and_has_phase(self, wal):
+        wal.intent("t1", "t1", [], "a")
+        wal.commit("t1")
+        assert wal.phases("t1") == [WalPhase.INTENT, WalPhase.COMMIT]
+        assert wal.has_phase("t1", WalPhase.COMMIT)
+        assert not wal.has_phase("t1", WalPhase.ROLLBACK)
+
+
+class TestSnapshots:
+    def test_snapshots_kept_out_of_the_phase_log(self, wal):
+        wal.intent("t1", "t1", [], "a")
+        wal.snapshot("t1", "replace server", {"total": 7})
+        assert wal.phases("t1") == [WalPhase.INTENT]
+        assert sorted(wal.store.logs()) == sorted([SNAPSHOT_LOG, WAL_LOG])
+
+    def test_snapshots_filtered_by_txn(self, wal):
+        wal.snapshot("t1", "replace server", {"total": 7})
+        wal.snapshot("t2", "replace cache", {"total": 9})
+        assert wal.snapshots("t1") == [
+            {"txn": "t1", "change": "replace server",
+             "snapshot": {"total": 7}},
+        ]
+        assert len(wal.snapshots()) == 2

@@ -1,0 +1,110 @@
+"""Crash-point and backend-fault injector mechanics."""
+
+import pytest
+
+from repro.durability import MemoryStore, WriteAheadLog
+from repro.errors import InjectorError, StoreError
+from repro.injectors import (
+    CrashInjector,
+    FlakyStore,
+    SimulatedCrash,
+    record_point,
+)
+
+
+class TestRecordPoint:
+    def test_plain_phases_key_by_name(self):
+        assert record_point({"phase": "intent"}) == "intent"
+        assert record_point({"phase": "commit"}) == "commit"
+
+    def test_apply_records_key_per_index(self):
+        assert record_point({"phase": "apply", "index": 0}) == "apply:0"
+        assert record_point({"phase": "apply", "index": 3}) == "apply:3"
+
+    def test_phaseless_record_keys_empty(self):
+        assert record_point({"txn": "t"}) == ""
+
+
+class TestCrashInjector:
+    def test_simulated_crash_is_not_an_exception(self):
+        # Rollback handlers catch Exception; a crash must sail past them
+        # the way SIGKILL would.
+        assert issubclass(SimulatedCrash, BaseException)
+        assert not issubclass(SimulatedCrash, Exception)
+
+    def test_rejects_bad_when_and_mode(self):
+        with pytest.raises(InjectorError):
+            CrashInjector("commit", when="during")
+        with pytest.raises(InjectorError):
+            CrashInjector("commit", mode="segfault")
+
+    def test_fires_exactly_once_at_the_armed_point(self):
+        injector = CrashInjector("commit", when="after")
+        injector.fire("intent", "after")
+        injector.fire("commit", "before")
+        assert not injector.fired
+        with pytest.raises(SimulatedCrash):
+            injector.fire("commit", "after")
+        assert injector.fired
+        injector.fire("commit", "after")  # spent: no second crash
+
+    def test_before_crash_leaves_record_undurable(self):
+        store = MemoryStore()
+        wal = WriteAheadLog(store)
+        CrashInjector("commit", when="before").arm(wal)
+        wal.intent("t1", "t1", [], "a")
+        with pytest.raises(SimulatedCrash):
+            wal.commit("t1")
+        assert wal.phases("t1") == ["intent"]
+
+    def test_after_crash_leaves_record_durable(self):
+        store = MemoryStore()
+        wal = WriteAheadLog(store)
+        CrashInjector("commit", when="after").arm(wal)
+        wal.intent("t1", "t1", [], "a")
+        with pytest.raises(SimulatedCrash):
+            wal.commit("t1")
+        assert wal.phases("t1") == ["intent", "commit"]
+
+    def test_arm_attaches_to_the_wal(self):
+        wal = WriteAheadLog(MemoryStore())
+        injector = CrashInjector("intent")
+        assert injector.arm(wal) is injector
+        assert wal.crash_injector is injector
+
+
+class TestFlakyStore:
+    def test_needs_a_failure_condition(self):
+        with pytest.raises(InjectorError):
+            FlakyStore(MemoryStore())
+
+    def test_fails_by_point_then_recovers(self):
+        store = FlakyStore(MemoryStore(), fail_point="commit")
+        store.append("log", {"phase": "intent", "txn": "t"})
+        with pytest.raises(StoreError):
+            store.append("log", {"phase": "commit", "txn": "t"})
+        # failure budget spent: the same point now succeeds
+        store.append("log", {"phase": "commit", "txn": "t"})
+        assert store.injected == 1
+        assert store.appends == 3
+
+    def test_fails_by_append_count(self):
+        store = FlakyStore(MemoryStore(), fail_after=2)
+        store.append("log", {"n": 1})
+        with pytest.raises(StoreError):
+            store.append("log", {"n": 2})
+        assert store.injected == 1
+
+    def test_failures_minus_one_fails_forever(self):
+        store = FlakyStore(MemoryStore(), fail_point="commit", failures=-1)
+        for _ in range(3):
+            with pytest.raises(StoreError):
+                store.append("log", {"phase": "commit", "txn": "t"})
+        assert store.injected == 3
+
+    def test_reads_pass_through(self):
+        inner = MemoryStore()
+        store = FlakyStore(inner, fail_point="commit")
+        store.append("log", {"phase": "intent", "txn": "t"})
+        assert store.read("log") == inner.read("log")
+        assert store.logs() == ["log"]
