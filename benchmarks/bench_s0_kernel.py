@@ -45,7 +45,7 @@ for _path in (str(_ROOT), str(_ROOT / "src")):
 from repro.events import PeriodicTimer, Simulator
 from repro.qos.metrics import MetricSeries
 
-from conftest import fmt, print_table
+from conftest import fmt, peak_rss_mb, print_table
 
 _MASK = (1 << 64) - 1
 DEFAULT_OUT = _ROOT / "BENCH_kernel.json"
@@ -361,6 +361,7 @@ def run_suite(smoke: bool) -> dict:
             "new_records_per_sec": new_qos["records_per_sec"],
             "speedup": qos_speedup,
         },
+        "memory": {"peak_rss_mb": peak_rss_mb()},
     }
 
 

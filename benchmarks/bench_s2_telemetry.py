@@ -47,12 +47,12 @@ for _path in (str(_ROOT), str(_ROOT / "src"), str(_ROOT / "benchmarks")):
 
 from repro import Simulator, telemetry
 from repro.events import PeriodicTimer
-from repro.netsim.message import Message, reset_message_ids
+from repro.netsim.message import Message, MessageIdAllocator, use_allocator
 from repro.netsim.topology import star
 from repro.telemetry import SamplingPolicy
 
 from bench_s0_kernel import ChurnDriver
-from conftest import fmt, print_table
+from conftest import fmt, peak_rss_mb, print_table
 
 DEFAULT_OUT = _ROOT / "BENCH_telemetry.json"
 SMOKE_OUT = _ROOT / "BENCH_telemetry.smoke.json"
@@ -136,7 +136,7 @@ def run_churn(sessions: int, repeats: int = 3) -> dict[str, dict]:
 
 def run_storm_mode(messages: int, traced: bool,
                    rate: float | None = None) -> dict:
-    reset_message_ids()  # message ids appear in traces; runs must match
+    use_allocator(MessageIdAllocator(1))  # ids appear in traces; must match
     gc.collect()
     sim = Simulator()
     tracer = None
@@ -319,6 +319,7 @@ def run_suite(smoke: bool) -> dict:
         "drops": storm_sampled["drops"],
         "span_buffer_bytes": max(storm_on["span_buffer_bytes"],
                                  storm_sampled["span_buffer_bytes"]),
+        "memory": {"peak_rss_mb": peak_rss_mb()},
     }
 
 

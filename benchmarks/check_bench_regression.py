@@ -13,17 +13,26 @@ committed performance claims:
   have wrapped the default span ring (zero drops).
 * ``BENCH_parallel.json`` (optional) — the sharded run must be the same
   simulation: merged trace checksums identical across the process
-  backend, the single-shard baseline, repeated same-seed runs and a
-  killed-and-replayed worker.  The >= 2.5x events/sec speedup floor is
-  enforced only when the artifact was produced on a host with >= 4
-  cores — a starved runner cannot demonstrate parallelism, but it can
-  still demonstrate determinism.
+  backend (barrier and overlapped exchange), the single-shard baseline,
+  repeated same-seed runs and a killed-and-replayed worker; the
+  overlapped exchange must execute *strictly fewer* synchronization
+  stalls than the barrier on the same workload.  The >= 2.5x events/sec
+  speedup floor is enforced only when the artifact was produced on a
+  host with >= 4 cores — a starved runner cannot demonstrate
+  parallelism, but it can still demonstrate determinism.
+* ``BENCH_parallel_large.json`` (optional) — the memory-lean
+  million-node tier: per-region delivery digests identical across
+  backends/modes/repeats, zero drops, and the tracemalloc
+  bytes-per-node probe under its ceiling.  The >= 1M nodes / >= 10M
+  messages scenario floors apply only to ``mode == "large"`` artifacts
+  (the CI-sized ``large_smoke`` rehearsal keeps the determinism and
+  memory floors).
 
 Exit status 0 = all floors held; 1 = regression (or missing/garbled
 required artifact).  Run::
 
     python benchmarks/check_bench_regression.py [--kernel PATH]
-        [--telemetry PATH] [--parallel PATH]
+        [--telemetry PATH] [--parallel PATH] [--parallel-large PATH]
 """
 
 from __future__ import annotations
@@ -54,17 +63,34 @@ FLOORS = [
      "span-ring drops in mode 'sampled_1pct' at default capacity"),
     ("parallel", "determinism.backends_match", 1, "min",
      "merged trace checksum: process backend == single-shard baseline"),
+    ("parallel", "determinism.overlapped_match", 1, "min",
+     "merged trace checksum: overlapped exchange == single-shard "
+     "baseline"),
     ("parallel", "determinism.repeat_match", 1, "min",
      "merged trace checksum byte-stable across same-seed parallel runs"),
     ("parallel", "determinism.restart_match", 1, "min",
      "merged trace checksum preserved across a killed-worker replay"),
     ("parallel", "restart.restarts", 1, "min",
      "the chaos run actually killed and revived a worker"),
+    ("parallel_large", "determinism.backends_match", 1, "min",
+     "lean-tier delivery digest: process barrier == single-shard"),
+    ("parallel_large", "determinism.overlapped_match", 1, "min",
+     "lean-tier delivery digest: overlapped exchange == single-shard"),
+    ("parallel_large", "determinism.repeat_match", 1, "min",
+     "lean-tier delivery digest byte-stable across same-seed "
+     "overlapped runs"),
+    ("parallel_large", "determinism.zero_drops", 1, "min",
+     "lean tier delivers every message (no drops in any run)"),
+    ("parallel_large", "memory.bytes_per_node", 64.0, "max",
+     "memory-lean scenario traced bytes per node (probe reads ~9)"),
 ]
 
 #: Enforced only when the parallel artifact reports enough cores.
 PARALLEL_SPEEDUP_FLOOR = 2.5
 PARALLEL_MIN_CORES = 4
+#: Million-node tier scenario floors, applied to mode == "large" only.
+LARGE_MIN_NODES = 1_000_000
+LARGE_MIN_MESSAGES = 10_000_000
 
 
 def lookup(data: dict, dotted: str):
@@ -75,7 +101,7 @@ def lookup(data: dict, dotted: str):
 
 
 def check(kernel_path: Path, telemetry_path: Path,
-          parallel_path: Path) -> int:
+          parallel_path: Path, parallel_large_path: Path) -> int:
     artifacts = {}
     if not kernel_path.exists():
         print(f"FAIL  required artifact missing: {kernel_path}")
@@ -89,6 +115,12 @@ def check(kernel_path: Path, telemetry_path: Path,
         artifacts["parallel"] = json.loads(parallel_path.read_text())
     else:
         print(f"note  {parallel_path} not found; parallel floors skipped")
+    if parallel_large_path.exists():
+        artifacts["parallel_large"] = json.loads(
+            parallel_large_path.read_text())
+    else:
+        print(f"note  {parallel_large_path} not found; million-node "
+              f"floors skipped")
 
     floors = list(FLOORS)
     parallel = artifacts.get("parallel")
@@ -104,6 +136,25 @@ def check(kernel_path: Path, telemetry_path: Path,
                   f"speedup floor ({PARALLEL_SPEEDUP_FLOOR}x) needs "
                   f">= {PARALLEL_MIN_CORES} cores and is skipped — "
                   f"determinism floors still apply")
+        barrier_stalls = parallel.get("parallel", {}).get("sync_stalls")
+        if barrier_stalls is not None:
+            # Strictly fewer: the overlapped exchange must beat the
+            # barrier's stall count on the identical committed workload.
+            floors.append(
+                ("parallel", "overlapped.sync_stalls",
+                 barrier_stalls - 1, "max",
+                 f"overlapped sync stalls strictly below the barrier's "
+                 f"{barrier_stalls}"))
+    large = artifacts.get("parallel_large")
+    if large is not None and large.get("mode") == "large":
+        floors.append(
+            ("parallel_large", "scenario.nodes_total",
+             LARGE_MIN_NODES, "min",
+             "million-node tier simulates >= 1M nodes"))
+        floors.append(
+            ("parallel_large", "scenario.messages_total",
+             LARGE_MIN_MESSAGES, "min",
+             "million-node tier pushes >= 10M messages"))
 
     failures = 0
     for artifact, dotted, floor, direction, claim in floors:
@@ -139,8 +190,11 @@ def main(argv: list[str] | None = None) -> int:
                         default=_ROOT / "BENCH_telemetry.json")
     parser.add_argument("--parallel", type=Path,
                         default=_ROOT / "BENCH_parallel.json")
+    parser.add_argument("--parallel-large", type=Path,
+                        default=_ROOT / "BENCH_parallel_large.json")
     cli = parser.parse_args(argv)
-    return check(cli.kernel, cli.telemetry, cli.parallel)
+    return check(cli.kernel, cli.telemetry, cli.parallel,
+                 cli.parallel_large)
 
 
 if __name__ == "__main__":

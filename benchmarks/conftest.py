@@ -32,3 +32,41 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
 
 def fmt(value: float, digits: int = 3) -> str:
     return f"{value:.{digits}f}"
+
+
+def peak_rss_mb() -> float:
+    """Lifetime peak resident set of this process *and* its reaped
+    children (worker processes), in MiB.
+
+    ``ru_maxrss`` is a high-water mark, so per-run attribution only
+    works when the biggest run is the one you care about; benches record
+    it after each run and the artifact keeps the per-run readings in run
+    order.  Returns 0.0 where :mod:`resource` is unavailable (non-POSIX).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        return 0.0
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    scale = 1024.0 if sys.platform != "darwin" else 1024.0 * 1024.0
+    return round(max(own, kids) / scale, 3)
+
+
+def traced_bytes(builder) -> int:
+    """Peak traced heap bytes while ``builder()`` runs (tracemalloc).
+
+    The probe is for *bytes-per-node* style derived metrics: call it on
+    a function that builds one region/topology and divide by the node
+    count.  Tracemalloc only sees Python allocations, which is exactly
+    the overhead the memory-lean fast path is meant to eliminate.
+    """
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        builder()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak

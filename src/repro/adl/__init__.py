@@ -28,6 +28,10 @@ from repro.adl.builder import (
     lts_from_behaviour,
 )
 from repro.adl.parser import parse_adl
+from repro.adl.partition import (
+    DEFAULT_BOUNDARY_THRESHOLD,
+    partition_from_architecture,
+)
 from repro.adl.printer import export_assembly, print_document
 from repro.adl.validator import check_document, validate_document
 
@@ -45,12 +49,14 @@ __all__ = [
     "PortDecl",
     "TransitionDecl",
     "UseConnectorDecl",
+    "DEFAULT_BOUNDARY_THRESHOLD",
     "build_architecture",
     "check_document",
     "export_assembly",
     "interface_from_decl",
     "lts_from_behaviour",
     "parse_adl",
+    "partition_from_architecture",
     "print_document",
     "validate_document",
 ]

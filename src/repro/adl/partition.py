@@ -1,0 +1,205 @@
+"""Derive a simulation :class:`~repro.netsim.Partition` from an ADL
+architecture.
+
+The architecture description already says everything a partitioner
+needs: instances name their deployment *nodes*, binds and connector
+attachments say which nodes talk to each other, and connector options
+carry the link latency.  This module turns that into the sharding plan
+for :class:`~repro.parallel.ParallelSimulation`:
+
+* deployment nodes joined by *fast* communication (direct binds, or
+  connectors whose declared ``latency`` is below the threshold) belong
+  in the same region — cheap chatter must never cross a conservative
+  synchronization boundary;
+* each remaining connected component becomes one region, numbered in
+  order of first instance appearance (deterministic for a given
+  document);
+* every *slow* connector becomes boundary links between the regions it
+  spans, carrying its declared ``latency``/``bandwidth``/``loss``; the
+  gateway inside each region is the first deployment node the connector
+  touches there.
+
+The resulting partition's lookahead is therefore exactly the minimum
+declared wide-area latency — the same quantity the conservative
+coordinator needs to be strictly positive, which the ADL's slow/fast
+split guarantees by construction.
+"""
+
+from __future__ import annotations
+
+from repro.adl.ast_nodes import ArchitectureDecl, ConnectorDecl, Document
+from repro.errors import AdlValidationError, NetworkError
+from repro.netsim.partition import Partition
+
+#: Connectors at or above this declared latency (seconds) are treated as
+#: wide-area links and become region boundaries.
+DEFAULT_BOUNDARY_THRESHOLD = 0.005
+
+
+def _resolve_architecture(document: Document,
+                          architecture: str | None) -> ArchitectureDecl:
+    if architecture is not None:
+        try:
+            return document.architectures[architecture]
+        except KeyError:
+            raise AdlValidationError(
+                f"unknown architecture {architecture!r}") from None
+    if len(document.architectures) != 1:
+        raise AdlValidationError(
+            f"document has {len(document.architectures)} architectures; "
+            f"pass architecture= to pick one")
+    return next(iter(document.architectures.values()))
+
+
+def _connector_option(decl: ConnectorDecl, name: str, default: float) -> float:
+    for key, value in decl.options:
+        if key == name:
+            return float(value)
+    return default
+
+
+def partition_from_architecture(
+    document: Document,
+    architecture: str | None = None,
+    *,
+    boundary_threshold: float = DEFAULT_BOUNDARY_THRESHOLD,
+    default_bandwidth: float = 1_000_000.0,
+) -> Partition:
+    """Build the region partition implied by an architecture block.
+
+    Args:
+        document: parsed ADL document.
+        architecture: which ``architecture`` block to partition (may be
+            omitted when the document declares exactly one).
+        boundary_threshold: connectors with declared ``latency`` at or
+            above this are wide-area boundaries; below it (or
+            undeclared) they are intra-region links.
+        default_bandwidth: boundary bandwidth when the connector
+            declares none.
+
+    Returns:
+        A :class:`Partition` assigning every deployment node to a
+        region, with one boundary per region pair each slow connector
+        spans.  Raises :class:`AdlValidationError` on an unknown or
+        ambiguous architecture, a bind/attach referencing an undeclared
+        instance, or an architecture with no instances.
+    """
+    arch = _resolve_architecture(document, architecture)
+    if not arch.instances:
+        raise AdlValidationError(
+            f"architecture {arch.name!r} has no instances to partition")
+
+    # Deployment nodes in first-appearance order (deterministic
+    # numbering), plus instance → node for edge resolution.
+    nodes: list[str] = []
+    node_of: dict[str, str] = {}
+    for instance in arch.instances:
+        node_of[instance.name] = instance.node
+        if instance.node not in nodes:
+            nodes.append(instance.node)
+    connector_types = {use.name: use.connector_type
+                       for use in arch.connectors}
+
+    def located(name: str, what: str) -> str | None:
+        """Deployment node of a component instance; ``None`` for
+        connector instances (they live between nodes)."""
+        if name in node_of:
+            return node_of[name]
+        if name in connector_types:
+            return None
+        raise AdlValidationError(
+            f"{what} references unknown instance {name!r} "
+            f"in architecture {arch.name!r}")
+
+    # Union-find over deployment nodes; fast edges merge regions.
+    parent = {node: node for node in nodes}
+
+    def find(node: str) -> str:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(a: str, b: str) -> None:
+        parent[find(a)] = find(b)
+
+    # Deployment nodes each connector instance touches, in order.
+    touches: dict[str, list[str]] = {use.name: [] for use in arch.connectors}
+
+    def touch(conn: str, node: str | None) -> None:
+        if node is not None and node not in touches[conn]:
+            touches[conn].append(node)
+
+    for bind in arch.binds:
+        src = located(bind.source_instance, "bind")
+        dst = located(bind.target_instance, "bind")
+        if src is not None and dst is not None:
+            union(src, dst)  # direct bind: in-process call path, fast
+        elif src is not None:
+            touch(bind.target_instance, src)
+        elif dst is not None:
+            touch(bind.source_instance, dst)
+    for attach in arch.attaches:
+        node = located(attach.component_instance, "attach")
+        if attach.connector_instance not in touches:
+            raise AdlValidationError(
+                f"attach references unknown connector "
+                f"{attach.connector_instance!r} in architecture "
+                f"{arch.name!r}")
+        touch(attach.connector_instance, node)
+
+    slow: list[tuple[str, ConnectorDecl, list[str]]] = []
+    for use in arch.connectors:
+        decl = document.connectors.get(use.connector_type)
+        if decl is None:
+            raise AdlValidationError(
+                f"connector instance {use.name!r} uses undeclared "
+                f"connector type {use.connector_type!r}")
+        latency = _connector_option(decl, "latency", 0.0)
+        spanned = touches[use.name]
+        if latency >= boundary_threshold and latency > 0:
+            slow.append((use.name, decl, spanned))
+            continue
+        # Fast connector: everything it touches is one region.
+        for node in spanned[1:]:
+            union(spanned[0], node)
+
+    # Number regions by first appearance of each root.
+    region_of_root: dict[str, int] = {}
+    partition_nodes: dict[str, int] = {}
+    for node in nodes:
+        root = find(node)
+        if root not in region_of_root:
+            region_of_root[root] = len(region_of_root)
+        partition_nodes[node] = region_of_root[root]
+
+    partition = Partition(len(region_of_root))
+    for node, region in partition_nodes.items():
+        partition.assign(node, region)
+
+    for name, decl, spanned in slow:
+        # Gateway per region: the first node the connector touches
+        # there.  A slow connector wholly inside one region adds no
+        # boundary (nothing to synchronize).
+        gateways: dict[int, str] = {}
+        for node in spanned:
+            gateways.setdefault(partition_nodes[node], node)
+        regions = sorted(gateways)
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                partition.add_boundary(
+                    gateways[a], gateways[b],
+                    latency=_connector_option(decl, "latency", 0.0),
+                    bandwidth=_connector_option(decl, "bandwidth",
+                                                default_bandwidth),
+                    loss=_connector_option(decl, "loss", 0.0))
+
+    try:
+        partition.validate()
+    except NetworkError:
+        # Disconnected regions are legitimate for an architecture with
+        # independent islands; the caller decides whether that matters.
+        pass
+    return partition

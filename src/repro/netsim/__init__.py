@@ -10,24 +10,38 @@ real deployment would produce.
 
 from repro.netsim.failure import FailureEvent, FailureInjector
 from repro.netsim.link import Link
-from repro.netsim.message import Message, reset_message_ids
+from repro.netsim.message import (
+    Message,
+    MessageIdAllocator,
+    current_allocator,
+    reset_message_ids,
+    use_allocator,
+)
 from repro.netsim.network import Network, NetworkStats
 from repro.netsim.node import EndpointHandler, Node, least_loaded
-from repro.netsim.partition import Boundary, Partition, RegionNetwork
+from repro.netsim.partition import (
+    Boundary,
+    CompactPartition,
+    Partition,
+    RegionNetwork,
+)
 from repro.netsim.topology import datacenter, full_mesh, hosts, line, ring, star
 
 __all__ = [
     "Boundary",
+    "CompactPartition",
     "EndpointHandler",
     "FailureEvent",
     "FailureInjector",
     "Link",
     "Message",
+    "MessageIdAllocator",
     "Network",
     "NetworkStats",
     "Node",
     "Partition",
     "RegionNetwork",
+    "current_allocator",
     "datacenter",
     "full_mesh",
     "hosts",
@@ -36,4 +50,5 @@ __all__ = [
     "reset_message_ids",
     "ring",
     "star",
+    "use_allocator",
 ]

@@ -17,7 +17,15 @@ class Link:
         latency: propagation delay in simulated time units.
         bandwidth: bytes per simulated time unit.
         loss: per-traversal drop probability in [0, 1].
+
+    ``__slots__``: links scale with topology size, so they keep no
+    per-instance dict.
     """
+
+    __slots__ = (
+        "a", "b", "latency", "bandwidth", "loss", "up",
+        "transferred_bytes", "transferred_messages", "dropped_messages",
+    )
 
     def __init__(
         self,

@@ -1,34 +1,111 @@
-"""Network messages.
+"""Network messages and message-id allocation.
 
 A :class:`Message` is the unit the simulated network transfers between
 nodes.  It carries an opaque payload plus headers used by the upper layers
 (middleware request ids, reconfiguration sequence numbers, QoS tags).
+
+Message ids come from a :class:`MessageIdAllocator`.  There is a
+process-default allocator (so plain single-simulator code needs no
+setup), but any scope that must number messages independently of
+everything else running in the process — a region shard of a partitioned
+run, a test that compares traces — installs its own allocator with
+:func:`use_allocator` and restores the previous one when done.  The old
+:func:`reset_message_ids` global restart is deprecated: it only works
+when every run in the process resets in a disciplined order, which
+million-node sharded runs cannot guarantee.
 """
 
 from __future__ import annotations
 
-import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
-_message_ids = itertools.count(1)
+
+class MessageIdAllocator:
+    """A scoped message-id counter.
+
+    Plain mutable state instead of :func:`itertools.count` so a holder
+    (e.g. a region runtime) can read, save and restore the cursor, and
+    so two allocators never share position by accident.
+
+    Args:
+        start: first id to hand out.
+        stride: distance between consecutive ids (1 for dense local
+            numbering; region shards use stride 1 inside a strided
+            namespace carved out by ``start``).
+    """
+
+    __slots__ = ("next_id", "stride")
+
+    def __init__(self, start: int = 1, stride: int = 1) -> None:
+        self.next_id = start
+        self.stride = stride
+
+    def allocate(self) -> int:
+        """Consume and return the next id."""
+        value = self.next_id
+        self.next_id = value + self.stride
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MessageIdAllocator(next={self.next_id}, stride={self.stride})"
+
+
+#: The process-default allocator plain code allocates from.
+_default_allocator = MessageIdAllocator(1)
+#: The currently installed allocator (module global read per allocation).
+_allocator = _default_allocator
+
+
+def current_allocator() -> MessageIdAllocator:
+    """The allocator new messages currently draw ids from."""
+    return _allocator
+
+
+def use_allocator(allocator: MessageIdAllocator | None
+                  ) -> MessageIdAllocator:
+    """Install ``allocator`` as the active id source; returns the
+    previously active one so callers can restore it.
+
+    Passing ``None`` reinstalls the process-default allocator.
+    """
+    global _allocator
+    previous = _allocator
+    _allocator = allocator if allocator is not None else _default_allocator
+    return previous
 
 
 def reset_message_ids(start: int = 1) -> None:
-    """Restart the global message-id counter.
+    """Restart the *default* message-id counter (deprecated).
 
-    Message ids are process-global, so two otherwise identical runs in
-    one process would number their messages differently — and telemetry
-    traces embed ids, breaking trace-checksum reproducibility.  Call this
-    before each run that must be byte-for-byte comparable.
+    Deprecated in favour of scoped allocators: create a
+    :class:`MessageIdAllocator` and install it with
+    :func:`use_allocator` around the run that must be byte-for-byte
+    comparable, instead of relying on every run in the process calling
+    the global reset in the right order.
     """
-    global _message_ids
-    _message_ids = itertools.count(start)
+    warnings.warn(
+        "reset_message_ids() is deprecated; install a scoped "
+        "MessageIdAllocator with use_allocator() instead "
+        "(see docs/API.md)",
+        DeprecationWarning, stacklevel=2)
+    global _allocator
+    _default_allocator.next_id = start
+    _default_allocator.stride = 1
+    _allocator = _default_allocator
 
 
-@dataclass
+def _next_message_id() -> int:
+    return _allocator.allocate()
+
+
+@dataclass(slots=True)
 class Message:
     """A message in flight between two nodes.
+
+    ``slots=True``: a million-message run keeps no per-instance dicts —
+    the hot state is a fixed record.
 
     Attributes:
         source: name of the sending node.
@@ -38,7 +115,8 @@ class Message:
         payload: opaque application data.
         size: size in bytes; drives transmission delay over links.
         headers: free-form metadata for the upper layers.
-        msg_id: globally unique id, assigned at construction.
+        msg_id: unique id, assigned at construction from the active
+            :class:`MessageIdAllocator`.
         sent_at: simulated time the message entered the network.
         trace_span: telemetry flow span carried across hops/retries while
             the message is in flight (None unless tracing is enabled).
@@ -50,7 +128,7 @@ class Message:
     payload: Any = None
     size: int = 256
     headers: dict[str, Any] = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    msg_id: int = field(default_factory=_next_message_id)
     sent_at: float = 0.0
     trace_span: Any = field(default=None, repr=False, compare=False)
 

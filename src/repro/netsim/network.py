@@ -10,6 +10,7 @@ distributed system would: delay, loss and unreachability.
 from __future__ import annotations
 
 import random
+import sys
 from typing import Callable, Iterable
 
 import networkx as nx
@@ -77,6 +78,11 @@ class Network:
         # same pair must not pay Dijkstra every time.  ``None`` caches a
         # negative result (no route) until the topology changes.
         self._route_cache: dict[tuple[str, str], list[str] | None] = {}
+        # Path intern table: distinct (source, destination) pairs whose
+        # shortest paths coincide (every leaf->hub route in a star, the
+        # shared trunk of a datacenter) cache ONE list object, so the
+        # route cache grows with unique paths, not unique pairs.
+        self._path_intern: dict[tuple[str, ...], list[str]] = {}
         self.in_flight = 0
         # Per-direction transmitter occupancy: concurrent messages on the
         # same link direction serialize behind each other (full-duplex
@@ -93,6 +99,9 @@ class Network:
         """Create and register a node."""
         if name in self.nodes:
             raise NetworkError(f"node {name!r} already exists")
+        # Interned names: node names recur as dict keys, link endpoints,
+        # route entries and message addresses; one string object each.
+        name = sys.intern(name)
         node = Node(name, self.sim, capacity=capacity, region=region)
         self.nodes[name] = node
         self._graph_dirty = True
@@ -161,6 +170,7 @@ class Network:
         self._graph = graph
         self._graph_dirty = False
         self._route_cache.clear()
+        self._path_intern.clear()
 
     def route(self, source: str, destination: str) -> list[str]:
         """Shortest-latency node path, inclusive of both ends.
@@ -182,6 +192,8 @@ class Network:
                 )
             except (nx.NetworkXNoPath, nx.NodeNotFound):
                 path = None
+            if path is not None:
+                path = self._path_intern.setdefault(tuple(path), path)
             cache[key] = path
         if path is None:
             raise NetworkError(

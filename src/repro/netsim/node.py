@@ -25,7 +25,16 @@ class Node:
     executes ``capacity`` units per time unit.  ``execution_time(work)``
     converts work to simulated delay, inflated by current utilisation so a
     loaded node runs visibly slower — the effect that motivates migration.
+
+    ``__slots__``: hosts are the most numerous objects in a large
+    topology, so they keep no per-instance dict.
     """
+
+    __slots__ = (
+        "name", "sim", "capacity", "region", "up", "_endpoints",
+        "_background_load", "_reserved", "delivered_messages",
+        "dropped_messages", "crash_count", "on_crash", "on_recover",
+    )
 
     def __init__(
         self,

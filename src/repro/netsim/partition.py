@@ -22,8 +22,11 @@ time and continues delivery over the local topology.
 
 from __future__ import annotations
 
+import math
+import sys
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 import networkx as nx
 
@@ -82,6 +85,7 @@ class Partition:
         self._node_region: dict[str, int] = {}
         self.boundaries: list[Boundary] = []
         self._next_hop: dict[tuple[int, int], Boundary] | None = None
+        self._distances: dict[tuple[int, int], float] | None = None
 
     # -- building ----------------------------------------------------------
 
@@ -94,7 +98,7 @@ class Partition:
         if existing is not None and existing != region:
             raise NetworkError(
                 f"node {node!r} already assigned to region {existing}")
-        self._node_region[node] = region
+        self._node_region[sys.intern(node)] = region
 
     def assign_many(self, nodes: Iterable[str], region: int) -> None:
         for node in nodes:
@@ -118,6 +122,7 @@ class Partition:
                             latency, bandwidth, loss)
         self.boundaries.append(boundary)
         self._next_hop = None
+        self._distances = None
         return boundary
 
     # -- queries -----------------------------------------------------------
@@ -157,6 +162,21 @@ class Partition:
                 f"no boundary route from region {src_region} "
                 f"to region {dst_region}") from None
 
+    def region_distance(self, src_region: int, dst_region: int) -> float:
+        """Minimum total boundary latency between two regions.
+
+        ``math.inf`` when unreachable, ``0.0`` on the diagonal.  This is
+        the triangle-inequality bound the coordinator's overlapped
+        exchange relies on: a message egressing region ``s`` at time
+        ``t`` cannot be injected into region ``r`` before
+        ``t + region_distance(s, r)``.
+        """
+        if src_region == dst_region:
+            return 0.0
+        if self._distances is None:
+            self._build_next_hops()
+        return self._distances.get((src_region, dst_region), math.inf)
+
     def _build_next_hops(self) -> None:
         graph = nx.Graph()
         graph.add_nodes_from(range(self.regions))
@@ -170,13 +190,18 @@ class Partition:
         for (a, b), boundary in best.items():
             graph.add_edge(a, b, weight=boundary.latency, boundary=boundary)
         table: dict[tuple[int, int], Boundary] = {}
+        distances: dict[tuple[int, int], float] = {}
         paths = dict(nx.all_pairs_dijkstra_path(graph, weight="weight"))
+        lengths = dict(nx.all_pairs_dijkstra_path_length(
+            graph, weight="weight"))
         for src, targets in paths.items():
             for dst, path in targets.items():
                 if src == dst or len(path) < 2:
                     continue
                 table[(src, dst)] = graph.edges[path[0], path[1]]["boundary"]
+                distances[(src, dst)] = lengths[src][dst]
         self._next_hop = table
+        self._distances = distances
 
     def validate(self) -> None:
         """Check every region is populated and boundaries are consistent."""
@@ -184,6 +209,58 @@ class Partition:
         missing = set(range(self.regions)) - populated
         if missing:
             raise NetworkError(f"regions {sorted(missing)} have no nodes")
+        if self.regions > 1:
+            self._build_next_hops()
+            for src in range(self.regions):
+                for dst in range(self.regions):
+                    if src != dst and (src, dst) not in (self._next_hop or {}):
+                        raise NetworkError(
+                            f"region {dst} unreachable from region {src}")
+
+
+class CompactPartition(Partition):
+    """A partition whose node→region map is a *formula*, not a dict.
+
+    A million-node topology cannot afford a million-entry assignment
+    dict in every worker process (the partition is pickled to each one).
+    A :class:`CompactPartition` answers :meth:`region_of` through a
+    ``resolver`` callable — typically a small picklable object that
+    parses the region out of systematic node names (``n3_1417`` → region
+    3) — and keeps the explicit dict only for the handful of nodes the
+    resolver declines (returns ``None`` for).  Memory is O(explicit
+    overrides + boundaries), independent of node count.
+
+    The resolver must be deterministic and picklable (a module-level
+    function or an instance of a module-level class, not a lambda).
+    """
+
+    def __init__(self, regions: int,
+                 resolver: Callable[[str], int | None]) -> None:
+        super().__init__(regions)
+        self._resolver = resolver
+
+    def region_of(self, node: str) -> int:
+        explicit = self._node_region.get(node)
+        if explicit is not None:
+            return explicit
+        region = self._resolver(node)
+        if region is None:
+            raise NetworkError(
+                f"node {node!r} not assigned to any region")
+        if not 0 <= region < self.regions:
+            raise NetworkError(
+                f"resolver mapped {node!r} to region {region}, out of "
+                f"range 0..{self.regions - 1}")
+        return region
+
+    def nodes_in(self, region: int) -> list[str]:
+        """Only the *explicitly* assigned nodes: a formula-backed
+        partition cannot enumerate its full population."""
+        return super().nodes_in(region)
+
+    def validate(self) -> None:
+        """Check boundary connectivity only; population is the
+        resolver's contract (it cannot be enumerated here)."""
         if self.regions > 1:
             self._build_next_hops()
             for src in range(self.regions):
@@ -222,6 +299,66 @@ class RegionNetwork(Network):
         self.forwarded_out = 0
         self.ingressed = 0
         self._outbox_seq = 0
+        #: Messages currently travelling the cross path inside this
+        #: region (sent remote or transiting), not yet egressed/dropped.
+        self.cross_in_flight = 0
+        # Declared cross-send schedule (sorted absolute times) for the
+        # sharper egress-floor promise; None = no declaration.
+        self._cross_times: list[float] | None = None
+        self._cross_idx = 0
+
+    # -- egress-floor promise ----------------------------------------------
+
+    def declare_cross_sends(self, times: Iterable[float]) -> None:
+        """Declare the absolute times at which this region's *workload*
+        will originate cross-region sends.
+
+        Opt-in sharpening of :meth:`egress_floor`: a scenario whose
+        handlers never emit undeclared cross-region traffic (replies,
+        retries) can promise the coordinator that no boundary egress will
+        happen before the next declared send — even while millions of
+        purely local events are pending.  Declaring and then cross-sending
+        off-schedule would let remote regions run past a message's
+        arrival, so the contract is on the scenario builder.
+        """
+        incoming = sorted(times)
+        if self._cross_times is None:
+            self._cross_times = incoming
+        else:
+            pending = self._cross_times[self._cross_idx:]
+            for when in incoming:
+                insort(pending, when)
+            self._cross_times = pending
+            self._cross_idx = 0
+
+    def egress_floor(self) -> float:
+        """Earliest simulated time this region could still produce a
+        boundary egress, given only its current internal state
+        (``math.inf`` when it provably cannot).
+
+        Without a declared cross-send schedule the floor is the next
+        pending event's time — sound for arbitrary handlers, since any
+        egress happens inside an event.  With a declaration the floor is
+        the earlier of the next declared send and — only while a cross
+        message is already in flight inside the region — the next event
+        time; pending *local* events no longer pin the floor, which is
+        what lets adaptive lookahead widen horizons far past the per-hop
+        event cadence.
+
+        Future injections from other regions are deliberately excluded:
+        the coordinator bounds those with its own held-tuple and
+        region-distance terms.
+        """
+        if self._cross_times is None:
+            return self.sim.next_event_time()
+        now = self.sim.now
+        times = self._cross_times
+        idx = bisect_left(times, now, self._cross_idx)
+        self._cross_idx = idx
+        floor = times[idx] if idx < len(times) else math.inf
+        if self.cross_in_flight:
+            floor = min(floor, self.sim.next_event_time())
+        return floor
 
     # -- topology guard ----------------------------------------------------
 
@@ -257,6 +394,7 @@ class RegionNetwork(Network):
             self._drop(message, "node_down")
             return
         self.in_flight += 1
+        self.cross_in_flight += 1
         self._cross_forward(message, message.source)
 
     # -- boundary path -----------------------------------------------------
@@ -269,6 +407,7 @@ class RegionNetwork(Network):
             boundary = self.partition.next_hop(self.region, dst_region)
         except NetworkError:
             self.in_flight -= 1
+            self.cross_in_flight -= 1
             self._drop(message, "no_route")
             return
         gateway = boundary.gateway(self.region)
@@ -279,6 +418,7 @@ class RegionNetwork(Network):
             path = self.route(position, gateway)
         except NetworkError:
             self.in_flight -= 1
+            self.cross_in_flight -= 1
             self._drop(message, "no_route")
             return
         self._forward_leg(message, path, 0, boundary)
@@ -300,11 +440,13 @@ class RegionNetwork(Network):
             link.transfer_time(message.size)  # validates the link is up
         except LinkDownError:
             self.in_flight -= 1
+            self.cross_in_flight -= 1
             self._drop(message, "link_down")
             return
         if link.loss and self.rng.random() < link.loss:
             link.dropped_messages += 1
             self.in_flight -= 1
+            self.cross_in_flight -= 1
             self._drop(message, "loss")
             return
         size = message.size
@@ -338,6 +480,7 @@ class RegionNetwork(Network):
         to_region, entry_node = boundary.peer(self.region)
         if boundary.loss and self.rng.random() < boundary.loss:
             self.in_flight -= 1
+            self.cross_in_flight -= 1
             self._drop(message, "loss")
             return
         now = self.sim.now
@@ -375,6 +518,7 @@ class RegionNetwork(Network):
         ))
         self.forwarded_out += 1
         self.in_flight -= 1
+        self.cross_in_flight -= 1
         self._notify(f"egress:r{to_region}", message)
 
     # -- receiving ---------------------------------------------------------
@@ -411,6 +555,7 @@ class RegionNetwork(Network):
         self._notify("ingress", message)
         if self.partition.region_of(destination) != self.region:
             self.in_flight += 1
+            self.cross_in_flight += 1
             self._cross_forward(message, entry_node)
             return
         self.in_flight += 1

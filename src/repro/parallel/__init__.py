@@ -8,10 +8,18 @@ horizon, so regions exchange boundary messages only at barrier rounds
 and never see an event out of order.
 
 The same per-region code runs under two backends (``"process"`` workers
-over pipes, or the ``"inline"`` single-shard baseline), per-region
-telemetry merges deterministically by (sim-time, region-id, seq), and a
-killed worker is revived by replaying its command history — all three
-paths produce byte-identical merged trace checksums for the same seed.
+over pipes, or the ``"inline"`` single-shard baseline) and two exchange
+modes — ``"barrier"`` (global rounds) and ``"overlapped"`` (each region
+advances as soon as its boundary *neighbors* are one round behind, so
+rounds pipeline around the region graph).  Per-region telemetry merges
+deterministically by (sim-time, region-id, seq), and a killed worker is
+revived by replaying its command history — all paths produce
+byte-identical merged trace checksums for the same seed.  Adaptive
+lookahead (``adaptive=True``) widens horizons past the fixed cadence
+using each region's egress-floor promise; the memory-lean scenario
+(:func:`build_lean_star_region`) scales the same ring-of-stars workload
+to millions of leaves with columnar per-leaf state and an
+order-invariant delivery digest.
 
 Quick start::
 
@@ -36,15 +44,24 @@ from repro.parallel.runtime import (
     RegionRuntime,
     worker_main,
 )
-from repro.parallel.scenario import build_star_region, star_ring_partition
+from repro.parallel.scenario import (
+    LeanStarRegion,
+    build_lean_star_region,
+    build_star_region,
+    lean_star_partition,
+    star_ring_partition,
+)
 
 __all__ = [
     "MSG_ID_STRIDE",
+    "LeanStarRegion",
     "ParallelResult",
     "ParallelSimulation",
     "RegionRuntime",
     "SupervisionPolicy",
+    "build_lean_star_region",
     "build_star_region",
+    "lean_star_partition",
     "star_ring_partition",
     "worker_main",
 ]

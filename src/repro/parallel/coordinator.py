@@ -1,7 +1,7 @@
 """The conservative-lookahead coordinator.
 
 :class:`ParallelSimulation` runs a partitioned topology as a set of
-region shards synchronized in **barrier rounds**: with lookahead ``L``
+region shards synchronized in conservative rounds: with lookahead ``L``
 (the minimum boundary-link latency, see
 :class:`~repro.netsim.partition.Partition`), every boundary tuple
 egressed during window ``[kL, (k+1)L)`` arrives no earlier than
@@ -13,6 +13,43 @@ horizon fires next round, after same-instant remote tuples have been
 injected, which is what makes the interleaving — and the merged trace —
 deterministic.
 
+Two exchange **modes** schedule those rounds:
+
+* ``"barrier"`` — the full barrier: every region finishes round ``k``
+  before any region starts round ``k+1``.  Each dispatch of round
+  ``k>=1`` therefore waits on all ``R-1`` other regions.
+* ``"overlapped"`` — neighborhood-synchronized pipelining.  Boundary
+  tuples only ever target a region's *boundary neighbors*, so region
+  ``r`` may start round ``k`` as soon as its neighbors have finished
+  round ``k-1`` — distant regions can be several rounds apart, the
+  outbox exchange overlaps with ongoing windows, and each dispatch
+  waits only on ``|neighbors(r)|`` regions.  The per-region command
+  sequence (round index, horizon, injection batch) is *identical* to
+  barrier mode — injections into ``r``'s round ``k`` are exactly the
+  neighbor round-``k-1`` egresses, merged in ``(arrival, origin region,
+  origin seq)`` order — so the merged trace checksum is byte-identical
+  across modes.
+
+**Adaptive lookahead** (``adaptive=True``) widens horizons past the
+fixed ``L`` cadence using per-region *promises*: each round a region
+reports its ``egress_floor`` — the earliest simulated time it could
+still egress a boundary tuple (see
+:meth:`~repro.netsim.partition.RegionNetwork.egress_floor`).  No future
+tuple can arrive anywhere before ``min(floors, pending-injection
+arrivals) + L`` (barrier), or before
+``min over s of promise(s) + region_distance(s, r)`` per region
+(overlapped, a null-message-style bound) — so when cross-region traffic
+is sparse the coordinator jumps the horizon to that bound instead of
+crawling in ``L`` steps, and with no cross traffic at all a run
+collapses to a couple of rounds.  Adaptive horizons depend on the
+promise stream, so their *trace* is only comparable within the mode;
+the simulation outcome (deliveries, clocks, digests) is unchanged.
+
+Synchronization stalls are accounted structurally — the number of
+cross-region dependencies each dispatch waits on (deterministic, so the
+benchmark gate can compare modes): barrier pays ``R-1`` per region per
+round after the first, overlapped pays ``|neighbors(r)|``.
+
 Two backends execute the identical :class:`~repro.parallel.runtime.
 RegionRuntime` code:
 
@@ -20,6 +57,10 @@ RegionRuntime` code:
   single-shard baseline for both determinism checks and speedup
   measurements.
 * ``"process"`` — one OS process per region, plain tuples over pipes.
+  In overlapped mode replies are multiplexed with
+  :func:`multiprocessing.connection.wait`, so the coordinator acts on
+  whichever region finishes first instead of draining pipes in region
+  order.
 
 Supervision: the coordinator records every command it has sent to each
 region.  When a worker process dies (pipe breaks, or a heartbeat check
@@ -43,12 +84,14 @@ hang the coordinator forever.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import random
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
 from time import perf_counter
 from typing import Any, Callable
 
@@ -299,6 +342,13 @@ class ParallelResult:
     #: Supervision event stream: revivals, degradations, escalations —
     #: surfaced for telemetry/dashboards, never swallowed.
     supervision: list[dict[str, Any]] = field(default_factory=list)
+    #: Exchange mode the run used: "barrier" or "overlapped".
+    mode: str = "barrier"
+    #: Whether adaptive lookahead widened horizons this run.
+    adaptive: bool = False
+    #: Structural synchronization stalls: total cross-region dependencies
+    #: dispatches waited on (barrier: R-1 each; overlapped: neighbors).
+    sync_stalls: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -364,23 +414,37 @@ class ParallelSimulation:
     # -- the run -----------------------------------------------------------
 
     def run(self, until: float, *, backend: str = "process",
+            mode: str = "barrier", adaptive: bool = False,
             horizon: float | None = None,
             after_round: Callable[["ParallelSimulation", int, float], None]
             | None = None) -> ParallelResult:
-        """Simulate ``[0, until]`` in conservative barrier rounds.
+        """Simulate ``[0, until]`` in conservative rounds.
 
         Args:
             backend: ``"process"`` (one worker per region) or
                 ``"inline"`` (sequential single-shard baseline).
-            horizon: round window; defaults to the partition's lookahead
-                and must not exceed it (that would break conservatism).
+            mode: ``"barrier"`` (full barrier between rounds) or
+                ``"overlapped"`` (neighborhood-synchronized pipelining;
+                identical per-region command sequence, so the merged
+                trace checksum matches barrier mode byte for byte).
+            adaptive: widen horizons past the fixed cadence using the
+                regions' egress-floor promises.  The simulation outcome
+                is unchanged; the trace is only comparable within
+                adaptive runs (the round structure differs).
+            horizon: base round window; defaults to the partition's
+                lookahead and must not exceed it (that would break
+                conservatism).
             after_round: called as ``after_round(self, round_index,
-                time)`` between barriers — the chaos/progress hook.
+                time)`` after each completed round (in overlapped mode,
+                after each completed *region* round) — the
+                chaos/progress hook.
         """
         if until <= 0:
             raise ParallelError(f"until must be > 0, got {until}")
         if backend not in ("process", "inline"):
             raise ParallelError(f"unknown backend {backend!r}")
+        if mode not in ("barrier", "overlapped"):
+            raise ParallelError(f"unknown mode {mode!r}")
         self.partition.validate()
         lookahead = (self.partition.lookahead
                      if self.partition.boundaries else float("inf"))
@@ -400,32 +464,12 @@ class ParallelSimulation:
         self._spawn_all(backend)
         try:
             wall0 = perf_counter()
-            inject: dict[int, list[tuple]] = {r: [] for r in regions}
-            now, rounds = 0.0, 0
-            while now < until:
-                # Multiplicative, not accumulative: repeated float adds
-                # of the window would drift and add a spurious round.
-                boundary = min((rounds + 1) * window, until)
-                inclusive = boundary >= until
-                commands = {
-                    region: ("round", rounds, boundary, inclusive,
-                             inject[region])
-                    for region in regions
-                }
-                replies = self._roundtrip(commands)
-                for region in regions:
-                    self._history[region].append(commands[region])
-                inject = {r: [] for r in regions}
-                for region in regions:
-                    for record in replies[region][2]:
-                        inject[record[2]].append(record)
-                for queue in inject.values():
-                    queue.sort(key=_INJECT_KEY)
-                now = boundary
-                rounds += 1
-                if after_round is not None:
-                    after_round(self, rounds - 1, now)
-            leftovers = sum(len(queue) for queue in inject.values())
+            if mode == "barrier":
+                rounds, leftovers, stalls = self._run_barrier(
+                    until, window, adaptive, after_round)
+            else:
+                rounds, leftovers, stalls = self._run_overlapped(
+                    until, window, adaptive, after_round)
             reports = {
                 region: reply[1]
                 for region, reply in self._roundtrip(
@@ -453,7 +497,277 @@ class ParallelSimulation:
             revival_attempts=self.revival_attempts,
             degraded=tuple(self._degraded),
             supervision=list(self.supervision_events),
+            mode=mode,
+            adaptive=adaptive,
+            sync_stalls=stalls,
         )
+
+    # -- barrier exchange --------------------------------------------------
+
+    def _run_barrier(self, until: float, window: float, adaptive: bool,
+                     after_round: Callable | None
+                     ) -> tuple[int, int, int]:
+        """Full-barrier rounds; returns (rounds, leftovers, stalls)."""
+        region_count = self.partition.regions
+        regions = range(region_count)
+        lookahead = (self.partition.lookahead
+                     if self.partition.boundaries else math.inf)
+        inject: dict[int, list[tuple]] = {r: [] for r in regions}
+        # Adaptive-promise state: last reported egress floor per region
+        # (0.0 until the first reply — unknown state must not widen) and
+        # the arrival times of injected-but-not-yet-executed tuples,
+        # whose re-egress the floors cannot see yet.
+        floors = {r: 0.0 for r in regions}
+        pending_arrivals: dict[int, list[float]] = {r: [] for r in regions}
+        now, rounds, stalls = 0.0, 0, 0
+        while now < until:
+            # This round's injections count as pending *before* the
+            # horizon is chosen: an injected tuple can re-egress as soon
+            # as it arrives, so its arrival bounds the widening too.
+            for region in regions:
+                pending_arrivals[region].extend(
+                    record[4] for record in inject[region])
+            if adaptive:
+                floor_min = min(floors.values())
+                arrival_min = min(
+                    (min(arrivals) for arrivals
+                     in pending_arrivals.values() if arrivals),
+                    default=math.inf)
+                # Any future egress happens at >= min(floor, pending
+                # arrival) and its tuple lands >= one boundary latency
+                # later; the horizon may jump straight there.
+                widened = min(floor_min, arrival_min) + lookahead
+                boundary = min(until, max(now + window, widened))
+            else:
+                # Multiplicative, not accumulative: repeated float adds
+                # of the window would drift and add a spurious round.
+                boundary = min((rounds + 1) * window, until)
+            inclusive = boundary >= until
+            commands = {
+                region: ("round", rounds, boundary, inclusive,
+                         inject[region])
+                for region in regions
+            }
+            if rounds > 0:
+                # Every region's dispatch waited on all others' previous
+                # round — the full barrier's structural cost.
+                stalls += region_count * (region_count - 1)
+            replies = self._roundtrip(commands)
+            for region in regions:
+                self._history[region].append(commands[region])
+            inject = {r: [] for r in regions}
+            for region in regions:
+                counters = replies[region][3]
+                floors[region] = counters.get("egress_floor", math.inf)
+                region_now = counters["now"]
+                pending_arrivals[region] = [
+                    arrival for arrival in pending_arrivals[region]
+                    if arrival >= region_now]
+                for record in replies[region][2]:
+                    inject[record[2]].append(record)
+            for queue in inject.values():
+                queue.sort(key=_INJECT_KEY)
+            now = boundary
+            rounds += 1
+            if after_round is not None:
+                after_round(self, rounds - 1, now)
+        leftovers = sum(len(queue) for queue in inject.values())
+        return rounds, leftovers, stalls
+
+    # -- overlapped exchange -----------------------------------------------
+
+    def _run_overlapped(self, until: float, window: float, adaptive: bool,
+                        after_round: Callable | None
+                        ) -> tuple[int, int, int]:
+        """Neighborhood-synchronized pipelined rounds.
+
+        Region ``r``'s round ``k`` is dispatched as soon as its boundary
+        neighbors have finished round ``k-1`` (fixed windows), or as
+        soon as the promise-derived safe bound ``LB(r)`` exceeds its
+        clock (adaptive) — no global barrier.  Returns
+        (max region rounds, leftovers, stalls).
+        """
+        partition = self.partition
+        region_count = partition.regions
+        regions = list(range(region_count))
+        neighbors: dict[int, set[int]] = {r: set() for r in regions}
+        for boundary in partition.boundaries:
+            neighbors[boundary.a_region].add(boundary.b_region)
+            neighbors[boundary.b_region].add(boundary.a_region)
+        if adaptive:
+            distance = {
+                (s, r): partition.region_distance(s, r)
+                for s in regions for r in regions}
+            # Shortest round trip leaving and re-entering r: bounds how
+            # soon r's own future egress can come back at it.
+            cycle: dict[int, float] = {}
+            for r in regions:
+                legs = [b.latency + distance[(b.peer(r)[0], r)]
+                        for b in partition.boundaries
+                        if r in (b.a_region, b.b_region)]
+                cycle[r] = min(legs) if legs else math.inf
+        committed = {r: 0.0 for r in regions}   # clock after last round
+        done = {r: 0 for r in regions}          # completed rounds
+        busy: dict[int, tuple] = {}             # region -> in-flight cmd
+        floors = {r: 0.0 for r in regions}
+        pending_arrivals: dict[int, list[float]] = {r: [] for r in regions}
+        # Held boundary tuples: aligned mode buckets them by the round
+        # that must inject them; adaptive mode holds a flat pool per
+        # destination, drained up to each dispatch horizon.
+        held_aligned: dict[tuple[int, int], list[tuple]] = {}
+        held_adaptive: dict[int, list[tuple]] = {r: [] for r in regions}
+        stalls = 0
+
+        def safe_bound(r: int) -> float:
+            """Earliest time a *new* tuple could still arrive in r."""
+            best = math.inf
+            for s in regions:
+                if s == r:
+                    continue
+                if s in busy:
+                    egress_time = committed[s]
+                else:
+                    egress_time = min(
+                        floors[s],
+                        min(pending_arrivals[s], default=math.inf))
+                best = min(best, egress_time + distance[(s, r)])
+                for record in held_adaptive[s]:
+                    best = min(best, record[4] + distance[(s, r)])
+            # r's own future egress can come back at it no sooner than
+            # one full cycle through another region.  That egress fires
+            # at >= the promise floor, a pending injection's arrival, or
+            # a tuple about to be injected this dispatch (held for r).
+            own = min(floors[r],
+                      min(pending_arrivals[r], default=math.inf))
+            for record in held_adaptive[r]:
+                own = min(own, record[4])
+            return min(best, own + cycle[r])
+
+        while True:
+            progressed = True
+            while progressed:
+                progressed = False
+                for r in regions:
+                    if r in busy or committed[r] >= until:
+                        continue
+                    k = done[r]
+                    if adaptive:
+                        bound = min(until, safe_bound(r))
+                        if bound <= committed[r]:
+                            continue
+                        horizon = bound
+                        pool = held_adaptive[r]
+                        batch = [rec for rec in pool if rec[4] < horizon]
+                        if batch:
+                            held_adaptive[r] = [
+                                rec for rec in pool if rec[4] >= horizon]
+                    else:
+                        if any(done[s] < k for s in neighbors[r]):
+                            continue
+                        horizon = min((k + 1) * window, until)
+                        batch = held_aligned.pop((r, k), [])
+                    batch.sort(key=_INJECT_KEY)
+                    if k > 0:
+                        stalls += len(neighbors[r])
+                    pending_arrivals[r].extend(rec[4] for rec in batch)
+                    command = ("round", k, horizon, horizon >= until,
+                               batch)
+                    busy[r] = command
+                    try:
+                        self._workers[r].send(command)
+                    except OSError:
+                        pass  # dead worker; surfaces in _collect_ready
+                    progressed = True
+            if not busy:
+                if any(committed[r] < until for r in regions):
+                    raise ParallelError(
+                        "overlapped exchange deadlocked: no region "
+                        "dispatchable and none busy")
+                break
+            replies = self._collect_ready(busy)
+            for r in sorted(replies):
+                reply = replies[r]
+                if reply[0] == "error":
+                    raise WorkerError(r, reply[2])
+                command = busy.pop(r)
+                self._history[r].append(command)
+                _, k, outbox, counters = reply
+                committed[r] = counters["now"]
+                done[r] = k + 1
+                floors[r] = counters.get("egress_floor", math.inf)
+                region_now = counters["now"]
+                pending_arrivals[r] = [
+                    arrival for arrival in pending_arrivals[r]
+                    if arrival >= region_now]
+                for record in outbox:
+                    destination = record[2]
+                    if adaptive:
+                        held_adaptive[destination].append(record)
+                    else:
+                        held_aligned.setdefault(
+                            (destination, k + 1), []).append(record)
+                if after_round is not None:
+                    after_round(self, k, committed[r])
+        leftovers = (sum(len(v) for v in held_adaptive.values())
+                     if adaptive
+                     else sum(len(v) for v in held_aligned.values()))
+        return max(done.values()), leftovers, stalls
+
+    def _collect_ready(self, busy: dict[int, tuple]) -> dict[int, tuple]:
+        """Return the replies of every busy region that has one ready,
+        blocking until at least one is (overlapped-mode multiplexing).
+
+        Inline (and degraded) workers reply synchronously, so their
+        replies are always ready.  Process workers are multiplexed with
+        :func:`multiprocessing.connection.wait`; between heartbeats dead
+        workers are revived by replay exactly as in barrier mode, and a
+        live-but-silent worker trips the policy's ``reply_timeout``.
+        """
+        replies: dict[int, tuple] = {}
+        process_regions: list[int] = []
+        for region in busy:
+            worker = self._workers[region]
+            if isinstance(worker, _InlineWorker):
+                replies[region] = worker.recv()
+            else:
+                process_regions.append(region)
+        if process_regions:
+            policy = self.supervision
+            deadline = (None if policy.reply_timeout is None
+                        else time.monotonic() + policy.reply_timeout)
+            while True:
+                pending = [r for r in process_regions if r not in replies]
+                if not pending:
+                    break
+                conns = {self._workers[r].conn: r for r in pending}
+                ready = _mp_connection.wait(
+                    list(conns), timeout=0 if replies
+                    else policy.heartbeat_interval)
+                for conn in ready:
+                    region = conns[conn]
+                    try:
+                        replies[region] = conn.recv()
+                    except (EOFError, OSError):
+                        replies[region] = self._revive(region,
+                                                       busy[region])
+                if replies:
+                    break
+                for region in pending:
+                    if region in replies:
+                        continue
+                    worker = self._workers[region]
+                    if not worker.process.is_alive():
+                        if worker.conn.poll(0):
+                            replies[region] = worker.conn.recv()
+                        else:
+                            replies[region] = self._revive(region,
+                                                           busy[region])
+                    elif (deadline is not None
+                          and time.monotonic() >= deadline):
+                        worker.escalate()
+                        replies[region] = self._revive(region,
+                                                       busy[region])
+        return replies
 
     # -- plumbing ----------------------------------------------------------
 

@@ -27,8 +27,7 @@ import traceback
 from typing import Any, Callable
 
 from repro.events import Simulator
-from repro.netsim import message as message_mod
-from repro.netsim.message import reset_message_ids
+from repro.netsim.message import MessageIdAllocator, use_allocator
 from repro.netsim.partition import Partition, RegionNetwork
 from repro.telemetry.instrument import configure as _configure_telemetry
 from repro.telemetry.merge import region_records
@@ -43,21 +42,15 @@ MSG_ID_STRIDE = 10_000_000
 RegionBuilder = Callable[[int, Simulator, Partition, int], RegionNetwork]
 
 
-def _msg_cursor() -> int:
-    """Consume and return the next global message id (the only way to
-    read the counter's position)."""
-    return next(message_mod._message_ids)
-
-
 class RegionRuntime:
     """One region's simulator + network shard + tracer.
 
-    The global message-id counter is the one piece of process state
-    regions would otherwise share; the runtime checkpoints its own id
-    cursor around every round, so interleaving many runtimes in one
-    process (the inline backend) numbers messages exactly as isolated
-    worker processes do — a precondition for backend-identical merged
-    trace checksums.
+    Each runtime owns a :class:`~repro.netsim.message.MessageIdAllocator`
+    seeded into its strided namespace and installs it around every build
+    and round, so interleaving many runtimes in one process (the inline
+    backend) numbers messages exactly as isolated worker processes do —
+    a precondition for backend-identical merged trace checksums — with
+    no global reset-order discipline.
     """
 
     def __init__(self, region: int, partition: Partition,
@@ -65,17 +58,20 @@ class RegionRuntime:
                  telemetry: dict[str, Any] | None = None) -> None:
         self.region = region
         self.partition = partition
-        reset_message_ids(region * MSG_ID_STRIDE + 1)
+        self.ids = MessageIdAllocator(region * MSG_ID_STRIDE + 1)
         self.sim = Simulator()
         self.tracer = (_configure_telemetry(self.sim, **telemetry)
                        if telemetry is not None else None)
-        self.net = build_region(region, self.sim, partition, seed)
+        previous = use_allocator(self.ids)
+        try:
+            self.net = build_region(region, self.sim, partition, seed)
+        finally:
+            use_allocator(previous)
         if not isinstance(self.net, RegionNetwork):
             raise TypeError(
                 f"build_region must return a RegionNetwork, "
                 f"got {type(self.net).__name__}")
         self.rounds = 0
-        self._msg_next = _msg_cursor()
 
     def run_round(self, index: int, horizon: float, inclusive: bool,
                   injections: list[tuple]) -> tuple[list[tuple], dict]:
@@ -88,16 +84,24 @@ class RegionRuntime:
         window then runs to ``horizon`` — exclusive between rounds so an
         event exactly at the horizon fires in the *next* round, after any
         remote tuple arriving at the same instant has been injected.
+
+        The returned counters carry ``egress_floor`` — the earliest
+        simulated time this region could still egress a boundary tuple
+        given its pending state (``inf`` when it provably cannot) — the
+        per-region promise adaptive lookahead widens horizons with.
         """
         net, sim = self.net, self.sim
-        reset_message_ids(self._msg_next)
-        if injections:
-            ingress = net.ingress
-            sim.schedule_many(
-                ((record[4], ingress, (record,)) for record in injections),
-                absolute=True)
-        sim.run(until=horizon, inclusive=inclusive)
-        self._msg_next = _msg_cursor()
+        previous = use_allocator(self.ids)
+        try:
+            if injections:
+                ingress = net.ingress
+                sim.schedule_many(
+                    ((record[4], ingress, (record,))
+                     for record in injections),
+                    absolute=True)
+            sim.run(until=horizon, inclusive=inclusive)
+        finally:
+            use_allocator(previous)
         outbox, net.outbox = net.outbox, []
         self.rounds += 1
         counters = {
@@ -105,6 +109,7 @@ class RegionRuntime:
             "now": sim.now,
             "outbound": len(outbox),
             "in_flight": net.in_flight,
+            "egress_floor": net.egress_floor(),
         }
         return outbox, counters
 
@@ -116,6 +121,11 @@ class RegionRuntime:
         stats["forwarded_out"] = net.forwarded_out
         stats["ingressed"] = net.ingressed
         stats["in_flight"] = net.in_flight
+        extra = getattr(net, "extra_stats", None)
+        if extra is not None:
+            # Scenario-specific counters (e.g. the lean shard's
+            # order-invariant delivery digest) ride along in the report.
+            stats.update(extra())
         return {
             "region": self.region,
             "executed": self.sim.executed_events,

@@ -41,11 +41,15 @@ DEFAULT_COLUMNS = [
     ("drops", "drops"),
     ("par ev/s", "parallel.events_per_sec"),
     ("par x", "parallel.speedup"),
+    ("stalls", "parallel.sync_stalls"),
+    ("peak MB", "memory.peak_rss_mb"),
+    ("B/node", "memory.bytes_per_node"),
 ]
 
 #: A metric whose dotted path contains one of these moves in the *bad*
 #: direction when it increases.
-_LOWER_IS_BETTER = ("overhead", "drops", "dropped")
+_LOWER_IS_BETTER = ("overhead", "drops", "dropped", "sync_stalls",
+                    "peak_rss", "bytes_per_node")
 #: ... and these when it decreases.
 _HIGHER_IS_BETTER = ("per_sec", "speedup")
 
@@ -132,6 +136,22 @@ class Dashboard:
                 "restarts": bench.get("restart", {}).get("restarts"),
                 "deterministic":
                     all(bench.get("determinism", {}).values()),
+            }
+            overlapped = bench.get("overlapped")
+            if overlapped:
+                # The overlapped exchange's stall count is the committed
+                # claim; the barrier's rides along as the baseline.
+                entry["parallel"]["sync_stalls"] = \
+                    overlapped.get("sync_stalls")
+                entry["parallel"]["barrier_sync_stalls"] = \
+                    parallel.get("sync_stalls")
+        memory = bench.get("memory")
+        if memory:
+            entry["memory"] = {
+                key: memory[key]
+                for key in ("peak_rss_mb", "bytes_per_node",
+                            "bytes_per_node_classic")
+                if key in memory
             }
         return entry
 
@@ -264,8 +284,13 @@ def main(argv: list[str] | None = None) -> int:
         dashboard.add(Dashboard.entry_from_bench(bench, label))
         dashboard.save(cli.history)
     print(dashboard.render(threshold_pct=cli.threshold))
-    if cli.fail_on_regression and dashboard.regressions(cli.threshold):
-        return 1
+    if cli.fail_on_regression:
+        # Gate only the newest entry: historical regressions are already
+        # on the record (and were accepted when committed) — re-failing
+        # every subsequent run on them would wedge the gate forever.
+        newest = Dashboard(dashboard.entries[-2:])
+        if newest.regressions(cli.threshold):
+            return 1
     return 0
 
 

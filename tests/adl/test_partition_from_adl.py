@@ -1,0 +1,163 @@
+"""Partition-from-ADL: the architecture description *is* the sharding
+plan — co-located/fast-connected deployment nodes form regions, slow
+connectors become the conservative synchronization boundaries."""
+
+import pytest
+
+from repro.adl import parse_adl, partition_from_architecture
+from repro.errors import AdlValidationError, NetworkError
+
+GEO_SOURCE = """
+interface Ping version 1.0 { operation ping() }
+
+component Svc {
+  provides p : Ping 1.0
+  requires r : Ping 1.0
+}
+
+connector Lan kind rpc interface Ping 1.0 {
+  option latency = 0.0005
+}
+connector Wan kind rpc interface Ping 1.0 {
+  option latency = 0.05
+  option bandwidth = 500000
+}
+
+architecture Geo {
+  instance a1 : Svc on siteA_1
+  instance a2 : Svc on siteA_2
+  instance b1 : Svc on siteB_1
+  instance b2 : Svc on siteB_2
+  instance c1 : Svc on siteC_1
+  use lanA : Lan
+  use lanB : Lan
+  use wan : Wan
+  bind a1.r -> lanA.client
+  attach a2.p -> lanA.server
+  bind b1.r -> lanB.client
+  attach b2.p -> lanB.server
+  bind c1.r -> wan.client
+  attach a1.p -> wan.server
+  attach b1.p -> wan.server
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def geo_partition():
+    return partition_from_architecture(parse_adl(GEO_SOURCE))
+
+
+class TestRegionAssignment:
+    def test_fast_connectors_group_sites_into_regions(self, geo_partition):
+        assert geo_partition.regions == 3
+        assert geo_partition.region_of("siteA_1") \
+            == geo_partition.region_of("siteA_2")
+        assert geo_partition.region_of("siteB_1") \
+            == geo_partition.region_of("siteB_2")
+        assert geo_partition.region_of("siteC_1") \
+            != geo_partition.region_of("siteA_1")
+
+    def test_numbering_follows_first_appearance(self, geo_partition):
+        assert geo_partition.region_of("siteA_1") == 0
+        assert geo_partition.region_of("siteB_1") == 1
+        assert geo_partition.region_of("siteC_1") == 2
+
+    def test_wan_becomes_pairwise_boundaries(self, geo_partition):
+        # The WAN connector spans all three regions: 3 choose 2 links.
+        assert len(geo_partition.boundaries) == 3
+        assert all(b.latency == pytest.approx(0.05)
+                   for b in geo_partition.boundaries)
+        assert all(b.bandwidth == pytest.approx(500_000.0)
+                   for b in geo_partition.boundaries)
+
+    def test_lookahead_is_min_declared_wan_latency(self, geo_partition):
+        assert geo_partition.lookahead == pytest.approx(0.05)
+
+    def test_partition_validates(self, geo_partition):
+        geo_partition.validate()
+
+
+class TestEdgeSemantics:
+    def test_direct_cross_node_bind_merges_regions(self):
+        doc = parse_adl("""
+        interface I version 1.0 { operation op() }
+        component A { requires r : I 1.0 }
+        component B { provides p : I 1.0 }
+        architecture App {
+          instance a : A on n0
+          instance b : B on n1
+          bind a.r -> b.p
+        }
+        """)
+        partition = partition_from_architecture(doc)
+        assert partition.regions == 1
+        assert partition.region_of("n0") == partition.region_of("n1")
+
+    def test_threshold_is_tunable(self):
+        partition = partition_from_architecture(
+            parse_adl(GEO_SOURCE), boundary_threshold=0.2)
+        # Raising the threshold swallows the WAN into one region.
+        assert partition.regions == 1
+        assert partition.boundaries == []
+
+    def test_slow_connector_within_one_region_adds_no_boundary(self):
+        doc = parse_adl("""
+        interface I version 1.0 { operation op() }
+        component A { provides p : I 1.0
+                      requires r : I 1.0 }
+        connector Slow kind rpc interface I 1.0 {
+          option latency = 0.5
+        }
+        architecture App {
+          instance a : A on n0
+          instance b : A on n0
+          use s : Slow
+          bind a.r -> s.client
+          attach b.p -> s.server
+        }
+        """)
+        partition = partition_from_architecture(doc)
+        assert partition.regions == 1
+        assert partition.boundaries == []
+
+    def test_isolated_nodes_become_their_own_regions(self):
+        doc = parse_adl("""
+        interface I version 1.0 { operation op() }
+        component A { provides p : I 1.0 }
+        architecture App {
+          instance a : A on island0
+          instance b : A on island1
+        }
+        """)
+        partition = partition_from_architecture(doc)
+        assert partition.regions == 2
+        # No boundaries: disconnected regions are the caller's problem;
+        # the builder must not invent links the architecture never had.
+        assert partition.boundaries == []
+        with pytest.raises(NetworkError):
+            partition.validate()
+
+
+class TestErrors:
+    def test_unknown_architecture(self):
+        with pytest.raises(AdlValidationError):
+            partition_from_architecture(parse_adl(GEO_SOURCE), "Nope")
+
+    def test_ambiguous_document_requires_a_name(self):
+        doc = parse_adl("""
+        interface I version 1.0 { operation op() }
+        component A { provides p : I 1.0 }
+        architecture One { instance a : A on n0 }
+        architecture Two { instance a : A on n0 }
+        """)
+        with pytest.raises(AdlValidationError):
+            partition_from_architecture(doc)
+        assert partition_from_architecture(doc, "One").regions == 1
+
+    def test_empty_architecture_rejected(self):
+        doc = parse_adl("""
+        architecture Empty { }
+        """)
+        with pytest.raises(AdlValidationError):
+            partition_from_architecture(doc)

@@ -7,9 +7,10 @@ from repro.events import Simulator
 from repro.netsim import (
     Boundary,
     Message,
+    MessageIdAllocator,
     Partition,
     RegionNetwork,
-    reset_message_ids,
+    use_allocator,
 )
 
 
@@ -24,7 +25,7 @@ def two_region_partition():
 
 
 def build_region(partition, region, seed=0):
-    reset_message_ids(region * 1_000_000 + 1)
+    use_allocator(MessageIdAllocator(region * 1_000_000 + 1))
     sim = Simulator()
     net = RegionNetwork(sim, partition, region, seed=seed)
     net.add_node(f"hub{region}")
@@ -216,7 +217,7 @@ class TestRegionNetwork:
         partition.add_boundary("hub1", "hub2", latency=0.01)
         sims, nets, boxes = {}, {}, {}
         for region in range(3):
-            reset_message_ids(region * 1_000_000 + 1)
+            use_allocator(MessageIdAllocator(region * 1_000_000 + 1))
             sim = Simulator()
             net = RegionNetwork(sim, partition, region, seed=region)
             net.add_node(f"hub{region}")
@@ -248,7 +249,7 @@ class TestRegionNetwork:
 
     def test_cross_send_without_route_to_gateway_drops(self):
         partition = two_region_partition()
-        reset_message_ids(1)
+        use_allocator(MessageIdAllocator(1))
         sim = Simulator()
         net = RegionNetwork(sim, partition, 0)
         net.add_node("hub0")

@@ -15,7 +15,7 @@ from repro.core import Raml, Response, custom
 from repro.connectors import RpcConnector
 from repro.events import PeriodicTimer
 from repro.kernel import Assembly, Component, Interface, Operation
-from repro.netsim import Message, reset_message_ids
+from repro.netsim import Message, MessageIdAllocator, use_allocator
 from repro.telemetry import (
     chrome_trace,
     chrome_trace_json,
@@ -43,7 +43,7 @@ class ServingComponent(Component):
 
 def run_scenario():
     """One fully-traced Figure-1 run; returns the tracer."""
-    reset_message_ids()
+    use_allocator(MessageIdAllocator(1))  # ids appear in the trace
     sim = Simulator()
     tracer = install(sim, kernel_detail="events")
     net = star(sim, leaves=3)
